@@ -1,0 +1,303 @@
+// Command polyprof runs the POLY-PROF reproduction pipeline on the
+// bundled workloads: profile a benchmark and print its feedback, render
+// an annotated flame graph, regenerate the paper's evaluation tables,
+// or run the static baseline.
+//
+// Usage:
+//
+//	polyprof list
+//	polyprof profile <workload>        full pipeline + feedback report
+//	polyprof flame <workload> [-o f]   annotated flame graph SVG
+//	polyprof static <workload>         Polly-like baseline verdicts
+//	polyprof disasm <workload>         pseudo-assembler listing
+//	polyprof table5                    Experiment I+II summary table
+//	polyprof casestudy <backprop|gemsfdtd>   Table 3 / Table 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"polyprof"
+	"polyprof/internal/evaluation"
+	"polyprof/internal/iiv"
+	"polyprof/internal/workloads"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = cmdList()
+	case "profile":
+		err = cmdProfile(os.Args[2:])
+	case "flame":
+		err = cmdFlame(os.Args[2:])
+	case "static":
+		err = cmdStatic(os.Args[2:])
+	case "disasm":
+		err = cmdDisasm(os.Args[2:])
+	case "table5":
+		err = cmdTable5()
+	case "casestudy":
+		err = cmdCaseStudy(os.Args[2:])
+	case "ddg":
+		err = cmdDDG(os.Args[2:])
+	case "report":
+		err = cmdReport(os.Args[2:])
+	case "help", "-h", "--help":
+		usage()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "polyprof:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: polyprof <command> [args]
+
+commands:
+  list                    list bundled workloads
+  profile <workload>      run the full pipeline and print feedback
+  flame <workload> [-o f] write the annotated flame graph SVG
+  static <workload>       run the Polly-like static baseline
+  disasm <workload>       print the pseudo-assembler listing
+  table5                  run the whole Rodinia suite (Experiment I+II)
+  casestudy <name>        backprop (Table 3) or gemsfdtd (Table 4)
+  ddg <workload>          dump the folded polyhedral DDG of the region
+  report <workload> [-json]  full feedback document (or JSON)`)
+}
+
+func cmdList() error {
+	fmt.Println("Rodinia 3.1 twins (Table 5):")
+	for _, s := range polyprof.Rodinia() {
+		fmt.Printf("  %-16s (paper Polly reasons: %s)\n", s.Name, s.PaperReasons)
+	}
+	fmt.Println("case studies: gemsfdtd (Table 4), backprop (Table 3)")
+	fmt.Println("paper figures: example1, example2 (Fig. 3)")
+	fmt.Println("PolyBench twins:")
+	names := []string{}
+	for _, s := range workloads.PolyBench() {
+		names = append(names, s.Name)
+	}
+	for _, s := range workloads.PolyBenchExtra() {
+		names = append(names, s.Name)
+	}
+	fmt.Println("  " + strings.Join(names, ", "))
+	return nil
+}
+
+func cmdProfile(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("profile: missing workload name")
+	}
+	prog, err := polyprof.Workload(args[0])
+	if err != nil {
+		return err
+	}
+	rep, err := polyprof.Profile(prog)
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.Summary())
+	if rep.Best != nil {
+		fmt.Println()
+		fmt.Print(rep.AnnotatedAST(rep.Best))
+		fmt.Println()
+		for _, t := range rep.Best.Transforms {
+			if t.Nest.Loops[0].TotalOps*10 < rep.Best.Ops {
+				continue
+			}
+			if sp, err := rep.EstimateSpeedup(t, polyprof.DefaultCostModel()); err == nil {
+				fmt.Printf("estimated speedup (nest depth %d): %v\n", t.Nest.Depth(), sp)
+			}
+		}
+	}
+	fmt.Println()
+	fmt.Println("dynamic schedule tree (hot paths):")
+	fmt.Print(rep.Profile.Tree.Render(iiv.ProgramNamer(prog), rep.Profile.Tree.TotalOps()/50))
+	return nil
+}
+
+func cmdFlame(args []string) error {
+	fs := flag.NewFlagSet("flame", flag.ExitOnError)
+	out := fs.String("o", "", "output file (default <workload>.svg)")
+	width := fs.Int("w", 1200, "SVG width")
+	if len(args) < 1 {
+		return fmt.Errorf("flame: missing workload name")
+	}
+	name := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	prog, err := polyprof.Workload(name)
+	if err != nil {
+		return err
+	}
+	rep, err := polyprof.Profile(prog)
+	if err != nil {
+		return err
+	}
+	svg := rep.FlameGraph(*width, 18)
+	path := *out
+	if path == "" {
+		path = name + ".svg"
+	}
+	if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", path, len(svg))
+	return nil
+}
+
+func cmdStatic(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("static: missing workload name")
+	}
+	prog, err := polyprof.Workload(args[0])
+	if err != nil {
+		return err
+	}
+	res := polyprof.AnalyzeStatic(prog)
+	fmt.Printf("%-26s %-8s %-8s %s\n", "function", "loops", "modeled", "failure reasons (RCBFAP)")
+	for _, f := range prog.Funcs {
+		fr := res.Funcs[f.ID]
+		fmt.Printf("%-26s %-8v %-8v %v\n", f.Name, fr.HasLoops, fr.Modeled, fr.Reasons)
+	}
+	if spec := workloads.ByName(args[0]); spec != nil && len(spec.RegionFuncs) > 0 {
+		fmt.Printf("\nregion %v: reasons %v (paper reported: %s)\n",
+			spec.RegionFuncs, res.RegionReasons(prog, spec.RegionFuncs...), spec.PaperReasons)
+	}
+	return nil
+}
+
+func cmdDisasm(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("disasm: missing workload name")
+	}
+	prog, err := polyprof.Workload(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Print(prog.Disasm())
+	return nil
+}
+
+func cmdDDG(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("ddg: missing workload name")
+	}
+	prog, err := polyprof.Workload(args[0])
+	if err != nil {
+		return err
+	}
+	rep, err := polyprof.Profile(prog)
+	if err != nil {
+		return err
+	}
+	if rep.Best == nil {
+		return fmt.Errorf("no region of interest")
+	}
+	fmt.Print(rep.DomainReport(rep.Best, 0, -1))
+	fmt.Println()
+	fmt.Print(rep.DDGReport(rep.Best))
+	return nil
+}
+
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit the machine-readable report")
+	if len(args) < 1 {
+		return fmt.Errorf("report: missing workload name")
+	}
+	name := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	prog, err := polyprof.Workload(name)
+	if err != nil {
+		return err
+	}
+	rep, err := polyprof.Profile(prog)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		cm := polyprof.DefaultCostModel()
+		data, err := rep.JSON(&cm)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return nil
+	}
+	fmt.Print(rep.Document(polyprof.DefaultCostModel()))
+	return nil
+}
+
+func cmdTable5() error {
+	fmt.Println("running the Rodinia suite through the full pipeline (Experiment I+II)...")
+	rows, err := polyprof.RunSuite()
+	if err != nil {
+		return err
+	}
+	fmt.Print(polyprof.RenderTable5(rows))
+	fmt.Println("\nExperiment II (static baseline): per-benchmark failure reasons vs. the paper")
+	fmt.Printf("%-16s %-10s %-10s %s\n", "benchmark", "ours", "paper", "whole region modeled?")
+	for _, r := range rows {
+		fmt.Printf("%-16s %-10s %-10s %v\n", r.Row.Name, r.Row.PollyReasons, r.Row.PaperReasons, r.Row.PollyModeled)
+	}
+	return nil
+}
+
+func cmdCaseStudy(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("casestudy: want backprop or gemsfdtd")
+	}
+	name := args[0]
+	spec := workloads.ByName(name)
+	if spec == nil {
+		return fmt.Errorf("unknown workload %q", name)
+	}
+	res, rows, err := evaluation.CaseStudy(*spec, 0.05)
+	if err != nil {
+		return err
+	}
+	title := "case study"
+	switch name {
+	case "backprop":
+		title = "Case study I (paper Table 3): backprop"
+	case "gemsfdtd":
+		title = "Case study II (paper Table 4): GemsFDTD"
+	}
+	fmt.Println(title)
+	if res.Report.Best != nil {
+		fmt.Printf("region: %s (%.0f%% of ops)\n\n", res.Report.Best.CodeRef, 100*res.Report.Best.PctOps)
+	}
+	for _, row := range rows {
+		par := make([]string, len(row.Parallel))
+		for i, p := range row.Parallel {
+			par[i] = map[bool]string{true: "yes", false: "no"}[p]
+		}
+		st := make([]string, len(row.Stride01))
+		for i, s := range row.Stride01 {
+			st[i] = fmt.Sprintf("%.0f%%", 100*s)
+		}
+		fmt.Printf("nest %s: %.0f%% ops\n", row.Region, 100*row.PctOps)
+		fmt.Printf("  transform:  %s\n", row.Transform)
+		fmt.Printf("  parallel:   (%s)  permutable: %v  tile: %dD  stride01: (%s)\n",
+			strings.Join(par, ","), row.Permutable, row.TileD, strings.Join(st, ","))
+		fmt.Printf("  speedup:    %s\n\n", row.SpeedupNote)
+	}
+	return nil
+}

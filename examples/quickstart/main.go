@@ -1,0 +1,78 @@
+// Quickstart: build a small program against the polyprof virtual ISA,
+// profile it, and print the structured-transformation feedback.
+//
+// The kernel is a transposed matrix-vector product whose inner loop
+// walks the matrix with a large stride — polyprof detects that the
+// nest is fully permutable, that only the outer loop is parallel, and
+// that interchanging the loops makes the accesses stride-1 and the
+// innermost loop SIMDizable.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"polyprof"
+)
+
+func main() {
+	const n, m = 32, 48
+
+	pb := polyprof.NewProgram("quickstart")
+	mat := pb.Global("mat", n*m)
+	x := pb.Global("x", m)
+	y := pb.Global("y", n)
+
+	f := pb.Func("main", 0)
+	f.SetFile("quickstart.go")
+	f.At(5)
+	matB := f.IConst(mat.Base)
+	xB := f.IConst(x.Base)
+	yB := f.IConst(y.Base)
+
+	// Initialize inputs: mat[i*m+j] = i+j, x[j] = j.
+	f.At(10)
+	f.Loop("init_x", f.IConst(0), f.IConst(m), 1, func(j polyprof.Reg) {
+		f.FStoreIdx(xB, j, 0, f.I2F(j))
+	})
+	f.Loop("init_mat", f.IConst(0), f.IConst(n*m), 1, func(k polyprof.Reg) {
+		f.FStoreIdx(matB, k, 0, f.I2F(k))
+	})
+
+	// y[i] = sum_j mat[j*n + i] * x[j]  (column-major walk: stride n).
+	f.At(20)
+	f.Loop("Li", f.IConst(0), f.IConst(n), 1, func(i polyprof.Reg) {
+		sum := f.NewReg()
+		f.At(21)
+		f.SetF(sum, 0)
+		f.Loop("Lj", f.IConst(0), f.IConst(m), 1, func(j polyprof.Reg) {
+			f.At(22)
+			v := f.FLoadIdx(matB, f.Add(f.Mul(j, f.IConst(n)), i), 0)
+			f.FAddTo(sum, sum, f.FMul(v, f.FLoadIdx(xB, j, 0)))
+		})
+		f.At(24)
+		f.FStoreIdx(yB, i, 0, sum)
+	})
+	f.Halt()
+	pb.SetMain(f)
+
+	report, err := polyprof.Profile(pb.MustBuild())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(report.Summary())
+	if report.Best != nil {
+		fmt.Println()
+		fmt.Print(report.AnnotatedAST(report.Best))
+		for _, t := range report.Best.Transforms {
+			if t.Nest.Depth() != 2 {
+				continue
+			}
+			sp, err := report.EstimateSpeedup(t, polyprof.DefaultCostModel())
+			if err == nil {
+				fmt.Printf("\nestimated speedup after the transformation: %v\n", sp)
+			}
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module polyprof
+
+go 1.22

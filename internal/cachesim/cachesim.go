@@ -1,0 +1,115 @@
+// Package cachesim provides a small set-associative cache simulator.
+//
+// The paper measures case-study speedups on a Xeon testbed; we have no
+// hardware, so polyprof's feedback stage estimates cycle counts by
+// replaying memory access streams (original and transformed iteration
+// order) through this model.  Only the *shape* of the resulting speedups
+// matters (who wins, roughly by how much), which a classic LRU cache
+// plus flat miss latency reproduces for locality transformations.
+package cachesim
+
+// Config parameterizes a cache level.  Addresses are word indices (one
+// word = 8 bytes), matching the VM's memory model.
+type Config struct {
+	LineWords int // words per cache line (power of two)
+	Sets      int // number of sets (power of two)
+	Ways      int // associativity
+
+	HitLatency  uint64 // cycles for a hit
+	MissLatency uint64 // cycles for a miss (memory access)
+}
+
+// DefaultL1 models a small L1-like cache: 8-word (64 B) lines, 64 sets,
+// 8 ways = 32 KiB.
+func DefaultL1() Config {
+	return Config{LineWords: 8, Sets: 64, Ways: 8, HitLatency: 4, MissLatency: 60}
+}
+
+// Cache is a set-associative LRU cache.
+type Cache struct {
+	cfg      Config
+	lineBits uint
+	setMask  int64
+
+	// tags[set*ways+way] holds the line tag; order[set*ways+way] holds
+	// LRU ranks (smaller = more recently used).
+	tags  []int64
+	stamp []uint64
+	clock uint64
+
+	hits, misses uint64
+}
+
+// New creates a cache; panics on non-positive or non-power-of-two
+// geometry (configuration is static, so this is a programming error).
+func New(cfg Config) *Cache {
+	if cfg.LineWords <= 0 || cfg.Sets <= 0 || cfg.Ways <= 0 {
+		panic("cachesim: non-positive geometry")
+	}
+	if cfg.LineWords&(cfg.LineWords-1) != 0 || cfg.Sets&(cfg.Sets-1) != 0 {
+		panic("cachesim: LineWords and Sets must be powers of two")
+	}
+	c := &Cache{cfg: cfg, setMask: int64(cfg.Sets - 1)}
+	for w := cfg.LineWords; w > 1; w >>= 1 {
+		c.lineBits++
+	}
+	n := cfg.Sets * cfg.Ways
+	c.tags = make([]int64, n)
+	c.stamp = make([]uint64, n)
+	for i := range c.tags {
+		c.tags[i] = -1
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Reset empties the cache and clears counters.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		c.tags[i] = -1
+		c.stamp[i] = 0
+	}
+	c.clock, c.hits, c.misses = 0, 0, 0
+}
+
+// Access simulates one access to the given word address and returns the
+// latency in cycles.
+func (c *Cache) Access(addr int64) uint64 {
+	line := addr >> c.lineBits
+	set := int(line & c.setMask)
+	base := set * c.cfg.Ways
+	c.clock++
+
+	victim, oldest := base, c.stamp[base]
+	for i := base; i < base+c.cfg.Ways; i++ {
+		if c.tags[i] == line {
+			c.stamp[i] = c.clock
+			c.hits++
+			return c.cfg.HitLatency
+		}
+		if c.stamp[i] < oldest {
+			victim, oldest = i, c.stamp[i]
+		}
+	}
+	c.misses++
+	c.tags[victim] = line
+	c.stamp[victim] = c.clock
+	return c.cfg.MissLatency
+}
+
+// Hits returns the number of hits since the last Reset.
+func (c *Cache) Hits() uint64 { return c.hits }
+
+// Misses returns the number of misses since the last Reset.
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// MissRate returns misses / accesses (0 when no accesses happened).
+func (c *Cache) MissRate() float64 {
+	total := c.hits + c.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(total)
+}

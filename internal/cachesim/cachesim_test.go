@@ -1,0 +1,113 @@
+package cachesim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func small() Config {
+	return Config{LineWords: 4, Sets: 2, Ways: 2, HitLatency: 1, MissLatency: 10}
+}
+
+func TestHitAfterMiss(t *testing.T) {
+	c := New(small())
+	if lat := c.Access(0); lat != 10 {
+		t.Errorf("first access latency %d, want miss (10)", lat)
+	}
+	if lat := c.Access(1); lat != 1 {
+		t.Errorf("same-line access latency %d, want hit (1)", lat)
+	}
+	if lat := c.Access(3); lat != 1 {
+		t.Errorf("line covers 4 words; latency %d, want hit", lat)
+	}
+	if lat := c.Access(4); lat != 10 {
+		t.Errorf("next line must miss, got %d", lat)
+	}
+	if c.Hits() != 2 || c.Misses() != 2 {
+		t.Errorf("hits=%d misses=%d, want 2/2", c.Hits(), c.Misses())
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(small())
+	// Three distinct lines mapping to set 0 (line numbers 0, 2, 4 with 2
+	// sets: set = line & 1, so lines 0, 2, 4 all hit set 0) in a 2-way
+	// set: the third evicts the least recently used (line 0).
+	c.Access(0)  // line 0 -> set 0
+	c.Access(8)  // line 2 -> set 0
+	c.Access(16) // line 4 -> set 0, evicts line 0
+	if lat := c.Access(8); lat != 1 {
+		t.Errorf("line 2 should still be cached")
+	}
+	if lat := c.Access(0); lat != 10 {
+		t.Errorf("line 0 should have been evicted")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New(small())
+	c.Access(0)
+	c.Access(0)
+	c.Reset()
+	if c.Hits() != 0 || c.Misses() != 0 {
+		t.Error("counters survive reset")
+	}
+	if lat := c.Access(0); lat != 10 {
+		t.Error("contents survive reset")
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	c := New(small())
+	if c.MissRate() != 0 {
+		t.Error("empty cache must report 0 miss rate")
+	}
+	c.Access(0)
+	c.Access(0)
+	if got := c.MissRate(); got != 0.5 {
+		t.Errorf("miss rate %g, want 0.5", got)
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	for _, cfg := range []Config{
+		{LineWords: 0, Sets: 2, Ways: 1},
+		{LineWords: 3, Sets: 2, Ways: 1},
+		{LineWords: 4, Sets: 3, Ways: 1},
+		{LineWords: 4, Sets: 2, Ways: 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v must panic", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+// TestSequentialScanMissRate: a long sequential scan misses exactly once
+// per line.
+func TestSequentialScanMissRate(t *testing.T) {
+	c := New(DefaultL1())
+	words := int64(c.Config().LineWords * 1000)
+	for a := int64(0); a < words; a++ {
+		c.Access(a)
+	}
+	if c.Misses() != 1000 {
+		t.Errorf("misses = %d, want 1000 (one per line)", c.Misses())
+	}
+}
+
+// TestAccessAlwaysReturnsConfiguredLatency is a property test.
+func TestAccessAlwaysReturnsConfiguredLatency(t *testing.T) {
+	c := New(small())
+	f := func(addr uint16) bool {
+		lat := c.Access(int64(addr))
+		return lat == 1 || lat == 10
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,138 @@
+// Package cct implements the classical calling-context tree of Ammons,
+// Ball and Larus (the paper's [2]) as a comparison structure: it is
+// enumerative, carries no loop indices, and — the paper's Sec. 3.2
+// motivation for the recursive-component-set — its depth grows linearly
+// with recursion depth, whereas the dynamic interprocedural iteration
+// vector folds recursion into a single dimension.  The ablation
+// benchmark contrasts the two on a recursion tower.
+package cct
+
+import (
+	"fmt"
+	"strings"
+
+	"polyprof/internal/isa"
+	"polyprof/internal/trace"
+)
+
+// Node is one calling context: a chain of (call site, callee) pairs.
+type Node struct {
+	Parent *Node
+	// Site is the block that made the call (NoBlock for the root).
+	Site isa.BlockID
+	// Fn is the function executing in this context.
+	Fn isa.FuncID
+
+	Children map[childKey]*Node
+	// Calls counts how many times this exact context was entered.
+	Calls uint64
+	// Ops counts dynamic instructions attributed to this context.
+	Ops uint64
+
+	depth int
+}
+
+type childKey struct {
+	site isa.BlockID
+	fn   isa.FuncID
+}
+
+// Depth returns the node's distance from the root.
+func (n *Node) Depth() int { return n.depth }
+
+// Path renders the context as main/f@B3/g@B7.
+func (n *Node) Path(prog *isa.Program) string {
+	var parts []string
+	for cur := n; cur != nil && cur.Parent != nil; cur = cur.Parent {
+		s := prog.Func(cur.Fn).Name
+		if cur.Site != isa.NoBlock {
+			s += "@" + prog.Block(cur.Site).Name
+		}
+		parts = append(parts, s)
+	}
+	for i, j := 0, len(parts)-1; i < j; i, j = i+1, j-1 {
+		parts[i], parts[j] = parts[j], parts[i]
+	}
+	return strings.Join(parts, "/")
+}
+
+// Tree is a calling-context tree under construction; it implements
+// trace.Hook so it can be attached directly to a VM run.
+type Tree struct {
+	Root *Node
+	cur  *Node
+
+	// MaxDepth is the deepest context observed.
+	MaxDepth int
+	// Nodes counts distinct contexts.
+	Nodes int
+}
+
+// New creates an empty CCT rooted at the program's main function.
+func New(main isa.FuncID) *Tree {
+	root := &Node{Site: isa.NoBlock, Fn: main, Children: map[childKey]*Node{}}
+	return &Tree{Root: root, cur: root, Nodes: 1}
+}
+
+// Control implements trace.Hook.
+func (t *Tree) Control(ev trace.ControlEvent) {
+	switch ev.Kind {
+	case trace.Call:
+		key := childKey{site: ev.Src, fn: ev.Callee}
+		child := t.cur.Children[key]
+		if child == nil {
+			child = &Node{
+				Parent:   t.cur,
+				Site:     ev.Src,
+				Fn:       ev.Callee,
+				Children: map[childKey]*Node{},
+				depth:    t.cur.depth + 1,
+			}
+			t.cur.Children[key] = child
+			t.Nodes++
+			if child.depth > t.MaxDepth {
+				t.MaxDepth = child.depth
+			}
+		}
+		child.Calls++
+		t.cur = child
+	case trace.Return:
+		if t.cur.Parent != nil {
+			t.cur = t.cur.Parent
+		}
+	}
+}
+
+// Instr implements trace.Hook.
+func (t *Tree) Instr(trace.InstrEvent, *isa.Instr) { t.cur.Ops++ }
+
+// Walk visits every node depth-first.
+func (t *Tree) Walk(f func(n *Node)) {
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		f(n)
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	rec(t.Root)
+}
+
+// Render prints the tree (diagnostics and the Fig. 3h reproduction).
+func (t *Tree) Render(prog *isa.Program) string {
+	var sb strings.Builder
+	var rec func(n *Node, indent int)
+	rec = func(n *Node, indent int) {
+		name := prog.Func(n.Fn).Name
+		site := ""
+		if n.Site != isa.NoBlock {
+			site = fmt.Sprintf(" (from %s)", prog.Block(n.Site).Name)
+		}
+		fmt.Fprintf(&sb, "%s%s%s calls=%d ops=%d\n", strings.Repeat("  ", indent), name, site, n.Calls, n.Ops)
+		for _, c := range n.Children {
+			rec(c, indent+1)
+		}
+	}
+	rec(t.Root, 0)
+	return sb.String()
+}

@@ -1,0 +1,90 @@
+package cct_test
+
+import (
+	"strings"
+	"testing"
+
+	"polyprof/internal/cct"
+	"polyprof/internal/vm"
+	"polyprof/internal/workloads"
+)
+
+// TestCCTDistinguishesContexts reproduces the paper's Fig. 3h point:
+// the helper C called from D and from B gets distinct contexts, and
+// recursive calls to B deepen the tree linearly (unlike the IIV, which
+// stays one-dimensional — see iiv.TestFig3Example2Recursion).
+func TestCCTDistinguishesContexts(t *testing.T) {
+	prog := workloads.Example2()
+	tree := cct.New(prog.Main)
+	if err := vm.New(prog, tree).Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	cID := prog.FuncByName("C").ID
+	bID := prog.FuncByName("B").ID
+	var cContexts []string
+	maxBDepth := 0
+	tree.Walk(func(n *cct.Node) {
+		if n.Fn == cID {
+			cContexts = append(cContexts, n.Path(prog))
+		}
+		if n.Fn == bID && n.Depth() > maxBDepth {
+			maxBDepth = n.Depth()
+		}
+	})
+	// C appears under D once and under each level of B's recursion
+	// (3 activations): 4 distinct contexts.
+	if len(cContexts) != 4 {
+		t.Fatalf("C has %d contexts, want 4: %v", len(cContexts), cContexts)
+	}
+	// B recursed twice beyond the initial call: depth grows to 3.
+	if maxBDepth != 3 {
+		t.Errorf("deepest B context = %d, want 3 (CCT depth tracks recursion depth)", maxBDepth)
+	}
+	if tree.MaxDepth < 3 {
+		t.Errorf("MaxDepth = %d, want >= 3", tree.MaxDepth)
+	}
+	out := tree.Render(prog)
+	if !strings.Contains(out, "C (from") {
+		t.Errorf("rendering lacks call-site annotations:\n%s", out)
+	}
+}
+
+// TestCCTOpsAccounting: instruction counts attach to the current
+// context and sum to the run's total.
+func TestCCTOpsAccounting(t *testing.T) {
+	prog := workloads.Example1()
+	tree := cct.New(prog.Main)
+	m := vm.New(prog, tree)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	var sum uint64
+	tree.Walk(func(n *cct.Node) { sum += n.Ops })
+	if sum != m.Stats().Ops {
+		t.Errorf("CCT ops %d != vm ops %d", sum, m.Stats().Ops)
+	}
+}
+
+// TestCCTRepeatedContextsShared: calling the same function twice from
+// the same site reuses one node with Calls == 2.
+func TestCCTRepeatedContextsShared(t *testing.T) {
+	prog := workloads.Example1() // A's loop calls B twice from one site
+	tree := cct.New(prog.Main)
+	if err := vm.New(prog, tree).Run(); err != nil {
+		t.Fatal(err)
+	}
+	bID := prog.FuncByName("B").ID
+	found := false
+	tree.Walk(func(n *cct.Node) {
+		if n.Fn == bID {
+			found = true
+			if n.Calls != 2 {
+				t.Errorf("B context calls = %d, want 2 (shared node)", n.Calls)
+			}
+		}
+	})
+	if !found {
+		t.Fatal("B context missing")
+	}
+}

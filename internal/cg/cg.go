@@ -1,0 +1,339 @@
+// Package cg builds the dynamic call graph and its
+// recursive-component-set, the call-graph analogue of the loop-nesting
+// forest (paper Sec. 3.2): every top-level SCC of the call graph that
+// contains a cycle forms a recursive component with a set of entry
+// functions and a set of header functions; calls to and returns from
+// headers drive the recursive-loop events of Alg. 2.
+package cg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"polyprof/internal/cfg"
+	"polyprof/internal/isa"
+)
+
+// Graph is the dynamic call graph.
+type Graph struct {
+	nodes map[isa.FuncID]bool
+	succs map[isa.FuncID][]isa.FuncID
+	seen  map[[2]isa.FuncID]bool
+}
+
+// NewGraph creates an empty call graph.
+func NewGraph() *Graph {
+	return &Graph{
+		nodes: map[isa.FuncID]bool{},
+		succs: map[isa.FuncID][]isa.FuncID{},
+		seen:  map[[2]isa.FuncID]bool{},
+	}
+}
+
+// FromCallEdges builds the call graph from the recorder's observed call
+// edges, adding main as an isolated node if it never calls.
+func FromCallEdges(main isa.FuncID, edges []cfg.CallEdge) *Graph {
+	g := NewGraph()
+	g.AddNode(main)
+	for _, e := range edges {
+		g.AddEdge(e.Caller, e.Callee)
+	}
+	return g
+}
+
+// AddNode records an executed function.
+func (g *Graph) AddNode(f isa.FuncID) { g.nodes[f] = true }
+
+// AddEdge records a caller→callee edge (duplicates ignored).
+func (g *Graph) AddEdge(caller, callee isa.FuncID) {
+	g.AddNode(caller)
+	g.AddNode(callee)
+	k := [2]isa.FuncID{caller, callee}
+	if g.seen[k] {
+		return
+	}
+	g.seen[k] = true
+	g.succs[caller] = append(g.succs[caller], callee)
+}
+
+// Nodes returns the executed functions, sorted.
+func (g *Graph) Nodes() []isa.FuncID {
+	var out []isa.FuncID
+	for f := range g.nodes {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Succs returns the callees of a function.
+func (g *Graph) Succs(f isa.FuncID) []isa.FuncID { return g.succs[f] }
+
+// Component is one recursive component: a top-level call-graph SCC with
+// at least one cycle.
+type Component struct {
+	ID      int
+	Funcs   map[isa.FuncID]bool
+	Entries map[isa.FuncID]bool // functions called from outside the SCC
+	Headers map[isa.FuncID]bool // headers-set from the iterative unrolling
+}
+
+// Contains reports whether the function belongs to the component.
+func (c *Component) Contains(f isa.FuncID) bool { return c.Funcs[f] }
+
+// String renders the component for diagnostics.
+func (c *Component) String() string {
+	name := func(set map[isa.FuncID]bool) string {
+		var ids []int
+		for f := range set {
+			ids = append(ids, int(f))
+		}
+		sort.Ints(ids)
+		parts := make([]string, len(ids))
+		for i, id := range ids {
+			parts[i] = fmt.Sprint(id)
+		}
+		return "{" + strings.Join(parts, ",") + "}"
+	}
+	return fmt.Sprintf("R%d(funcs=%s entries=%s headers=%s)",
+		c.ID, name(c.Funcs), name(c.Entries), name(c.Headers))
+}
+
+// ComponentSet is the recursive-component-set of a call graph.
+type ComponentSet struct {
+	Components []*Component
+	compOf     map[isa.FuncID]*Component
+}
+
+// ComponentOf returns the recursive component containing f, or nil.
+func (s *ComponentSet) ComponentOf(f isa.FuncID) *Component { return s.compOf[f] }
+
+// IsEntry reports whether f is an entry of some recursive component.
+func (s *ComponentSet) IsEntry(f isa.FuncID) bool {
+	c := s.compOf[f]
+	return c != nil && c.Entries[f]
+}
+
+// IsHeader reports whether f is a header of some recursive component.
+func (s *ComponentSet) IsHeader(f isa.FuncID) bool {
+	c := s.compOf[f]
+	return c != nil && c.Headers[f]
+}
+
+// BuildComponents computes the recursive-component-set:
+//
+//  1. find all top-level SCCs with at least one cycle — each is a
+//     component;
+//  2. record the component's entry nodes;
+//  3. repeatedly choose an entry node of each remaining cyclic sub-SCC,
+//     add it to the component's headers-set, and remove the edges inside
+//     the SCC that target it, until no cycles remain.
+func BuildComponents(g *Graph) *ComponentSet {
+	s := &ComponentSet{compOf: map[isa.FuncID]*Component{}}
+	nodes := g.Nodes()
+	adj := map[isa.FuncID][]isa.FuncID{}
+	for _, n := range nodes {
+		adj[n] = append([]isa.FuncID(nil), g.succs[n]...)
+	}
+	for _, scc := range sccsFunc(nodes, adj) {
+		if !cyclic(scc, adj) {
+			continue
+		}
+		inSCC := map[isa.FuncID]bool{}
+		for _, n := range scc {
+			inSCC[n] = true
+		}
+		c := &Component{
+			ID:      len(s.Components),
+			Funcs:   inSCC,
+			Entries: map[isa.FuncID]bool{},
+			Headers: map[isa.FuncID]bool{},
+		}
+		for _, n := range nodes {
+			if inSCC[n] {
+				continue
+			}
+			for _, callee := range adj[n] {
+				if inSCC[callee] {
+					c.Entries[callee] = true
+				}
+			}
+		}
+		if len(c.Entries) == 0 {
+			// Recursion reachable only from inside (e.g. main itself is
+			// recursive): the smallest function is the entry.
+			c.Entries[scc[0]] = true
+		}
+
+		// Iteratively unroll: choose an entry of each remaining cyclic
+		// sub-SCC as a header, drop its in-edges, repeat.
+		sub := map[isa.FuncID][]isa.FuncID{}
+		for _, n := range scc {
+			for _, callee := range adj[n] {
+				if inSCC[callee] {
+					sub[n] = append(sub[n], callee)
+				}
+			}
+		}
+		work := append([]isa.FuncID(nil), scc...)
+		for {
+			changed := false
+			for _, innerSCC := range sccsFunc(work, sub) {
+				if !cyclic(innerSCC, sub) {
+					continue
+				}
+				h := chooseComponentHeader(innerSCC, work, sub, c)
+				c.Headers[h] = true
+				for n, ss := range sub {
+					kept := ss[:0]
+					for _, t := range ss {
+						if t != h {
+							kept = append(kept, t)
+						}
+					}
+					sub[n] = kept
+				}
+				changed = true
+			}
+			if !changed {
+				break
+			}
+		}
+		s.Components = append(s.Components, c)
+		for f := range inSCC {
+			s.compOf[f] = c
+		}
+	}
+	return s
+}
+
+// chooseComponentHeader picks the header of a cyclic sub-SCC: prefer an
+// entry node of the sub-SCC (a node reached from outside it), falling
+// back to a declared component entry, then the smallest ID.
+func chooseComponentHeader(scc []isa.FuncID, all []isa.FuncID, adj map[isa.FuncID][]isa.FuncID, c *Component) isa.FuncID {
+	inSCC := map[isa.FuncID]bool{}
+	for _, n := range scc {
+		inSCC[n] = true
+	}
+	best := isa.NoFunc
+	for _, n := range all {
+		if inSCC[n] {
+			continue
+		}
+		for _, s := range adj[n] {
+			if inSCC[s] && (best == isa.NoFunc || s < best) {
+				best = s
+			}
+		}
+	}
+	if best != isa.NoFunc {
+		return best
+	}
+	for _, n := range scc {
+		if c.Entries[n] && (best == isa.NoFunc || n < best) {
+			best = n
+		}
+	}
+	if best != isa.NoFunc {
+		return best
+	}
+	best = scc[0]
+	for _, n := range scc {
+		if n < best {
+			best = n
+		}
+	}
+	return best
+}
+
+func cyclic(scc []isa.FuncID, adj map[isa.FuncID][]isa.FuncID) bool {
+	if len(scc) > 1 {
+		return true
+	}
+	for _, s := range adj[scc[0]] {
+		if s == scc[0] {
+			return true
+		}
+	}
+	return false
+}
+
+// sccsFunc is Tarjan's algorithm over function nodes (iterative).
+func sccsFunc(nodes []isa.FuncID, adj map[isa.FuncID][]isa.FuncID) [][]isa.FuncID {
+	index := map[isa.FuncID]int{}
+	low := map[isa.FuncID]int{}
+	onStack := map[isa.FuncID]bool{}
+	inNodes := map[isa.FuncID]bool{}
+	for _, n := range nodes {
+		inNodes[n] = true
+	}
+	var stack []isa.FuncID
+	var out [][]isa.FuncID
+	next := 0
+
+	type task struct {
+		node isa.FuncID
+		succ int
+	}
+	for _, start := range nodes {
+		if _, done := index[start]; done {
+			continue
+		}
+		index[start], low[start] = next, next
+		next++
+		stack = append(stack, start)
+		onStack[start] = true
+		work := []task{{start, 0}}
+		for len(work) > 0 {
+			t := &work[len(work)-1]
+			n := t.node
+			succs := adj[n]
+			advanced := false
+			for t.succ < len(succs) {
+				s := succs[t.succ]
+				t.succ++
+				if !inNodes[s] {
+					continue
+				}
+				if _, seen := index[s]; !seen {
+					index[s], low[s] = next, next
+					next++
+					stack = append(stack, s)
+					onStack[s] = true
+					work = append(work, task{s, 0})
+					advanced = true
+					break
+				}
+				if onStack[s] && index[s] < low[n] {
+					low[n] = index[s]
+				}
+			}
+			if advanced {
+				continue
+			}
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				p := work[len(work)-1].node
+				if low[n] < low[p] {
+					low[p] = low[n]
+				}
+			}
+			if low[n] == index[n] {
+				var scc []isa.FuncID
+				for {
+					top := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[top] = false
+					scc = append(scc, top)
+					if top == n {
+						break
+					}
+				}
+				sort.Slice(scc, func(i, j int) bool { return scc[i] < scc[j] })
+				out = append(out, scc)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+package cg
+
+import (
+	"testing"
+
+	"polyprof/internal/cfg"
+	"polyprof/internal/isa"
+	"polyprof/internal/vm"
+	"polyprof/internal/workloads"
+)
+
+// TestFig2RecursiveComponents reproduces the paper's Fig. 2c/2d: call
+// graph A→B, B→C, C→B, C→C must yield one component with funcs {B,C},
+// entries {B}, and headers {B,C} (after choosing B, the remaining C→C
+// cycle forces C into the headers-set).
+func TestFig2RecursiveComponents(t *testing.T) {
+	g := NewGraph()
+	const (
+		A = isa.FuncID(0)
+		B = isa.FuncID(1)
+		C = isa.FuncID(2)
+	)
+	g.AddEdge(A, B)
+	g.AddEdge(B, C)
+	g.AddEdge(C, B)
+	g.AddEdge(C, C)
+
+	s := BuildComponents(g)
+	if len(s.Components) != 1 {
+		t.Fatalf("got %d components, want 1", len(s.Components))
+	}
+	c := s.Components[0]
+	if !c.Funcs[B] || !c.Funcs[C] || c.Funcs[A] {
+		t.Errorf("component funcs wrong: %v", c)
+	}
+	if !c.Entries[B] || c.Entries[C] {
+		t.Errorf("entries wrong: %v", c)
+	}
+	if !c.Headers[B] || !c.Headers[C] {
+		t.Errorf("headers wrong: %v", c)
+	}
+	if s.ComponentOf(A) != nil {
+		t.Errorf("A must not belong to a component")
+	}
+	if !s.IsEntry(B) || !s.IsHeader(C) {
+		t.Errorf("entry/header predicates wrong")
+	}
+}
+
+func TestSelfRecursion(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge(0, 1) // main -> f
+	g.AddEdge(1, 1) // f -> f
+	s := BuildComponents(g)
+	if len(s.Components) != 1 {
+		t.Fatalf("got %d components, want 1", len(s.Components))
+	}
+	c := s.Components[0]
+	if !c.Entries[1] || !c.Headers[1] || len(c.Funcs) != 1 {
+		t.Errorf("self recursion component wrong: %v", c)
+	}
+}
+
+func TestAcyclicCallGraphHasNoComponents(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 2)
+	s := BuildComponents(g)
+	if len(s.Components) != 0 {
+		t.Fatalf("got %d components, want 0", len(s.Components))
+	}
+}
+
+func TestMutualRecursion(t *testing.T) {
+	g := NewGraph()
+	g.AddEdge(0, 1) // main -> f
+	g.AddEdge(1, 2) // f -> g
+	g.AddEdge(2, 1) // g -> f
+	s := BuildComponents(g)
+	if len(s.Components) != 1 {
+		t.Fatalf("got %d components, want 1", len(s.Components))
+	}
+	c := s.Components[0]
+	if !c.Funcs[1] || !c.Funcs[2] {
+		t.Errorf("component misses functions: %v", c)
+	}
+	if !c.Entries[1] || c.Entries[2] {
+		t.Errorf("entries wrong: %v", c)
+	}
+	// Choosing header 1 breaks the only cycle: headers = {1}.
+	if !c.Headers[1] || c.Headers[2] {
+		t.Errorf("headers wrong: %v", c)
+	}
+}
+
+// TestExample2EndToEnd runs the paper's Fig. 3 Example 2 program and
+// checks the dynamically recovered component: funcs {B}, entries {B},
+// headers {B}; C and D stay outside.
+func TestExample2EndToEnd(t *testing.T) {
+	prog := workloads.Example2()
+	rec := cfg.NewRecorder(prog)
+	m := vm.New(prog, rec)
+	if err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	g := FromCallEdges(prog.Main, rec.CallEdges)
+	s := BuildComponents(g)
+	if len(s.Components) != 1 {
+		t.Fatalf("got %d components, want 1: %v", len(s.Components), s.Components)
+	}
+	c := s.Components[0]
+	b := prog.FuncByName("B")
+	if len(c.Funcs) != 1 || !c.Funcs[b.ID] {
+		t.Errorf("component funcs wrong: %v", c)
+	}
+	if !c.Entries[b.ID] || !c.Headers[b.ID] {
+		t.Errorf("entries/headers wrong: %v", c)
+	}
+	for _, name := range []string{"C", "D", "M"} {
+		f := prog.FuncByName(name)
+		if s.ComponentOf(f.ID) != nil {
+			t.Errorf("%s must not be in a recursive component", name)
+		}
+	}
+}

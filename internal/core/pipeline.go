@@ -1,0 +1,126 @@
+// Package core wires the polyprof stages into the end-to-end pipeline
+// of the paper's Fig. 1: a first instrumented run recovers the
+// interprocedural control structure (dynamic CFGs, call graph,
+// loop-nesting forest, recursive-component-set); a second instrumented
+// run streams loop events through the dynamic interprocedural iteration
+// vector, builds the dynamic schedule tree, and feeds every dynamic
+// instruction to the dependence stage.
+package core
+
+import (
+	"polyprof/internal/cfg"
+	"polyprof/internal/cg"
+	"polyprof/internal/iiv"
+	"polyprof/internal/isa"
+	"polyprof/internal/loopevents"
+	"polyprof/internal/trace"
+	"polyprof/internal/vm"
+)
+
+// Structure is the result of pass 1 ("Instrumentation I"): the
+// interprocedural control structure of one execution.
+type Structure struct {
+	CFG       *cfg.Graph
+	Forest    *cfg.Forest
+	CallGraph *cg.Graph
+	Comps     *cg.ComponentSet
+	Stats     vm.Stats
+}
+
+// AnalyzeStructure executes the program once under control-event
+// instrumentation and derives its control structure.
+func AnalyzeStructure(prog *isa.Program, initMem func([]uint64)) (*Structure, error) {
+	rec := cfg.NewRecorder(prog)
+	m := vm.New(prog, rec)
+	m.InitMem = initMem
+	if err := m.Run(); err != nil {
+		return nil, err
+	}
+	callGraph := cg.FromCallEdges(prog.Main, rec.CallEdges)
+	return &Structure{
+		CFG:       rec.G,
+		Forest:    cfg.BuildForest(rec.G),
+		CallGraph: callGraph,
+		Comps:     cg.BuildComponents(callGraph),
+		Stats:     m.Stats(),
+	}, nil
+}
+
+// InstrSink receives, for every executed instruction, the statement
+// context and iteration-vector coordinates assigned by the IIV stage.
+// The dependence-graph builder implements it; tests use lightweight
+// sinks.
+type InstrSink interface {
+	// OnControl sees raw control events (before loop-event translation),
+	// so sinks can mirror the call stack for register dependence
+	// tracking.
+	OnControl(ev trace.ControlEvent)
+	// OnInstr is called per dynamic instruction with the current context
+	// key and coordinates.  coords is only valid during the call.
+	OnInstr(ctxKey string, coords []int64, ev trace.InstrEvent, in *isa.Instr)
+}
+
+// Pass2 is the second instrumentation pass: loop events, IIVs, schedule
+// tree, and fan-out to an InstrSink.
+type Pass2 struct {
+	Vector *iiv.Vector
+	Tree   *iiv.Tree
+
+	tr     *loopevents.Translator
+	sink   InstrSink
+	coords []int64
+
+	// Events optionally records every loop event (used by the figure
+	// reproduction tests; nil in production runs).
+	Events *[]loopevents.Event
+}
+
+// NewPass2 builds the pass-2 hook for a program whose structure was
+// recovered by AnalyzeStructure.
+func NewPass2(prog *isa.Program, st *Structure, sink InstrSink) *Pass2 {
+	p := &Pass2{Vector: iiv.NewVector(), Tree: iiv.NewTree(), sink: sink}
+	p.tr = loopevents.NewTranslator(prog, st.Forest, st.Comps, func(e loopevents.Event) {
+		if p.Events != nil {
+			*p.Events = append(*p.Events, e)
+		}
+		p.Vector.Apply(e)
+		switch e.Kind {
+		case loopevents.EnterLoop, loopevents.IterateLoop,
+			loopevents.EnterRec, loopevents.IterCallRec, loopevents.IterRetRec:
+			p.Tree.NoteIteration(p.Vector)
+		}
+	})
+	return p
+}
+
+// Control implements trace.Hook.
+func (p *Pass2) Control(ev trace.ControlEvent) {
+	if p.sink != nil {
+		p.sink.OnControl(ev)
+	}
+	p.tr.Control(ev)
+	p.Tree.Touch(p.Vector)
+}
+
+// Instr implements trace.Hook.
+func (p *Pass2) Instr(ev trace.InstrEvent, in *isa.Instr) {
+	p.Tree.CountOp()
+	if p.sink != nil {
+		p.coords = p.Vector.Coords(p.coords[:0])
+		p.sink.OnInstr(p.Vector.Key(), p.coords, ev, in)
+	}
+}
+
+// RunPass2 executes the program a second time under full
+// instrumentation and returns the pass-2 artifacts with the schedule
+// tree finalized.
+func RunPass2(prog *isa.Program, st *Structure, sink InstrSink, initMem func([]uint64)) (*Pass2, vm.Stats, error) {
+	p := NewPass2(prog, st, sink)
+	m := vm.New(prog, p)
+	m.InitMem = initMem
+	if err := m.Run(); err != nil {
+		return nil, vm.Stats{}, err
+	}
+	p.Tree.Finalize()
+	return p, m.Stats(), nil
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"polyprof/internal/ddg"
+	"polyprof/internal/iiv"
+	"polyprof/internal/isa"
+	"polyprof/internal/vm"
+)
+
+// Options configures a full profiling run.
+type Options struct {
+	// DDG tunes dependence tracking (DefaultOptions when zero-valued
+	// TrackAnti/TrackOutput/TrackReg are all false — pass
+	// ddg.DefaultOptions() for the paper's configuration).
+	DDG ddg.Options
+	// InitMem optionally preloads the VM memory before each pass.
+	InitMem func([]uint64)
+}
+
+// DefaultRunOptions returns the configuration used throughout the
+// evaluation: all dependence kinds tracked.
+func DefaultRunOptions() Options {
+	return Options{DDG: ddg.DefaultOptions()}
+}
+
+// Profile is the complete result of running polyprof's first three
+// stages on one program: the control structure, the dynamic schedule
+// tree, and the folded dynamic dependence graph.
+type Profile struct {
+	Prog      *isa.Program
+	Structure *Structure
+	Tree      *iiv.Tree
+	DDG       *ddg.Graph
+	Stats     vm.Stats
+}
+
+// Run executes the two instrumented passes and folds the DDG.
+func Run(prog *isa.Program, opts Options) (*Profile, error) {
+	st, err := AnalyzeStructure(prog, opts.InitMem)
+	if err != nil {
+		return nil, err
+	}
+	builder := ddg.NewBuilder(prog, opts.DDG)
+	p2, stats, err := RunPass2(prog, st, builder, opts.InitMem)
+	if err != nil {
+		return nil, err
+	}
+	return &Profile{
+		Prog:      prog,
+		Structure: st,
+		Tree:      p2.Tree,
+		DDG:       builder.Finish(),
+		Stats:     stats,
+	}, nil
+}

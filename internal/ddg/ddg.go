@@ -1,0 +1,475 @@
+// Package ddg builds the dynamic dependence graph (paper Sec. 4): one
+// vertex per dynamic instruction, one edge per data dependence, with
+// every vertex tagged by its dynamic interprocedural iteration vector.
+// Vertices and edges are never materialized individually — each
+// (statement, context) stream and each (producer, consumer) dependence
+// stream is folded on the fly (Sec. 5), so memory stays proportional to
+// the folded representation, not to the trace.
+//
+// Data dependencies are tracked through two mechanisms, as in the
+// paper's "Instrumentation II":
+//
+//   - a shadow memory records the last dynamic instruction that wrote
+//     each word (flow deps), the previous writer (output deps) and the
+//     last reader (anti deps, last-reader approximation);
+//   - per-frame register tables record the producing instruction of
+//     every live register value, with call arguments and return values
+//     linked across frames.
+package ddg
+
+import (
+	"fmt"
+	"sort"
+
+	"polyprof/internal/fold"
+	"polyprof/internal/isa"
+	"polyprof/internal/trace"
+)
+
+// Kind classifies dependence edges.
+type Kind uint8
+
+// Dependence kinds.
+const (
+	FlowMem Kind = iota // read after write through memory
+	FlowReg             // read after write through a register
+	Output              // write after write through memory
+	Anti                // write after read through memory
+)
+
+func (k Kind) String() string {
+	switch k {
+	case FlowMem:
+		return "flow"
+	case FlowReg:
+		return "reg"
+	case Output:
+		return "output"
+	case Anti:
+		return "anti"
+	}
+	return "dep(?)"
+}
+
+// Stmt is a (basic block, context) pair: the folding granularity for
+// iteration domains.  All instructions of the block share its domain.
+type Stmt struct {
+	ID    int
+	Block isa.BlockID
+	Ctx   string
+	Depth int
+	Count uint64 // dynamic executions of the block under this context
+
+	folder *fold.Folder
+	Domain fold.Piece // valid after Finish
+}
+
+// Instr is a static instruction in a specific context; the unit for
+// value (SCEV) and access (stride) folding and the endpoint of
+// dependence edges.
+type Instr struct {
+	ID    int
+	Ref   trace.InstrRef
+	Ctx   string
+	Depth int
+	Op    isa.Opcode
+	Loc   isa.SrcLoc
+	Stmt  *Stmt
+	Count uint64
+
+	valueFolder  *fold.Folder // int-producing instructions
+	accessFolder *fold.Folder // memory instructions (label = address)
+	hasValue     bool
+	hasAccess    bool
+
+	Value  fold.Piece // valid after Finish when valueFolder != nil
+	Access fold.Piece // valid after Finish when accessFolder != nil
+
+	// IsSCEV marks instructions whose produced values folded to an
+	// affine function of the iteration vector (scalar evolutions); their
+	// dependence chains are removed from the DDG per Sec. 5.
+	IsSCEV bool
+}
+
+// HasValue reports whether the instruction produced foldable integer
+// values.
+func (i *Instr) HasValue() bool { return i.hasValue }
+
+// HasAccess reports whether the instruction accessed memory.
+func (i *Instr) HasAccess() bool { return i.hasAccess }
+
+// Dep is a folded dependence-edge bundle between two instruction
+// contexts.
+type Dep struct {
+	Src, Dst *Instr
+	Kind     Kind
+	Count    uint64
+
+	folder *fold.MultiFolder
+	// Pieces folds the dependence as a union: each piece's domain is a
+	// set of consumer coordinates and its Fn maps them to the producer
+	// coordinates.  Piecewise-affine dependencies (in-place stencils,
+	// boundary clamps) need more than one piece.
+	Pieces []fold.Piece
+}
+
+func (d *Dep) String() string {
+	return fmt.Sprintf("%v: I%d -> I%d (%d pts, %d pieces)", d.Kind, d.Src.ID, d.Dst.ID, d.Count, len(d.Pieces))
+}
+
+// Piece returns the first (dominant) piece, for single-piece consumers.
+func (d *Dep) Piece() fold.Piece {
+	if len(d.Pieces) == 0 {
+		return fold.Piece{}
+	}
+	return d.Pieces[0]
+}
+
+// Options tunes the builder.
+type Options struct {
+	// TrackAnti enables write-after-read edges (last-reader
+	// approximation).
+	TrackAnti bool
+	// TrackOutput enables write-after-write edges.
+	TrackOutput bool
+	// TrackReg enables register flow edges.
+	TrackReg bool
+	// NoStrideDetection disables the lattice folding extension
+	// (ablation: the paper's published folder, which over-approximates
+	// strided domains).
+	NoStrideDetection bool
+}
+
+// DefaultOptions tracks everything with the lattice extension enabled.
+func DefaultOptions() Options {
+	return Options{TrackAnti: true, TrackOutput: true, TrackReg: true}
+}
+
+type writerRec struct {
+	instr  *Instr
+	coords []int64
+}
+
+func (w *writerRec) set(instr *Instr, coords []int64) {
+	w.instr = instr
+	w.coords = append(w.coords[:0], coords...)
+}
+
+type frame struct {
+	regw   []writerRec
+	retDst isa.Reg // destination register in the caller
+}
+
+type depKey struct {
+	src, dst int
+	kind     Kind
+}
+
+// Graph is the folded dynamic dependence graph of one execution.
+type Graph struct {
+	Stmts  []*Stmt
+	Instrs []*Instr
+	Deps   []*Dep
+
+	// TotalOps/MemOps/FPOps are the dynamic operation counters observed
+	// by this builder (equal to the VM's when attached to a full run).
+	TotalOps uint64
+	MemOps   uint64
+	FPOps    uint64
+}
+
+// Builder implements core.InstrSink, constructing a Graph during the
+// pass-2 run.
+type Builder struct {
+	prog *isa.Program
+	opts Options
+
+	stmts    map[string]map[isa.BlockID]*Stmt // ctx -> block -> stmt
+	instrs   map[string]map[trace.InstrRef]*Instr
+	deps     map[depKey]*Dep
+	allStmts []*Stmt
+	allInst  []*Instr
+	allDeps  []*Dep
+
+	// Per-context caches, valid while ctx == cacheCtx.
+	cacheCtx   string
+	stmtCache  map[isa.BlockID]*Stmt
+	instrCache map[trace.InstrRef]*Instr
+
+	shadow   []writerRec // last writer per word
+	lastRead []writerRec // last reader per word
+	frames   []frame
+
+	pendingArgs []writerRec
+	pendingDst  isa.Reg
+	pendingRet  writerRec
+
+	usesBuf []isa.Reg
+	lblBuf  []int64
+
+	totalOps, memOps, fpOps uint64
+}
+
+// NewBuilder creates a DDG builder for one execution of prog.
+func NewBuilder(prog *isa.Program, opts Options) *Builder {
+	b := &Builder{
+		prog:     prog,
+		opts:     opts,
+		stmts:    map[string]map[isa.BlockID]*Stmt{},
+		instrs:   map[string]map[trace.InstrRef]*Instr{},
+		deps:     map[depKey]*Dep{},
+		shadow:   make([]writerRec, prog.MemWords),
+		lastRead: make([]writerRec, prog.MemWords),
+	}
+	main := prog.Func(prog.Main)
+	b.frames = append(b.frames, frame{regw: make([]writerRec, main.NumRegs), retDst: isa.NoReg})
+	return b
+}
+
+func (b *Builder) curFrame() *frame { return &b.frames[len(b.frames)-1] }
+
+// newFolder creates a stream folder honoring the builder options.
+func (b *Builder) newFolder(dim, labelW int) *fold.Folder {
+	f := fold.NewFolder(dim, labelW)
+	if b.opts.NoStrideDetection {
+		f.DetectStrides = false
+	}
+	return f
+}
+
+// OnControl implements core.InstrSink: it mirrors the call stack so
+// register dependencies flow through calls and returns.
+func (b *Builder) OnControl(ev trace.ControlEvent) {
+	switch ev.Kind {
+	case trace.Call:
+		callee := b.prog.Func(ev.Callee)
+		f := frame{regw: make([]writerRec, callee.NumRegs), retDst: b.pendingDst}
+		for i, w := range b.pendingArgs {
+			if i < len(f.regw) {
+				f.regw[i] = writerRec{instr: w.instr, coords: append([]int64(nil), w.coords...)}
+			}
+		}
+		b.frames = append(b.frames, f)
+	case trace.Return:
+		top := b.frames[len(b.frames)-1]
+		b.frames = b.frames[:len(b.frames)-1]
+		if len(b.frames) > 0 && top.retDst != isa.NoReg && b.pendingRet.instr != nil {
+			b.curFrame().regw[top.retDst].set(b.pendingRet.instr, b.pendingRet.coords)
+		}
+		b.pendingRet = writerRec{}
+	}
+}
+
+func (b *Builder) stmtFor(ctx string, blk isa.BlockID, depth int) *Stmt {
+	if ctx != b.cacheCtx {
+		b.cacheCtx = ctx
+		b.stmtCache = map[isa.BlockID]*Stmt{}
+		b.instrCache = map[trace.InstrRef]*Instr{}
+	}
+	if s, ok := b.stmtCache[blk]; ok {
+		return s
+	}
+	byBlk := b.stmts[ctx]
+	if byBlk == nil {
+		byBlk = map[isa.BlockID]*Stmt{}
+		b.stmts[ctx] = byBlk
+	}
+	s, ok := byBlk[blk]
+	if !ok {
+		s = &Stmt{
+			ID:     len(b.allStmts),
+			Block:  blk,
+			Ctx:    ctx,
+			Depth:  depth,
+			folder: b.newFolder(depth, 0),
+		}
+		byBlk[blk] = s
+		b.allStmts = append(b.allStmts, s)
+	}
+	b.stmtCache[blk] = s
+	return s
+}
+
+func (b *Builder) instrFor(ctx string, ref trace.InstrRef, in *isa.Instr, stmt *Stmt) *Instr {
+	if i, ok := b.instrCache[ref]; ok {
+		return i
+	}
+	byRef := b.instrs[ctx]
+	if byRef == nil {
+		byRef = map[trace.InstrRef]*Instr{}
+		b.instrs[ctx] = byRef
+	}
+	i, ok := byRef[ref]
+	if !ok {
+		i = &Instr{
+			ID:    len(b.allInst),
+			Ref:   ref,
+			Ctx:   ctx,
+			Depth: stmt.Depth,
+			Op:    in.Op,
+			Loc:   in.Loc,
+			Stmt:  stmt,
+		}
+		if in.Op.ProducesInt() && in.Dst != isa.NoReg {
+			i.valueFolder = b.newFolder(stmt.Depth, 1)
+			i.hasValue = true
+		}
+		if in.Op.IsMem() {
+			i.accessFolder = b.newFolder(stmt.Depth, 1)
+			i.hasAccess = true
+		}
+		byRef[ref] = i
+		b.allInst = append(b.allInst, i)
+	}
+	b.instrCache[ref] = i
+	return i
+}
+
+func (b *Builder) addDep(src *Instr, srcCoords []int64, dst *Instr, dstCoords []int64, kind Kind) {
+	key := depKey{src: src.ID, dst: dst.ID, kind: kind}
+	d, ok := b.deps[key]
+	if !ok {
+		d = &Dep{
+			Src: src, Dst: dst, Kind: kind,
+			folder: fold.NewMultiFolder(dst.Depth, src.Depth, fold.DefaultMaxPieces),
+		}
+		b.deps[key] = d
+		b.allDeps = append(b.allDeps, d)
+	}
+	d.Count++
+	d.folder.Add(dstCoords, srcCoords)
+}
+
+// OnInstr implements core.InstrSink.
+func (b *Builder) OnInstr(ctxKey string, coords []int64, ev trace.InstrEvent, in *isa.Instr) {
+	b.totalOps++
+	if in.Op.IsFP() {
+		b.fpOps++
+	}
+	stmt := b.stmtFor(ctxKey, ev.Ref.Block, len(coords))
+	if ev.Ref.Index == 0 {
+		stmt.Count++
+		stmt.folder.Add(coords, nil)
+	}
+	instr := b.instrFor(ctxKey, ev.Ref, in, stmt)
+	instr.Count++
+
+	fr := b.curFrame()
+
+	// Register flow dependencies: one edge per operand whose producer is
+	// known.
+	if b.opts.TrackReg {
+		b.usesBuf = in.Uses(b.usesBuf)
+		for _, r := range b.usesBuf {
+			if int(r) < len(fr.regw) {
+				if w := &fr.regw[r]; w.instr != nil {
+					b.addDep(w.instr, w.coords, instr, coords, FlowReg)
+				}
+			}
+		}
+	}
+
+	// Memory dependencies via shadow memory.
+	if ev.Addr >= 0 {
+		b.memOps++
+		b.lblBuf = append(b.lblBuf[:0], ev.Addr)
+		instr.accessFolder.Add(coords, b.lblBuf)
+		if in.Op.IsMemWrite() {
+			if w := &b.shadow[ev.Addr]; w.instr != nil && b.opts.TrackOutput {
+				b.addDep(w.instr, w.coords, instr, coords, Output)
+			}
+			if r := &b.lastRead[ev.Addr]; r.instr != nil && b.opts.TrackAnti {
+				b.addDep(r.instr, r.coords, instr, coords, Anti)
+			}
+			b.shadow[ev.Addr].set(instr, coords)
+		} else {
+			if w := &b.shadow[ev.Addr]; w.instr != nil {
+				b.addDep(w.instr, w.coords, instr, coords, FlowMem)
+			}
+			b.lastRead[ev.Addr].set(instr, coords)
+		}
+	}
+
+	// Record produced values (for SCEV recognition) and the register
+	// writer table.
+	if in.Op.WritesDst() && in.Dst != isa.NoReg && in.Op != isa.Call {
+		if instr.valueFolder != nil {
+			b.lblBuf = append(b.lblBuf[:0], ev.Value)
+			instr.valueFolder.Add(coords, b.lblBuf)
+		}
+		if int(in.Dst) < len(fr.regw) {
+			fr.regw[in.Dst].set(instr, coords)
+		}
+	}
+
+	// Call/return linkage for the frame mirror.
+	switch in.Op {
+	case isa.Call:
+		b.pendingArgs = b.pendingArgs[:0]
+		for _, a := range in.Args {
+			if int(a) < len(fr.regw) {
+				b.pendingArgs = append(b.pendingArgs, fr.regw[a])
+			} else {
+				b.pendingArgs = append(b.pendingArgs, writerRec{})
+			}
+		}
+		b.pendingDst = in.Dst
+	case isa.Ret:
+		if in.A != isa.NoReg && int(in.A) < len(fr.regw) {
+			b.pendingRet = fr.regw[in.A]
+		} else {
+			b.pendingRet = writerRec{}
+		}
+	}
+}
+
+// Finish folds every stream and runs SCEV elimination, returning the
+// folded graph.
+func (b *Builder) Finish() *Graph {
+	g := &Graph{
+		Stmts:    b.allStmts,
+		Instrs:   b.allInst,
+		TotalOps: b.totalOps,
+		MemOps:   b.memOps,
+		FPOps:    b.fpOps,
+	}
+	for _, s := range g.Stmts {
+		s.Domain = s.folder.Finish()
+		s.folder = nil
+	}
+	for _, i := range g.Instrs {
+		if i.valueFolder != nil {
+			i.Value = i.valueFolder.Finish()
+			i.valueFolder = nil
+		}
+		if i.accessFolder != nil {
+			i.Access = i.accessFolder.Finish()
+			i.accessFolder = nil
+		}
+		// SCEV recognition: pure integer ALU whose values are an affine
+		// function of the iteration vector.
+		if i.Op.IsIntALU() && i.Value.Fn != nil {
+			i.IsSCEV = true
+		}
+	}
+	// Fold dependencies, dropping chains into SCEV instructions.
+	for _, d := range b.allDeps {
+		if d.Src.IsSCEV || d.Dst.IsSCEV {
+			continue
+		}
+		d.Pieces = d.folder.Finish()
+		d.folder = nil
+		g.Deps = append(g.Deps, d)
+	}
+	sort.Slice(g.Deps, func(i, j int) bool {
+		a, c := g.Deps[i], g.Deps[j]
+		if a.Src.ID != c.Src.ID {
+			return a.Src.ID < c.Src.ID
+		}
+		if a.Dst.ID != c.Dst.ID {
+			return a.Dst.ID < c.Dst.ID
+		}
+		return a.Kind < c.Kind
+	})
+	return g
+}

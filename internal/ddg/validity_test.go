@@ -1,0 +1,100 @@
+package ddg_test
+
+import (
+	"testing"
+
+	"polyprof/internal/core"
+	"polyprof/internal/workloads"
+)
+
+// TestFoldedDepDomainsInsideStatementDomains is a whole-pipeline
+// validity property: for every exactly folded dependence, the
+// dependence's consumer domain must be contained in the consumer
+// statement's folded iteration domain, and applying the dependence map
+// to any consumer point must land inside the producer statement's
+// domain.  This cross-checks folding, shadow tracking and IIV
+// construction against each other on several structurally different
+// workloads.
+func TestFoldedDepDomainsInsideStatementDomains(t *testing.T) {
+	for _, name := range []string{"example1", "example2", "backprop", "nw", "pathfinder"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			prog := workloads.ByName(name).Build()
+			p, err := core.Run(prog, core.DefaultRunOptions())
+			if err != nil {
+				t.Fatal(err)
+			}
+			checked := 0
+			for _, d := range p.DDG.Deps {
+				consumer := d.Dst.Stmt
+				producer := d.Src.Stmt
+				if !consumer.Domain.Exact || !producer.Domain.Exact {
+					continue
+				}
+				for _, piece := range d.Pieces {
+					if !piece.Exact || piece.Dom == nil {
+						continue
+					}
+					checked++
+					if !piece.Dom.IsSubsetOf(consumer.Domain.Dom) {
+						t.Errorf("dep %v: consumer domain %v escapes statement domain %v",
+							d, piece.Dom, consumer.Domain.Dom)
+					}
+					if piece.Fn == nil {
+						continue
+					}
+					// Sample the dependence map: every folded point's
+					// producer coordinates must satisfy the producer's
+					// domain.
+					samples := 0
+					err := piece.Dom.Enumerate(func(pt []int64) bool {
+						src := piece.Fn.Apply(pt, nil)
+						if !producer.Domain.Dom.Contains(src) {
+							t.Errorf("dep %v: producer point %v (from consumer %v) outside producer domain %v",
+								d, src, pt, producer.Domain.Dom)
+							return false
+						}
+						samples++
+						return samples < 200
+					})
+					if err != nil {
+						t.Errorf("dep %v: enumeration failed: %v", d, err)
+					}
+				}
+			}
+			if checked == 0 {
+				t.Fatalf("%s: no exact dependencies checked — pipeline degenerated", name)
+			}
+		})
+	}
+}
+
+// TestStatementCountsMatchDomains: for exactly folded statements, the
+// folded polyhedron contains exactly Count points (no holes, no
+// over-coverage) — the folding exactness invariant.
+func TestStatementCountsMatchDomains(t *testing.T) {
+	prog := workloads.Backprop(workloads.DefaultBackpropParams())
+	p, err := core.Run(prog, core.DefaultRunOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, s := range p.DDG.Stmts {
+		if !s.Domain.Exact || s.Count > 4096 {
+			continue
+		}
+		n, exact := s.Domain.Dom.PointCount(int64(s.Count) + 10)
+		if !exact {
+			continue
+		}
+		checked++
+		if uint64(n) != s.Count {
+			t.Errorf("stmt %s@%s: domain has %d points but the block executed %d times",
+				prog.Block(s.Block).Name, s.Ctx, n, s.Count)
+		}
+	}
+	if checked < 10 {
+		t.Fatalf("only %d statements checked; expected many exact domains", checked)
+	}
+}

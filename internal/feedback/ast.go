@@ -1,0 +1,103 @@
+package feedback
+
+import (
+	"fmt"
+	"strings"
+
+	"polyprof/internal/sched"
+)
+
+// AnnotatedAST renders the simplified post-transformation code
+// structure of a region (paper Sec. 6): the loop skeleton after
+// applying the suggested schedule, decorated with parallelism, tiling
+// and SIMD markers plus the statements each loop surrounds.  The paper
+// exposes this so the user can judge the manual rewriting effort.
+func (r *Report) AnnotatedAST(reg *Region) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "region %s (%.0f%% of program ops, %d components -> %d after %v fusion)\n",
+		reg.CodeRef, 100*reg.PctOps, reg.Components, reg.FusedComponents, reg.Fusion)
+	for _, t := range reg.Transforms {
+		if t.Nest.Loops[0].TotalOps*50 < reg.Ops {
+			continue // omit insignificant nests, as the simplified AST does
+		}
+		r.renderNest(&sb, t)
+	}
+	return sb.String()
+}
+
+func (r *Report) renderNest(sb *strings.Builder, t *sched.NestTransform) {
+	d := t.Nest.Depth()
+	fmt.Fprintf(sb, "// nest: %s\n", t.Describe())
+	indent := 0
+	write := func(format string, args ...interface{}) {
+		sb.WriteString(strings.Repeat("  ", indent))
+		fmt.Fprintf(sb, format, args...)
+		sb.WriteByte('\n')
+	}
+	// Tile loops first when a band of depth >= 2 exists.
+	if t.BandLen >= 2 {
+		for i := t.BandStart; i < t.BandStart+t.BandLen; i++ {
+			k := t.Perm[i]
+			tag := ""
+			if i == t.BandStart && t.OuterParallel() {
+				tag = "  // omp parallel for (wavefront)"
+			}
+			write("for iT%d in tiles(i%d, 32) {%s", k, k, tag)
+			indent++
+		}
+	}
+	for i := 0; i < d; i++ {
+		k := t.Perm[i]
+		var tags []string
+		if t.Parallel[k] {
+			if i == d-1 {
+				tags = append(tags, "simd")
+			} else {
+				tags = append(tags, "parallel")
+			}
+		}
+		for _, st := range t.Skews[k] {
+			tags = append(tags, fmt.Sprintf("skewed by %d*i%d", st.Factor, st.Base))
+		}
+		tag := ""
+		if len(tags) > 0 {
+			tag = "  // " + strings.Join(tags, ", ")
+		}
+		write("for i%d {%s", k, tag)
+		indent++
+	}
+	// Statements: group by pseudo source location.
+	locs := map[string]uint64{}
+	for _, s := range t.Nest.Stmts {
+		for _, in := range s.Instrs {
+			if in.Loc.File != "" {
+				locs[in.Loc.String()] += in.Count
+			}
+		}
+	}
+	for _, kv := range sortedKV(locs) {
+		write("S: %s  // %d dynamic ops", kv.k, kv.v)
+	}
+	for indent > 0 {
+		indent--
+		write("}")
+	}
+}
+
+type kv struct {
+	k string
+	v uint64
+}
+
+func sortedKV(m map[string]uint64) []kv {
+	out := make([]kv, 0, len(m))
+	for k, v := range m {
+		out = append(out, kv{k, v})
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && (out[j].v > out[j-1].v || (out[j].v == out[j-1].v && out[j].k < out[j-1].k)); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,304 @@
+package feedback
+
+import (
+	"fmt"
+
+	"polyprof/internal/cachesim"
+	"polyprof/internal/isa"
+	"polyprof/internal/poly"
+	"polyprof/internal/sched"
+)
+
+// CostModel parameterizes the replay-based speedup estimator.  The
+// paper measures case-study speedups on a 2x6-core Xeon; we replay the
+// folded access streams of a nest through a cache simulator in both the
+// original and the transformed iteration order and model parallel and
+// SIMD execution by discounting the serial cycle classes.  Only the
+// shape of the resulting ratios is meaningful.
+type CostModel struct {
+	Cache cachesim.Config
+
+	// Cores and ParallelEff model OpenMP scaling of compute and
+	// cache-hit cycles.
+	Cores       int
+	ParallelEff float64
+	// MemPorts caps the parallel scaling of cache-miss (bandwidth
+	// bound) cycles.
+	MemPorts float64
+	// VectorWidth and VectorEff model SIMD execution of the innermost
+	// parallel loop.
+	VectorWidth float64
+	VectorEff   float64
+	// TileSize used when replaying a tiled band.
+	TileSize int64
+	// MaxPoints caps replay work.
+	MaxPoints int64
+}
+
+// DefaultCostModel mirrors the paper's testbed: 12 cores, SSE-width
+// vectors, 32 KiB L1.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		Cache:       cachesim.DefaultL1(),
+		Cores:       12,
+		ParallelEff: 0.5,
+		MemPorts:    3,
+		VectorWidth: 4,
+		VectorEff:   0.7,
+		TileSize:    32,
+		MaxPoints:   4 << 20,
+	}
+}
+
+// Cycles decomposes a replay into cycle classes.
+type Cycles struct {
+	Compute uint64
+	Hit     uint64
+	Miss    uint64
+}
+
+// Total returns the serial cycle count.
+func (c Cycles) Total() uint64 { return c.Compute + c.Hit + c.Miss }
+
+// baseCost is the compute cost table of the model.
+func baseCost(op isa.Opcode) uint64 {
+	switch {
+	case op == isa.FDiv, op == isa.FSqrt, op == isa.FExp, op == isa.FLog, op == isa.Div, op == isa.Mod:
+		return 12
+	case op.IsFP():
+		return 3
+	case op.IsMem():
+		return 0 // accounted by the cache
+	default:
+		return 1
+	}
+}
+
+// Speedup is the estimator's verdict for one nest.
+type Speedup struct {
+	Original    Cycles
+	Transformed Cycles
+	// Factor is original serial cycles over modeled transformed cycles.
+	Factor float64
+	// Parallel/SIMD record which discounts were applied.
+	Parallel bool
+	SIMD     bool
+	Tiled    bool
+}
+
+func (s Speedup) String() string {
+	return fmt.Sprintf("%.1fx (orig %d cycles, transformed %d serial; parallel=%v simd=%v tiled=%v)",
+		s.Factor, s.Original.Total(), s.Transformed.Total(), s.Parallel, s.SIMD, s.Tiled)
+}
+
+// EstimateSpeedup replays one nest in original and transformed order
+// and applies the parallel/SIMD discounts of the proposed
+// transformation.
+func (r *Report) EstimateSpeedup(t *sched.NestTransform, cm CostModel) (Speedup, error) {
+	stmts := replayStmts(t)
+	if len(stmts) == 0 {
+		return Speedup{}, fmt.Errorf("nest has no exactly folded full-depth statements to replay")
+	}
+	orig, err := r.replay(stmts, t, cm, false)
+	if err != nil {
+		return Speedup{}, err
+	}
+	trans, err := r.replay(stmts, t, cm, true)
+	if err != nil {
+		return Speedup{}, err
+	}
+
+	s := Speedup{Original: orig, Transformed: trans, Tiled: t.BandLen >= 2}
+	c := float64(trans.Compute)
+	h := float64(trans.Hit)
+	m := float64(trans.Miss)
+	if t.SIMD {
+		s.SIMD = true
+		vw := cm.VectorWidth * cm.VectorEff
+		c /= vw
+		f := t.InnerStride01After
+		h = h * (f/vw + (1 - f))
+	}
+	if t.OuterParallel() {
+		s.Parallel = true
+		p := float64(cm.Cores) * cm.ParallelEff
+		c /= p
+		h /= p
+		m /= minF(p, cm.MemPorts)
+	}
+	modeled := c + h + m
+	if modeled < 1 {
+		modeled = 1
+	}
+	s.Factor = float64(orig.Total()) / modeled
+	return s, nil
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// replayStmt is one statement prepared for replay.
+type replayStmt struct {
+	dom    *poly.Poly
+	access []poly.Expr // affine address functions
+	comp   uint64      // compute cycles per point
+}
+
+func replayStmts(t *sched.NestTransform) []*replayStmt {
+	d := t.Nest.Depth()
+	var out []*replayStmt
+	for _, s := range t.Nest.Stmts {
+		if s.S.Depth != d || !s.S.Domain.Exact {
+			continue
+		}
+		rs := &replayStmt{dom: s.S.Domain.Dom, comp: 2} // loop overhead
+		for _, in := range s.Instrs {
+			rs.comp += baseCost(in.Op)
+			if in.HasAccess() && in.Access.Fn != nil {
+				rs.access = append(rs.access, in.Access.Fn.Rows[0])
+			}
+		}
+		out = append(out, rs)
+	}
+	return out
+}
+
+// replay enumerates the nest's iteration space in original or
+// transformed (permuted + tiled) order, feeding every affine access to
+// the cache.
+func (r *Report) replay(stmts []*replayStmt, t *sched.NestTransform, cm CostModel, transformed bool) (Cycles, error) {
+	cache := cachesim.New(cm.Cache)
+	hitLat, missLat := cm.Cache.HitLatency, cm.Cache.MissLatency
+	var cyc Cycles
+	visit := func(pt []int64) bool {
+		for _, s := range stmts {
+			if !s.dom.Contains(pt) {
+				continue
+			}
+			cyc.Compute += s.comp
+			for _, a := range s.access {
+				if lat := cache.Access(a.Eval(pt)); lat >= missLat {
+					cyc.Miss += lat
+				} else {
+					cyc.Hit += hitLat
+				}
+			}
+		}
+		return true
+	}
+
+	d := t.Nest.Depth()
+	// Bounding box over all statements.
+	lo := make([]int64, d)
+	hi := make([]int64, d)
+	first := true
+	for _, s := range stmts {
+		for k := 0; k < d; k++ {
+			l, h, lok, hok := s.dom.IntBounds(poly.Var(d, k))
+			if !lok || !hok {
+				return cyc, fmt.Errorf("unbounded replay domain")
+			}
+			if first {
+				lo[k], hi[k] = l, h
+			} else {
+				if l < lo[k] {
+					lo[k] = l
+				}
+				if h > hi[k] {
+					hi[k] = h
+				}
+			}
+		}
+		first = false
+	}
+	var points int64 = 1
+	for k := 0; k < d; k++ {
+		points *= hi[k] - lo[k] + 1
+		if points > cm.MaxPoints {
+			return cyc, fmt.Errorf("replay domain too large (%d points)", points)
+		}
+	}
+
+	order := make([]int, d)
+	for i := range order {
+		order[i] = i
+	}
+	tile := int64(0)
+	if transformed {
+		copy(order, t.Perm)
+		if t.BandLen >= 2 {
+			tile = cm.TileSize
+		}
+	}
+
+	pt := make([]int64, d)
+	if tile > 0 {
+		// Tile loops over the band dims (in permuted order), then point
+		// loops.
+		bandSet := make([]bool, d)
+		for i := t.BandStart; i < t.BandStart+t.BandLen; i++ {
+			bandSet[t.Perm[i]] = true
+		}
+		var tileLoop func(i int, base []int64)
+		var pointLoop func(i int, base []int64)
+		pointLoop = func(i int, base []int64) {
+			if i == d {
+				visit(pt)
+				return
+			}
+			k := order[i]
+			l, h := lo[k], hi[k]
+			if bandSet[k] {
+				l = base[k]
+				h = minI(h, base[k]+tile-1)
+			}
+			for v := l; v <= h; v++ {
+				pt[k] = v
+				pointLoop(i+1, base)
+			}
+		}
+		tileLoop = func(i int, base []int64) {
+			if i == d {
+				pointLoop(0, base)
+				return
+			}
+			k := order[i]
+			if !bandSet[k] {
+				tileLoop(i+1, base)
+				return
+			}
+			for v := lo[k]; v <= hi[k]; v += tile {
+				base[k] = v
+				tileLoop(i+1, base)
+			}
+		}
+		tileLoop(0, make([]int64, d))
+		return cyc, nil
+	}
+
+	var loop func(i int)
+	loop = func(i int) {
+		if i == d {
+			visit(pt)
+			return
+		}
+		k := order[i]
+		for v := lo[k]; v <= hi[k]; v++ {
+			pt[k] = v
+			loop(i + 1)
+		}
+	}
+	loop(0)
+	return cyc, nil
+}
+
+func minI(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,82 @@
+package feedback
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Document renders the complete textual feedback bundle for one
+// profiled program — the paper ships this as its "extensive textual
+// feedback" alongside the flame graph: program statistics, the region
+// of interest, per-nest transformation suggestions with their metrics,
+// the simplified post-transformation AST, the parameterized statement
+// domains, the folded dependence listing, and replay-based speedup
+// estimates.
+func (r *Report) Document(cm CostModel) string {
+	var sb strings.Builder
+	line := strings.Repeat("=", 72)
+
+	fmt.Fprintf(&sb, "%s\npolyprof feedback: %s\n%s\n\n", line, r.Profile.Prog.Name, line)
+	p := r.Profile
+	fmt.Fprintf(&sb, "dynamic operations : %d (%d memory, %d floating point)\n",
+		p.DDG.TotalOps, p.DDG.MemOps, p.DDG.FPOps)
+	fmt.Fprintf(&sb, "fully affine       : %.1f%% of dynamic operations\n", 100*r.PctAffine)
+	fmt.Fprintf(&sb, "statements (folded): %d     dependence bundles: %d\n",
+		len(p.DDG.Stmts), len(p.DDG.Deps))
+	scevs := 0
+	for _, in := range p.DDG.Instrs {
+		if in.IsSCEV {
+			scevs++
+		}
+	}
+	fmt.Fprintf(&sb, "SCEV instructions  : %d (removed from the DDG)\n\n", scevs)
+
+	if r.Best == nil {
+		sb.WriteString("no transformable region of interest found\n")
+		return sb.String()
+	}
+	reg := r.Best
+	met := r.ComputeMetrics(reg)
+	fmt.Fprintf(&sb, "--- region of interest: %s ---\n", reg.CodeRef)
+	fmt.Fprintf(&sb, "share of program   : %.1f%% ops   (%.0f%% memory, %.0f%% fp within region)\n",
+		100*reg.PctOps, 100*safeDiv(reg.MemOps, reg.Ops), 100*safeDiv(reg.FPOps, reg.Ops))
+	fmt.Fprintf(&sb, "interprocedural    : %v\n", reg.Interproc)
+	fmt.Fprintf(&sb, "parallel ops       : %.0f%%   simd ops: %.0f%%   tilable ops: %.0f%% (depth %dD)\n",
+		100*met.PctParallelOps, 100*met.PctSIMDOps, 100*met.PctTileOps, met.TileD)
+	fmt.Fprintf(&sb, "spatial reuse      : %.0f%% now -> %.0f%% after permutation\n",
+		100*met.PctReuse, 100*met.PctPReuse)
+	fmt.Fprintf(&sb, "skewing needed     : %v\n", met.Skew)
+	fmt.Fprintf(&sb, "fusion structure   : %d components -> %d after %v fusion\n\n",
+		reg.Components, reg.FusedComponents, reg.Fusion)
+
+	sb.WriteString("--- suggested transformations per nest ---\n")
+	for _, t := range reg.Transforms {
+		nestOps := t.Nest.Loops[len(t.Nest.Loops)-1].TotalOps
+		if nestOps*50 < reg.Ops {
+			continue
+		}
+		desc := t.Describe()
+		if desc == "none" {
+			continue
+		}
+		fmt.Fprintf(&sb, "depth-%d nest (%.0f%% of region): %s\n",
+			t.Nest.Depth(), 100*safeDiv(nestOps, reg.Ops), desc)
+		if sp, err := r.EstimateSpeedup(t, cm); err == nil {
+			fmt.Fprintf(&sb, "    estimated speedup: %s\n", sp)
+		}
+	}
+	sb.WriteString("\n--- simplified AST after transformation ---\n")
+	sb.WriteString(r.AnnotatedAST(reg))
+	sb.WriteString("\n")
+	sb.WriteString(r.DomainReport(reg, 0, -1))
+	sb.WriteString("\n")
+	sb.WriteString(r.DDGReport(reg))
+	return sb.String()
+}
+
+func safeDiv(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}

@@ -1,0 +1,92 @@
+package feedback
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"polyprof/internal/poly"
+)
+
+// DomainReport lists a region's folded statement domains in the
+// parameterized form the paper's back-end feeds its scheduler (Sec. 6):
+// large constants become parameters annotated with their profiled
+// values, one parameter per ±slack window.
+func (r *Report) DomainReport(reg *Region, threshold, slack int64) string {
+	if threshold <= 0 {
+		threshold = poly.DefaultParamThreshold
+	}
+	if slack < 0 {
+		slack = poly.DefaultParamSlack
+	}
+	type row struct {
+		name string
+		ops  uint64
+		dom  string
+	}
+	var rows []row
+	params := 0
+	for _, s := range reg.Stmts {
+		if s.S.Domain.Dom == nil || s.Ops == 0 {
+			continue
+		}
+		pp := poly.ParameterizeConstants(s.S.Domain.Dom, threshold, slack)
+		params += pp.NumParams
+		tag := ""
+		if !s.S.Domain.Exact {
+			tag = " (approx)"
+		}
+		rows = append(rows, row{
+			name: r.Profile.Prog.Block(s.S.Block).Name,
+			ops:  s.Ops,
+			dom:  pp.String() + tag,
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].ops != rows[j].ops {
+			return rows[i].ops > rows[j].ops
+		}
+		return rows[i].name < rows[j].name
+	})
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "folded statement domains for region %s (%d statements, %d parameters introduced):\n",
+		reg.CodeRef, len(rows), params)
+	for _, rw := range rows {
+		fmt.Fprintf(&sb, "  %-34s %8d ops  %s\n", rw.name, rw.ops, rw.dom)
+	}
+	return sb.String()
+}
+
+// DDGReport dumps the folded dynamic dependence graph of a region: the
+// statements with their domains and, per dependence, the folded pieces
+// (domain plus producer map) — the "complete AST / extensive textual
+// feedback" the paper ships alongside the flame graph.
+func (r *Report) DDGReport(reg *Region) string {
+	var sb strings.Builder
+	inRegion := map[int]bool{}
+	for _, s := range reg.Stmts {
+		inRegion[s.S.ID] = true
+	}
+	fmt.Fprintf(&sb, "folded DDG for region %s\n", reg.CodeRef)
+	fmt.Fprintf(&sb, "statements: %d   dependencies:", len(reg.Stmts))
+	deps := 0
+	for _, d := range r.Profile.DDG.Deps {
+		if inRegion[d.Src.Stmt.ID] && inRegion[d.Dst.Stmt.ID] {
+			deps++
+		}
+	}
+	fmt.Fprintf(&sb, " %d\n\n", deps)
+	for _, d := range r.Profile.DDG.Deps {
+		if !inRegion[d.Src.Stmt.ID] || !inRegion[d.Dst.Stmt.ID] {
+			continue
+		}
+		srcBlk := r.Profile.Prog.Block(d.Src.Ref.Block)
+		dstBlk := r.Profile.Prog.Block(d.Dst.Ref.Block)
+		fmt.Fprintf(&sb, "%v: %s#%d -> %s#%d  (%d instances)\n",
+			d.Kind, srcBlk.Name, d.Src.Ref.Index, dstBlk.Name, d.Dst.Ref.Index, d.Count)
+		for _, piece := range d.Pieces {
+			fmt.Fprintf(&sb, "    %s\n", piece)
+		}
+	}
+	return sb.String()
+}

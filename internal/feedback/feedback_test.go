@@ -1,0 +1,194 @@
+package feedback_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"polyprof/internal/core"
+	"polyprof/internal/feedback"
+	"polyprof/internal/isa"
+	"polyprof/internal/workloads"
+)
+
+func analyze(t *testing.T, prog *isa.Program) *feedback.Report {
+	t.Helper()
+	p, err := core.Run(prog, core.DefaultRunOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return feedback.Analyze(p)
+}
+
+// TestBackpropReportShape: the full feedback bundle for the paper's
+// running example.
+func TestBackpropReportShape(t *testing.T) {
+	rep := analyze(t, workloads.Backprop(workloads.DefaultBackpropParams()))
+
+	if rep.Best == nil {
+		t.Fatal("no region of interest")
+	}
+	if rep.Best.CodeRef != "facetrain.c:25" {
+		t.Errorf("region = %s, want facetrain.c:25", rep.Best.CodeRef)
+	}
+	if !rep.Best.Interproc {
+		t.Error("backprop region must be interprocedural")
+	}
+	if rep.Best.Components < 2 {
+		t.Errorf("components = %d, want >= 2 (several kernels)", rep.Best.Components)
+	}
+	met := rep.ComputeMetrics(rep.Best)
+	if met.TileD != 2 {
+		t.Errorf("TileD = %d, want 2", met.TileD)
+	}
+	if met.PctPReuse < met.PctReuse {
+		t.Errorf("%%Preuse (%.2f) must be >= %%reuse (%.2f)", met.PctPReuse, met.PctReuse)
+	}
+	if met.PctPReuse < 0.99 {
+		t.Errorf("%%Preuse = %.2f, want ~100%% after interchange", met.PctPReuse)
+	}
+	if met.Skew {
+		t.Error("backprop needs no skew")
+	}
+
+	sum := rep.Summary()
+	for _, want := range []string{"backprop", "facetrain.c:25", "tile=2D"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary missing %q:\n%s", want, sum)
+		}
+	}
+}
+
+// TestFlameGraphSVG: the Fig. 7 artifact is well-formed and highlights
+// the kernels.
+func TestFlameGraphSVG(t *testing.T) {
+	rep := analyze(t, workloads.Backprop(workloads.DefaultBackpropParams()))
+	svg := rep.FlameGraph(1000, 16)
+	for _, want := range []string{
+		"<svg", "</svg>", "<rect", "<title>",
+		"bpnn_layerforward", // hot kernels must be wide enough to label
+		"#ff",               // warm color marks the region of interest
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("flame graph missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<rect") < 20 {
+		t.Errorf("flame graph has only %d boxes; tree rendering degenerated", strings.Count(svg, "<rect"))
+	}
+}
+
+// TestAnnotatedAST: the simplified post-transformation code structure.
+func TestAnnotatedAST(t *testing.T) {
+	rep := analyze(t, workloads.Backprop(workloads.DefaultBackpropParams()))
+	ast := rep.AnnotatedAST(rep.Best)
+	for _, want := range []string{"for i", "simd", "tiles(", "backprop.c:"} {
+		if !strings.Contains(ast, want) {
+			t.Errorf("annotated AST missing %q:\n%s", want, ast)
+		}
+	}
+}
+
+// TestDomainReportParameterization: large constants become parameters
+// in the Sec. 6 rendering.
+func TestDomainReportParameterization(t *testing.T) {
+	// A kernel with a big extent so parameterization triggers.
+	pb := isa.NewProgram("bigdom")
+	g := pb.Global("A", 1100)
+	f := pb.Func("main", 0)
+	base := f.IConst(g.Base)
+	f.Loop("L", f.IConst(0), f.IConst(1024), 1, func(i isa.Reg) {
+		f.FStoreIdx(base, i, 0, f.FConst(1))
+	})
+	f.Halt()
+	pb.SetMain(f)
+	rep := analyze(t, pb.MustBuild())
+	if rep.Best == nil {
+		t.Fatal("no region")
+	}
+	out := rep.DomainReport(rep.Best, 0, -1)
+	for _, want := range []string{"[n0] -> ", "n0 = 1023", "parameters introduced"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("domain report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestDDGReport lists folded dependencies with their pieces.
+func TestDDGReport(t *testing.T) {
+	rep := analyze(t, workloads.Backprop(workloads.DefaultBackpropParams()))
+	out := rep.DDGReport(rep.Best)
+	for _, want := range []string{"folded DDG", "reg:", "->", "{ ["} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DDG report missing %q", want)
+		}
+	}
+}
+
+// TestSpeedupEstimatorMonotonic: a nest with a strided inner loop must
+// gain from the suggested interchange-based transformation.
+func TestSpeedupEstimatorMonotonic(t *testing.T) {
+	rep := analyze(t, workloads.Backprop(workloads.DefaultBackpropParams()))
+	found := false
+	for _, tr := range rep.Best.Transforms {
+		if tr.Nest.Depth() != 2 || !tr.SIMD {
+			continue
+		}
+		sp, err := rep.EstimateSpeedup(tr, feedback.DefaultCostModel())
+		if err != nil {
+			t.Fatal(err)
+		}
+		found = true
+		if sp.Factor <= 1.5 {
+			t.Errorf("speedup %.2fx, want > 1.5x for parallel+simd nests", sp.Factor)
+		}
+		if !sp.Parallel || !sp.SIMD {
+			t.Errorf("discount flags wrong: %+v", sp)
+		}
+	}
+	if !found {
+		t.Fatal("no SIMD nest found")
+	}
+}
+
+// TestMetricsClamped: percentages never exceed 100%.
+func TestMetricsClamped(t *testing.T) {
+	for _, name := range []string{"backprop", "gemm", "pathfinder"} {
+		rep := analyze(t, workloads.ByName(name).Build())
+		if rep.Best == nil {
+			continue
+		}
+		met := rep.ComputeMetrics(rep.Best)
+		for what, v := range map[string]float64{
+			"par": met.PctParallelOps, "simd": met.PctSIMDOps,
+			"tile": met.PctTileOps, "reuse": met.PctReuse, "preuse": met.PctPReuse,
+		} {
+			if v < 0 || v > 1 {
+				t.Errorf("%s: %%%s = %f out of [0,1]", name, what, v)
+			}
+		}
+	}
+}
+
+// TestJSONExport round-trips the machine-readable report.
+func TestJSONExport(t *testing.T) {
+	rep := analyze(t, workloads.Backprop(workloads.DefaultBackpropParams()))
+	cm := feedback.DefaultCostModel()
+	data, err := rep.JSON(&cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back feedback.JSONReport
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if back.Program != "backprop" || back.Region == nil {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if back.Region.CodeRef != "facetrain.c:25" || back.Region.Metrics.TileDepth != 2 {
+		t.Errorf("region fields wrong: %+v", back.Region)
+	}
+	if len(back.Region.Nests) == 0 || back.Region.Nests[0].SpeedupEst <= 1 {
+		t.Errorf("nest speedups missing: %+v", back.Region.Nests)
+	}
+}

@@ -1,0 +1,137 @@
+package feedback
+
+import (
+	"fmt"
+	"strings"
+
+	"polyprof/internal/iiv"
+)
+
+// FlameGraph renders the dynamic schedule tree as an SVG flame graph
+// (paper Fig. 7): node width is proportional to the subtree's dynamic
+// operation count, loop/call nodes are labeled, regions of interest
+// (subtrees with a proposed transformation) are highlighted in warm
+// colors while non-affine or uninteresting regions are grayed out.
+// Every box carries a <title> tooltip with path, operation counts and
+// iteration counts, like the clickable SVGs the paper ships.
+func (r *Report) FlameGraph(width, rowHeight int) string {
+	if width <= 0 {
+		width = 1200
+	}
+	if rowHeight <= 0 {
+		rowHeight = 18
+	}
+	tree := r.Profile.Tree
+	total := float64(tree.TotalOps())
+	if total == 0 {
+		return "<svg xmlns=\"http://www.w3.org/2000/svg\"/>"
+	}
+	namer := iiv.ProgramNamer(r.Profile.Prog)
+
+	interesting := map[*iiv.TreeNode]bool{}
+	for _, reg := range r.Regions {
+		if reg.hasInterestingTransform() {
+			markSubtree(reg.Node, interesting)
+		}
+	}
+	affine := map[*iiv.TreeNode]bool{}
+	for _, s := range r.Model.Stmts {
+		if s.Affine && s.Leaf != nil {
+			affine[s.Leaf] = true
+		}
+	}
+
+	maxDepth := 0
+	tree.Walk(func(n *iiv.TreeNode, d int) {
+		if d > maxDepth {
+			maxDepth = d
+		}
+	})
+
+	var sb strings.Builder
+	height := (maxDepth + 1) * rowHeight
+	fmt.Fprintf(&sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="11">`+"\n", width, height+rowHeight)
+	fmt.Fprintf(&sb, `<rect width="100%%" height="100%%" fill="#f8f8f8"/>`+"\n")
+
+	var emit func(n *iiv.TreeNode, depth int, x0, x1 float64)
+	emit = func(n *iiv.TreeNode, depth int, x0, x1 float64) {
+		w := x1 - x0
+		if w < 0.5 {
+			return
+		}
+		y := height - (depth+1)*rowHeight
+		label := "all"
+		kind := "root"
+		if !n.IsRoot() {
+			label = namer(n.Elem)
+			switch {
+			case n.Elem.Loop != nil:
+				kind = "loop"
+			case n.Elem.Comp != nil:
+				kind = "rec"
+			default:
+				kind = "call"
+			}
+		}
+		fill := "#cccccc" // gray: not interesting / not affine
+		if interesting[n] {
+			fill = "#ff9a45" // orange: region of interest
+			if kind == "loop" || kind == "rec" {
+				fill = "#ff6a3c"
+			}
+		} else if affine[n] {
+			fill = "#e8c97a"
+		}
+		fmt.Fprintf(&sb, `<g><rect x="%.1f" y="%d" width="%.1f" height="%d" fill="%s" stroke="#ffffff"/>`,
+			x0, y, w, rowHeight-1, fill)
+		fmt.Fprintf(&sb, `<title>%s [%s] ops=%d (%.1f%%)`, escapeXML(n.Path(namer)), kind, n.TotalOps,
+			100*float64(n.TotalOps)/total)
+		if n.Elem.IsLoop() {
+			fmt.Fprintf(&sb, ` iters=%d`, n.Iters)
+		}
+		sb.WriteString("</title>")
+		if w > 40 {
+			text := label
+			if kind == "loop" || kind == "rec" {
+				text += " (" + kind + ")"
+			}
+			maxChars := int(w / 7)
+			if len(text) > maxChars && maxChars > 1 {
+				text = text[:maxChars-1] + "…"
+			}
+			fmt.Fprintf(&sb, `<text x="%.1f" y="%d" fill="#222222">%s</text>`, x0+3, y+rowHeight-6, escapeXML(text))
+		}
+		sb.WriteString("</g>\n")
+
+		x := x0
+		for _, c := range n.Children {
+			cw := w * float64(c.TotalOps) / float64(maxU(n.TotalOps, 1))
+			emit(c, depth+1, x, x+cw)
+			x += cw
+		}
+	}
+	emit(tree.Root, 0, 0, float64(width))
+	sb.WriteString("</svg>\n")
+	return sb.String()
+}
+
+func markSubtree(n *iiv.TreeNode, set map[*iiv.TreeNode]bool) {
+	set[n] = true
+	for _, c := range n.Children {
+		markSubtree(c, set)
+	}
+}
+
+func maxU(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func escapeXML(s string) string {
+	s = strings.ReplaceAll(s, "&", "&amp;")
+	s = strings.ReplaceAll(s, "<", "&lt;")
+	s = strings.ReplaceAll(s, ">", "&gt;")
+	return s
+}

@@ -1,0 +1,119 @@
+package feedback
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSONReport is the machine-readable form of a feedback report, for
+// editor integrations and CI tooling (the paper's SVG flame graphs are
+// clickable; this is the structured equivalent).
+type JSONReport struct {
+	Program   string  `json:"program"`
+	TotalOps  uint64  `json:"total_ops"`
+	MemOps    uint64  `json:"mem_ops"`
+	FPOps     uint64  `json:"fp_ops"`
+	PctAffine float64 `json:"pct_affine"`
+
+	Region *JSONRegion `json:"region,omitempty"`
+}
+
+// JSONRegion describes the selected region of interest.
+type JSONRegion struct {
+	CodeRef         string     `json:"code_ref"`
+	PctOps          float64    `json:"pct_ops"`
+	Interprocedural bool       `json:"interprocedural"`
+	Components      int        `json:"components"`
+	FusedComponents int        `json:"fused_components"`
+	Fusion          string     `json:"fusion"`
+	Metrics         JSONMetric `json:"metrics"`
+	Nests           []JSONNest `json:"nests"`
+}
+
+// JSONMetric carries the Table 5 style percentages.
+type JSONMetric struct {
+	PctParallelOps float64 `json:"pct_parallel_ops"`
+	PctSIMDOps     float64 `json:"pct_simd_ops"`
+	PctReuse       float64 `json:"pct_reuse"`
+	PctPReuse      float64 `json:"pct_preuse"`
+	LoopDepthSrc   int     `json:"loop_depth_src"`
+	LoopDepthBin   int     `json:"loop_depth_bin"`
+	TileDepth      int     `json:"tile_depth"`
+	PctTileOps     float64 `json:"pct_tile_ops"`
+	Skew           bool    `json:"skew"`
+}
+
+// JSONNest is one nest's suggested transformation.
+type JSONNest struct {
+	Depth       int       `json:"depth"`
+	PctOps      float64   `json:"pct_ops"`
+	Transform   string    `json:"transform"`
+	Parallel    []bool    `json:"parallel"`
+	Stride01    []float64 `json:"stride01"`
+	TileDepth   int       `json:"tile_depth"`
+	Permutable  bool      `json:"fully_permutable"`
+	SkewUsed    bool      `json:"skew_used"`
+	SpeedupEst  float64   `json:"speedup_estimate,omitempty"`
+	SpeedupNote string    `json:"speedup_note,omitempty"`
+}
+
+// JSON serializes the report (pretty-printed).  When cm is non-nil,
+// per-nest speedups are estimated with it.
+func (r *Report) JSON(cm *CostModel) ([]byte, error) {
+	out := JSONReport{
+		Program:   r.Profile.Prog.Name,
+		TotalOps:  r.Profile.DDG.TotalOps,
+		MemOps:    r.Profile.DDG.MemOps,
+		FPOps:     r.Profile.DDG.FPOps,
+		PctAffine: r.PctAffine,
+	}
+	if reg := r.Best; reg != nil {
+		met := r.ComputeMetrics(reg)
+		jr := &JSONRegion{
+			CodeRef:         reg.CodeRef,
+			PctOps:          reg.PctOps,
+			Interprocedural: reg.Interproc,
+			Components:      reg.Components,
+			FusedComponents: reg.FusedComponents,
+			Fusion:          reg.Fusion.String(),
+			Metrics: JSONMetric{
+				PctParallelOps: met.PctParallelOps,
+				PctSIMDOps:     met.PctSIMDOps,
+				PctReuse:       met.PctReuse,
+				PctPReuse:      met.PctPReuse,
+				LoopDepthSrc:   met.LdSrc,
+				LoopDepthBin:   met.LdBin,
+				TileDepth:      met.TileD,
+				PctTileOps:     met.PctTileOps,
+				Skew:           met.Skew,
+			},
+		}
+		for _, t := range reg.Transforms {
+			nestOps := t.Nest.Loops[len(t.Nest.Loops)-1].TotalOps
+			if nestOps*50 < reg.Ops || t.Describe() == "none" {
+				continue
+			}
+			n := JSONNest{
+				Depth:      t.Nest.Depth(),
+				PctOps:     float64(nestOps) / float64(r.Profile.DDG.TotalOps),
+				Transform:  t.Describe(),
+				Parallel:   t.Parallel,
+				Stride01:   t.Stride01,
+				TileDepth:  t.TileDepth(),
+				Permutable: t.FullyPermutable(),
+				SkewUsed:   t.SkewUsed,
+			}
+			if cm != nil {
+				if sp, err := r.EstimateSpeedup(t, *cm); err == nil {
+					n.SpeedupEst = sp.Factor
+					n.SpeedupNote = sp.String()
+				} else {
+					n.SpeedupNote = fmt.Sprintf("estimation failed: %v", err)
+				}
+			}
+			jr.Nests = append(jr.Nests, n)
+		}
+		out.Region = jr
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

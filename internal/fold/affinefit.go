@@ -1,0 +1,208 @@
+// Package fold compresses the DDG's point streams into polyhedra with
+// affine label functions — the paper's third stage (Sec. 5, detailed in
+// the companion report [29]).  Folding is geometric and incremental:
+// points arrive in lexicographic order (a property the IIV construction
+// guarantees), each nesting level recognizes contiguous runs whose
+// bounds are affine functions of the outer coordinates, and labels
+// (produced values, addresses, producer coordinates) are fitted by
+// exact incremental affine regression.  Streams that do not fold
+// exactly degrade to bounding-box over-approximations instead of being
+// dropped, which is what keeps whole-program analysis scalable.
+package fold
+
+import (
+	"math/big"
+
+	"polyprof/internal/poly"
+)
+
+// Fitter incrementally decides whether a stream of samples (x, y) with
+// x in Z^m lies on an affine function y = c·x + k, using exact rational
+// Gaussian elimination.  Adding samples is cheap once the function is
+// determined (integer evaluation); before that, each independent sample
+// extends a reduced basis.
+type Fitter struct {
+	m      int
+	failed bool
+
+	// rows is the reduced basis of sample equations over the m+1
+	// unknown coefficients (m variable coefficients plus the constant).
+	// Each row has m+2 rational entries: the coefficient columns and
+	// the right-hand side.
+	rows [][]*big.Rat
+	// pivot[i] is the pivot column of rows[i].
+	pivot []int
+
+	// solved is the integer affine function once determined ("decided"
+	// the moment the basis reaches full rank or Solve is called).
+	solved   *poly.Expr
+	nSamples int
+}
+
+// NewFitter creates a fitter for x in Z^m.
+func NewFitter(m int) *Fitter {
+	return &Fitter{m: m}
+}
+
+// Failed reports whether some sample contradicted affinity (or an exact
+// rational fit exists but is not integer).
+func (f *Fitter) Failed() bool { return f.failed }
+
+// Samples returns the number of samples fed.
+func (f *Fitter) Samples() int { return f.nSamples }
+
+// Add feeds one sample; returns false once the stream is known to be
+// non-affine.
+func (f *Fitter) Add(x []int64, y int64) bool {
+	if f.failed {
+		return false
+	}
+	f.nSamples++
+	if f.solved != nil {
+		if f.solved.Eval(x) != y {
+			f.fail()
+		}
+		return !f.failed
+	}
+	// Build the equation row [x..., 1 | y].
+	row := make([]*big.Rat, f.m+2)
+	for i := 0; i < f.m; i++ {
+		row[i] = new(big.Rat).SetInt64(x[i])
+	}
+	row[f.m] = new(big.Rat).SetInt64(1)
+	row[f.m+1] = new(big.Rat).SetInt64(y)
+
+	f.reduce(row)
+	lead := f.leadCol(row)
+	switch {
+	case lead == -1:
+		if row[f.m+1].Sign() != 0 {
+			// 0 = nonzero: inconsistent, not affine.
+			f.fail()
+		}
+		// Otherwise the row vanished entirely: redundant sample.
+	default:
+		f.insertRow(row, lead)
+		if len(f.rows) == f.m+1 {
+			// Full rank: the function is uniquely determined.
+			f.trySolve()
+		}
+	}
+	return !f.failed
+}
+
+// pivotOrder visits the constant column first so underdetermined
+// streams solve to the "most constant" integral function (a stream that
+// never varied a coordinate fits as a constant rather than as a
+// fractional multiple of that coordinate).
+func (f *Fitter) pivotOrder(i int) int {
+	if i == 0 {
+		return f.m
+	}
+	return i - 1
+}
+
+func (f *Fitter) fail() {
+	f.failed = true
+	f.rows = nil
+	f.solved = nil
+}
+
+// reduce eliminates the row against the current basis.
+func (f *Fitter) reduce(row []*big.Rat) {
+	for i, r := range f.rows {
+		p := f.pivot[i]
+		if row[p].Sign() == 0 {
+			continue
+		}
+		factor := new(big.Rat).Quo(row[p], r[p])
+		for j := 0; j < len(row); j++ {
+			row[j] = new(big.Rat).Sub(row[j], new(big.Rat).Mul(factor, r[j]))
+		}
+	}
+}
+
+// leadCol returns the pivot column of the reduced row (constant column
+// preferred), or -1 when no coefficient column is nonzero.
+func (f *Fitter) leadCol(row []*big.Rat) int {
+	for i := 0; i <= f.m; i++ {
+		j := f.pivotOrder(i)
+		if row[j].Sign() != 0 {
+			return j
+		}
+	}
+	return -1
+}
+
+// insertRow adds the reduced row to the basis and back-eliminates it
+// from existing rows to keep reduced row-echelon form.
+func (f *Fitter) insertRow(row []*big.Rat, lead int) {
+	for i, r := range f.rows {
+		if r[lead].Sign() == 0 {
+			continue
+		}
+		factor := new(big.Rat).Quo(r[lead], row[lead])
+		for j := 0; j < len(r); j++ {
+			r[j] = new(big.Rat).Sub(r[j], new(big.Rat).Mul(factor, row[j]))
+		}
+		f.rows[i] = r
+	}
+	f.rows = append(f.rows, row)
+	f.pivot = append(f.pivot, lead)
+}
+
+// trySolve extracts the unique solution and checks integrality.
+func (f *Fitter) trySolve() {
+	e, ok := f.solveExpr()
+	if !ok {
+		f.fail()
+		return
+	}
+	f.solved = &e
+	f.rows, f.pivot = nil, nil
+}
+
+// solveExpr solves the current (possibly underdetermined) system with
+// free coefficients set to zero; returns false when the solution is not
+// integral.
+func (f *Fitter) solveExpr() (poly.Expr, bool) {
+	coeffs := make([]*big.Rat, f.m+1)
+	for i := range coeffs {
+		coeffs[i] = new(big.Rat)
+	}
+	for i, r := range f.rows {
+		// Rows are in reduced row-echelon form:
+		// r[p]*c_p + sum over free columns j of r[j]*c_j = rhs.
+		// With free coefficients fixed at zero, c_p = rhs / r[p].
+		p := f.pivot[i]
+		val := new(big.Rat).Set(r[f.m+1])
+		coeffs[p] = val.Quo(val, r[p])
+	}
+	e := poly.NewExpr(f.m)
+	for i := 0; i <= f.m; i++ {
+		if !coeffs[i].IsInt() {
+			return poly.Expr{}, false
+		}
+		v := coeffs[i].Num().Int64()
+		if i == f.m {
+			e.K = v
+		} else {
+			e.C[i] = v
+		}
+	}
+	return e, true
+}
+
+// Solve returns the fitted affine function.  For underdetermined
+// streams (a coordinate never varied) free coefficients are zero, which
+// fits every observed sample.  ok is false if the stream was non-affine
+// or empty.
+func (f *Fitter) Solve() (poly.Expr, bool) {
+	if f.failed || f.nSamples == 0 {
+		return poly.Expr{}, false
+	}
+	if f.solved != nil {
+		return *f.solved, true
+	}
+	return f.solveExpr()
+}

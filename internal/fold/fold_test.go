@@ -1,0 +1,336 @@
+package fold
+
+import (
+	"testing"
+	"testing/quick"
+
+	"polyprof/internal/poly"
+)
+
+func TestFitterExactLinear(t *testing.T) {
+	f := NewFitter(2)
+	// y = 2i - 3j + 5
+	for i := int64(0); i < 4; i++ {
+		for j := int64(0); j < 4; j++ {
+			if !f.Add([]int64{i, j}, 2*i-3*j+5) {
+				t.Fatalf("fit failed at (%d,%d)", i, j)
+			}
+		}
+	}
+	e, ok := f.Solve()
+	if !ok {
+		t.Fatal("no solution")
+	}
+	if e.C[0] != 2 || e.C[1] != -3 || e.K != 5 {
+		t.Errorf("solved %v, want 2i - 3j + 5", e)
+	}
+}
+
+func TestFitterRejectsNonAffine(t *testing.T) {
+	f := NewFitter(1)
+	for i := int64(0); i < 5; i++ {
+		f.Add([]int64{i}, i*i)
+	}
+	if !f.Failed() {
+		t.Error("quadratic stream must fail")
+	}
+	if _, ok := f.Solve(); ok {
+		t.Error("Solve must fail after contradiction")
+	}
+}
+
+func TestFitterRejectsRationalSolution(t *testing.T) {
+	f := NewFitter(1)
+	// y = i/2 on even points only: exact rational fit, not integer.
+	f.Add([]int64{0}, 0)
+	f.Add([]int64{2}, 1)
+	f.Add([]int64{4}, 2)
+	if _, ok := f.Solve(); ok {
+		t.Error("rational-coefficient fit must be rejected")
+	}
+}
+
+func TestFitterUnderdetermined(t *testing.T) {
+	// Only one sample: constant fit (free coefficients zero).
+	f := NewFitter(2)
+	f.Add([]int64{3, 4}, 7)
+	e, ok := f.Solve()
+	if !ok {
+		t.Fatal("no solution for single sample")
+	}
+	if e.Eval([]int64{3, 4}) != 7 {
+		t.Errorf("solution %v does not fit the sample", e)
+	}
+}
+
+func TestFitterConstantThenVarying(t *testing.T) {
+	// First samples share j; later samples disambiguate.
+	f := NewFitter(2)
+	pts := [][3]int64{{0, 0, 1}, {1, 0, 3}, {2, 0, 5}, {0, 1, 11}, {1, 1, 13}}
+	for _, p := range pts {
+		if !f.Add([]int64{p[0], p[1]}, p[2]) {
+			t.Fatalf("fit failed at %v", p)
+		}
+	}
+	e, ok := f.Solve() // y = 2i + 10j + 1
+	if !ok || e.C[0] != 2 || e.C[1] != 10 || e.K != 1 {
+		t.Errorf("solved %v ok=%v, want 2i + 10j + 1", e, ok)
+	}
+}
+
+func addRect(f *Folder, ni, nj int64, label func(i, j int64) []int64) {
+	for i := int64(0); i < ni; i++ {
+		for j := int64(0); j < nj; j++ {
+			f.Add([]int64{i, j}, label(i, j))
+		}
+	}
+}
+
+func TestFoldRectangleDomain(t *testing.T) {
+	f := NewFolder(2, 0)
+	addRect(f, 16, 43, func(i, j int64) []int64 { return nil })
+	p := f.Finish()
+	if !p.Exact {
+		t.Fatalf("rectangle must fold exactly: %v", p)
+	}
+	if p.Points != 16*43 {
+		t.Errorf("points = %d, want %d", p.Points, 16*43)
+	}
+	if n, exact := p.Dom.PointCount(10000); n != 16*43 || !exact {
+		t.Errorf("domain has %d points (exact=%v), want %d", n, exact, 16*43)
+	}
+	for _, pt := range [][]int64{{0, 0}, {15, 42}} {
+		if !p.Dom.Contains(pt) {
+			t.Errorf("domain missing %v", pt)
+		}
+	}
+	for _, pt := range [][]int64{{16, 0}, {0, 43}, {-1, 0}} {
+		if p.Dom.Contains(pt) {
+			t.Errorf("domain wrongly contains %v", pt)
+		}
+	}
+}
+
+func TestFoldTriangleDomain(t *testing.T) {
+	// { (i,j) : 0 <= i < 6, 0 <= j <= i } — the affine upper bound j <= i
+	// must be recognized.
+	f := NewFolder(2, 0)
+	var n uint64
+	for i := int64(0); i < 6; i++ {
+		for j := int64(0); j <= i; j++ {
+			f.Add([]int64{i, j}, nil)
+			n++
+		}
+	}
+	p := f.Finish()
+	if !p.Exact {
+		t.Fatalf("triangle must fold exactly: %v", p)
+	}
+	if cnt, exact := p.Dom.PointCount(1000); cnt != int64(n) || !exact {
+		t.Errorf("point count %d, want %d", cnt, n)
+	}
+	if p.Dom.Contains([]int64{2, 3}) {
+		t.Error("triangle must exclude j > i")
+	}
+}
+
+func TestFoldStridedDomain(t *testing.T) {
+	// Lattice extension: a stride-2 loop folds exactly into a strided
+	// domain containing exactly the even points.
+	f := NewFolder(1, 0)
+	for i := int64(0); i < 20; i += 2 {
+		f.Add([]int64{i}, nil)
+	}
+	p := f.Finish()
+	if !p.Exact {
+		t.Fatalf("strided stream must fold exactly with lattice support: %v", p)
+	}
+	if n, exact := p.Dom.PointCount(100); n != 10 || !exact {
+		t.Errorf("lattice domain has %d points, want 10", n)
+	}
+	if p.Dom.Contains([]int64{3}) || !p.Dom.Contains([]int64{4}) {
+		t.Errorf("lattice membership wrong: %v", p.Dom)
+	}
+}
+
+func TestFoldDomainWithHolesApproximates(t *testing.T) {
+	// Irregular (non-constant) steps still over-approximate.
+	f := NewFolder(1, 0)
+	for _, i := range []int64{0, 2, 3, 7, 11, 12} {
+		f.Add([]int64{i}, nil)
+	}
+	p := f.Finish()
+	if p.Exact {
+		t.Fatal("irregular stream must over-approximate")
+	}
+	if !p.Dom.Approx {
+		t.Error("approx flag not set on domain")
+	}
+	lo, hi, lok, hok := p.Dom.IntBounds(poly.Var(1, 0))
+	if !lok || !hok || lo != 0 || hi != 12 {
+		t.Errorf("box = [%d,%d], want [0,12]", lo, hi)
+	}
+
+	// With the lattice extension disabled (the paper's baseline), even
+	// a constant stride over-approximates — the ablation case.
+	g := NewFolder(1, 0)
+	g.DetectStrides = false
+	for i := int64(0); i < 20; i += 2 {
+		g.Add([]int64{i}, nil)
+	}
+	if q := g.Finish(); q.Exact {
+		t.Fatal("stride without lattice support must over-approximate")
+	}
+}
+
+func TestFoldRestartApproximates(t *testing.T) {
+	f := NewFolder(1, 0)
+	for i := int64(0); i < 5; i++ {
+		f.Add([]int64{i}, nil)
+	}
+	for i := int64(0); i < 5; i++ { // restart: not lexicographic
+		f.Add([]int64{i}, nil)
+	}
+	p := f.Finish()
+	if p.Exact {
+		t.Fatal("restarted stream must over-approximate")
+	}
+}
+
+// TestFoldTable2 reproduces the paper's Tables 1 and 2: folding the
+// dependency streams of the backprop kernel must produce rectangular
+// domains with the identity map for I1→I2 and I2→I4 and the (cj, ck-1)
+// map with ck >= 1 for the I4→I4 accumulation.
+func TestFoldTable2(t *testing.T) {
+	const nj, nk = 16, 43
+
+	// I1 -> I2 and I2 -> I4: producer == consumer instance.
+	ident := NewFolder(2, 2)
+	addRect(ident, nj, nk, func(i, j int64) []int64 { return []int64{i, j} })
+	p := ident.Finish()
+	if !p.Exact || p.Fn == nil {
+		t.Fatalf("identity dep must fold exactly with a map: %v", p)
+	}
+	if !p.Fn.Equal(poly.Identity(2)) {
+		t.Errorf("map = %v, want identity", p.Fn)
+	}
+
+	// I4 -> I4: sum accumulation, producer = (cj, ck-1), domain ck >= 1.
+	acc := NewFolder(2, 2)
+	for j := int64(0); j < nj; j++ {
+		for k := int64(1); k < nk; k++ {
+			acc.Add([]int64{j, k}, []int64{j, k - 1})
+		}
+	}
+	q := acc.Finish()
+	if !q.Exact || q.Fn == nil {
+		t.Fatalf("accumulation dep must fold exactly: %v", q)
+	}
+	want := poly.NewMap(2, 2)
+	want.Rows[0] = poly.Var(2, 0)
+	want.Rows[1] = poly.Var(2, 1).Sub(poly.Const(2, 1))
+	if !q.Fn.Equal(want) {
+		t.Errorf("map = %v, want %v", q.Fn, want)
+	}
+	if q.Dom.Contains([]int64{0, 0}) {
+		t.Error("domain must exclude ck = 0")
+	}
+	if !q.Dom.Contains([]int64{0, 1}) || !q.Dom.Contains([]int64{15, 42}) {
+		t.Error("domain missing interior points")
+	}
+}
+
+// TestFoldSCEVLabel reproduces the I5 example from Sec. 5: the value
+// stream a(cj, ck) = 0*cj + 1*ck + 1 must be recognized.
+func TestFoldSCEVLabel(t *testing.T) {
+	f := NewFolder(2, 1)
+	addRect(f, 16, 43, func(j, k int64) []int64 { return []int64{k + 1} })
+	p := f.Finish()
+	if p.Fn == nil {
+		t.Fatal("SCEV label not recognized")
+	}
+	e := p.Fn.Rows[0]
+	if e.C[0] != 0 || e.C[1] != 1 || e.K != 1 {
+		t.Errorf("SCEV = %v, want ck + 1", e)
+	}
+}
+
+func TestFoldNonAffineLabelKeepsDomain(t *testing.T) {
+	f := NewFolder(1, 1)
+	for i := int64(0); i < 10; i++ {
+		f.Add([]int64{i}, []int64{i * i})
+	}
+	p := f.Finish()
+	if !p.Exact {
+		t.Error("domain should stay exact")
+	}
+	if p.Fn != nil {
+		t.Error("quadratic label must not produce a map")
+	}
+}
+
+func TestFoldDuplicatesSameLabel(t *testing.T) {
+	f := NewFolder(1, 1)
+	for i := int64(0); i < 5; i++ {
+		f.Add([]int64{i}, []int64{2 * i})
+		f.Add([]int64{i}, []int64{2 * i}) // duplicate consumer instance
+	}
+	p := f.Finish()
+	if !p.Exact || p.Points != 5 {
+		t.Errorf("exact=%v points=%d, want true 5", p.Exact, p.Points)
+	}
+	if p.Fn == nil || p.Fn.Rows[0].C[0] != 2 {
+		t.Errorf("label map lost on duplicates: %v", p.Fn)
+	}
+}
+
+func TestFoldZeroDim(t *testing.T) {
+	f := NewFolder(0, 1)
+	f.Add(nil, []int64{42})
+	p := f.Finish()
+	if !p.Exact || p.Points != 1 {
+		t.Errorf("zero-dim stream: exact=%v points=%d", p.Exact, p.Points)
+	}
+	if p.Fn == nil || p.Fn.Rows[0].K != 42 {
+		t.Errorf("constant label lost: %v", p.Fn)
+	}
+}
+
+func TestFoldEmpty(t *testing.T) {
+	f := NewFolder(2, 0)
+	p := f.Finish()
+	if p.Points != 0 {
+		t.Errorf("empty stream points = %d", p.Points)
+	}
+}
+
+// TestFoldRandomBoxes is a property test: any dense box with any affine
+// label folds exactly and the recovered polyhedron contains exactly the
+// fed points.
+func TestFoldRandomBoxes(t *testing.T) {
+	prop := func(lo0, lo1 int8, e0, e1 uint8, a, b, c int8) bool {
+		l0, l1 := int64(lo0%10), int64(lo1%10)
+		n0, n1 := int64(e0%5)+1, int64(e1%5)+1
+		f := NewFolder(2, 1)
+		var n int64
+		for i := l0; i < l0+n0; i++ {
+			for j := l1; j < l1+n1; j++ {
+				f.Add([]int64{i, j}, []int64{int64(a)*i + int64(b)*j + int64(c)})
+				n++
+			}
+		}
+		p := f.Finish()
+		if !p.Exact || p.Fn == nil {
+			return false
+		}
+		cnt, exact := p.Dom.PointCount(10000)
+		if !exact || cnt != n {
+			return false
+		}
+		fn := p.Fn.Rows[0]
+		return fn.Eval([]int64{l0, l1}) == int64(a)*l0+int64(b)*l1+int64(c)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,283 @@
+package fold
+
+import (
+	"fmt"
+
+	"polyprof/internal/poly"
+)
+
+// Piece is one folded element: an iteration-domain polyhedron plus, when
+// it could be fitted, an affine function mapping domain points to the
+// stream's labels (produced values, addresses, or producer
+// coordinates).
+type Piece struct {
+	Dom *poly.Poly
+	// Fn maps domain coordinates to labels; nil when the labels were
+	// not affine.
+	Fn *poly.Map
+	// Exact is true when Dom describes exactly the observed points;
+	// false for bounding-box over-approximations.
+	Exact bool
+	// Points is the number of observed (non-duplicate) points.
+	Points uint64
+}
+
+// String renders the piece for reports.
+func (p Piece) String() string {
+	s := p.Dom.String()
+	if p.Fn != nil {
+		s += " -> " + p.Fn.String()
+	}
+	if !p.Exact {
+		s += " (approx)"
+	}
+	return s
+}
+
+// levelState tracks run recognition at one nesting depth.
+type levelState struct {
+	groupFirst int64 // first value of the current run
+	prevVal    int64 // last value seen in the current run
+	holes      bool  // irregular steps were observed inside a run
+	stride     int64 // detected constant step (0 until established)
+	loFit      *Fitter
+	hiFit      *Fitter
+}
+
+// Folder incrementally folds one stream of (coords, label) points that
+// arrive in lexicographic coordinate order.  Memory use is O(dim²)
+// regardless of stream length: each level keeps only its current run
+// and two incremental affine fitters for the run bounds.
+type Folder struct {
+	dim    int
+	labelW int
+
+	labelFit []*Fitter
+	levels   []levelState
+
+	prev    []int64
+	minBox  []int64
+	maxBox  []int64
+	started bool
+
+	points uint64 // distinct points
+	total  uint64 // including duplicates
+	exact  bool
+	lexOK  bool
+
+	// DetectStrides enables the lattice extension: runs advancing by a
+	// constant step > 1 fold exactly into a strided domain instead of
+	// degrading to a bounding box.  The paper lists lattices as an
+	// unsupported case (Sec. 8); polyprof implements them and the
+	// ablation benchmark measures the difference.  On by default.
+	DetectStrides bool
+	labelDup      bool // duplicate coords carried different labels
+	lastLbl       []int64
+}
+
+// NewFolder creates a folder for dim-dimensional coordinates and
+// labelW-wide labels (0 for pure domain folding).
+func NewFolder(dim, labelW int) *Folder {
+	f := &Folder{
+		dim:    dim,
+		labelW: labelW,
+		levels: make([]levelState, dim),
+		prev:   make([]int64, dim),
+		minBox: make([]int64, dim),
+		maxBox: make([]int64, dim),
+		exact:  true,
+		lexOK:  true,
+	}
+	f.DetectStrides = true
+	f.labelFit = make([]*Fitter, labelW)
+	for i := range f.labelFit {
+		f.labelFit[i] = NewFitter(dim)
+	}
+	if labelW > 0 {
+		f.lastLbl = make([]int64, labelW)
+	}
+	return f
+}
+
+// Dim returns the domain dimensionality.
+func (f *Folder) Dim() int { return f.dim }
+
+// Points returns the number of distinct points folded so far.
+func (f *Folder) Points() uint64 { return f.points }
+
+// Add feeds one point.  label must have the folder's label width.
+func (f *Folder) Add(coords []int64, label []int64) {
+	f.total++
+	for i := range f.labelFit {
+		f.labelFit[i].Add(coords, label[i])
+	}
+	if !f.started {
+		f.started = true
+		f.points = 1
+		copy(f.prev, coords)
+		copy(f.minBox, coords)
+		copy(f.maxBox, coords)
+		for k := 0; k < f.dim; k++ {
+			f.levels[k] = levelState{groupFirst: coords[k], prevVal: coords[k]}
+		}
+		copy(f.lastLbl, label)
+		return
+	}
+
+	// Locate the outermost changed coordinate.
+	k := 0
+	for ; k < f.dim; k++ {
+		if coords[k] != f.prev[k] {
+			break
+		}
+	}
+	if k == f.dim {
+		// Exact duplicate of the previous point (several dependence
+		// events can share a consumer instance).  Domain structure is
+		// unaffected.
+		for i := range label {
+			if label[i] != f.lastLbl[i] {
+				f.labelDup = true
+			}
+		}
+		return
+	}
+	f.points++
+	if coords[k] < f.prev[k] {
+		// The stream restarted; the exact recognizer only handles
+		// lexicographically increasing streams.
+		f.lexOK = false
+		f.exact = false
+	}
+
+	// Close the runs of all deeper levels against the old prefix.
+	for j := f.dim - 1; j > k; j-- {
+		f.closeRun(j)
+		f.levels[j].groupFirst = coords[j]
+		f.levels[j].prevVal = coords[j]
+	}
+	// Advance the run at level k: dense (+1) or a constant stride.
+	lv := &f.levels[k]
+	diff := coords[k] - f.prev[k]
+	switch {
+	case diff == 1:
+		if lv.stride > 1 {
+			lv.holes = true
+			f.exact = false
+		} else {
+			lv.stride = 1
+		}
+	case f.DetectStrides && diff > 1 && (lv.stride == 0 || lv.stride == diff):
+		lv.stride = diff
+	default:
+		lv.holes = true
+		f.exact = false
+	}
+	lv.prevVal = coords[k]
+
+	copy(f.prev, coords)
+	for i, c := range coords {
+		if c < f.minBox[i] {
+			f.minBox[i] = c
+		}
+		if c > f.maxBox[i] {
+			f.maxBox[i] = c
+		}
+	}
+	copy(f.lastLbl, label)
+}
+
+// closeRun records the completed run of level j (bounds as a function
+// of the outer prefix f.prev[0:j]).
+func (f *Folder) closeRun(j int) {
+	lv := &f.levels[j]
+	if lv.loFit == nil {
+		lv.loFit = NewFitter(j)
+		lv.hiFit = NewFitter(j)
+	}
+	prefix := f.prev[:j]
+	if !lv.loFit.Add(prefix, lv.groupFirst) {
+		f.exact = false
+	}
+	if !lv.hiFit.Add(prefix, lv.prevVal) {
+		f.exact = false
+	}
+}
+
+// Finish closes all open runs and returns the folded piece.  Returns a
+// zero-point piece for empty streams.
+func (f *Folder) Finish() Piece {
+	if !f.started {
+		return Piece{Dom: poly.NewPoly(f.dim), Exact: true}
+	}
+	for j := f.dim - 1; j >= 0; j-- {
+		f.closeRun(j)
+	}
+
+	var fn *poly.Map
+	if !f.labelDup {
+		m := poly.NewMap(f.dim, f.labelW)
+		ok := true
+		for i, fit := range f.labelFit {
+			e, solved := fit.Solve()
+			if !solved {
+				ok = false
+				break
+			}
+			m.Rows[i] = e
+		}
+		if ok && f.labelW > 0 {
+			fn = &m
+		}
+	}
+
+	if f.exact {
+		dom := poly.NewPoly(f.dim)
+		good := true
+		for k := 0; k < f.dim; k++ {
+			lv := &f.levels[k]
+			lo, okLo := lv.loFit.Solve()
+			hi, okHi := lv.hiFit.Solve()
+			if !okLo || !okHi {
+				good = false
+				break
+			}
+			loE := embed(lo, f.dim)
+			dom.AddLowerExpr(k, loE)
+			dom.AddUpperExpr(k, embed(hi, f.dim))
+			if lv.stride > 1 {
+				// Lattice extension: runs advanced by a constant step,
+				// anchored at the (affine) lower bound.
+				dom.AddStride(k, lv.stride, loE)
+			}
+		}
+		if good {
+			return Piece{Dom: dom, Fn: fn, Exact: true, Points: f.points}
+		}
+	}
+
+	// Over-approximation: the bounding box of every observed point.
+	dom := poly.NewPoly(f.dim)
+	dom.Approx = true
+	for k := 0; k < f.dim; k++ {
+		dom.AddRange(k, f.minBox[k], f.maxBox[k])
+	}
+	return Piece{Dom: dom, Fn: fn, Exact: false, Points: f.points}
+}
+
+// embed widens an expression over the first k variables to dim
+// variables.
+func embed(e poly.Expr, dim int) poly.Expr {
+	if e.Dim() == dim {
+		return e
+	}
+	w := poly.NewExpr(dim)
+	copy(w.C, e.C)
+	w.K = e.K
+	return w
+}
+
+// Describe summarizes the folder state for diagnostics.
+func (f *Folder) Describe() string {
+	return fmt.Sprintf("folder(dim=%d points=%d exact=%v lex=%v)", f.dim, f.points, f.exact, f.lexOK)
+}

@@ -1,0 +1,105 @@
+package fold
+
+import "math/big"
+
+// Check reports whether the sample is consistent with the fitter's
+// current state without mutating it: an already-determined function
+// must evaluate to y; an undetermined basis must not reduce the sample
+// to a contradiction (rank extension is consistent).
+func (f *Fitter) Check(x []int64, y int64) bool {
+	if f.failed {
+		return false
+	}
+	if f.solved != nil {
+		return f.solved.Eval(x) == y
+	}
+	row := make([]*big.Rat, f.m+2)
+	for i := 0; i < f.m; i++ {
+		row[i] = new(big.Rat).SetInt64(x[i])
+	}
+	row[f.m] = new(big.Rat).SetInt64(1)
+	row[f.m+1] = new(big.Rat).SetInt64(y)
+	f.reduce(row)
+	if f.leadCol(row) == -1 && row[f.m+1].Sign() != 0 {
+		return false
+	}
+	return true
+}
+
+// checkLabels tests a whole label vector against the folder's fitters.
+func (f *Folder) checkLabels(coords, label []int64) bool {
+	for i, fit := range f.labelFit {
+		if !fit.Check(coords, label[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// MultiFolder folds one dependence stream into a *union* of pieces,
+// each with its own affine label function — the general case of the
+// paper's folding (Sec. 5): dependencies of in-place stencils or
+// boundary-clamped code are piecewise affine, and a single affine map
+// cannot represent them.  Points are classified greedily against the
+// existing pieces' fitters; unclassifiable points (beyond MaxPieces)
+// fall into an over-approximated remainder piece with no map.
+type MultiFolder struct {
+	dim, labelW int
+	maxPieces   int
+
+	pieces   []*Folder
+	overflow *Folder // points no piece accepts; nil until needed
+	points   uint64
+}
+
+// DefaultMaxPieces bounds the union size per dependence.
+const DefaultMaxPieces = 4
+
+// NewMultiFolder creates a piecewise folder.
+func NewMultiFolder(dim, labelW, maxPieces int) *MultiFolder {
+	if maxPieces <= 0 {
+		maxPieces = DefaultMaxPieces
+	}
+	return &MultiFolder{dim: dim, labelW: labelW, maxPieces: maxPieces}
+}
+
+// Points returns the number of points folded.
+func (m *MultiFolder) Points() uint64 { return m.points }
+
+// Add classifies and folds one point.
+func (m *MultiFolder) Add(coords, label []int64) {
+	m.points++
+	for _, p := range m.pieces {
+		if p.checkLabels(coords, label) {
+			p.Add(coords, label)
+			return
+		}
+	}
+	if len(m.pieces) < m.maxPieces {
+		p := NewFolder(m.dim, m.labelW)
+		p.Add(coords, label)
+		m.pieces = append(m.pieces, p)
+		return
+	}
+	if m.overflow == nil {
+		m.overflow = NewFolder(m.dim, 0)
+	}
+	m.overflow.Add(coords, nil)
+}
+
+// Finish returns the folded union.  Pieces other than the first are
+// generally over-approximated boxes (their points arrive with holes),
+// which is sound for dependence-distance bounds.
+func (m *MultiFolder) Finish() []Piece {
+	var out []Piece
+	for _, p := range m.pieces {
+		out = append(out, p.Finish())
+	}
+	if m.overflow != nil {
+		op := m.overflow.Finish()
+		op.Fn = nil
+		op.Exact = false
+		out = append(out, op)
+	}
+	return out
+}

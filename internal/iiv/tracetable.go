@@ -1,0 +1,41 @@
+package iiv
+
+import (
+	"fmt"
+	"strings"
+
+	"polyprof/internal/loopevents"
+)
+
+// TraceTable renders a loop-event stream alongside the evolving dynamic
+// interprocedural iteration vector — the exact format of the paper's
+// Fig. 3(d)/(i) trace tables (step, event, dynamic IIV).  It replays
+// the events through a fresh vector, so it can be applied to any
+// recorded stream.
+func TraceTable(events []loopevents.Event, name Namer) string {
+	var sb strings.Builder
+	vec := NewVector()
+	fmt.Fprintf(&sb, "%4s  %-14s %s\n", "step", "event", "dynamic IIV")
+	for i, ev := range events {
+		vec.Apply(ev)
+		fmt.Fprintf(&sb, "%4d  %-14s %s\n", i+1, renderEvent(ev, name), vec.Render(name))
+	}
+	return sb.String()
+}
+
+// renderEvent prints an event using workload block names.
+func renderEvent(ev loopevents.Event, name Namer) string {
+	blk := name(Elem{Block: ev.Block})
+	switch ev.Kind {
+	case loopevents.EnterLoop, loopevents.IterateLoop, loopevents.ExitLoop:
+		return fmt.Sprintf("%v(L%d,%s)", ev.Kind, ev.Loop.ID, blk)
+	case loopevents.EnterRec, loopevents.IterCallRec, loopevents.IterRetRec, loopevents.ExitRec:
+		return fmt.Sprintf("%v(R%d,%s)", ev.Kind, ev.Comp.ID, blk)
+	case loopevents.CallFn:
+		return fmt.Sprintf("C(%s)", blk)
+	case loopevents.ReturnFn:
+		return fmt.Sprintf("R(%s)", blk)
+	default:
+		return fmt.Sprintf("N(%s)", blk)
+	}
+}

@@ -1,0 +1,229 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpcodeClassification(t *testing.T) {
+	cases := []struct {
+		op                                 Opcode
+		term, mem, write, fp, alu, prodInt bool
+	}{
+		{Add, false, false, false, false, true, true},
+		{FAdd, false, false, false, true, false, false},
+		{Load, false, true, false, false, false, true},
+		{FLoad, false, true, false, true, false, false},
+		{Store, false, true, true, false, false, false},
+		{FStore, false, true, true, true, false, false},
+		{Jmp, true, false, false, false, false, false},
+		{Br, true, false, false, false, false, false},
+		{Call, true, false, false, false, false, false},
+		{Ret, true, false, false, false, false, false},
+		{Halt, true, false, false, false, false, false},
+		{CmpLT, false, false, false, false, true, true},
+		{FCmpLT, false, false, false, true, false, true},
+		{F2I, false, false, false, false, true, true},
+		{I2F, false, false, false, true, false, false},
+	}
+	for _, c := range cases {
+		if c.op.IsTerminator() != c.term {
+			t.Errorf("%v IsTerminator = %v", c.op, !c.term)
+		}
+		if c.op.IsMem() != c.mem {
+			t.Errorf("%v IsMem = %v", c.op, !c.mem)
+		}
+		if c.op.IsMemWrite() != c.write {
+			t.Errorf("%v IsMemWrite = %v", c.op, !c.write)
+		}
+		if c.op.IsFP() != c.fp {
+			t.Errorf("%v IsFP = %v", c.op, !c.fp)
+		}
+		if c.op.IsIntALU() != c.alu {
+			t.Errorf("%v IsIntALU = %v", c.op, !c.alu)
+		}
+		if c.op.ProducesInt() != c.prodInt {
+			t.Errorf("%v ProducesInt = %v", c.op, !c.prodInt)
+		}
+	}
+	for _, op := range []Opcode{Jmp, Br, Ret, Halt, Store, FStore, Nop} {
+		if op.WritesDst() {
+			t.Errorf("%v must not write a destination register", op)
+		}
+	}
+}
+
+func TestUses(t *testing.T) {
+	var buf []Reg
+	cases := []struct {
+		in   Instr
+		want []Reg
+	}{
+		{Instr{Op: Add, A: 1, B: 2}, []Reg{1, 2}},
+		{Instr{Op: Mov, A: 3}, []Reg{3}},
+		{Instr{Op: Load, A: 4, Index: NoReg}, []Reg{4}},
+		{Instr{Op: Load, A: 4, Index: 7}, []Reg{4, 7}},
+		{Instr{Op: Store, A: 4, B: 5, Index: 6}, []Reg{4, 5, 6}},
+		{Instr{Op: Ret, A: NoReg}, nil},
+		{Instr{Op: Ret, A: 2}, []Reg{2}},
+		{Instr{Op: Call, Args: []Reg{8, 9}}, []Reg{8, 9}},
+		{Instr{Op: ConstI}, nil},
+		{Instr{Op: Jmp}, nil},
+	}
+	for _, c := range cases {
+		got := c.in.Uses(buf)
+		if len(got) != len(c.want) {
+			t.Errorf("%v Uses = %v, want %v", c.in.Op, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%v Uses = %v, want %v", c.in.Op, got, c.want)
+			}
+		}
+	}
+}
+
+func TestBuilderStructure(t *testing.T) {
+	pb := NewProgram("structure")
+	g := pb.Global("a", 8)
+	f := pb.Func("main", 0)
+	base := f.IConst(g.Base)
+	f.Loop("L", f.IConst(0), f.IConst(4), 1, func(i Reg) {
+		cond := f.CmpEQ(f.Mod(i, f.IConst(2)), f.IConst(0))
+		f.If(cond, func() {
+			f.StoreIdx(base, i, 0, i)
+		}, func() {
+			f.StoreIdx(base, i, 0, f.IConst(0))
+		})
+	})
+	f.Halt()
+	pb.SetMain(f)
+	p, err := pb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every block ends in exactly one terminator (Validate enforces it,
+	// but double check the builder emitted sane structure).
+	for _, b := range p.Blocks {
+		for i := range b.Code {
+			isLast := i == len(b.Code)-1
+			if b.Code[i].Op.IsTerminator() != isLast {
+				t.Fatalf("block %q: instr %d terminator misplaced", b.Name, i)
+			}
+		}
+	}
+}
+
+func TestValidateRejectsBadPrograms(t *testing.T) {
+	// Call with wrong arity.
+	pb := NewProgram("bad-arity")
+	callee := pb.Func("g", 2)
+	callee.RetVoid()
+	f := pb.Func("main", 0)
+	f.Call(callee.ID(), f.IConst(1)) // one arg, needs two
+	f.Halt()
+	pb.SetMain(f)
+	if _, err := pb.Build(); err == nil || !strings.Contains(err.Error(), "args") {
+		t.Errorf("arity error not caught: %v", err)
+	}
+
+	// Duplicate global.
+	pb2 := NewProgram("dup")
+	pb2.Global("x", 1)
+	pb2.Global("x", 1)
+	f2 := pb2.Func("main", 0)
+	f2.Halt()
+	pb2.SetMain(f2)
+	if _, err := pb2.Build(); err == nil || !strings.Contains(err.Error(), "redeclared") {
+		t.Errorf("duplicate global not caught: %v", err)
+	}
+
+	// Non-positive global size.
+	pb3 := NewProgram("zero")
+	pb3.Global("x", 0)
+	f3 := pb3.Func("main", 0)
+	f3.Halt()
+	pb3.SetMain(f3)
+	if _, err := pb3.Build(); err == nil {
+		t.Error("zero-size global not caught")
+	}
+
+	// Cross-function jump.
+	pb4 := NewProgram("cross")
+	g4 := pb4.Func("g", 0)
+	g4.RetVoid()
+	f4 := pb4.Func("main", 0)
+	f4.Halt()
+	pb4.SetMain(f4)
+	p4, err := pb4.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt: point main's terminator into g's block.
+	mainFn := p4.FuncByName("main")
+	blk := p4.Block(mainFn.Entry)
+	blk.Code[len(blk.Code)-1] = Instr{Op: Jmp, Dst: NoReg, Then: p4.FuncByName("g").Entry}
+	if err := p4.Validate(); err == nil || !strings.Contains(err.Error(), "crosses functions") {
+		t.Errorf("cross-function jump not caught: %v", err)
+	}
+}
+
+func TestDisasmRoundTrip(t *testing.T) {
+	pb := NewProgram("dis")
+	g := pb.Global("a", 4)
+	f := pb.Func("main", 0)
+	base := f.IConst(g.Base)
+	f.Loop("L", f.IConst(0), f.IConst(2), 1, func(i Reg) {
+		f.FStoreIdx(base, i, 0, f.FAdd(f.FConst(1), f.FConst(2)))
+	})
+	f.Halt()
+	pb.SetMain(f)
+	p := pb.MustBuild()
+	out := p.Disasm()
+	for _, want := range []string{"program dis", "func main", "fadd", "fstore", "br ", "jmp ", "halt"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSuccessorsAndCallees(t *testing.T) {
+	pb := NewProgram("succ")
+	callee := pb.Func("g", 0)
+	callee.RetVoid()
+	f := pb.Func("main", 0)
+	cond := f.IConst(1)
+	f.If(cond, func() { f.Call(callee.ID()) }, func() {})
+	f.Halt()
+	pb.SetMain(f)
+	p := pb.MustBuild()
+
+	mainFn := p.FuncByName("main")
+	entry := p.Block(mainFn.Entry)
+	succs := p.Successors(entry.ID)
+	if len(succs) != 2 {
+		t.Errorf("branch successors = %v, want 2", succs)
+	}
+	foundCall := false
+	for _, bid := range mainFn.Blocks {
+		if cs := p.Callees(bid); len(cs) == 1 && cs[0] == callee.ID() {
+			foundCall = true
+			if n := p.Successors(bid); len(n) != 1 {
+				t.Errorf("call continuation successors = %v, want 1", n)
+			}
+		}
+	}
+	if !foundCall {
+		t.Error("call block not found")
+	}
+}
+
+func TestSrcLocString(t *testing.T) {
+	if (SrcLoc{}).String() != "?" {
+		t.Error("empty loc must render as ?")
+	}
+	if (SrcLoc{File: "a.c", Line: 5}).String() != "a.c:5" {
+		t.Error("loc render wrong")
+	}
+}

@@ -1,0 +1,266 @@
+// Package loopevents turns the raw control-event stream
+// (jump/call/return) into loop events (entry/iterate/exit), implementing
+// Algorithms 1 and 2 of the paper.  CFG loops are driven by jump events
+// against the loop-nesting forest; recursive loops are driven by call
+// and return events against the recursive-component-set, with the
+// component's stack counter deciding when the loop is finally exited.
+package loopevents
+
+import (
+	"fmt"
+
+	"polyprof/internal/cfg"
+	"polyprof/internal/cg"
+	"polyprof/internal/isa"
+	"polyprof/internal/trace"
+)
+
+// Kind enumerates loop events.  Names follow the paper: E/I/X for CFG
+// loops, N for local jumps, C/R for ordinary calls and returns, and the
+// subscripted Ec/Ic/Ir/Xr family for recursive components.
+type Kind uint8
+
+// Loop event kinds.
+const (
+	EnterLoop   Kind = iota // E(L,H): entry into CFG loop L at header H
+	IterateLoop             // I(L,H): new iteration of CFG loop L
+	ExitLoop                // X(L,B): exit of CFG loop L, jumping to B
+	LocalJump               // N(B): local jump to block B
+	CallFn                  // C(F,B): ordinary call to F, B = callee entry
+	ReturnFn                // R(B): ordinary return, B = continuation
+	EnterRec                // Ec(L,B): call to an entry of component L
+	IterCallRec             // Ic(L,B): call to a header of component L
+	IterRetRec              // Ir(L,B): return from a header of component L
+	ExitRec                 // Xr(L,B): final unstacking, loop exit
+)
+
+func (k Kind) String() string {
+	switch k {
+	case EnterLoop:
+		return "E"
+	case IterateLoop:
+		return "I"
+	case ExitLoop:
+		return "X"
+	case LocalJump:
+		return "N"
+	case CallFn:
+		return "C"
+	case ReturnFn:
+		return "R"
+	case EnterRec:
+		return "Ec"
+	case IterCallRec:
+		return "Ic"
+	case IterRetRec:
+		return "Ir"
+	case ExitRec:
+		return "Xr"
+	}
+	return "?"
+}
+
+// Event is one loop event.
+type Event struct {
+	Kind  Kind
+	Loop  *cfg.Loop     // E/I/X events
+	Comp  *cg.Component // Ec/Ic/Ir/Xr events
+	Block isa.BlockID   // the B argument (dst block / header / continuation)
+	Fn    isa.FuncID    // C events: the callee
+}
+
+// String renders the event in the paper's notation.
+func (e Event) String() string {
+	switch e.Kind {
+	case EnterLoop, IterateLoop, ExitLoop:
+		return fmt.Sprintf("%v(L%d,%d)", e.Kind, e.Loop.ID, e.Block)
+	case EnterRec, IterCallRec, IterRetRec, ExitRec:
+		return fmt.Sprintf("%v(R%d,%d)", e.Kind, e.Comp.ID, e.Block)
+	case CallFn:
+		return fmt.Sprintf("C(f%d,%d)", e.Fn, e.Block)
+	default:
+		return fmt.Sprintf("%v(%d)", e.Kind, e.Block)
+	}
+}
+
+// stackEntry is one live loop: either a CFG loop or a recursive
+// component.
+type stackEntry struct {
+	loop *cfg.Loop
+	comp *cg.Component
+}
+
+func (s stackEntry) isCFG() bool { return s.loop != nil }
+
+type compState struct {
+	entry      isa.FuncID // function through which the component was entered
+	stackCount int        // calls-to minus returns-from headers
+}
+
+// Translator converts control events to loop events.  Create one per
+// profiled run with NewTranslator and feed it as a trace.Hook (it
+// forwards nothing; callers receive events through the Emit callback).
+type Translator struct {
+	prog   *isa.Program
+	forest *cfg.Forest
+	comps  *cg.ComponentSet
+
+	// Emit receives each generated loop event in order.
+	Emit func(Event)
+
+	inLoops []stackEntry
+	state   map[*cg.Component]*compState
+}
+
+// NewTranslator creates a translator for one execution.
+func NewTranslator(prog *isa.Program, forest *cfg.Forest, comps *cg.ComponentSet, emit func(Event)) *Translator {
+	return &Translator{
+		prog:   prog,
+		forest: forest,
+		comps:  comps,
+		Emit:   emit,
+		state:  map[*cg.Component]*compState{},
+	}
+}
+
+// Instr implements trace.Hook as a no-op.
+func (t *Translator) Instr(trace.InstrEvent, *isa.Instr) {}
+
+// Control implements trace.Hook, dispatching to Alg. 1 or Alg. 2.
+func (t *Translator) Control(ev trace.ControlEvent) {
+	switch ev.Kind {
+	case trace.Jump:
+		t.onJump(ev)
+	case trace.Call:
+		t.onCall(ev)
+	case trace.Return:
+		t.onReturn(ev)
+	}
+}
+
+func (t *Translator) peek() (stackEntry, bool) {
+	if len(t.inLoops) == 0 {
+		return stackEntry{}, false
+	}
+	return t.inLoops[len(t.inLoops)-1], true
+}
+
+func (t *Translator) pop() { t.inLoops = t.inLoops[:len(t.inLoops)-1] }
+
+func (t *Translator) compStateOf(c *cg.Component) *compState {
+	s := t.state[c]
+	if s == nil {
+		s = &compState{entry: isa.NoFunc}
+		t.state[c] = s
+	}
+	return s
+}
+
+// onStack reports whether the CFG loop is currently live (this is the
+// paper's L.visiting flag; a loop is "visiting" exactly while it is on
+// the inLoops stack).
+func (t *Translator) onStack(l *cfg.Loop) bool {
+	for _, e := range t.inLoops {
+		if e.loop == l {
+			return true
+		}
+	}
+	return false
+}
+
+// onJump is Alg. 1: CFG-loop events from a local jump to B.
+func (t *Translator) onJump(ev trace.ControlEvent) {
+	b := ev.Dst
+	fn := t.prog.Block(b).Fn
+	// Exit live CFG loops that do not contain B.  Only loops of the
+	// current function are candidates: a local jump cannot exit a loop
+	// of a caller whose frame is still on the call stack (the paper's
+	// "B not in L" test is implicitly intraprocedural).
+	for {
+		top, ok := t.peek()
+		if !ok || !top.isCFG() || top.loop.Fn != fn || top.loop.Contains(b) {
+			break
+		}
+		t.pop()
+		t.Emit(Event{Kind: ExitLoop, Loop: top.loop, Block: b})
+	}
+	if l := t.forest.HeaderLoop(b); l != nil {
+		if !t.onStack(l) {
+			t.inLoops = append(t.inLoops, stackEntry{loop: l})
+			t.Emit(Event{Kind: EnterLoop, Loop: l, Block: b})
+		} else {
+			t.Emit(Event{Kind: IterateLoop, Loop: l, Block: b})
+		}
+	}
+	t.Emit(Event{Kind: LocalJump, Block: b})
+}
+
+// onCall is the call half of Alg. 2.
+func (t *Translator) onCall(ev trace.ControlEvent) {
+	f := ev.Callee
+	b := ev.Dst // callee entry block
+	comp := t.comps.ComponentOf(f)
+	if comp != nil {
+		st := t.compStateOf(comp)
+		switch {
+		case comp.Entries[f] && st.entry == isa.NoFunc:
+			st.entry = f
+			t.inLoops = append(t.inLoops, stackEntry{comp: comp})
+			t.Emit(Event{Kind: EnterRec, Comp: comp, Block: b})
+			return
+		case comp.Headers[f]:
+			// A new iteration starts: all CFG loops live inside the
+			// component are exited first.
+			for {
+				top, ok := t.peek()
+				if !ok || !top.isCFG() || !comp.Funcs[t.loopFn(top.loop)] {
+					break
+				}
+				t.pop()
+				t.Emit(Event{Kind: ExitLoop, Loop: top.loop, Block: b})
+			}
+			st.stackCount++
+			t.Emit(Event{Kind: IterCallRec, Comp: comp, Block: b})
+			return
+		}
+	}
+	t.Emit(Event{Kind: CallFn, Fn: f, Block: b})
+}
+
+func (t *Translator) loopFn(l *cfg.Loop) isa.FuncID { return l.Fn }
+
+// onReturn is the return half of Alg. 2 (with Alg. 1's fallback R
+// event).
+func (t *Translator) onReturn(ev trace.ControlEvent) {
+	f := ev.Callee // function being returned from
+	b := ev.Dst    // continuation block in the caller
+	// Exit CFG loops of F that are still live (early returns).
+	for {
+		top, ok := t.peek()
+		if !ok || !top.isCFG() || top.loop.Fn != f {
+			break
+		}
+		t.pop()
+		t.Emit(Event{Kind: ExitLoop, Loop: top.loop, Block: b})
+	}
+	comp := t.comps.ComponentOf(f)
+	if comp != nil {
+		st := t.compStateOf(comp)
+		switch {
+		case comp.Entries[f] && st.stackCount == 0 && st.entry == f:
+			st.entry = isa.NoFunc
+			// Pop the component entry (and any stale CFG loops above it,
+			// which cannot exist by construction).
+			if top, ok := t.peek(); ok && top.comp == comp {
+				t.pop()
+			}
+			t.Emit(Event{Kind: ExitRec, Comp: comp, Block: b})
+			return
+		case comp.Headers[f]:
+			st.stackCount--
+			t.Emit(Event{Kind: IterRetRec, Comp: comp, Block: b})
+			return
+		}
+	}
+	t.Emit(Event{Kind: ReturnFn, Block: b})
+}

@@ -1,0 +1,139 @@
+package poly
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrUnbounded is returned by Enumerate when a dimension has no finite
+// bound.
+var ErrUnbounded = errors.New("poly: unbounded dimension")
+
+// Enumerate visits the polyhedron's integer points in lexicographic
+// order.  The yield callback returns false to stop early (Enumerate
+// then returns nil).
+//
+// Bounds for dimension k are derived from the constraints whose last
+// referenced variable is k (the triangular form the folding stage
+// produces); constraints mentioning later variables are re-checked at
+// the leaves, so enumeration is exact for any polyhedron whose
+// dimensions are bounded in triangular form.
+func (p *Poly) Enumerate(yield func(pt []int64) bool) error {
+	if p.Dim == 0 {
+		// Zero-dimensional: one point if feasible.
+		if p.Contains(nil) {
+			yield(nil)
+		}
+		return nil
+	}
+	// Group constraints by the level at which they become fully
+	// instantiated.
+	byLevel := make([][]Constraint, p.Dim)
+	for _, c := range p.Cs {
+		lv := c.E.LastVar()
+		if lv < 0 {
+			// Constant constraint: feasibility test.
+			if (c.Eq && c.E.K != 0) || (!c.Eq && c.E.K < 0) {
+				return nil // trivially empty
+			}
+			continue
+		}
+		byLevel[lv] = append(byLevel[lv], c)
+	}
+	pt := make([]int64, p.Dim)
+	stopped := false
+	var rec func(k int) error
+	rec = func(k int) error {
+		if k == p.Dim {
+			if !yield(pt) {
+				stopped = true
+			}
+			return nil
+		}
+		lo, hi, loOK, hiOK := levelBounds(byLevel[k], k, pt)
+		if !loOK || !hiOK {
+			return fmt.Errorf("%w: x%d", ErrUnbounded, k)
+		}
+		step, base := p.strideFor(k, pt)
+		for v := alignUp(lo, base, step); v <= hi && !stopped; v += step {
+			pt[k] = v
+			if !levelFeasible(byLevel[k], k, pt) {
+				continue
+			}
+			if err := rec(k + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return rec(0)
+}
+
+// levelBounds computes [lo, hi] for x_k from constraints whose last
+// variable is k, given the fixed prefix pt[0:k].
+func levelBounds(cs []Constraint, k int, pt []int64) (lo, hi int64, loOK, hiOK bool) {
+	for _, c := range cs {
+		a := c.E.C[k]
+		// rest = evaluation of the constraint with x_k = 0.
+		rest := c.E.K
+		for i := 0; i < k; i++ {
+			rest += c.E.C[i] * pt[i]
+		}
+		if c.Eq {
+			// a*x + rest == 0 -> x = -rest/a when divisible.
+			if rest%a != 0 {
+				return 0, -1, true, true // empty range
+			}
+			v := -rest / a
+			if !loOK || v > lo {
+				lo, loOK = v, true
+			}
+			if !hiOK || v < hi {
+				hi, hiOK = v, true
+			}
+			continue
+		}
+		if a > 0 { // x >= ceil(-rest/a)
+			b := ceilDiv(-rest, a)
+			if !loOK || b > lo {
+				lo, loOK = b, true
+			}
+		} else { // a < 0: x <= floor(rest/-a)
+			b := floorDiv(rest, -a)
+			if !hiOK || b < hi {
+				hi, hiOK = b, true
+			}
+		}
+	}
+	return lo, hi, loOK, hiOK
+}
+
+// levelFeasible re-checks the level's equality constraints at the
+// chosen value (inequalities are honored by construction of the range,
+// but equalities with several solutions per level need the exact
+// check).
+func levelFeasible(cs []Constraint, k int, pt []int64) bool {
+	for _, c := range cs {
+		v := c.E.K
+		for i := 0; i <= k; i++ {
+			v += c.E.C[i] * pt[i]
+		}
+		if c.Eq && v != 0 {
+			return false
+		}
+		if !c.Eq && v < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+func ceilDiv(a, b int64) int64 { return -floorDiv(-a, b) }

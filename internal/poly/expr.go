@@ -1,0 +1,232 @@
+// Package poly is the integer linear-algebra substrate of polyprof: a
+// compact replacement for the subset of ISL the paper's tool-chain
+// relies on.  It provides affine expressions and maps over iteration
+// coordinates, polyhedra defined by affine equalities/inequalities,
+// emptiness testing and bound queries via Fourier–Motzkin elimination,
+// and lexicographic enumeration of integer points for the replay-based
+// cost model.
+package poly
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+)
+
+// Expr is an affine expression  C[0]*x0 + ... + C[d-1]*x_{d-1} + K.
+type Expr struct {
+	C []int64
+	K int64
+}
+
+// NewExpr returns the zero expression of the given dimensionality.
+func NewExpr(dim int) Expr { return Expr{C: make([]int64, dim)} }
+
+// Const returns a constant expression of the given dimensionality.
+func Const(dim int, k int64) Expr {
+	e := NewExpr(dim)
+	e.K = k
+	return e
+}
+
+// Var returns the expression x_i in dim dimensions.
+func Var(dim, i int) Expr {
+	e := NewExpr(dim)
+	e.C[i] = 1
+	return e
+}
+
+// Dim returns the expression's dimensionality.
+func (e Expr) Dim() int { return len(e.C) }
+
+// Clone returns a deep copy.
+func (e Expr) Clone() Expr {
+	return Expr{C: append([]int64(nil), e.C...), K: e.K}
+}
+
+// Eval evaluates the expression at an integer point.
+func (e Expr) Eval(pt []int64) int64 {
+	v := e.K
+	for i, c := range e.C {
+		v += c * pt[i]
+	}
+	return v
+}
+
+// Add returns e + o.
+func (e Expr) Add(o Expr) Expr {
+	r := e.Clone()
+	for i := range r.C {
+		r.C[i] += o.C[i]
+	}
+	r.K += o.K
+	return r
+}
+
+// Sub returns e - o.
+func (e Expr) Sub(o Expr) Expr {
+	r := e.Clone()
+	for i := range r.C {
+		r.C[i] -= o.C[i]
+	}
+	r.K -= o.K
+	return r
+}
+
+// Scale returns s*e.
+func (e Expr) Scale(s int64) Expr {
+	r := e.Clone()
+	for i := range r.C {
+		r.C[i] *= s
+	}
+	r.K *= s
+	return r
+}
+
+// Neg returns -e.
+func (e Expr) Neg() Expr { return e.Scale(-1) }
+
+// IsConst reports whether every variable coefficient is zero.
+func (e Expr) IsConst() bool {
+	for _, c := range e.C {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// LastVar returns the highest index with a nonzero coefficient, or -1.
+func (e Expr) LastVar() int {
+	for i := len(e.C) - 1; i >= 0; i-- {
+		if e.C[i] != 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// Equal reports structural equality.
+func (e Expr) Equal(o Expr) bool {
+	if e.K != o.K || len(e.C) != len(o.C) {
+		return false
+	}
+	for i := range e.C {
+		if e.C[i] != o.C[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the expression over variables named by names (default
+// i0, i1, ...).
+func (e Expr) String() string { return e.Render(nil) }
+
+// Render renders the expression with custom variable names.
+func (e Expr) Render(names []string) string {
+	var sb strings.Builder
+	first := true
+	for i, c := range e.C {
+		if c == 0 {
+			continue
+		}
+		name := fmt.Sprintf("i%d", i)
+		if names != nil && i < len(names) {
+			name = names[i]
+		}
+		switch {
+		case first && c == 1:
+			sb.WriteString(name)
+		case first && c == -1:
+			sb.WriteString("-" + name)
+		case first:
+			fmt.Fprintf(&sb, "%d%s", c, name)
+		case c == 1:
+			sb.WriteString(" + " + name)
+		case c == -1:
+			sb.WriteString(" - " + name)
+		case c > 0:
+			fmt.Fprintf(&sb, " + %d%s", c, name)
+		default:
+			fmt.Fprintf(&sb, " - %d%s", -c, name)
+		}
+		first = false
+	}
+	switch {
+	case first:
+		fmt.Fprintf(&sb, "%d", e.K)
+	case e.K > 0:
+		fmt.Fprintf(&sb, " + %d", e.K)
+	case e.K < 0:
+		fmt.Fprintf(&sb, " - %d", -e.K)
+	}
+	return sb.String()
+}
+
+// Map is an affine function from InDim coordinates to len(Rows)
+// coordinates.
+type Map struct {
+	InDim int
+	Rows  []Expr
+}
+
+// NewMap creates a zero map.
+func NewMap(inDim, outDim int) Map {
+	m := Map{InDim: inDim, Rows: make([]Expr, outDim)}
+	for i := range m.Rows {
+		m.Rows[i] = NewExpr(inDim)
+	}
+	return m
+}
+
+// Identity returns the identity map in dim dimensions.
+func Identity(dim int) Map {
+	m := NewMap(dim, dim)
+	for i := range m.Rows {
+		m.Rows[i].C[i] = 1
+	}
+	return m
+}
+
+// OutDim returns the output dimensionality.
+func (m Map) OutDim() int { return len(m.Rows) }
+
+// Apply evaluates the map at a point, appending to buf.
+func (m Map) Apply(pt []int64, buf []int64) []int64 {
+	for _, r := range m.Rows {
+		buf = append(buf, r.Eval(pt))
+	}
+	return buf
+}
+
+// Equal reports structural equality.
+func (m Map) Equal(o Map) bool {
+	if m.InDim != o.InDim || len(m.Rows) != len(o.Rows) {
+		return false
+	}
+	for i := range m.Rows {
+		if !m.Rows[i].Equal(o.Rows[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the map, e.g. "(i0, i1) -> (i0, i1 - 1)".
+func (m Map) String() string {
+	ins := make([]string, m.InDim)
+	for i := range ins {
+		ins[i] = fmt.Sprintf("i%d", i)
+	}
+	outs := make([]string, len(m.Rows))
+	for i, r := range m.Rows {
+		outs[i] = r.String()
+	}
+	return "(" + strings.Join(ins, ",") + ") -> (" + strings.Join(outs, ",") + ")"
+}
+
+// rat is a convenience wrapper around big.Rat used by the elimination
+// routines (exact arithmetic keeps Fourier–Motzkin sound regardless of
+// coefficient growth).
+func ratFromInt(v int64) *big.Rat { return new(big.Rat).SetInt64(v) }

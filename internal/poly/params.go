@@ -1,0 +1,145 @@
+package poly
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Parameterized is a polyhedron whose leading dimensions are symbolic
+// parameters with known (profiled) values — the paper's Sec. 6
+// scalability device: large integer constants cause combinatorial
+// blow-up in ILP-based schedulers, so domains like {[i] : 0 <= i < 1024}
+// are rewritten as [n] -> {[i] : 0 <= i < n ∧ n = 1024} before
+// scheduling, reusing one parameter for every constant within a slack
+// window around its value.
+type Parameterized struct {
+	// NumParams leading dimensions of P are parameters; the remaining
+	// dimensions are the original iterators.
+	NumParams int
+	// Values holds the profiled constant bound to each parameter.
+	Values []int64
+	// P is the lifted polyhedron over (params..., iterators...).
+	P *Poly
+}
+
+// DefaultParamThreshold is the constant magnitude above which
+// parameterization kicks in.
+const DefaultParamThreshold = 64
+
+// DefaultParamSlack is the paper's s: constants within ±s of an
+// existing parameter's value reuse it (they set s = 20).
+const DefaultParamSlack = 20
+
+// ParameterizeConstants lifts every constraint constant of magnitude
+// >= threshold into a parameter dimension, reusing parameters for
+// constants within ±slack of an existing parameter's value.
+func ParameterizeConstants(p *Poly, threshold, slack int64) *Parameterized {
+	pp := &Parameterized{}
+	var paramOf func(k int64) (idx int, delta int64)
+	paramOf = func(k int64) (int, int64) {
+		for i, v := range pp.Values {
+			d := k - v
+			if d >= -slack && d <= slack {
+				return i, d
+			}
+		}
+		pp.Values = append(pp.Values, k)
+		return len(pp.Values) - 1, 0
+	}
+
+	type lifted struct {
+		paramIdx  int
+		paramSign int64
+		delta     int64
+		c         Constraint
+	}
+	var rows []lifted
+	for _, c := range p.Cs {
+		l := lifted{paramIdx: -1, c: c}
+		k := c.E.K
+		mag := k
+		if mag < 0 {
+			mag = -mag
+		}
+		if mag >= threshold {
+			sign := int64(1)
+			if k < 0 {
+				sign = -1
+			}
+			idx, delta := paramOf(mag)
+			l.paramIdx, l.paramSign, l.delta = idx, sign, sign*delta
+		}
+		rows = append(rows, l)
+	}
+
+	np := len(pp.Values)
+	pp.NumParams = np
+	dim := np + p.Dim
+	q := NewPoly(dim)
+	q.Approx = p.Approx
+	for _, l := range rows {
+		e := NewExpr(dim)
+		copy(e.C[np:], l.c.E.C)
+		if l.paramIdx >= 0 {
+			e.C[l.paramIdx] = l.paramSign
+			e.K = l.delta
+		} else {
+			e.K = l.c.E.K
+		}
+		q.Cs = append(q.Cs, Constraint{E: e, Eq: l.c.Eq})
+	}
+	pp.P = q
+	return pp
+}
+
+// Substitute plugs the profiled parameter values back in, recovering a
+// polyhedron over the original iterators (inverse of the lifting).
+func (pp *Parameterized) Substitute() *Poly {
+	iter := pp.P.Dim - pp.NumParams
+	out := NewPoly(iter)
+	out.Approx = pp.P.Approx
+	for _, c := range pp.P.Cs {
+		e := NewExpr(iter)
+		copy(e.C, c.E.C[pp.NumParams:])
+		e.K = c.E.K
+		for i := 0; i < pp.NumParams; i++ {
+			e.K += c.E.C[i] * pp.Values[i]
+		}
+		out.Cs = append(out.Cs, Constraint{E: e, Eq: c.Eq})
+	}
+	return out
+}
+
+// String renders the parameterized domain in the paper's notation, e.g.
+// "[n0] -> { [i0] : i0 >= 0 and n0 - i0 - 1 >= 0 and n0 = 1024 }".
+func (pp *Parameterized) String() string {
+	np := pp.NumParams
+	iter := pp.P.Dim - np
+	names := make([]string, pp.P.Dim)
+	params := make([]string, np)
+	for i := 0; i < np; i++ {
+		names[i] = fmt.Sprintf("n%d", i)
+		params[i] = names[i]
+	}
+	vars := make([]string, iter)
+	for i := 0; i < iter; i++ {
+		names[np+i] = fmt.Sprintf("i%d", i)
+		vars[i] = names[np+i]
+	}
+	var parts []string
+	for _, c := range pp.P.Cs {
+		op := ">="
+		if c.Eq {
+			op = "=="
+		}
+		parts = append(parts, fmt.Sprintf("%s %s 0", c.E.Render(names), op))
+	}
+	for i, v := range pp.Values {
+		parts = append(parts, fmt.Sprintf("n%d = %d", i, v))
+	}
+	prefix := ""
+	if np > 0 {
+		prefix = "[" + strings.Join(params, ",") + "] -> "
+	}
+	return fmt.Sprintf("%s{ [%s] : %s }", prefix, strings.Join(vars, ","), strings.Join(parts, " and "))
+}

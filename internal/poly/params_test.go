@@ -1,0 +1,78 @@
+package poly
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParameterizeConstants(t *testing.T) {
+	// { [i] : 0 <= i < 1024 }
+	p := NewPoly(1)
+	p.AddRange(0, 0, 1023)
+	pp := ParameterizeConstants(p, 64, 20)
+	if pp.NumParams != 1 || pp.Values[0] != 1023 {
+		t.Fatalf("params = %v, want one parameter valued 1023", pp.Values)
+	}
+	s := pp.String()
+	for _, want := range []string{"[n0] -> ", "n0 = 1023"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering %q missing %q", s, want)
+		}
+	}
+	// Substituting the profiled values must recover the original set.
+	back := pp.Substitute()
+	if !back.IsSubsetOf(p) || !p.IsSubsetOf(back) {
+		t.Errorf("substitution does not round-trip: %v vs %v", back, p)
+	}
+}
+
+// TestParameterReuseWithinSlack: constants within ±s share a parameter
+// (the paper sets s = 20 to bound the parameter count).
+func TestParameterReuseWithinSlack(t *testing.T) {
+	p := NewPoly(2)
+	p.AddRange(0, 0, 1023)
+	p.AddRange(1, 0, 1040) // within 20 of 1023: reuses n0
+	pp := ParameterizeConstants(p, 64, 20)
+	if pp.NumParams != 1 {
+		t.Fatalf("got %d parameters, want 1 (reuse within slack): %v", pp.NumParams, pp.Values)
+	}
+	back := pp.Substitute()
+	if !back.IsSubsetOf(p) || !p.IsSubsetOf(back) {
+		t.Errorf("substitution does not round-trip after reuse")
+	}
+}
+
+func TestParameterizeDistantConstants(t *testing.T) {
+	p := NewPoly(2)
+	p.AddRange(0, 0, 1023)
+	p.AddRange(1, 0, 4096) // far from 1023: new parameter
+	pp := ParameterizeConstants(p, 64, 20)
+	if pp.NumParams != 2 {
+		t.Fatalf("got %d parameters, want 2: %v", pp.NumParams, pp.Values)
+	}
+}
+
+func TestSmallConstantsStayInline(t *testing.T) {
+	p := NewPoly(1)
+	p.AddRange(0, 0, 15)
+	pp := ParameterizeConstants(p, 64, 20)
+	if pp.NumParams != 0 {
+		t.Fatalf("small constants must not be parameterized: %v", pp.Values)
+	}
+	if strings.Contains(pp.String(), "->") {
+		t.Errorf("parameter-free set must render without a prefix: %s", pp.String())
+	}
+}
+
+func TestParameterizeNegativeConstant(t *testing.T) {
+	// i >= -2048 (constant appears with K = +2048 in i + 2048 >= 0, and
+	// i <= -100 gives K = -100).
+	p := NewPoly(1)
+	p.Add(Var(1, 0).Add(Const(1, 2048)))      // i >= -2048
+	p.Add(Var(1, 0).Neg().Sub(Const(1, 100))) // -i - 100 >= 0, i.e. i <= -100
+	pp := ParameterizeConstants(p, 64, 20)
+	back := pp.Substitute()
+	if !back.IsSubsetOf(p) || !p.IsSubsetOf(back) {
+		t.Errorf("negative-constant round trip failed:\n  orig %v\n  back %v", p, back)
+	}
+}

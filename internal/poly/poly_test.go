@@ -1,0 +1,256 @@
+package poly
+
+import (
+	"math/big"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestExprEvalAndArith(t *testing.T) {
+	e := NewExpr(2)
+	e.C[0], e.C[1], e.K = 2, -1, 3 // 2i - j + 3
+	if got := e.Eval([]int64{4, 5}); got != 6 {
+		t.Errorf("Eval = %d, want 6", got)
+	}
+	f := Var(2, 1) // j
+	sum := e.Add(f)
+	if got := sum.Eval([]int64{4, 5}); got != 11 {
+		t.Errorf("Add.Eval = %d, want 11", got)
+	}
+	if got := e.Sub(f).Eval([]int64{4, 5}); got != 1 {
+		t.Errorf("Sub.Eval = %d, want 1", got)
+	}
+	if got := e.Scale(-2).Eval([]int64{4, 5}); got != -12 {
+		t.Errorf("Scale.Eval = %d, want -12", got)
+	}
+	if e.IsConst() || !Const(2, 7).IsConst() {
+		t.Errorf("IsConst wrong")
+	}
+	if e.LastVar() != 1 || Const(2, 7).LastVar() != -1 {
+		t.Errorf("LastVar wrong")
+	}
+}
+
+func TestPolyContains(t *testing.T) {
+	// Triangle 0 <= j <= i <= 3.
+	p := NewPoly(2)
+	p.AddRange(0, 0, 3)
+	p.Add(Var(2, 1))                // j >= 0
+	p.Add(Var(2, 0).Sub(Var(2, 1))) // i - j >= 0
+	cases := []struct {
+		pt []int64
+		in bool
+	}{
+		{[]int64{0, 0}, true},
+		{[]int64{3, 3}, true},
+		{[]int64{3, 4}, false},
+		{[]int64{-1, 0}, false},
+		{[]int64{2, 1}, true},
+		{[]int64{4, 0}, false},
+	}
+	for _, c := range cases {
+		if got := p.Contains(c.pt); got != c.in {
+			t.Errorf("Contains(%v) = %v, want %v", c.pt, got, c.in)
+		}
+	}
+}
+
+func TestIsEmpty(t *testing.T) {
+	p := NewPoly(1)
+	p.AddRange(0, 5, 3) // 5 <= x <= 3: empty
+	if !p.IsEmpty() {
+		t.Errorf("want empty")
+	}
+	q := NewPoly(1)
+	q.AddRange(0, 3, 5)
+	if q.IsEmpty() {
+		t.Errorf("want non-empty")
+	}
+	// x == 2 and x >= 3: empty via equality substitution.
+	r := NewPoly(1)
+	r.AddEq(Var(1, 0).Sub(Const(1, 2)))
+	r.Add(Var(1, 0).Sub(Const(1, 3)))
+	if !r.IsEmpty() {
+		t.Errorf("want empty with equality")
+	}
+	// 2D projection case: 0<=i<=10, j == i, j >= 11: empty.
+	s := NewPoly(2)
+	s.AddRange(0, 0, 10)
+	s.AddEq(Var(2, 1).Sub(Var(2, 0)))
+	s.Add(Var(2, 1).Sub(Const(2, 11)))
+	if !s.IsEmpty() {
+		t.Errorf("want empty 2D")
+	}
+}
+
+func TestBounds(t *testing.T) {
+	// Triangle 0 <= j <= i <= 7: bounds of i - j over it are [0, 7];
+	// bounds of i + j are [0, 14].
+	p := NewPoly(2)
+	p.AddRange(0, 0, 7)
+	p.Add(Var(2, 1))
+	p.Add(Var(2, 0).Sub(Var(2, 1)))
+
+	lo, hi, lok, hok := p.IntBounds(Var(2, 0).Sub(Var(2, 1)))
+	if !lok || !hok || lo != 0 || hi != 7 {
+		t.Errorf("i-j bounds = [%d,%d] ok=%v/%v, want [0,7]", lo, hi, lok, hok)
+	}
+	lo, hi, lok, hok = p.IntBounds(Var(2, 0).Add(Var(2, 1)))
+	if !lok || !hok || lo != 0 || hi != 14 {
+		t.Errorf("i+j bounds = [%d,%d], want [0,14]", lo, hi)
+	}
+	// Unbounded direction.
+	q := NewPoly(1)
+	q.Add(Var(1, 0)) // x >= 0
+	_, _, lok, hok = q.IntBounds(Var(1, 0))
+	if !lok || hok {
+		t.Errorf("x >= 0: lower ok=%v upper ok=%v, want true/false", lok, hok)
+	}
+}
+
+func TestEnumerateTriangle(t *testing.T) {
+	p := NewPoly(2)
+	p.AddRange(0, 0, 2)
+	p.Add(Var(2, 1))
+	p.Add(Var(2, 0).Sub(Var(2, 1)))
+	var pts [][]int64
+	if err := p.Enumerate(func(pt []int64) bool {
+		pts = append(pts, append([]int64(nil), pt...))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int64{{0, 0}, {1, 0}, {1, 1}, {2, 0}, {2, 1}, {2, 2}}
+	if !reflect.DeepEqual(pts, want) {
+		t.Errorf("points = %v, want %v", pts, want)
+	}
+	if n, exact := p.PointCount(100); n != 6 || !exact {
+		t.Errorf("PointCount = %d exact=%v, want 6 true", n, exact)
+	}
+}
+
+func TestEnumerateWithEquality(t *testing.T) {
+	// Diagonal of a 4x4 box.
+	p := NewPoly(2)
+	p.AddRange(0, 0, 3)
+	p.AddRange(1, 0, 3)
+	p.AddEq(Var(2, 1).Sub(Var(2, 0)))
+	var n int
+	if err := p.Enumerate(func(pt []int64) bool {
+		if pt[0] != pt[1] {
+			t.Errorf("off-diagonal point %v", pt)
+		}
+		n++
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Errorf("got %d diagonal points, want 4", n)
+	}
+}
+
+func TestEnumerateUnbounded(t *testing.T) {
+	p := NewPoly(1)
+	p.Add(Var(1, 0))
+	err := p.Enumerate(func([]int64) bool { return true })
+	if err == nil {
+		t.Fatal("want ErrUnbounded")
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	p := NewPoly(1)
+	p.AddRange(0, 0, 1000)
+	n := 0
+	if err := p.Enumerate(func([]int64) bool {
+		n++
+		return n < 5
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Errorf("visited %d, want 5", n)
+	}
+}
+
+func TestMapApply(t *testing.T) {
+	m := NewMap(2, 2)
+	m.Rows[0] = Var(2, 0)
+	m.Rows[1] = Var(2, 1).Sub(Const(2, 1))
+	got := m.Apply([]int64{3, 5}, nil)
+	if !reflect.DeepEqual(got, []int64{3, 4}) {
+		t.Errorf("Apply = %v, want [3 4]", got)
+	}
+	if !Identity(2).Equal(Identity(2)) || Identity(2).Equal(m) {
+		t.Errorf("Map.Equal wrong")
+	}
+}
+
+// TestBoundsMatchEnumeration is a property test: for random triangular
+// polyhedra, the FM bounds of a random expression must equal the
+// min/max over enumerated points.
+func TestBoundsMatchEnumeration(t *testing.T) {
+	f := func(a, b, c int8, lo0, ext0, ext1 uint8) bool {
+		p := NewPoly(2)
+		l0 := int64(lo0 % 8)
+		p.AddRange(0, l0, l0+int64(ext0%6))
+		p.AddRange(1, 0, int64(ext1%6))
+		e := NewExpr(2)
+		e.C[0], e.C[1], e.K = int64(a%5), int64(b%5), int64(c)
+
+		minV, maxV := int64(1<<62), int64(-1<<62)
+		if err := p.Enumerate(func(pt []int64) bool {
+			v := e.Eval(pt)
+			if v < minV {
+				minV = v
+			}
+			if v > maxV {
+				maxV = v
+			}
+			return true
+		}); err != nil {
+			return false
+		}
+		lo, hi, lok, hok := p.IntBounds(e)
+		return lok && hok && lo == minV && hi == maxV
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRatRounding(t *testing.T) {
+	cases := []struct {
+		num, den int64
+		fl, ce   int64
+	}{
+		{7, 2, 3, 4},
+		{-7, 2, -4, -3},
+		{6, 3, 2, 2},
+		{-6, 3, -2, -2},
+		{0, 5, 0, 0},
+	}
+	for _, c := range cases {
+		r := big.NewRat(c.num, c.den)
+		if got := floorRat(r); got != c.fl {
+			t.Errorf("floor(%d/%d) = %d, want %d", c.num, c.den, got, c.fl)
+		}
+		if got := ceilRat(r); got != c.ce {
+			t.Errorf("ceil(%d/%d) = %d, want %d", c.num, c.den, got, c.ce)
+		}
+	}
+	if floorDiv(-7, 2) != -4 || floorDiv(7, 2) != 3 || ceilDiv(-7, 2) != -3 || ceilDiv(7, 2) != 4 {
+		t.Errorf("integer floor/ceil division wrong")
+	}
+}
+
+func TestPolyString(t *testing.T) {
+	p := NewPoly(2)
+	p.AddRange(0, 0, 15)
+	s := p.String()
+	if s == "" || s[0] != '{' {
+		t.Errorf("bad rendering: %q", s)
+	}
+}

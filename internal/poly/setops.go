@@ -1,0 +1,111 @@
+package poly
+
+// Intersect returns the conjunction of two polyhedra of equal
+// dimensionality.
+func (p *Poly) Intersect(q *Poly) *Poly {
+	if p.Dim != q.Dim {
+		panic("poly: Intersect dimension mismatch")
+	}
+	r := p.Clone()
+	r.Approx = p.Approx || q.Approx
+	for _, c := range q.Cs {
+		r.Cs = append(r.Cs, Constraint{E: c.E.Clone(), Eq: c.Eq})
+	}
+	return r
+}
+
+// IsSubsetOf reports whether every rational point of p satisfies q's
+// constraints (sound for the dense integer polyhedra the folder
+// produces).  For each constraint c of q it checks that p ∧ ¬c is
+// empty; equalities are split into two inequalities.
+func (p *Poly) IsSubsetOf(q *Poly) bool {
+	if p.Dim != q.Dim {
+		return false
+	}
+	if p.IsEmpty() {
+		return true
+	}
+	for _, c := range q.Cs {
+		if c.Eq {
+			// p must satisfy c.E == 0 everywhere: both strict violations
+			// must be infeasible.
+			if !p.violationEmpty(c.E) || !p.violationEmpty(c.E.Neg()) {
+				return false
+			}
+			continue
+		}
+		if !p.violationEmpty(c.E) {
+			return false
+		}
+	}
+	return true
+}
+
+// violationEmpty checks that p ∧ (e < 0) is empty, using the integer
+// tightening e <= -1.
+func (p *Poly) violationEmpty(e Expr) bool {
+	viol := p.Clone()
+	// e < 0 over integers: e <= -1, i.e. -e - 1 >= 0.
+	viol.Add(e.Neg().Sub(Const(p.Dim, 1)))
+	return viol.IsEmpty()
+}
+
+// DisjointFrom reports whether the two polyhedra share no rational
+// point.
+func (p *Poly) DisjointFrom(q *Poly) bool {
+	return p.Intersect(q).IsEmpty()
+}
+
+// Translate returns the polyhedron shifted by the integer vector off
+// (every point x becomes x + off).
+func (p *Poly) Translate(off []int64) *Poly {
+	r := p.Clone()
+	for i := range r.Cs {
+		// c(x - off) >= 0 for the shifted set.
+		for k, o := range off {
+			r.Cs[i].E.K -= r.Cs[i].E.C[k] * o
+		}
+	}
+	return r
+}
+
+// Image computes a bounding polyhedron of the affine image m(p): exact
+// when m is invertible over the rationals is not required — the result
+// constrains each output coordinate by the FM bounds of its defining
+// expression, which suffices for the reporting uses in this package.
+func (p *Poly) Image(m Map) *Poly {
+	out := NewPoly(m.OutDim())
+	out.Approx = p.Approx
+	for i, row := range m.Rows {
+		lo, hi, lok, hok := p.Bounds(row)
+		if lok {
+			e := Var(out.Dim, i)
+			e.K = -ceilRat(lo)
+			out.Add(e) // x_i >= ceil(lo)
+		}
+		if hok {
+			e := Var(out.Dim, i).Neg()
+			e.K = floorRat(hi)
+			out.Add(e) // x_i <= floor(hi)
+		}
+	}
+	return out
+}
+
+// Compose returns m ∘ g (apply g first, then m).
+func (m Map) Compose(g Map) Map {
+	if m.InDim != g.OutDim() {
+		panic("poly: Compose dimension mismatch")
+	}
+	out := NewMap(g.InDim, m.OutDim())
+	for i, row := range m.Rows {
+		e := Const(g.InDim, row.K)
+		for j, c := range row.C {
+			if c != 0 {
+				e = e.Add(g.Rows[j].Scale(c))
+			}
+		}
+		out.Rows[i] = e
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package poly
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func box(lo0, hi0, lo1, hi1 int64) *Poly {
+	p := NewPoly(2)
+	p.AddRange(0, lo0, hi0)
+	p.AddRange(1, lo1, hi1)
+	return p
+}
+
+func TestIntersect(t *testing.T) {
+	a := box(0, 10, 0, 10)
+	b := box(5, 15, 5, 15)
+	i := a.Intersect(b)
+	if !i.Contains([]int64{7, 7}) || i.Contains([]int64{2, 2}) || i.Contains([]int64{12, 12}) {
+		t.Errorf("intersection wrong: %v", i)
+	}
+	if n, _ := i.PointCount(1000); n != 36 {
+		t.Errorf("intersection has %d points, want 36", n)
+	}
+}
+
+func TestIsSubsetOf(t *testing.T) {
+	inner := box(2, 4, 2, 4)
+	outer := box(0, 10, 0, 10)
+	if !inner.IsSubsetOf(outer) {
+		t.Error("inner box must be a subset")
+	}
+	if outer.IsSubsetOf(inner) {
+		t.Error("outer box must not be a subset of inner")
+	}
+	if !inner.IsSubsetOf(inner) {
+		t.Error("subset must be reflexive")
+	}
+	// Triangle inside its bounding box.
+	tri := NewPoly(2)
+	tri.AddRange(0, 0, 5)
+	tri.Add(Var(2, 1))
+	tri.Add(Var(2, 0).Sub(Var(2, 1)))
+	if !tri.IsSubsetOf(box(0, 5, 0, 5)) {
+		t.Error("triangle must be inside its bounding box")
+	}
+	if box(0, 5, 0, 5).IsSubsetOf(tri) {
+		t.Error("box is not inside the triangle")
+	}
+	// Empty set is a subset of anything.
+	empty := box(5, 1, 0, 0)
+	if !empty.IsSubsetOf(tri) {
+		t.Error("empty set must be a subset")
+	}
+}
+
+func TestDisjointFrom(t *testing.T) {
+	a := box(0, 3, 0, 3)
+	b := box(5, 8, 5, 8)
+	if !a.DisjointFrom(b) {
+		t.Error("separated boxes must be disjoint")
+	}
+	if a.DisjointFrom(box(3, 5, 3, 5)) {
+		t.Error("touching boxes share a point")
+	}
+}
+
+func TestTranslate(t *testing.T) {
+	a := box(0, 3, 0, 3)
+	b := a.Translate([]int64{10, -2})
+	if !b.Contains([]int64{10, -2}) || !b.Contains([]int64{13, 1}) || b.Contains([]int64{0, 0}) {
+		t.Errorf("translate wrong: %v", b)
+	}
+}
+
+func TestImage(t *testing.T) {
+	a := box(0, 3, 0, 3)
+	m := NewMap(2, 1)
+	m.Rows[0] = Var(2, 0).Add(Var(2, 1)) // i+j
+	img := a.Image(m)
+	lo, hi, lok, hok := img.IntBounds(Var(1, 0))
+	if !lok || !hok || lo != 0 || hi != 6 {
+		t.Errorf("image bounds [%d,%d], want [0,6]", lo, hi)
+	}
+}
+
+func TestCompose(t *testing.T) {
+	// g: (i,j) -> (j, i+1); m: (a,b) -> (a+b)
+	g := NewMap(2, 2)
+	g.Rows[0] = Var(2, 1)
+	g.Rows[1] = Var(2, 0).Add(Const(2, 1))
+	m := NewMap(2, 1)
+	m.Rows[0] = Var(2, 0).Add(Var(2, 1))
+	comp := m.Compose(g)
+	// (i,j) -> j + i + 1
+	got := comp.Rows[0]
+	if got.C[0] != 1 || got.C[1] != 1 || got.K != 1 {
+		t.Errorf("composition = %v, want i + j + 1", got)
+	}
+}
+
+// TestSubsetMatchesEnumeration: property test against brute force.
+func TestSubsetMatchesEnumeration(t *testing.T) {
+	f := func(alo, aext, blo, bext uint8) bool {
+		a := box(int64(alo%6), int64(alo%6)+int64(aext%5), 0, 3)
+		b := box(int64(blo%6), int64(blo%6)+int64(bext%5), 0, 3)
+		want := true
+		_ = a.Enumerate(func(pt []int64) bool {
+			if !b.Contains(pt) {
+				want = false
+				return false
+			}
+			return true
+		})
+		return a.IsSubsetOf(b) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

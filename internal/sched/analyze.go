@@ -1,0 +1,200 @@
+package sched
+
+import (
+	"polyprof/internal/iiv"
+)
+
+// LoopInfo is the dependence summary of one loop dimension (one loop
+// node of the dynamic schedule tree).
+type LoopInfo struct {
+	Loop *iiv.TreeNode
+	// Depth is the 0-based dimension index (number of enclosing loops).
+	Depth int
+	// Parallel: no dependence is carried by this dimension (all
+	// relevant distances are exactly zero here).
+	Parallel bool
+	// NonNeg: all relevant distances are >= 0 here (the first-quadrant
+	// condition for permutable bands and tiling).
+	NonNeg bool
+	// MinNeg is the most negative distance bound observed (0 when
+	// NonNeg); used to compute skewing factors.
+	MinNeg int64
+	// HasStar: some dependence under this loop was over-approximated.
+	HasStar bool
+	// Ops is the dynamic operation count of the loop's subtree.
+	Ops uint64
+}
+
+// AnalyzeLoop computes the dependence summary of one loop node.
+func (m *Model) AnalyzeLoop(loop *iiv.TreeNode, depth int) *LoopInfo {
+	info := &LoopInfo{Loop: loop, Depth: depth, Parallel: true, NonNeg: true, Ops: loop.TotalOps}
+	for _, d := range m.DepsUnder(loop) {
+		if d.Common <= depth {
+			// Both endpoints under the loop always share it; guard
+			// against degenerate paths.
+			continue
+		}
+		if d.SatisfiedBefore(depth) {
+			continue
+		}
+		if d.Star {
+			info.Parallel = false
+			info.NonNeg = false
+			info.HasStar = true
+			continue
+		}
+		db := d.Dist[depth]
+		if !(db.Known() && db.Min == 0 && db.Max == 0) {
+			info.Parallel = false
+		}
+		if !db.MinOK || db.Min < 0 {
+			info.NonNeg = false
+			if db.MinOK && db.Min < info.MinNeg {
+				info.MinNeg = db.Min
+			}
+			if !db.MinOK {
+				info.HasStar = true
+			}
+		}
+	}
+	return info
+}
+
+// Nest is a maximal loop path (outermost to innermost loop node) with
+// its per-dimension analysis.
+type Nest struct {
+	Loops []*iiv.TreeNode
+	Dims  []*LoopInfo
+	// Stmts under the innermost loop of the path.
+	Stmts []*Stmt
+
+	// FirstPrivate is the outermost dimension whose loop contains only
+	// this nest's statements.  Dimensions above it are shared with
+	// other code (e.g. a time loop enclosing several kernels): they may
+	// satisfy dependencies but must not join this nest's permutable
+	// band — tiling a shared loop per-nest would reorder across the
+	// sibling nests.
+	FirstPrivate int
+
+	// skewDeps[k] caches known-distance deps relevant to dimension k
+	// (filled by fillSkewDeps before transformation).
+	skewDeps [][]*Dep
+}
+
+// Depth returns the nest depth.
+func (n *Nest) Depth() int { return len(n.Loops) }
+
+// Nests enumerates the maximal loop paths under (and including) the
+// given root node, analyzing each dimension.  A nest is recorded for
+// every innermost loop node (a loop with no loop descendants).  Loop
+// paths always start at the tree root — ancestors of the walk root are
+// included — so dimension indices line up with the dependence distance
+// vectors regardless of which subtree is analyzed.
+func (m *Model) Nests(root *iiv.TreeNode) []*Nest {
+	cache := map[*iiv.TreeNode]*LoopInfo{}
+	var nests []*Nest
+	var walk func(n *iiv.TreeNode, path []*iiv.TreeNode)
+	walk = func(n *iiv.TreeNode, path []*iiv.TreeNode) {
+		here := path
+		if !n.IsRoot() && n.Elem.IsLoop() {
+			here = append(append([]*iiv.TreeNode(nil), path...), n)
+		}
+		hasLoopChild := false
+		for _, c := range n.Children {
+			if subtreeHasLoop(c) {
+				hasLoopChild = true
+			}
+			walk(c, here)
+		}
+		if !n.IsRoot() && n.Elem.IsLoop() && !hasLoopChild {
+			nest := &Nest{Loops: here}
+			for d, l := range here {
+				info := cache[l]
+				if info == nil {
+					info = m.AnalyzeLoop(l, d)
+					cache[l] = info
+				}
+				nest.Dims = append(nest.Dims, info)
+			}
+			nest.Stmts = m.StmtsUnder(n)
+			// A dimension is private when its loop contains no loops
+			// other than this nest's own suffix — a shared loop (e.g. a
+			// time loop enclosing several kernels) must not join the
+			// band.
+			onPath := map[*iiv.TreeNode]bool{}
+			for _, l := range here {
+				onPath[l] = true
+			}
+			nest.FirstPrivate = len(here)
+			for d := len(here) - 1; d >= 0; d-- {
+				if loopsWithin(here[d], onPath) {
+					nest.FirstPrivate = d
+				} else {
+					break
+				}
+			}
+			nests = append(nests, nest)
+		}
+	}
+	// Seed the path with the root's loop ancestry (excluding the root
+	// itself, which walk() adds when it is a loop).
+	var seed []*iiv.TreeNode
+	if root.Parent != nil {
+		seed = loopPath(root.Parent)
+	}
+	walk(root, seed)
+	return nests
+}
+
+// loopsWithin reports whether every loop node in n's subtree is in the
+// allowed set (n itself included).
+func loopsWithin(n *iiv.TreeNode, allowed map[*iiv.TreeNode]bool) bool {
+	if !n.IsRoot() && n.Elem.IsLoop() && !allowed[n] {
+		return false
+	}
+	for _, c := range n.Children {
+		if !loopsWithin(c, allowed) {
+			return false
+		}
+	}
+	return true
+}
+
+func subtreeHasLoop(n *iiv.TreeNode) bool {
+	if !n.IsRoot() && n.Elem.IsLoop() {
+		return true
+	}
+	for _, c := range n.Children {
+		if subtreeHasLoop(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// strideWeights returns, per dimension of the nest, the dynamic count
+// of memory accesses with stride 0 or ±1 along that dimension, plus the
+// total access count.  Accesses without an affine address function
+// count toward the total but no dimension.
+func (n *Nest) strideWeights() (per []uint64, total uint64) {
+	per = make([]uint64, n.Depth())
+	for _, s := range n.Stmts {
+		for _, in := range s.Instrs {
+			if !in.HasAccess() {
+				continue
+			}
+			total += in.Count
+			if in.Access.Fn == nil {
+				continue
+			}
+			addr := in.Access.Fn.Rows[0]
+			for k := 0; k < n.Depth() && k < len(addr.C); k++ {
+				c := addr.C[k]
+				if c == 0 || c == 1 || c == -1 {
+					per[k] += in.Count
+				}
+			}
+		}
+	}
+	return per, total
+}

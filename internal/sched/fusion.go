@@ -1,0 +1,138 @@
+package sched
+
+import (
+	"polyprof/internal/iiv"
+	"polyprof/internal/poly"
+)
+
+// FusionHeuristic selects the fusion strategy of the proposed
+// transformation (the paper's Table 5 "fusion" column).
+type FusionHeuristic int
+
+// Fusion strategies.
+const (
+	// SmartFuse fuses adjacent components only when they share data
+	// (reuse benefit), the paper's balanced default.
+	SmartFuse FusionHeuristic = iota
+	// MaxFuse fuses whenever legal.
+	MaxFuse
+)
+
+func (f FusionHeuristic) String() string {
+	if f == MaxFuse {
+		return "M"
+	}
+	return "S"
+}
+
+// Component is one top-level loop subtree of a region carrying a
+// significant fraction of its operations.
+type Component struct {
+	Node *iiv.TreeNode
+	Ops  uint64
+}
+
+// componentThreshold is the paper's 5% cut: any outermost loop with
+// more than 5% of the region's operations counts as a component.
+const componentThreshold = 0.05
+
+// Components returns the region's components: outermost loop nodes in
+// the subtree of root (loops not nested in another loop within the
+// region) whose operation count exceeds 5% of the region's.
+func (m *Model) Components(root *iiv.TreeNode) []*Component {
+	regionOps := root.TotalOps
+	var out []*Component
+	var walk func(n *iiv.TreeNode)
+	walk = func(n *iiv.TreeNode) {
+		if n != root && n.Elem.IsLoop() {
+			if float64(n.TotalOps) > componentThreshold*float64(regionOps) {
+				out = append(out, &Component{Node: n, Ops: n.TotalOps})
+			}
+			return // outermost loop found; deeper loops are nested
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+	return out
+}
+
+// FuseComponents groups a region's components under the given
+// heuristic and returns the resulting component count ("Comp." in
+// Table 5).  Fusing components A (earlier) and B (later) is legal when
+// no dependence runs from B back to A and every A→B dependence would
+// have a non-negative distance on the fused dimension; SmartFuse
+// additionally requires the pair to be connected by at least one
+// dependence (data reuse), otherwise fusion buys nothing.
+func (m *Model) FuseComponents(comps []*Component, h FusionHeuristic) int {
+	if len(comps) <= 1 {
+		return len(comps)
+	}
+	groups := 1
+	for i := 1; i < len(comps); i++ {
+		prev, cur := comps[i-1], comps[i]
+		legal, connected := m.fusable(prev.Node, cur.Node)
+		switch h {
+		case MaxFuse:
+			if !legal {
+				groups++
+			}
+		case SmartFuse:
+			if !legal || !connected {
+				groups++
+			}
+		}
+	}
+	return groups
+}
+
+// fusable decides whether the loop subtree b can be fused after/into a.
+func (m *Model) fusable(a, b *iiv.TreeNode) (legal, connected bool) {
+	legal = true
+	for _, d := range m.Deps {
+		srcInA := d.Src.Leaf != nil && underNode(d.Src.Leaf, a)
+		srcInB := d.Src.Leaf != nil && underNode(d.Src.Leaf, b)
+		dstInA := d.Dst.Leaf != nil && underNode(d.Dst.Leaf, a)
+		dstInB := d.Dst.Leaf != nil && underNode(d.Dst.Leaf, b)
+		switch {
+		case srcInB && dstInA:
+			// Backward dependence: fusion illegal.
+			return false, true
+		case srcInA && dstInB:
+			connected = true
+			if !m.forwardFusable(d) {
+				legal = false
+			}
+		}
+	}
+	return legal, connected
+}
+
+// forwardFusable checks that an a→b dependence keeps a non-negative
+// distance on the dimension the fusion would merge (the first
+// dimension below the components' common ancestor), across every piece
+// of the folded union.
+func (m *Model) forwardFusable(d *Dep) bool {
+	if len(d.D.Pieces) == 0 {
+		return false
+	}
+	k := d.Common // first non-shared dimension: the fused one
+	for _, piece := range d.D.Pieces {
+		if piece.Fn == nil || piece.Dom == nil {
+			return false
+		}
+		if k >= piece.Dom.Dim || k >= len(piece.Fn.Rows) {
+			// Producer or consumer has no such dimension (e.g. scalar
+			// code before the loop): this piece does not constrain the
+			// fusion.
+			continue
+		}
+		delta := poly.Var(piece.Dom.Dim, k).Sub(piece.Fn.Rows[k])
+		lo, _, lok, _ := piece.Dom.IntBounds(delta)
+		if !lok || lo < 0 {
+			return false
+		}
+	}
+	return true
+}

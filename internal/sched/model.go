@@ -1,0 +1,267 @@
+// Package sched analyzes the folded polyhedral DDG and proposes
+// structured transformations, replacing the paper's customized
+// PoCC/PluTo/PolyFeat back-end (Sec. 6).  The engine is a
+// dependence-distance framework in the Wolf–Lam tradition (the paper's
+// reference [75]): folded dependence maps are turned into per-dimension
+// distance bounds via Fourier–Motzkin queries, from which it derives
+// parallel dimensions, fully permutable bands (tiling opportunities),
+// skewing factors that widen bands, interchange suggestions driven by
+// the folded access strides, SIMDizable innermost loops, and loop
+// fusion structures.
+package sched
+
+import (
+	"sort"
+
+	"polyprof/internal/core"
+	"polyprof/internal/ddg"
+	"polyprof/internal/iiv"
+	"polyprof/internal/poly"
+)
+
+// Stmt is the scheduler's view of one folded DDG statement.
+type Stmt struct {
+	S    *ddg.Stmt
+	Leaf *iiv.TreeNode
+	// Loops is the loop path from outermost to innermost (length =
+	// S.Depth).
+	Loops []*iiv.TreeNode
+	// Ops is the number of dynamic instructions executed by the
+	// statement, Mem/FP the usual splits.
+	Ops    uint64
+	MemOps uint64
+	FPOps  uint64
+	// Instrs are the statement's folded instructions.
+	Instrs []*ddg.Instr
+	// Affine reports whether the statement folded exactly: exact domain
+	// and affine access functions for all its memory instructions.
+	Affine bool
+}
+
+// DistBound is the [min, max] range of one dependence distance
+// component; either side may be unbounded.
+type DistBound struct {
+	Min, Max     int64
+	MinOK, MaxOK bool
+}
+
+// Known reports whether both sides are bounded.
+func (d DistBound) Known() bool { return d.MinOK && d.MaxOK }
+
+// Dep is the scheduler's view of a folded dependence.
+type Dep struct {
+	D        *ddg.Dep
+	Src, Dst *Stmt
+	// Common is the number of loop dimensions shared by src and dst
+	// (their longest common loop-path prefix).
+	Common int
+	// Dist holds, per common dimension, the bounds of
+	// consumer[k] - producer[k] over the dependence domain.
+	Dist []DistBound
+	// Star marks dependencies whose map or domain was over-approximated:
+	// every direction must be assumed.
+	Star bool
+}
+
+// Model is the scheduler input: statements and dependencies organized
+// over the dynamic schedule tree.
+type Model struct {
+	Profile *core.Profile
+	Stmts   []*Stmt
+	Deps    []*Dep
+
+	byLeaf map[*iiv.TreeNode]*Stmt
+}
+
+// Build constructs the scheduling model from a profile.
+func Build(p *core.Profile) *Model {
+	m := &Model{Profile: p, byLeaf: map[*iiv.TreeNode]*Stmt{}}
+
+	// Group instruction statistics per DDG statement.
+	type agg struct {
+		instrs  []*ddg.Instr
+		mem, fp uint64
+		ops     uint64
+		affine  bool
+	}
+	byStmt := map[*ddg.Stmt]*agg{}
+	for _, in := range p.DDG.Instrs {
+		a := byStmt[in.Stmt]
+		if a == nil {
+			a = &agg{affine: true}
+			byStmt[in.Stmt] = a
+		}
+		a.instrs = append(a.instrs, in)
+		a.ops += in.Count
+		if in.HasAccess() {
+			a.mem += in.Count
+			if in.Access.Fn == nil {
+				a.affine = false
+			}
+		}
+		if in.Op.IsFP() {
+			a.fp += in.Count
+		}
+	}
+
+	stmtOf := map[*ddg.Stmt]*Stmt{}
+	for _, s := range p.DDG.Stmts {
+		leaf := p.Tree.NodeByCtx(s.Ctx)
+		st := &Stmt{S: s, Leaf: leaf}
+		if leaf != nil {
+			st.Loops = loopPath(leaf)
+		}
+		if a := byStmt[s]; a != nil {
+			st.Instrs = a.instrs
+			st.Ops = a.ops
+			st.MemOps = a.mem
+			st.FPOps = a.fp
+			st.Affine = a.affine && s.Domain.Exact
+		} else {
+			st.Affine = s.Domain.Exact
+		}
+		m.Stmts = append(m.Stmts, st)
+		stmtOf[s] = st
+		if leaf != nil {
+			m.byLeaf[leaf] = st
+		}
+	}
+
+	for _, d := range p.DDG.Deps {
+		src, dst := stmtOf[d.Src.Stmt], stmtOf[d.Dst.Stmt]
+		if src == nil || dst == nil {
+			continue
+		}
+		sd := &Dep{D: d, Src: src, Dst: dst}
+		sd.Common = commonLoops(src.Loops, dst.Loops)
+		sd.analyze()
+		m.Deps = append(m.Deps, sd)
+	}
+	sort.SliceStable(m.Deps, func(i, j int) bool {
+		return m.Deps[i].D.Dst.ID < m.Deps[j].D.Dst.ID
+	})
+	return m
+}
+
+// loopPath returns the loop nodes on the path from the root to the
+// leaf, outermost first.
+func loopPath(leaf *iiv.TreeNode) []*iiv.TreeNode {
+	var rev []*iiv.TreeNode
+	for n := leaf; n != nil && !n.IsRoot(); n = n.Parent {
+		if n.Elem.IsLoop() {
+			rev = append(rev, n)
+		}
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+func commonLoops(a, b []*iiv.TreeNode) int {
+	n := 0
+	for n < len(a) && n < len(b) && a[n] == b[n] {
+		n++
+	}
+	return n
+}
+
+// analyze computes the distance bounds of a dependence on the common
+// dimensions from its folded pieces (the union of per-piece ranges).
+// An over-approximated (bounding-box) piece domain is still sound: the
+// box contains every real point, so min/max of the distance over it
+// bracket the true range — this is what makes the paper's
+// over-approximation useful.  Only a piece with no affine map (or an
+// unbounded distance) forces the all-directions assumption.
+func (d *Dep) analyze() {
+	if d.Common == 0 {
+		return
+	}
+	d.Dist = make([]DistBound, d.Common)
+	if len(d.D.Pieces) == 0 {
+		d.Star = true
+		return
+	}
+	first := true
+	for _, piece := range d.D.Pieces {
+		if piece.Fn == nil || piece.Dom == nil {
+			d.Star = true
+			return
+		}
+		dim := piece.Dom.Dim
+		for k := 0; k < d.Common; k++ {
+			if k >= dim || k >= len(piece.Fn.Rows) {
+				d.Star = true
+				return
+			}
+			// distance_k = consumer_k - producer_k over the dependence
+			// domain (domain coordinates are the consumer's).
+			delta := poly.Var(dim, k).Sub(piece.Fn.Rows[k])
+			lo, hi, lok, hok := piece.Dom.IntBounds(delta)
+			if !lok || !hok {
+				d.Star = true
+				return
+			}
+			if first {
+				d.Dist[k] = DistBound{Min: lo, Max: hi, MinOK: true, MaxOK: true}
+			} else {
+				if lo < d.Dist[k].Min {
+					d.Dist[k].Min = lo
+				}
+				if hi > d.Dist[k].Max {
+					d.Dist[k].Max = hi
+				}
+			}
+		}
+		first = false
+	}
+}
+
+// SatisfiedBefore reports whether the dependence is definitely carried
+// by a dimension strictly outer than k (distance >= 1 guaranteed
+// there), making its distances at k and deeper irrelevant for
+// legality.
+func (d *Dep) SatisfiedBefore(k int) bool {
+	if d.Star {
+		return false
+	}
+	for j := 0; j < k && j < len(d.Dist); j++ {
+		if d.Dist[j].MinOK && d.Dist[j].Min >= 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// StmtsUnder returns the model statements whose leaf lies in the
+// subtree rooted at n.
+func (m *Model) StmtsUnder(n *iiv.TreeNode) []*Stmt {
+	var out []*Stmt
+	for _, s := range m.Stmts {
+		if s.Leaf != nil && underNode(s.Leaf, n) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func underNode(leaf, n *iiv.TreeNode) bool {
+	for cur := leaf; cur != nil; cur = cur.Parent {
+		if cur == n {
+			return true
+		}
+	}
+	return false
+}
+
+// DepsUnder returns dependencies with both endpoints under n.
+func (m *Model) DepsUnder(n *iiv.TreeNode) []*Dep {
+	var out []*Dep
+	for _, d := range m.Deps {
+		if d.Src.Leaf != nil && d.Dst.Leaf != nil &&
+			underNode(d.Src.Leaf, n) && underNode(d.Dst.Leaf, n) {
+			out = append(out, d)
+		}
+	}
+	return out
+}

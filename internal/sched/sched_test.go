@@ -1,0 +1,276 @@
+package sched_test
+
+import (
+	"strings"
+	"testing"
+
+	"polyprof/internal/core"
+	"polyprof/internal/isa"
+	"polyprof/internal/sched"
+	"polyprof/internal/workloads"
+)
+
+func buildModel(t *testing.T, prog *isa.Program) *sched.Model {
+	t.Helper()
+	p, err := core.Run(prog, core.DefaultRunOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sched.Build(p)
+}
+
+// findNest returns the transform of the nest whose innermost loop
+// contains a block with the given substring and whose statement count
+// matches.
+func findNest(m *sched.Model, ts []*sched.NestTransform, prog *isa.Program, blockSub string, minOps uint64) *sched.NestTransform {
+	for _, t := range ts {
+		for _, s := range t.Nest.Stmts {
+			if strings.Contains(prog.Block(s.S.Block).Name, blockSub) && t.Nest.Loops[0].TotalOps >= minOps {
+				return t
+			}
+		}
+	}
+	return nil
+}
+
+// TestBackpropLayerforwardTransform reproduces the Table 3 feedback for
+// L_layer: the 2D nest is fully permutable, only the outer (j) loop is
+// parallel, stride-0/1 accesses are 100% along the outer dimension vs
+// 67% along the inner, and the suggested transformation interchanges
+// the loops so the parallel stride-friendly j dimension becomes
+// innermost (SIMD).
+func TestBackpropLayerforwardTransform(t *testing.T) {
+	prog := workloads.Backprop(workloads.DefaultBackpropParams())
+	m := buildModel(t, prog)
+	ts := m.Transform(m.Profile.Tree.Root)
+
+	lf := findNest(m, ts, prog, "bpnn_layerforward.Lk.body", 5000)
+	if lf == nil {
+		t.Fatal("layerforward nest not found")
+	}
+	if lf.Nest.Depth() != 2 {
+		t.Fatalf("depth = %d, want 2", lf.Nest.Depth())
+	}
+	if !lf.FullyPermutable() {
+		t.Errorf("nest must be fully permutable (permutable = yes,yes)")
+	}
+	if !lf.Parallel[0] || lf.Parallel[1] {
+		t.Errorf("parallel = (%v,%v), want (true,false)", lf.Parallel[0], lf.Parallel[1])
+	}
+	if lf.Stride01[0] < 0.99 {
+		t.Errorf("outer stride01 = %.2f, want 1.0", lf.Stride01[0])
+	}
+	if lf.Stride01[1] < 0.60 || lf.Stride01[1] > 0.75 {
+		t.Errorf("inner stride01 = %.2f, want ~0.67", lf.Stride01[1])
+	}
+	if !lf.Interchange {
+		t.Error("interchange must be suggested")
+	}
+	if !lf.SIMD {
+		t.Error("SIMD must be possible after interchange")
+	}
+	if lf.Perm[1] != 0 {
+		t.Errorf("innermost dim after permutation = i%d, want i0 (the parallel stride-1 j loop)", lf.Perm[1])
+	}
+	if lf.SkewUsed {
+		t.Error("no skewing expected for layerforward")
+	}
+	if !lf.Tilable() || lf.TileDepth() != 2 {
+		t.Errorf("tilable=%v depth=%d, want true 2", lf.Tilable(), lf.TileDepth())
+	}
+}
+
+// TestBackpropAdjustTransform: L_adjust has no loop-carried deps at
+// all, so both dims are parallel and interchange + SIMD is suggested
+// (Table 3 row 2).
+func TestBackpropAdjustTransform(t *testing.T) {
+	prog := workloads.Backprop(workloads.DefaultBackpropParams())
+	m := buildModel(t, prog)
+	ts := m.Transform(m.Profile.Tree.Root)
+
+	adj := findNest(m, ts, prog, "bpnn_adjust_weights.Lk.body", 5000)
+	if adj == nil {
+		t.Fatal("adjust nest not found")
+	}
+	if !adj.Parallel[0] || !adj.Parallel[1] {
+		t.Errorf("parallel = (%v,%v), want (true,true)", adj.Parallel[0], adj.Parallel[1])
+	}
+	if !adj.FullyPermutable() {
+		t.Error("adjust nest must be fully permutable")
+	}
+	if !adj.Interchange || !adj.SIMD {
+		t.Errorf("interchange=%v simd=%v, want both true", adj.Interchange, adj.SIMD)
+	}
+	if !adj.OuterParallel() {
+		t.Error("outer parallelism must survive the permutation")
+	}
+}
+
+// TestSkewedStencil: the classic wavefront stencil
+// a[j] = a[j+1] + a[j] inside an i loop has distance vectors (1,-1),
+// (1,0) and (0,1); the band requires skewing dimension 1 by dimension 0
+// (factor 1), after which the 2D band is tilable with wavefront
+// parallelism — the paper's "advanced feedback" shape from case study
+// II.
+func TestSkewedStencil(t *testing.T) {
+	pb := isa.NewProgram("stencil")
+	a := pb.Global("A", 64)
+	m := pb.Func("main", 0)
+	base := m.IConst(a.Base)
+	n := m.IConst(16)
+	steps := m.IConst(8)
+	m.Loop("Li", m.IConst(0), steps, 1, func(i isa.Reg) {
+		m.Loop("Lj", m.IConst(0), n, 1, func(j isa.Reg) {
+			cur := m.FLoadIdx(base, j, 0)
+			next := m.FLoadIdx(base, j, 1)
+			m.FStoreIdx(base, j, 0, m.FAdd(cur, next))
+		})
+	})
+	m.Halt()
+	pb.SetMain(m)
+
+	model := buildModel(t, pb.MustBuild())
+	ts := model.Transform(model.Profile.Tree.Root)
+	if len(ts) == 0 {
+		t.Fatal("no nests found")
+	}
+	var st *sched.NestTransform
+	for _, tr := range ts {
+		if tr.Nest.Depth() == 2 {
+			st = tr
+		}
+	}
+	if st == nil {
+		t.Fatal("2D nest not found")
+	}
+	if st.Parallel[0] || st.Parallel[1] {
+		t.Errorf("no dimension should be parallel before skewing: %v", st.Parallel)
+	}
+	if !st.SkewUsed || len(st.Skews[1]) != 1 || st.Skews[1][0] != (sched.SkewTerm{Base: 0, Factor: 1}) {
+		t.Errorf("skew terms = %v (used=%v), want i1 += 1*i0", st.Skews, st.SkewUsed)
+	}
+	if st.BandLen != 2 {
+		t.Errorf("band length = %d, want 2 (tilable after skewing)", st.BandLen)
+	}
+	if !st.OuterParallel() {
+		t.Error("tiled band must expose wavefront parallelism")
+	}
+}
+
+// TestSequentialChainNotPermutable: a linear recurrence a[i] = a[i-1]
+// leaves no transformation.
+func TestSequentialChainNotPermutable(t *testing.T) {
+	pb := isa.NewProgram("chain")
+	a := pb.Global("A", 64)
+	m := pb.Func("main", 0)
+	base := m.IConst(a.Base)
+	m.Loop("L", m.IConst(1), m.IConst(32), 1, func(i isa.Reg) {
+		prev := m.FLoadIdx(base, i, -1)
+		m.FStoreIdx(base, i, 0, m.FAdd(prev, prev))
+	})
+	m.Halt()
+	pb.SetMain(m)
+
+	model := buildModel(t, pb.MustBuild())
+	ts := model.Transform(model.Profile.Tree.Root)
+	for _, tr := range ts {
+		if tr.Nest.Depth() != 1 {
+			continue
+		}
+		if tr.Parallel[0] {
+			t.Error("recurrence loop must not be parallel")
+		}
+		if tr.SIMD {
+			t.Error("recurrence loop must not be SIMDizable")
+		}
+	}
+}
+
+// TestFusionComponents checks component counting and the two fusion
+// heuristics on producer/consumer vs. independent loop pairs.
+func TestFusionComponents(t *testing.T) {
+	build := func(dep bool) *sched.Model {
+		pb := isa.NewProgram("fusion")
+		a := pb.Global("A", 64)
+		b := pb.Global("B", 64)
+		m := pb.Func("main", 0)
+		aB := m.IConst(a.Base)
+		bB := m.IConst(b.Base)
+		n := m.IConst(32)
+		m.Loop("L1", m.IConst(0), n, 1, func(i isa.Reg) {
+			m.FStoreIdx(aB, i, 0, m.I2F(m.Mul(i, i)))
+		})
+		m.Loop("L2", m.IConst(0), n, 1, func(i isa.Reg) {
+			var v isa.Reg
+			if dep {
+				v = m.FLoadIdx(aB, i, 0) // reads what L1 wrote: fusable + connected
+			} else {
+				v = m.FConst(1)
+			}
+			m.FStoreIdx(bB, i, 0, v)
+		})
+		m.Halt()
+		pb.SetMain(m)
+		return buildModel(t, pb.MustBuild())
+	}
+
+	withDep := build(true)
+	comps := withDep.Components(withDep.Profile.Tree.Root)
+	if len(comps) != 2 {
+		t.Fatalf("components = %d, want 2", len(comps))
+	}
+	if got := withDep.FuseComponents(comps, sched.MaxFuse); got != 1 {
+		t.Errorf("maxfuse groups = %d, want 1", got)
+	}
+	if got := withDep.FuseComponents(comps, sched.SmartFuse); got != 1 {
+		t.Errorf("smartfuse groups = %d, want 1 (connected by reuse)", got)
+	}
+
+	noDep := build(false)
+	comps = noDep.Components(noDep.Profile.Tree.Root)
+	if len(comps) != 2 {
+		t.Fatalf("components = %d, want 2", len(comps))
+	}
+	if got := noDep.FuseComponents(comps, sched.MaxFuse); got != 1 {
+		t.Errorf("maxfuse groups = %d, want 1 (legal, fuse anyway)", got)
+	}
+	if got := noDep.FuseComponents(comps, sched.SmartFuse); got != 2 {
+		t.Errorf("smartfuse groups = %d, want 2 (no reuse, keep apart)", got)
+	}
+}
+
+// TestBackwardDepBlocksFusion: a consumer loop reading the producer's
+// output in reverse still fuses (distances stay >= 0 under identity
+// alignment only if non-negative) — here we build a true backward dep:
+// the second loop writes what the first loop reads, scanned so that
+// fusion would break it.
+func TestBackwardDepBlocksFusion(t *testing.T) {
+	pb := isa.NewProgram("antifusion")
+	a := pb.Global("A", 70)
+	b := pb.Global("B", 70)
+	m := pb.Func("main", 0)
+	aB := m.IConst(a.Base)
+	bB := m.IConst(b.Base)
+	n := m.IConst(32)
+	// L1: b[i] = a[i]; L2: a[i+1] = b[i].  The write of a[i+1] in L2 at
+	// iteration i must stay after L1's read of a[i+1] at iteration i+1,
+	// an anti dependence with distance -1 on the fused dimension:
+	// fusion must be rejected.
+	m.Loop("L1", m.IConst(0), n, 1, func(i isa.Reg) {
+		m.FStoreIdx(bB, i, 0, m.FLoadIdx(aB, i, 0))
+	})
+	m.Loop("L2", m.IConst(0), n, 1, func(i isa.Reg) {
+		m.FStoreIdx(aB, i, 1, m.FLoadIdx(bB, i, 0))
+	})
+	m.Halt()
+	pb.SetMain(m)
+
+	model := buildModel(t, pb.MustBuild())
+	comps := model.Components(model.Profile.Tree.Root)
+	if len(comps) != 2 {
+		t.Fatalf("components = %d, want 2", len(comps))
+	}
+	if got := model.FuseComponents(comps, sched.MaxFuse); got != 2 {
+		t.Errorf("maxfuse groups = %d, want 2 (anti dep must block fusion)", got)
+	}
+}

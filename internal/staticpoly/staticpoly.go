@@ -1,0 +1,702 @@
+// Package staticpoly is the static affine-region analyzer polyprof is
+// compared against in Experiment II — a stand-in for LLVM Polly.  It
+// analyzes isa programs *without executing them*: static CFGs and loop
+// forests, flow-insensitive symbolic classification of register values,
+// and per-loop modelability checks.  When a region cannot be modeled as
+// an affine program the analyzer reports the paper's failure taxonomy:
+//
+//	R  unhandled function call (opaque/"libc" callee or recursion)
+//	C  complex CFG (early return / multi-level break inside a loop)
+//	B  non-affine loop bound or conditional
+//	F  non-affine access function (includes pointer indirection)
+//	A  unhandled possible pointer aliasing
+//	P  base pointer not loop invariant
+//
+// Like the paper's methodology, calls to analyzable user functions are
+// treated as inlined (the callee's defects surface in the caller's
+// report), while calls to opaque functions (names starting with
+// "libc_", mirroring libc/OpenMP runtime calls) stay R.
+package staticpoly
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"polyprof/internal/cfg"
+	"polyprof/internal/isa"
+)
+
+// Reason is one failure cause.
+type Reason uint8
+
+// Failure reasons, in the paper's order.
+const (
+	R Reason = iota // unhandled call
+	C               // complex CFG
+	B               // non-affine bound/conditional
+	F               // non-affine access
+	A               // possible aliasing
+	P               // base pointer not invariant
+)
+
+func (r Reason) String() string { return string("RCBFAP"[r]) }
+
+// ReasonSet is a set of failure reasons.
+type ReasonSet map[Reason]bool
+
+// String renders the set in canonical order (e.g. "RCBF").
+func (s ReasonSet) String() string {
+	var rs []int
+	for r := range s {
+		rs = append(rs, int(r))
+	}
+	sort.Ints(rs)
+	var sb strings.Builder
+	for _, r := range rs {
+		sb.WriteString(Reason(r).String())
+	}
+	if sb.Len() == 0 {
+		return "-"
+	}
+	return sb.String()
+}
+
+// valClass is the flow-insensitive symbolic class of a register value,
+// ordered as a lattice (higher = less analyzable).
+type valClass uint8
+
+const (
+	vBottom        valClass = iota
+	vConst                  // compile-time constant
+	vParam                  // affine in the function's symbolic parameters
+	vInvariant              // loop-invariant but not parameter-affine
+	vIV                     // affine in loop induction variables (+ params)
+	vNonAffine              // loop-variant, non-affine
+	vMemStructured          // loaded through an affine address (structured
+	// single-level indirection: modelable with runtime alias checks)
+	vMemLoad // loaded through a non-affine or doubly-indirect address
+)
+
+func joinClass(a, b valClass) valClass {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// FuncResult is the analysis verdict for one function (with analyzable
+// callees conceptually inlined).
+type FuncResult struct {
+	Fn      *isa.Func
+	Reasons ReasonSet
+	// Modeled: the function's loop region is a valid affine program.
+	Modeled bool
+	// HasLoops: the function contains at least one loop.
+	HasLoops bool
+}
+
+// Result is the whole-program verdict.
+type Result struct {
+	Funcs map[isa.FuncID]*FuncResult
+}
+
+// RegionReasons aggregates reasons over the named functions (the
+// profiled region of interest); unknown names are ignored.
+func (res *Result) RegionReasons(prog *isa.Program, names ...string) ReasonSet {
+	out := ReasonSet{}
+	for _, n := range names {
+		if f := prog.FuncByName(n); f != nil {
+			if fr := res.Funcs[f.ID]; fr != nil {
+				for r := range fr.Reasons {
+					out[r] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RegionModeled reports whether every named function modeled.
+func (res *Result) RegionModeled(prog *isa.Program, names ...string) bool {
+	for _, n := range names {
+		if f := prog.FuncByName(n); f != nil {
+			if fr := res.Funcs[f.ID]; fr != nil && !fr.Modeled {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Analyze runs the static analyzer on every function.
+func Analyze(prog *isa.Program) *Result {
+	res := &Result{Funcs: map[isa.FuncID]*FuncResult{}}
+
+	// Static CFG for the whole program.
+	g := cfg.NewGraph(prog)
+	for _, f := range prog.Funcs {
+		g.AddNode(f.Entry)
+		for _, bid := range f.Blocks {
+			for _, s := range prog.Successors(bid) {
+				g.AddEdge(bid, s)
+			}
+		}
+	}
+	forest := cfg.BuildForest(g)
+
+	// Static call graph for recursion detection.
+	callees := map[isa.FuncID]map[isa.FuncID]bool{}
+	for _, f := range prog.Funcs {
+		callees[f.ID] = map[isa.FuncID]bool{}
+		for _, bid := range f.Blocks {
+			if t := prog.Block(bid).Terminator(); t.Op == isa.Call {
+				callees[f.ID][t.Callee] = true
+			}
+		}
+	}
+	recursive := findRecursive(callees)
+
+	for _, f := range prog.Funcs {
+		res.Funcs[f.ID] = analyzeFunc(prog, f, forest, recursive)
+	}
+	// Inline propagation: a caller inherits the reasons of analyzable
+	// callees called from inside its loops; opaque callees stay R.
+	for changed := true; changed; {
+		changed = false
+		for _, f := range prog.Funcs {
+			fr := res.Funcs[f.ID]
+			for callee := range callees[f.ID] {
+				cf := prog.Func(callee)
+				if isOpaque(cf) || recursive[callee] {
+					continue
+				}
+				for r := range res.Funcs[callee].Reasons {
+					if !fr.Reasons[r] {
+						fr.Reasons[r] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	for _, fr := range res.Funcs {
+		fr.Modeled = len(fr.Reasons) == 0 && fr.HasLoops
+	}
+	return res
+}
+
+func isOpaque(f *isa.Func) bool { return strings.HasPrefix(f.Name, "libc_") }
+
+// debugReason prints reason attribution when POLYPROF_STATIC_DEBUG is
+// set (development aid).
+func debugReason(f *isa.Func, code, why string, blk *isa.Block) {
+	if os.Getenv("POLYPROF_STATIC_DEBUG") != "" {
+		fmt.Printf("static: %s: %s from %s at block %q (terminator %v -> %d/%d)\n",
+			f.Name, code, why, blk.Name, blk.Terminator().Op, blk.Terminator().Then, blk.Terminator().Else)
+	}
+}
+
+func findRecursive(callees map[isa.FuncID]map[isa.FuncID]bool) map[isa.FuncID]bool {
+	rec := map[isa.FuncID]bool{}
+	for start := range callees {
+		seen := map[isa.FuncID]bool{}
+		var dfs func(f isa.FuncID) bool
+		dfs = func(f isa.FuncID) bool {
+			if f == start && len(seen) > 0 {
+				return true
+			}
+			if seen[f] {
+				return false
+			}
+			seen[f] = true
+			for c := range callees[f] {
+				if dfs(c) {
+					return true
+				}
+			}
+			return false
+		}
+		for c := range callees[start] {
+			if c == start || dfs(c) {
+				rec[start] = true
+			}
+		}
+	}
+	return rec
+}
+
+// analyzeFunc classifies registers flow-insensitively and checks each
+// loop of the function.
+func analyzeFunc(prog *isa.Program, f *isa.Func, forest *cfg.Forest, recursive map[isa.FuncID]bool) *FuncResult {
+	fr := &FuncResult{Fn: f, Reasons: ReasonSet{}}
+
+	// Loop membership and induction-variable detection.
+	loops := map[isa.BlockID]*cfg.Loop{}
+	for _, bid := range f.Blocks {
+		if l := forest.LoopOf(bid); l != nil {
+			loops[bid] = l
+			fr.HasLoops = true
+		}
+	}
+	ivRegs := detectIVs(prog, f, forest)
+
+	// Flow-insensitive class fixpoint.
+	cls := make([]valClass, f.NumRegs)
+	for i := 0; i < f.NumArgs; i++ {
+		cls[i] = vParam
+	}
+	// loadInLoop records whether a register's defining load executed
+	// inside a loop (for invariance of loaded base pointers).
+	loadInLoop := make([]bool, f.NumRegs)
+
+	update := func(r isa.Reg, v valClass) bool {
+		if int(r) >= len(cls) || r == isa.NoReg {
+			return false
+		}
+		nv := joinClass(cls[r], v)
+		if nv != cls[r] {
+			cls[r] = nv
+			return true
+		}
+		return false
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, bid := range f.Blocks {
+			inLoop := loops[bid] != nil
+			blk := prog.Block(bid)
+			for i := range blk.Code {
+				in := &blk.Code[i]
+				if !in.Op.WritesDst() || in.Dst == isa.NoReg {
+					continue
+				}
+				var v valClass
+				switch in.Op {
+				case isa.ConstI, isa.ConstF:
+					v = vConst
+				case isa.Mov, isa.FMov:
+					v = cls[in.A]
+				case isa.Load, isa.FLoad:
+					// Single-level indirection through an affine address
+					// stays "structured" (Polly-style delinearization);
+					// anything deeper or irregular is opaque.
+					v = vMemLoad
+					baseC := opClass(cls, in.A, ivRegs)
+					idxC := vConst
+					if in.Index != isa.NoReg {
+						idxC = opClass(cls, in.Index, ivRegs)
+					}
+					if baseC <= vIV && idxC <= vIV {
+						v = vMemStructured
+					}
+					if inLoop {
+						loadInLoop[in.Dst] = true
+					}
+				case isa.Call:
+					v = vInvariant
+					if inLoop {
+						v = vNonAffine
+					}
+				case isa.Add, isa.Sub:
+					v = affineAdd(opClass(cls, in.A, ivRegs), opClass(cls, in.B, ivRegs))
+				case isa.Mul:
+					v = affineMul(opClass(cls, in.A, ivRegs), opClass(cls, in.B, ivRegs))
+				case isa.Div, isa.Mod, isa.And, isa.Or, isa.Xor, isa.Shl, isa.Shr,
+					isa.MinI, isa.MaxI:
+					v = nonAffineCombine(opClass(cls, in.A, ivRegs), opClass(cls, in.B, ivRegs))
+				case isa.CmpEQ, isa.CmpNE, isa.CmpLT, isa.CmpLE, isa.CmpGT, isa.CmpGE,
+					isa.FCmpEQ, isa.FCmpLT, isa.FCmpLE:
+					// Affine comparisons stay affine: they gate loop exits
+					// and conditionals.
+					v = joinClass(opClass(cls, in.A, ivRegs), opClass(cls, in.B, ivRegs))
+				default:
+					// Comparisons, FP arithmetic, conversions: result
+					// follows the worst operand, at least invariant-level
+					// opacity for FP.
+					v = joinClass(opClass(cls, in.A, ivRegs), opClass(cls, in.B, ivRegs))
+					if v < vInvariant {
+						v = vInvariant
+					}
+				}
+				if update(in.Dst, v) {
+					changed = true
+				}
+			}
+		}
+	}
+
+	classOf := func(r isa.Reg) valClass {
+		if r == isa.NoReg || int(r) >= len(cls) {
+			return vNonAffine
+		}
+		return opClass(cls, r, ivRegs)
+	}
+
+	// Root-argument tracking: pointer arithmetic on a parameter still
+	// aliases through that parameter.  rootArg[r] is the argument index
+	// a register's value (transitively) derives from, or -1.
+	rootArg := make([]int, f.NumRegs)
+	for i := range rootArg {
+		rootArg[i] = -1
+	}
+	for i := 0; i < f.NumArgs; i++ {
+		rootArg[i] = i
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, bid := range f.Blocks {
+			blk := prog.Block(bid)
+			for i := range blk.Code {
+				in := &blk.Code[i]
+				if !in.Op.WritesDst() || in.Dst == isa.NoReg {
+					continue
+				}
+				switch in.Op {
+				case isa.Add, isa.Sub, isa.Mov:
+					root := -1
+					if in.A != isa.NoReg && int(in.A) < len(rootArg) {
+						root = rootArg[in.A]
+					}
+					if root < 0 && in.Op != isa.Mov && in.B != isa.NoReg && int(in.B) < len(rootArg) {
+						root = rootArg[in.B]
+					}
+					if root >= 0 && rootArg[in.Dst] != root {
+						rootArg[in.Dst] = root
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Pointer-table mutation detection for the P reason: a register
+	// holding a value loaded (inside a loop) from a table that the same
+	// function also stores through is a base pointer that is not loop
+	// invariant (e.g. ping-pong row pointers swapped between steps).
+	storedBase := map[isa.Reg]bool{}
+	ptrSrcBase := map[isa.Reg]isa.Reg{}
+	for _, bid := range f.Blocks {
+		blk := prog.Block(bid)
+		for i := range blk.Code {
+			in := &blk.Code[i]
+			switch in.Op {
+			case isa.Store, isa.FStore:
+				storedBase[in.A] = true
+			case isa.Load, isa.FLoad:
+				if in.Dst != isa.NoReg {
+					ptrSrcBase[in.Dst] = in.A
+				}
+			}
+		}
+	}
+
+	// Per-loop / per-instruction modelability checks.
+	type baseRec struct {
+		write bool
+	}
+	paramBases := map[isa.Reg]*baseRec{}
+	retCount := 0
+
+	for _, bid := range f.Blocks {
+		blk := prog.Block(bid)
+		l := loops[bid]
+		inLoop := l != nil
+		for i := range blk.Code {
+			in := &blk.Code[i]
+			switch in.Op {
+			case isa.Load, isa.FLoad, isa.Store, isa.FStore:
+				if !inLoop {
+					continue
+				}
+				base := classOf(in.A)
+				switch base {
+				case vMemStructured:
+					// Structured pointer-table indirection: modelable only
+					// under alias assumptions Polly will not make.
+					fr.Reasons[A] = true
+					if src, ok := ptrSrcBase[in.A]; ok && storedBase[src] && loadInLoop[in.A] {
+						// The pointer table itself is rewritten by this
+						// function: the base is not loop invariant.
+						fr.Reasons[P] = true
+					}
+				case vMemLoad:
+					fr.Reasons[F] = true // opaque pointer indirection
+					if loadInLoop[in.A] {
+						fr.Reasons[P] = true // base reloaded inside the loop
+					}
+				case vParam, vIV:
+					// Count accesses whose base derives from an argument,
+					// keyed by the root argument (pointer arithmetic on a
+					// parameter still aliases through it).
+					root := -1
+					if int(in.A) < len(rootArg) {
+						root = rootArg[in.A]
+					}
+					if root < 0 {
+						break
+					}
+					rec := paramBases[isa.Reg(root)]
+					if rec == nil {
+						rec = &baseRec{}
+						paramBases[isa.Reg(root)] = rec
+					}
+					if in.Op.IsMemWrite() {
+						rec.write = true
+					}
+				case vNonAffine:
+					fr.Reasons[F] = true
+				}
+				if in.Index != isa.NoReg {
+					switch classOf(in.Index) {
+					case vNonAffine, vMemLoad, vMemStructured:
+						// Subscripts loaded from memory (index arrays,
+						// worklists) are non-affine access functions.
+						fr.Reasons[F] = true
+					}
+				}
+			case isa.Br:
+				if !inLoop {
+					continue
+				}
+				if isLoopHeaderTest(forest, bid) {
+					// Loop bound: each operand of the header compare must be
+					// an induction variable or affine in parameters.
+					if !headerBoundAffine(prog, blk, ivRegs, classOf) {
+						fr.Reasons[B] = true
+						debugReason(f, "B", "header bound", blk)
+					}
+					continue
+				}
+				// Conditional inside the loop body.  Branches whose targets
+				// contain only register computation are if-converted to
+				// selects by the vectorizing compiler, so only conditionals
+				// guarding stores/calls/control count.
+				if c := classOf(in.A); c > vIV && !selectLike(prog, in) {
+					fr.Reasons[B] = true
+					debugReason(f, "B", "conditional", blk)
+				}
+				// Branch leaving more than one loop level = complex CFG.
+				if exitsMultipleLoops(forest, bid, in) {
+					fr.Reasons[C] = true
+				}
+			case isa.Ret:
+				if inLoop {
+					fr.Reasons[C] = true // early return from inside a loop
+				}
+				retCount++
+			case isa.Call:
+				if !inLoop {
+					continue
+				}
+				callee := prog.Func(in.Callee)
+				if isOpaque(callee) {
+					fr.Reasons[R] = true
+				} else if recursive[in.Callee] || in.Callee == f.ID {
+					fr.Reasons[R] = true
+					fr.Reasons[C] = true
+				}
+			}
+		}
+	}
+
+	// Aliasing: two or more distinct pointer-typed parameters used as
+	// access bases, at least one written — Polly would need runtime
+	// alias checks it gives up on.
+	writes := 0
+	bases := 0
+	for _, rec := range paramBases {
+		bases++
+		if rec.write {
+			writes++
+		}
+	}
+	if bases >= 2 && writes >= 1 {
+		fr.Reasons[A] = true
+	}
+	// More than one return statement means the structured region has
+	// early exits (breaks compiled to returns): complex CFG.
+	if retCount > 1 && fr.HasLoops {
+		fr.Reasons[C] = true
+	}
+	return fr
+}
+
+// opClass returns the effective class of an operand, honoring detected
+// induction variables.
+func opClass(cls []valClass, r isa.Reg, ivRegs map[isa.Reg]bool) valClass {
+	if r == isa.NoReg || int(r) >= len(cls) {
+		return vNonAffine
+	}
+	if ivRegs[r] {
+		return vIV
+	}
+	return cls[r]
+}
+
+func affineAdd(a, b valClass) valClass {
+	v := joinClass(a, b)
+	if v <= vIV {
+		return v
+	}
+	return v
+}
+
+func affineMul(a, b valClass) valClass {
+	hi, lo := a, b
+	if lo > hi {
+		hi, lo = lo, hi
+	}
+	switch {
+	case hi <= vConst:
+		return vConst
+	case hi <= vParam && lo <= vParam:
+		if hi == vParam && lo == vParam {
+			return vInvariant // param*param: invariant, not param-affine
+		}
+		return vParam
+	case hi == vIV && lo <= vConst:
+		return vIV // const coefficient
+	case hi == vIV:
+		return vNonAffine // IV times a symbolic value: not affine
+	case hi <= vInvariant:
+		return vInvariant
+	default:
+		return vNonAffine
+	}
+}
+
+func nonAffineCombine(a, b valClass) valClass {
+	v := joinClass(a, b)
+	if v <= vConst {
+		return vConst
+	}
+	if v <= vParam {
+		return vInvariant // e.g. param % const: invariant but opaque
+	}
+	return vNonAffine
+}
+
+// detectIVs finds canonical induction variables per loop: a register is
+// the IV of loop L when every definition it has *inside L's region* is
+// a constant-step advance (r = r +/- c) and there is at least one.  The
+// initializing move sits outside L (possibly inside an enclosing loop),
+// so detection is per-loop rather than per-function.
+func detectIVs(prog *isa.Program, f *isa.Func, forest *cfg.Forest) map[isa.Reg]bool {
+	constRegs := map[isa.Reg]bool{}
+	for _, bid := range f.Blocks {
+		blk := prog.Block(bid)
+		for i := range blk.Code {
+			if blk.Code[i].Op == isa.ConstI && blk.Code[i].Dst != isa.NoReg {
+				constRegs[blk.Code[i].Dst] = true
+			}
+		}
+	}
+	out := map[isa.Reg]bool{}
+	for _, l := range forest.Loops {
+		if l.Fn != f.ID {
+			continue
+		}
+		advance := map[isa.Reg]int{}
+		other := map[isa.Reg]int{}
+		for bid := range l.Blocks {
+			blk := prog.Block(bid)
+			for i := range blk.Code {
+				in := &blk.Code[i]
+				if !in.Op.WritesDst() || in.Dst == isa.NoReg {
+					continue
+				}
+				if (in.Op == isa.Add || in.Op == isa.Sub) && in.A == in.Dst && constRegs[in.B] {
+					advance[in.Dst]++
+				} else {
+					other[in.Dst]++
+				}
+			}
+		}
+		for r, n := range advance {
+			if n >= 1 && other[r] == 0 {
+				out[r] = true
+			}
+		}
+	}
+	return out
+}
+
+// isLoopHeaderTest reports whether the block is a loop header (its
+// branch is the loop's exit test).
+func isLoopHeaderTest(forest *cfg.Forest, bid isa.BlockID) bool {
+	return forest.HeaderLoop(bid) != nil
+}
+
+// headerBoundAffine reports whether the loop's exit test compares an
+// induction variable against a parameter-affine bound.  While-loops
+// over worklists (no IV) and clamped/loaded bounds fail this.
+func headerBoundAffine(prog *isa.Program, blk *isa.Block, ivRegs map[isa.Reg]bool, classOf func(isa.Reg) valClass) bool {
+	sawIV := false
+	for i := range blk.Code {
+		in := &blk.Code[i]
+		switch in.Op {
+		case isa.CmpLT, isa.CmpLE, isa.CmpGT, isa.CmpGE, isa.CmpNE, isa.CmpEQ:
+			for _, r := range []isa.Reg{in.A, in.B} {
+				if ivRegs[r] {
+					sawIV = true
+					continue
+				}
+				if c := classOf(r); c > vParam {
+					return false
+				}
+			}
+		}
+	}
+	return sawIV
+}
+
+// selectLike reports whether a data-dependent branch only guards
+// register moves (an if-convertible pattern).
+func selectLike(prog *isa.Program, in *isa.Instr) bool {
+	for _, t := range []isa.BlockID{in.Then, in.Else} {
+		if t == isa.NoBlock {
+			continue
+		}
+		blk := prog.Block(t)
+		for i := range blk.Code {
+			bi := &blk.Code[i]
+			switch {
+			case bi.Op.IsMem() && bi.Op.IsMemWrite():
+				return false
+			case bi.Op == isa.Call, bi.Op == isa.Ret:
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// exitsMultipleLoops reports whether a branch target leaves more than
+// one loop level at once.
+func exitsMultipleLoops(forest *cfg.Forest, bid isa.BlockID, in *isa.Instr) bool {
+	from := forest.LoopOf(bid)
+	if from == nil {
+		return false
+	}
+	count := func(dst isa.BlockID) int {
+		exited := 0
+		for l := from; l != nil; l = l.Parent {
+			if !l.Contains(dst) {
+				exited++
+			}
+		}
+		return exited
+	}
+	worst := 0
+	for _, t := range []isa.BlockID{in.Then, in.Else} {
+		if t != isa.NoBlock {
+			if n := count(t); n > worst {
+				worst = n
+			}
+		}
+	}
+	return worst > 1
+}

@@ -1,0 +1,199 @@
+package staticpoly_test
+
+import (
+	"testing"
+
+	"polyprof/internal/isa"
+	"polyprof/internal/staticpoly"
+	"polyprof/internal/workloads"
+)
+
+func reasonsOf(t *testing.T, prog *isa.Program, fn string) staticpoly.ReasonSet {
+	t.Helper()
+	res := staticpoly.Analyze(prog)
+	f := prog.FuncByName(fn)
+	if f == nil {
+		t.Fatalf("function %q not found", fn)
+	}
+	return res.Funcs[f.ID].Reasons
+}
+
+// TestAffineKernelModeled: a clean constant-bound affine kernel is a
+// valid static affine region (the baseline CAN model textbook code —
+// only the realistic benchmarks defeat it).
+func TestAffineKernelModeled(t *testing.T) {
+	pb := isa.NewProgram("clean")
+	g := pb.Global("A", 64)
+	f := pb.Func("kernel", 0)
+	base := f.IConst(g.Base)
+	f.Loop("Li", f.IConst(0), f.IConst(8), 1, func(i isa.Reg) {
+		f.Loop("Lj", f.IConst(0), f.IConst(8), 1, func(j isa.Reg) {
+			idx := f.Add(f.Mul(i, f.IConst(8)), j)
+			f.FStoreIdx(base, idx, 0, f.FConst(1))
+		})
+	})
+	f.RetVoid()
+	m := pb.Func("main", 0)
+	m.Call(f.ID())
+	m.Halt()
+	pb.SetMain(m)
+	prog := pb.MustBuild()
+
+	res := staticpoly.Analyze(prog)
+	fr := res.Funcs[prog.FuncByName("kernel").ID]
+	if !fr.Modeled || len(fr.Reasons) != 0 {
+		t.Errorf("clean affine kernel not modeled: %v", fr.Reasons)
+	}
+}
+
+// TestParametricBoundsModeled: bounds affine in function parameters are
+// fine (Polly handles symbolic parameters).
+func TestParametricBoundsModeled(t *testing.T) {
+	pb := isa.NewProgram("param")
+	g := pb.Global("A", 64)
+	f := pb.Func("kernel", 1)
+	n := f.Arg(0)
+	base := f.IConst(g.Base)
+	f.Loop("L", f.IConst(0), f.Add(n, f.IConst(1)), 1, func(i isa.Reg) {
+		f.FStoreIdx(base, i, 0, f.FConst(1))
+	})
+	f.RetVoid()
+	m := pb.Func("main", 0)
+	m.Call(f.ID(), m.IConst(32))
+	m.Halt()
+	pb.SetMain(m)
+	rs := reasonsOf(t, pb.MustBuild(), "kernel")
+	if rs[staticpoly.B] {
+		t.Errorf("parametric bound flagged B: %v", rs)
+	}
+}
+
+// TestLoadedBoundIsB: a trip count loaded from memory is a non-affine
+// bound.
+func TestLoadedBoundIsB(t *testing.T) {
+	pb := isa.NewProgram("loaded-bound")
+	g := pb.Global("A", 64)
+	f := pb.Func("kernel", 0)
+	base := f.IConst(g.Base)
+	n := f.Load(base, 0)
+	f.Loop("L", f.IConst(0), n, 1, func(i isa.Reg) {
+		f.StoreIdx(base, i, 1, i)
+	})
+	f.RetVoid()
+	m := pb.Func("main", 0)
+	m.Call(f.ID())
+	m.Halt()
+	pb.SetMain(m)
+	rs := reasonsOf(t, pb.MustBuild(), "kernel")
+	if !rs[staticpoly.B] {
+		t.Errorf("loaded bound must be B: %v", rs)
+	}
+}
+
+// TestOpaqueCallIsR and recursion handling.
+func TestOpaqueCallIsR(t *testing.T) {
+	pb := isa.NewProgram("opaque")
+	seed := pb.Global("seed", 1)
+	rnd := pb.Func("libc_rand", 0)
+	rnd.Ret(rnd.Load(rnd.IConst(seed.Base), 0))
+	f := pb.Func("kernel", 0)
+	base := f.IConst(seed.Base)
+	f.Loop("L", f.IConst(0), f.IConst(4), 1, func(i isa.Reg) {
+		f.StoreIdx(base, f.IConst(0), 0, f.Call(rnd.ID()))
+	})
+	f.RetVoid()
+	m := pb.Func("main", 0)
+	m.Call(f.ID())
+	m.Halt()
+	pb.SetMain(m)
+	rs := reasonsOf(t, pb.MustBuild(), "kernel")
+	if !rs[staticpoly.R] {
+		t.Errorf("opaque libc call must be R: %v", rs)
+	}
+}
+
+// TestEarlyReturnIsC: multiple returns mean early exits.
+func TestEarlyReturnIsC(t *testing.T) {
+	pb := isa.NewProgram("earlyret")
+	g := pb.Global("A", 16)
+	f := pb.Func("kernel", 0)
+	base := f.IConst(g.Base)
+	f.Loop("L", f.IConst(0), f.IConst(8), 1, func(i isa.Reg) {
+		bad := f.CmpGT(f.LoadIdx(base, i, 0), f.IConst(100))
+		f.If(bad, func() { f.Ret(f.IConst(0)) }, nil)
+	})
+	f.Ret(f.IConst(1))
+	m := pb.Func("main", 0)
+	m.Call(f.ID())
+	m.Halt()
+	pb.SetMain(m)
+	rs := reasonsOf(t, pb.MustBuild(), "kernel")
+	if !rs[staticpoly.C] {
+		t.Errorf("early return must be C: %v", rs)
+	}
+}
+
+// TestIndirectIndexIsF: subscripts loaded from memory.
+func TestIndirectIndexIsF(t *testing.T) {
+	pb := isa.NewProgram("indirect")
+	a := pb.Global("A", 32)
+	idx := pb.Global("idx", 32)
+	f := pb.Func("kernel", 0)
+	aB := f.IConst(a.Base)
+	iB := f.IConst(idx.Base)
+	f.Loop("L", f.IConst(0), f.IConst(16), 1, func(i isa.Reg) {
+		j := f.LoadIdx(iB, i, 0)
+		f.StoreIdx(aB, j, 0, i)
+	})
+	f.RetVoid()
+	m := pb.Func("main", 0)
+	m.Call(f.ID())
+	m.Halt()
+	pb.SetMain(m)
+	rs := reasonsOf(t, pb.MustBuild(), "kernel")
+	if !rs[staticpoly.F] {
+		t.Errorf("indirect subscript must be F: %v", rs)
+	}
+}
+
+// TestPointerParamAliasingIsA: two pointer params, one written.
+func TestPointerParamAliasingIsA(t *testing.T) {
+	pb := isa.NewProgram("alias")
+	g := pb.Global("mem", 64)
+	f := pb.Func("kernel", 2)
+	src, dst := f.Arg(0), f.Arg(1)
+	f.Loop("L", f.IConst(0), f.IConst(16), 1, func(i isa.Reg) {
+		f.FStoreIdx(dst, i, 0, f.FLoadIdx(src, i, 0))
+	})
+	f.RetVoid()
+	m := pb.Func("main", 0)
+	m.Call(f.ID(), m.IConst(g.Base), m.IConst(g.Base+32))
+	m.Halt()
+	pb.SetMain(m)
+	rs := reasonsOf(t, pb.MustBuild(), "kernel")
+	if !rs[staticpoly.A] {
+		t.Errorf("aliasing pointer params must be A: %v", rs)
+	}
+}
+
+// TestRegionReasonsMatchPaper pins the per-benchmark verdicts.
+func TestRegionReasonsMatchPaper(t *testing.T) {
+	exact := map[string]bool{
+		"bfs": true, "b+tree": true, "cfd": true, "heartwall": true,
+		"hotspot": true, "kmeans": true, "lavaMD": true, "leukocyte": true,
+		"lud": true, "myocyte": true, "nn": true, "nw": true,
+		"srad_v1": true, "srad_v2": true, "streamcluster": true,
+	}
+	for _, spec := range workloads.Rodinia() {
+		prog := spec.Build()
+		res := staticpoly.Analyze(prog)
+		if res.RegionModeled(prog, spec.RegionFuncs...) {
+			t.Errorf("%s: region modeled; the paper's Experiment II has Polly failing on all 19", spec.Name)
+		}
+		if exact[spec.Name] {
+			if got := res.RegionReasons(prog, spec.RegionFuncs...).String(); got != spec.PaperReasons {
+				t.Errorf("%s: reasons %q, want the paper's %q", spec.Name, got, spec.PaperReasons)
+			}
+		}
+	}
+}

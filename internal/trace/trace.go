@@ -1,0 +1,92 @@
+// Package trace defines the raw event stream produced by the
+// instrumented virtual machine.  These events are the only interface
+// between execution and analysis: everything polyprof reconstructs
+// (CFGs, call graph, loops, iteration vectors, dependencies) is derived
+// from this stream, exactly as the paper's QEMU-plugin instrumentation
+// exposes jump/call/return events plus memory addresses and integer
+// values to its analyses.
+package trace
+
+import "polyprof/internal/isa"
+
+// ControlKind discriminates control-transfer events.
+type ControlKind uint8
+
+// Control event kinds.
+const (
+	// Jump is a local (intraprocedural) transfer: fall-through of a Jmp
+	// or a taken Br edge, plus the synthetic initial entry into main.
+	Jump ControlKind = iota
+	// Call is a function call; Dst is the callee's entry block.
+	Call
+	// Return is a function return; Dst is the continuation block in the
+	// caller.
+	Return
+)
+
+func (k ControlKind) String() string {
+	switch k {
+	case Jump:
+		return "jump"
+	case Call:
+		return "call"
+	case Return:
+		return "return"
+	}
+	return "control(?)"
+}
+
+// ControlEvent is one dynamic control transfer.
+type ControlEvent struct {
+	Kind ControlKind
+	// Src is the block the transfer leaves (NoBlock for program entry).
+	Src isa.BlockID
+	// Dst is the block the transfer reaches: the jump target, the callee
+	// entry, or the return continuation.
+	Dst isa.BlockID
+	// Callee is the function being entered (Call) or left (Return);
+	// NoFunc for jumps.
+	Callee isa.FuncID
+	// Caller is the function containing Src for calls, or the function
+	// being returned into for returns; NoFunc for jumps.
+	Caller isa.FuncID
+}
+
+// InstrRef statically identifies an instruction as (block, index).
+type InstrRef struct {
+	Block isa.BlockID
+	Index int32
+}
+
+// InstrEvent is one executed instruction.  Static properties (opcode,
+// registers) are read from the program via Ref; the event carries only
+// the dynamic facts instrumentation observes.
+type InstrEvent struct {
+	Ref InstrRef
+	// Value is the produced integer value when the instruction's opcode
+	// ProducesInt(); undefined otherwise.
+	Value int64
+	// Addr is the effective word address for memory operations, -1
+	// otherwise.
+	Addr int64
+}
+
+// Hook receives the instrumentation stream.  Control events are
+// delivered *before* execution continues at Dst; instruction events are
+// delivered after the instruction executes (so produced values are
+// available), in program order.
+type Hook interface {
+	Control(ev ControlEvent)
+	Instr(ev InstrEvent, in *isa.Instr)
+}
+
+// ControlOnly adapts a function to a Hook that ignores instructions.
+// Pass 1 of polyprof (dynamic CFG/CG recovery) uses it: the paper's
+// "Instrumentation I" also only instruments control transfers.
+type ControlOnly func(ev ControlEvent)
+
+// Control implements Hook.
+func (f ControlOnly) Control(ev ControlEvent) { f(ev) }
+
+// Instr implements Hook as a no-op.
+func (ControlOnly) Instr(InstrEvent, *isa.Instr) {}

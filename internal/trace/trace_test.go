@@ -1,0 +1,38 @@
+package trace_test
+
+import (
+	"testing"
+
+	"polyprof/internal/isa"
+	"polyprof/internal/trace"
+)
+
+func TestControlKindString(t *testing.T) {
+	cases := map[trace.ControlKind]string{
+		trace.Jump:   "jump",
+		trace.Call:   "call",
+		trace.Return: "return",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+	if trace.ControlKind(99).String() == "" {
+		t.Error("unknown kinds must render something")
+	}
+}
+
+// TestControlOnlyAdapter: the pass-1 adapter forwards control events
+// and swallows instruction events.
+func TestControlOnlyAdapter(t *testing.T) {
+	var got []trace.ControlEvent
+	var hook trace.Hook = trace.ControlOnly(func(ev trace.ControlEvent) {
+		got = append(got, ev)
+	})
+	hook.Control(trace.ControlEvent{Kind: trace.Call, Src: 1, Dst: 2})
+	hook.Instr(trace.InstrEvent{}, &isa.Instr{Op: isa.Add}) // must be a no-op
+	if len(got) != 1 || got[0].Kind != trace.Call || got[0].Dst != 2 {
+		t.Errorf("adapter forwarded %v", got)
+	}
+}

@@ -1,0 +1,55 @@
+package vm
+
+import (
+	"polyprof/internal/cachesim"
+	"polyprof/internal/isa"
+)
+
+// CycleModel makes the machine account simulated cycles while it
+// executes: a base cost per instruction class plus cache-modeled memory
+// latencies.  It gives workloads a "measured" serial cycle count that
+// the feedback stage's replay-based estimates can be sanity-checked
+// against.
+type CycleModel struct {
+	Cache *cachesim.Cache
+
+	cycles uint64
+}
+
+// NewCycleModel creates a model around the given cache configuration.
+func NewCycleModel(cfg cachesim.Config) *CycleModel {
+	return &CycleModel{Cache: cachesim.New(cfg)}
+}
+
+// Cycles returns the accumulated cycle count.
+func (c *CycleModel) Cycles() uint64 { return c.cycles }
+
+// Reset clears the counter and the cache.
+func (c *CycleModel) Reset() {
+	c.cycles = 0
+	c.Cache.Reset()
+}
+
+// instrCost is the base (non-memory) cost per opcode class, matching
+// the feedback stage's replay table.
+func instrCost(op isa.Opcode) uint64 {
+	switch {
+	case op == isa.FDiv, op == isa.FSqrt, op == isa.FExp, op == isa.FLog,
+		op == isa.Div, op == isa.Mod:
+		return 12
+	case op.IsFP():
+		return 3
+	case op.IsMem():
+		return 0 // accounted via the cache below
+	default:
+		return 1
+	}
+}
+
+// account charges one executed instruction.
+func (c *CycleModel) account(op isa.Opcode, addr int64) {
+	c.cycles += instrCost(op)
+	if addr >= 0 {
+		c.cycles += c.Cache.Access(addr)
+	}
+}

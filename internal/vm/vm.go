@@ -1,0 +1,354 @@
+// Package vm executes isa programs under instrumentation.  It plays the
+// role QEMU plays for the paper: a translator/interpreter whose plugin
+// hooks expose control transfers, memory addresses and produced integer
+// values to the profiling stages, without the profiler ever inspecting
+// program semantics directly.
+package vm
+
+import (
+	"fmt"
+	"math"
+
+	"polyprof/internal/isa"
+	"polyprof/internal/trace"
+)
+
+// DefaultMaxSteps bounds a run to catch accidentally non-terminating
+// workloads; it is far above anything the bundled benchmarks need.
+const DefaultMaxSteps = 500_000_000
+
+// Stats aggregates the dynamic operation counters the paper reports
+// (#Ops, #Mops and derived percentages).
+type Stats struct {
+	Ops    uint64 // all executed instructions
+	MemOps uint64 // loads + stores
+	FPOps  uint64 // floating point operations
+	Calls  uint64 // call events
+	Jumps  uint64 // local jump events
+}
+
+type frame struct {
+	fn   *isa.Func
+	regs []uint64
+	blk  *isa.Block
+	pc   int
+
+	// Return linkage into the caller.
+	retDst  isa.Reg
+	retCont isa.BlockID
+}
+
+// Machine interprets one program.  The zero value is not usable; create
+// machines with New.
+type Machine struct {
+	prog  *isa.Program
+	mem   []uint64
+	hooks []trace.Hook
+
+	stack []frame
+	stats Stats
+
+	// MaxSteps overrides DefaultMaxSteps when non-zero.
+	MaxSteps uint64
+
+	// InitMem, when set, is invoked once before execution with the raw
+	// memory so workloads can preload inputs (the paper's benchmarks read
+	// input files; ours synthesize equivalent data).
+	InitMem func(mem []uint64)
+
+	// Cost, when set, accumulates simulated cycles during execution
+	// (base per-opcode costs plus cache-modeled memory latency).
+	Cost *CycleModel
+}
+
+// New creates a machine for prog with the given instrumentation hooks
+// (nil hooks are dropped).
+func New(prog *isa.Program, hooks ...trace.Hook) *Machine {
+	m := &Machine{prog: prog}
+	for _, h := range hooks {
+		if h != nil {
+			m.hooks = append(m.hooks, h)
+		}
+	}
+	return m
+}
+
+// Mem exposes the machine memory (valid after Run, or inside hooks).
+func (m *Machine) Mem() []uint64 { return m.mem }
+
+// Stats returns the dynamic operation counters of the last run.
+func (m *Machine) Stats() Stats { return m.stats }
+
+// F64 interprets a memory word as float64.
+func F64(w uint64) float64 { return math.Float64frombits(w) }
+
+// W64 encodes a float64 as a memory word.
+func W64(f float64) uint64 { return math.Float64bits(f) }
+
+func (m *Machine) emitControl(ev trace.ControlEvent) {
+	for _, h := range m.hooks {
+		h.Control(ev)
+	}
+}
+
+func (m *Machine) emitInstr(ev trace.InstrEvent, in *isa.Instr) {
+	for _, h := range m.hooks {
+		h.Instr(ev, in)
+	}
+}
+
+// Run executes the program from its main function until Halt, the final
+// return from main, or an error (trap, step limit).
+func (m *Machine) Run() error {
+	m.mem = make([]uint64, m.prog.MemWords)
+	if m.InitMem != nil {
+		m.InitMem(m.mem)
+	}
+	m.stats = Stats{}
+	main := m.prog.Func(m.prog.Main)
+	m.stack = m.stack[:0]
+	m.push(main, nil, isa.NoReg, isa.NoBlock)
+
+	// Synthetic entry event so the analyses see main's entry block
+	// (Fig. 3d step 1 shows exactly this N(M0) event).
+	m.emitControl(trace.ControlEvent{
+		Kind: trace.Jump, Src: isa.NoBlock, Dst: main.Entry,
+		Callee: isa.NoFunc, Caller: isa.NoFunc,
+	})
+
+	limit := m.MaxSteps
+	if limit == 0 {
+		limit = DefaultMaxSteps
+	}
+	for len(m.stack) > 0 {
+		if m.stats.Ops >= limit {
+			return fmt.Errorf("vm: step limit %d exceeded in %q", limit, m.prog.Name)
+		}
+		halt, err := m.step()
+		if err != nil {
+			return err
+		}
+		if halt {
+			return nil
+		}
+	}
+	return nil
+}
+
+func (m *Machine) push(fn *isa.Func, args []uint64, retDst isa.Reg, retCont isa.BlockID) {
+	regs := make([]uint64, fn.NumRegs)
+	copy(regs, args)
+	m.stack = append(m.stack, frame{
+		fn: fn, regs: regs, blk: m.prog.Block(fn.Entry),
+		retDst: retDst, retCont: retCont,
+	})
+}
+
+func (m *Machine) top() *frame { return &m.stack[len(m.stack)-1] }
+
+func (m *Machine) trap(f *frame, format string, args ...interface{}) error {
+	in := &f.blk.Code[f.pc]
+	return fmt.Errorf("vm trap in %s, block %q, instr %d (%s at %s): %s",
+		f.fn.Name, f.blk.Name, f.pc, m.prog.DisasmInstr(in), in.Loc, fmt.Sprintf(format, args...))
+}
+
+// step executes one instruction; returns halt=true on Halt.
+func (m *Machine) step() (halt bool, err error) {
+	f := m.top()
+	in := &f.blk.Code[f.pc]
+	r := f.regs
+	m.stats.Ops++
+	if in.Op.IsFP() {
+		m.stats.FPOps++
+	}
+
+	ev := trace.InstrEvent{Ref: trace.InstrRef{Block: f.blk.ID, Index: int32(f.pc)}, Addr: -1}
+
+	switch in.Op {
+	case isa.Nop:
+	case isa.ConstI:
+		r[in.Dst] = uint64(in.Imm)
+	case isa.Mov, isa.FMov:
+		r[in.Dst] = r[in.A]
+	case isa.Add:
+		r[in.Dst] = uint64(int64(r[in.A]) + int64(r[in.B]))
+	case isa.Sub:
+		r[in.Dst] = uint64(int64(r[in.A]) - int64(r[in.B]))
+	case isa.Mul:
+		r[in.Dst] = uint64(int64(r[in.A]) * int64(r[in.B]))
+	case isa.Div:
+		if r[in.B] == 0 {
+			return false, m.trap(f, "integer division by zero")
+		}
+		r[in.Dst] = uint64(int64(r[in.A]) / int64(r[in.B]))
+	case isa.Mod:
+		if r[in.B] == 0 {
+			return false, m.trap(f, "integer modulo by zero")
+		}
+		r[in.Dst] = uint64(int64(r[in.A]) % int64(r[in.B]))
+	case isa.And:
+		r[in.Dst] = r[in.A] & r[in.B]
+	case isa.Or:
+		r[in.Dst] = r[in.A] | r[in.B]
+	case isa.Xor:
+		r[in.Dst] = r[in.A] ^ r[in.B]
+	case isa.Shl:
+		r[in.Dst] = uint64(int64(r[in.A]) << (r[in.B] & 63))
+	case isa.Shr:
+		r[in.Dst] = uint64(int64(r[in.A]) >> (r[in.B] & 63))
+	case isa.MinI:
+		r[in.Dst] = uint64(min(int64(r[in.A]), int64(r[in.B])))
+	case isa.MaxI:
+		r[in.Dst] = uint64(max(int64(r[in.A]), int64(r[in.B])))
+	case isa.CmpEQ:
+		r[in.Dst] = b2w(int64(r[in.A]) == int64(r[in.B]))
+	case isa.CmpNE:
+		r[in.Dst] = b2w(int64(r[in.A]) != int64(r[in.B]))
+	case isa.CmpLT:
+		r[in.Dst] = b2w(int64(r[in.A]) < int64(r[in.B]))
+	case isa.CmpLE:
+		r[in.Dst] = b2w(int64(r[in.A]) <= int64(r[in.B]))
+	case isa.CmpGT:
+		r[in.Dst] = b2w(int64(r[in.A]) > int64(r[in.B]))
+	case isa.CmpGE:
+		r[in.Dst] = b2w(int64(r[in.A]) >= int64(r[in.B]))
+	case isa.ConstF:
+		r[in.Dst] = W64(in.FImm)
+	case isa.FAdd:
+		r[in.Dst] = W64(F64(r[in.A]) + F64(r[in.B]))
+	case isa.FSub:
+		r[in.Dst] = W64(F64(r[in.A]) - F64(r[in.B]))
+	case isa.FMul:
+		r[in.Dst] = W64(F64(r[in.A]) * F64(r[in.B]))
+	case isa.FDiv:
+		r[in.Dst] = W64(F64(r[in.A]) / F64(r[in.B]))
+	case isa.FMin:
+		r[in.Dst] = W64(math.Min(F64(r[in.A]), F64(r[in.B])))
+	case isa.FMax:
+		r[in.Dst] = W64(math.Max(F64(r[in.A]), F64(r[in.B])))
+	case isa.FNeg:
+		r[in.Dst] = W64(-F64(r[in.A]))
+	case isa.FAbs:
+		r[in.Dst] = W64(math.Abs(F64(r[in.A])))
+	case isa.FSqrt:
+		r[in.Dst] = W64(math.Sqrt(F64(r[in.A])))
+	case isa.FExp:
+		r[in.Dst] = W64(math.Exp(F64(r[in.A])))
+	case isa.FLog:
+		r[in.Dst] = W64(math.Log(F64(r[in.A])))
+	case isa.FCmpEQ:
+		r[in.Dst] = b2w(F64(r[in.A]) == F64(r[in.B]))
+	case isa.FCmpLT:
+		r[in.Dst] = b2w(F64(r[in.A]) < F64(r[in.B]))
+	case isa.FCmpLE:
+		r[in.Dst] = b2w(F64(r[in.A]) <= F64(r[in.B]))
+	case isa.I2F:
+		r[in.Dst] = W64(float64(int64(r[in.A])))
+	case isa.F2I:
+		r[in.Dst] = uint64(int64(F64(r[in.A])))
+
+	case isa.Load, isa.FLoad:
+		addr := int64(r[in.A]) + in.Imm
+		if in.Index != isa.NoReg {
+			addr += int64(r[in.Index])
+		}
+		if addr < 0 || addr >= int64(len(m.mem)) {
+			return false, m.trap(f, "load out of bounds: address %d (memory %d words)", addr, len(m.mem))
+		}
+		m.stats.MemOps++
+		r[in.Dst] = m.mem[addr]
+		ev.Addr = addr
+	case isa.Store, isa.FStore:
+		addr := int64(r[in.A]) + in.Imm
+		if in.Index != isa.NoReg {
+			addr += int64(r[in.Index])
+		}
+		if addr < 0 || addr >= int64(len(m.mem)) {
+			return false, m.trap(f, "store out of bounds: address %d (memory %d words)", addr, len(m.mem))
+		}
+		m.stats.MemOps++
+		m.mem[addr] = r[in.B]
+		ev.Addr = addr
+
+	case isa.Jmp:
+		m.stats.Jumps++
+		m.emitInstr(ev, in)
+		m.emitControl(trace.ControlEvent{
+			Kind: trace.Jump, Src: f.blk.ID, Dst: in.Then,
+			Callee: isa.NoFunc, Caller: isa.NoFunc,
+		})
+		f.blk, f.pc = m.prog.Block(in.Then), 0
+		return false, nil
+	case isa.Br:
+		m.stats.Jumps++
+		dst := in.Else
+		if r[in.A] != 0 {
+			dst = in.Then
+		}
+		m.emitInstr(ev, in)
+		m.emitControl(trace.ControlEvent{
+			Kind: trace.Jump, Src: f.blk.ID, Dst: dst,
+			Callee: isa.NoFunc, Caller: isa.NoFunc,
+		})
+		f.blk, f.pc = m.prog.Block(dst), 0
+		return false, nil
+	case isa.Call:
+		m.stats.Calls++
+		callee := m.prog.Func(in.Callee)
+		args := make([]uint64, len(in.Args))
+		for i, a := range in.Args {
+			args[i] = r[a]
+		}
+		m.emitInstr(ev, in)
+		m.emitControl(trace.ControlEvent{
+			Kind: trace.Call, Src: f.blk.ID, Dst: callee.Entry,
+			Callee: callee.ID, Caller: f.fn.ID,
+		})
+		m.push(callee, args, in.Dst, in.Then)
+		return false, nil
+	case isa.Ret:
+		var val uint64
+		if in.A != isa.NoReg {
+			val = r[in.A]
+		}
+		m.emitInstr(ev, in)
+		callee := f.fn
+		retDst, retCont := f.retDst, f.retCont
+		m.stack = m.stack[:len(m.stack)-1]
+		if len(m.stack) == 0 {
+			return true, nil // main returned
+		}
+		caller := m.top()
+		if retDst != isa.NoReg {
+			caller.regs[retDst] = val
+		}
+		m.emitControl(trace.ControlEvent{
+			Kind: trace.Return, Src: f.blk.ID, Dst: retCont,
+			Callee: callee.ID, Caller: caller.fn.ID,
+		})
+		caller.blk, caller.pc = m.prog.Block(retCont), 0
+		return false, nil
+	case isa.Halt:
+		m.emitInstr(ev, in)
+		return true, nil
+	default:
+		return false, m.trap(f, "unknown opcode %v", in.Op)
+	}
+
+	if in.Op.ProducesInt() {
+		ev.Value = int64(r[in.Dst])
+	}
+	if m.Cost != nil {
+		m.Cost.account(in.Op, ev.Addr)
+	}
+	m.emitInstr(ev, in)
+	f.pc++
+	return false, nil
+}
+
+func b2w(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,266 @@
+package workloads
+
+import "polyprof/internal/isa"
+
+// BackpropParams sizes the backprop twin.  The paper's Tables 1/2 show
+// the layer-forward kernel with canonical iterators cj in [0,15] and
+// ck in [0,42], i.e. 16 output and 43 input units for the profiled
+// call.
+type BackpropParams struct {
+	In     int64 // input layer units (paper's n1 loop extent)
+	Hidden int64 // hidden layer units (paper's n2 = 16)
+	Out    int64 // output layer units
+}
+
+// DefaultBackpropParams matches the case-study instance.
+func DefaultBackpropParams() BackpropParams {
+	return BackpropParams{In: 42, Hidden: 16, Out: 4}
+}
+
+// Backprop builds the Rodinia backprop twin: a two-layer neural network
+// doing one forward/backward training pass.  It reproduces the
+// structural features the paper exploits:
+//
+//   - bpnn_layerforward (Fig. 6): 2D nest whose inner loop walks a
+//     row-pointer indirection (conn[k][j] via a pointer load), with a
+//     scalar sum accumulation and a call to squash() — the loop nest is
+//     interprocedural and pointer-based, which defeats static analysis
+//     but folds exactly under dynamic profiling;
+//   - bpnn_adjust_weights: 2D nest updating weights and momenta;
+//   - two calls to each kernel with different layer sizes, only the
+//     bigger of which is worth transforming (the paper's flame graph
+//     highlights "the first call (of two)").
+//
+// Weight matrices are stored row-per-k so the inner j loop is stride-1
+// only after interchange — exactly the Table 3 situation (interchange +
+// SIMD suggested; outer loop parallel; stride profile improves).
+func Backprop(p BackpropParams) *isa.Program {
+	pb := isa.NewProgram("backprop")
+
+	// Layer value and delta arrays (index 0 unused, as in Rodinia).
+	inUnits := pb.Global("input_units", p.In+1)
+	hidUnits := pb.Global("hidden_units", p.Hidden+1)
+	outUnits := pb.Global("output_units", p.Out+1)
+	hidDelta := pb.Global("hidden_delta", p.Hidden+1)
+	outDelta := pb.Global("output_delta", p.Out+1)
+	target := pb.Global("target", p.Out+1)
+
+	// Weight matrices with a row-pointer indirection table, mimicking
+	// Rodinia's float** layout: w[k] points at row k.
+	inHidRows := pb.Global("input_weights_rows", (p.In+1)*(p.Hidden+1))
+	inHidPtrs := pb.Global("input_weights", p.In+1)
+	hidOutRows := pb.Global("hidden_weights_rows", (p.Hidden+1)*(p.Out+1))
+	hidOutPtrs := pb.Global("hidden_weights", p.Hidden+1)
+	inHidPrev := pb.Global("input_prev_weights", (p.In+1)*(p.Hidden+1))
+	hidOutPrev := pb.Global("hidden_prev_weights", (p.Hidden+1)*(p.Out+1))
+
+	// squash(x) = 1 / (1 + exp(-x)).
+	squash := pb.Func("squash", 1)
+	{
+		x := squash.Arg(0)
+		squash.SetFile("backprop.c")
+		squash.At(211)
+		one := squash.FConst(1)
+		e := squash.FExp(squash.FNeg(x))
+		squash.Ret(squash.FDiv(one, squash.FAdd(one, e)))
+	}
+
+	// bpnn_layerforward(l1base, l2base, connPtrBase, n1, n2) — Fig. 6.
+	layerforward := pb.Func("bpnn_layerforward", 5)
+	layerforward.SetSrcDepth(2)
+	{
+		f := layerforward
+		f.SetFile("backprop.c")
+		l1, l2, conn := f.Arg(0), f.Arg(1), f.Arg(2)
+		n1, n2 := f.Arg(3), f.Arg(4)
+		f.At(250)
+		one := f.IConst(1)
+		sum := f.NewReg()
+		n2end := f.Add(n2, one)
+		f.At(253)
+		f.Loop("Lj", one, n2end, 1, func(j isa.Reg) {
+			f.At(254)
+			f.SetF(sum, 0)
+			n1end := f.Add(n1, one)
+			f.Loop("Lk", f.IConst(0), n1end, 1, func(k isa.Reg) {
+				f.At(255)
+				rowPtr := f.LoadIdx(conn, k, 0)  // I1: tmp1 = load(&conn + k)
+				w := f.FLoadIdx(rowPtr, j, 0)    // I2: tmp2 = load(tmp1 + j)
+				x := f.FLoadIdx(l1, k, 0)        // I3: tmp3 = load(&l1 + k)
+				f.FAddTo(sum, sum, f.FMul(w, x)) // I4: sum += tmp2 * tmp3
+			})
+			f.At(257)
+			v := f.Call(squash.ID(), sum) // I6
+			f.FStoreIdx(l2, j, 0, v)      // I7
+		})
+		f.RetVoid()
+	}
+
+	// bpnn_output_error / bpnn_hidden_error: 1D and 2D error kernels.
+	outputError := pb.Func("bpnn_output_error", 0)
+	{
+		f := outputError
+		f.SetFile("backprop.c")
+		f.At(274)
+		one := f.IConst(1)
+		outBase := f.IConst(outUnits.Base)
+		tgtBase := f.IConst(target.Base)
+		dltBase := f.IConst(outDelta.Base)
+		f.Loop("Lj", one, f.IConst(p.Out+1), 1, func(j isa.Reg) {
+			o := f.FLoadIdx(outBase, j, 0)
+			t := f.FLoadIdx(tgtBase, j, 0)
+			oneF := f.FConst(1)
+			err := f.FMul(f.FMul(o, f.FSub(oneF, o)), f.FSub(t, o))
+			f.FStoreIdx(dltBase, j, 0, err)
+		})
+		f.RetVoid()
+	}
+
+	hiddenError := pb.Func("bpnn_hidden_error", 0)
+	hiddenError.SetSrcDepth(2)
+	{
+		f := hiddenError
+		f.SetFile("backprop.c")
+		f.At(288)
+		one := f.IConst(1)
+		sum := f.NewReg()
+		dltBase := f.IConst(outDelta.Base)
+		ptrBase := f.IConst(hidOutPtrs.Base)
+		hidBase := f.IConst(hidUnits.Base)
+		hdltBase := f.IConst(hidDelta.Base)
+		f.Loop("Lj", one, f.IConst(p.Hidden+1), 1, func(j isa.Reg) {
+			f.SetF(sum, 0)
+			f.Loop("Lk", one, f.IConst(p.Out+1), 1, func(k isa.Reg) {
+				d := f.FLoadIdx(dltBase, k, 0)
+				rowPtr := f.LoadIdx(ptrBase, j, 0)
+				w := f.FLoadIdx(rowPtr, k, 0)
+				f.FAddTo(sum, sum, f.FMul(d, w))
+			})
+			h := f.FLoadIdx(hidBase, j, 0)
+			oneF := f.FConst(1)
+			err := f.FMul(f.FMul(h, f.FSub(oneF, h)), sum)
+			f.FStoreIdx(hdltBase, j, 0, err)
+		})
+		f.RetVoid()
+	}
+
+	// bpnn_adjust_weights(deltaBase, ndelta, lyBase, nly, wPtrBase,
+	// oldwBase): weight update with momentum — Table 3's L_adjust.
+	adjust := pb.Func("bpnn_adjust_weights", 6)
+	adjust.SetSrcDepth(2)
+	{
+		f := adjust
+		f.SetFile("backprop.c")
+		delta, ndelta, ly, nly, wPtr, oldw := f.Arg(0), f.Arg(1), f.Arg(2), f.Arg(3), f.Arg(4), f.Arg(5)
+		f.At(320)
+		one := f.IConst(1)
+		eta := f.FConst(0.3)
+		mom := f.FConst(0.3)
+		ndltEnd := f.Add(ndelta, one)
+		nlyEnd := f.Add(nly, one)
+		f.Loop("Lj", one, ndltEnd, 1, func(j isa.Reg) {
+			f.At(322)
+			f.Loop("Lk", f.IConst(0), nlyEnd, 1, func(k isa.Reg) {
+				d := f.FLoadIdx(delta, j, 0)
+				v := f.FLoadIdx(ly, k, 0)
+				rowPtr := f.LoadIdx(wPtr, k, 0)
+				// oldw is a flat (nly+1) x (ndelta+1) row-major array.
+				oldIdx := f.Add(f.Mul(k, ndltEnd), j)
+				ow := f.FLoadIdx(oldw, oldIdx, 0)
+				upd := f.FAdd(f.FMul(f.FMul(eta, d), v), f.FMul(mom, ow))
+				w := f.FLoadIdx(rowPtr, j, 0)
+				f.FStoreIdx(rowPtr, j, 0, f.FAdd(w, upd))
+				f.FStoreIdx(oldw, oldIdx, 0, upd)
+			})
+		})
+		f.RetVoid()
+	}
+
+	// setup: fill inputs, weights and the row-pointer tables with an LCG.
+	setup := pb.Func("bpnn_setup", 0)
+	{
+		f := setup
+		f.SetFile("facetrain.c")
+		f.At(10)
+		seed := f.NewReg()
+		f.SetI(seed, 7)
+		lcg := func() isa.Reg {
+			// seed = (seed*1103515245 + 12345) mod 2^31
+			a := f.IConst(1103515245)
+			c := f.IConst(12345)
+			m := f.IConst(1 << 31)
+			f.Mov(seed, f.Mod(f.Add(f.Mul(seed, a), c), m))
+			return seed
+		}
+		fill := func(g isa.Global) {
+			base := f.IConst(g.Base)
+			f.Loop("init", f.IConst(0), f.IConst(g.Size), 1, func(i isa.Reg) {
+				r := lcg()
+				val := f.FDiv(f.I2F(f.Mod(r, f.IConst(1000))), f.FConst(1000))
+				f.FStoreIdx(base, i, 0, val)
+			})
+		}
+		fill(inUnits)
+		fill(target)
+		fill(inHidRows)
+		fill(hidOutRows)
+		fill(inHidPrev)
+		fill(hidOutPrev)
+		// Row pointer tables: w[k] = &rows[k*(rowlen)].
+		ptr1 := f.IConst(inHidPtrs.Base)
+		f.Loop("ptrs1", f.IConst(0), f.IConst(p.In+1), 1, func(k isa.Reg) {
+			addr := f.Add(f.IConst(inHidRows.Base), f.Mul(k, f.IConst(p.Hidden+1)))
+			f.StoreIdx(ptr1, k, 0, addr)
+		})
+		ptr2 := f.IConst(hidOutPtrs.Base)
+		f.Loop("ptrs2", f.IConst(0), f.IConst(p.Hidden+1), 1, func(k isa.Reg) {
+			addr := f.Add(f.IConst(hidOutRows.Base), f.Mul(k, f.IConst(p.Out+1)))
+			f.StoreIdx(ptr2, k, 0, addr)
+		})
+		f.RetVoid()
+	}
+
+	// train: one forward/backward pass; calling it from a dedicated
+	// call site groups the five kernel calls into a single region of
+	// the schedule tree — the paper's facetrain.c:25 region.
+	train := pb.Func("bpnn_train_kernel", 0)
+	{
+		f := train
+		f.SetFile("facetrain.c")
+		f.At(25)
+		// Forward pass: the first (big) layerforward call is the paper's
+		// region of interest; the second is small.
+		f.Call(layerforward.ID(),
+			f.IConst(inUnits.Base), f.IConst(hidUnits.Base), f.IConst(inHidPtrs.Base),
+			f.IConst(p.In), f.IConst(p.Hidden))
+		f.Call(layerforward.ID(),
+			f.IConst(hidUnits.Base), f.IConst(outUnits.Base), f.IConst(hidOutPtrs.Base),
+			f.IConst(p.Hidden), f.IConst(p.Out))
+		f.Call(outputError.ID())
+		f.Call(hiddenError.ID())
+		// Backward pass: the second (big) adjust call is the region of
+		// interest in Fig. 7.
+		f.Call(adjust.ID(),
+			f.IConst(outDelta.Base), f.IConst(p.Out),
+			f.IConst(hidUnits.Base), f.IConst(p.Hidden),
+			f.IConst(hidOutPtrs.Base), f.IConst(hidOutPrev.Base))
+		f.Call(adjust.ID(),
+			f.IConst(hidDelta.Base), f.IConst(p.Hidden),
+			f.IConst(inUnits.Base), f.IConst(p.In),
+			f.IConst(inHidPtrs.Base), f.IConst(inHidPrev.Base))
+		f.RetVoid()
+	}
+
+	main := pb.Func("main", 0)
+	{
+		f := main
+		f.SetFile("facetrain.c")
+		f.At(20)
+		f.Call(setup.ID())
+		f.At(25)
+		f.Call(train.ID())
+		f.Halt()
+	}
+	pb.SetMain(main)
+	return pb.MustBuild()
+}

@@ -1,0 +1,98 @@
+// Package workloads bundles every program the reproduction profiles:
+// the paper's illustrating examples (Fig. 3), synthetic twins of the 19
+// Rodinia 3.1 benchmarks used in Table 5, the backprop and GemsFDTD
+// case-study kernels (Tables 3 and 4), and assorted microbenchmarks.
+//
+// The twins are written directly for the polyprof ISA.  They reproduce
+// each original benchmark's *structural* profile — loop-nest shapes,
+// call structure, affine and non-affine accesses, linearized loops,
+// indirection — at laptop scale, which is what every metric in the
+// paper's evaluation measures.
+package workloads
+
+import "polyprof/internal/isa"
+
+// Example1 builds the paper's Fig. 3 Example 1: a function A whose loop
+// L1 calls a function B that itself contains a loop L2, so the
+// interprocedural region behaves as a two-dimensional nest.
+// Trip counts: L1 runs twice, L2 runs twice.
+func Example1() *isa.Program {
+	pb := isa.NewProgram("fig3-example1")
+	data := pb.Global("data", 64)
+
+	b := pb.Func("B", 1) // arg: i (outer iteration)
+	{
+		i := b.Arg(0)
+		lo := b.IConst(0)
+		hi := b.IConst(2)
+		b.Loop("L2", lo, hi, 1, func(j isa.Reg) {
+			// data[2*i + j] = i + j: a visible statement inside the 2D nest.
+			addr := b.Add(b.Add(b.IConst(data.Base), b.MulImm(i, 2)), j)
+			b.Store(addr, 0, b.Add(i, j))
+		})
+		b.RetVoid()
+	}
+
+	a := pb.Func("A", 0)
+	{
+		lo := a.IConst(0)
+		hi := a.IConst(2)
+		a.Loop("L1", lo, hi, 1, func(i isa.Reg) {
+			a.Call(b.ID(), i)
+		})
+		a.RetVoid()
+	}
+
+	m := pb.Func("M", 0)
+	m.Call(a.ID())
+	m.Halt()
+	pb.SetMain(m)
+	return pb.MustBuild()
+}
+
+// Example2 builds the paper's Fig. 3 Example 2: a recursive function B
+// (the recursive component's single entry and header) that calls a
+// shared helper C both inside and outside the recursion.  M first calls
+// D, which calls C (outside any recursive loop), then calls B, which
+// recurses twice.
+func Example2() *isa.Program {
+	pb := isa.NewProgram("fig3-example2")
+	data := pb.Global("data", 64)
+
+	c := pb.Func("C", 1) // arg: depth tag, stores it
+	{
+		d := c.Arg(0)
+		addr := c.AddrOf(data, c.MinI(d, c.IConst(63)))
+		c.Store(addr, 0, d)
+		c.RetVoid()
+	}
+
+	d := pb.Func("D", 0)
+	{
+		d.Call(c.ID(), d.IConst(50))
+		d.RetVoid()
+	}
+
+	b := pb.Func("B", 1) // arg: depth
+	{
+		depth := b.Arg(0)
+		b.Call(c.ID(), depth)
+		cond := b.CmpLT(depth, b.IConst(2))
+		b.If(cond, func() {
+			b.Call(b.ID(), b.Add(depth, b.IConst(1)))
+			// This block (the call continuation) is the paper's B5: it
+			// executes once per recursive call, i.e. it belongs to the
+			// recursive loop.
+			addr := b.AddrOf(data, b.AddImm(depth, 32))
+			b.Store(addr, 0, depth)
+		}, nil)
+		b.RetVoid()
+	}
+
+	m := pb.Func("M", 0)
+	m.Call(d.ID())
+	m.Call(b.ID(), m.IConst(0))
+	m.Halt()
+	pb.SetMain(m)
+	return pb.MustBuild()
+}

@@ -1,0 +1,322 @@
+package workloads
+
+import "polyprof/internal/isa"
+
+// PolyBench twins: the paper cites PolyBench [56] as the canonical
+// fully affine suite ("even in programs where the hot region is affine
+// such as in PolyBench, profiling the entire benchmark reveals a large
+// amount of non-regular parts").  These kernels are the classic
+// polyhedral test cases; they fold exactly and exercise the scheduler's
+// textbook behaviours: reduction-carried innermost loops (gemm),
+// producer/consumer fusion (2mm, atax), triangular domains (trisolv),
+// double-buffered stencils (jacobi-2d) and the in-place stencil that
+// *requires* skewing (seidel-2d).
+
+// PolyBench returns the bundled PolyBench twins.
+func PolyBench() []Spec {
+	return []Spec{
+		{Name: "gemm", Build: Gemm, RegionFuncs: []string{"kernel_gemm"}},
+		{Name: "2mm", Build: TwoMM, RegionFuncs: []string{"kernel_2mm"}},
+		{Name: "atax", Build: Atax, RegionFuncs: []string{"kernel_atax"}},
+		{Name: "trisolv", Build: Trisolv, RegionFuncs: []string{"kernel_trisolv"}},
+		{Name: "jacobi-2d", Build: Jacobi2D, RegionFuncs: []string{"kernel_jacobi_2d"}},
+		{Name: "seidel-2d", Build: Seidel2D, RegionFuncs: []string{"kernel_seidel_2d"}},
+	}
+}
+
+// Gemm builds C = alpha*A*B + beta*C (ni x nk x nj).
+func Gemm() *isa.Program {
+	const ni, nj, nk = 12, 14, 10
+	pb := isa.NewProgram("gemm")
+	a := pb.Global("A", ni*nk)
+	bG := pb.Global("B", nk*nj)
+	c := pb.Global("C", ni*nj)
+
+	kernel := pb.Func("kernel_gemm", 0)
+	kernel.SetSrcDepth(3)
+	{
+		f := kernel
+		f.SetFile("gemm.c")
+		f.At(80)
+		aB, bB, cB := f.IConst(a.Base), f.IConst(bG.Base), f.IConst(c.Base)
+		alpha, beta := f.FConst(1.5), f.FConst(1.2)
+		f.Loop("Li", f.IConst(0), f.IConst(ni), 1, func(i isa.Reg) {
+			f.At(82)
+			f.Loop("Lj", f.IConst(0), f.IConst(nj), 1, func(j isa.Reg) {
+				cIdx := f.Add(f.Mul(i, f.IConst(nj)), j)
+				acc := f.NewReg()
+				f.FMovTo(acc, f.FMul(beta, f.FLoadIdx(cB, cIdx, 0)))
+				f.At(84)
+				f.Loop("Lk", f.IConst(0), f.IConst(nk), 1, func(k isa.Reg) {
+					av := f.FLoadIdx(aB, f.Add(f.Mul(i, f.IConst(nk)), k), 0)
+					bv := f.FLoadIdx(bB, f.Add(f.Mul(k, f.IConst(nj)), j), 0)
+					f.FMovTo(acc, f.FAdd(acc, f.FMul(f.FMul(alpha, av), bv)))
+				})
+				f.FStoreIdx(cB, cIdx, 0, acc)
+			})
+		})
+		f.RetVoid()
+	}
+
+	m := pb.Func("main", 0)
+	m.SetFile("gemm.c")
+	m.At(20)
+	lcg := newLCG(m, 101)
+	fillRandomF(m, lcg, "A", a)
+	fillRandomF(m, lcg, "B", bG)
+	fillRandomF(m, lcg, "C", c)
+	m.At(80)
+	m.Call(kernel.ID())
+	m.Halt()
+	pb.SetMain(m)
+	return pb.MustBuild()
+}
+
+// TwoMM builds D = A*B; E = D*C — two chained matmuls whose fusion
+// structure the component analysis must see (producer/consumer pair).
+func TwoMM() *isa.Program {
+	const n = 10
+	pb := isa.NewProgram("2mm")
+	a := pb.Global("A", n*n)
+	bG := pb.Global("B", n*n)
+	c := pb.Global("C", n*n)
+	d := pb.Global("D", n*n)
+	e := pb.Global("E", n*n)
+
+	kernel := pb.Func("kernel_2mm", 0)
+	kernel.SetSrcDepth(3)
+	{
+		f := kernel
+		f.SetFile("2mm.c")
+		aB, bB, cB, dB, eB := f.IConst(a.Base), f.IConst(bG.Base), f.IConst(c.Base), f.IConst(d.Base), f.IConst(e.Base)
+		matmul := func(line int, x, y, z isa.Reg) {
+			f.At(line)
+			f.Loop("Li", f.IConst(0), f.IConst(n), 1, func(i isa.Reg) {
+				f.Loop("Lj", f.IConst(0), f.IConst(n), 1, func(j isa.Reg) {
+					acc := f.NewReg()
+					f.SetF(acc, 0)
+					f.Loop("Lk", f.IConst(0), f.IConst(n), 1, func(k isa.Reg) {
+						xv := f.FLoadIdx(x, f.Add(f.Mul(i, f.IConst(n)), k), 0)
+						yv := f.FLoadIdx(y, f.Add(f.Mul(k, f.IConst(n)), j), 0)
+						f.FMovTo(acc, f.FAdd(acc, f.FMul(xv, yv)))
+					})
+					f.FStoreIdx(z, f.Add(f.Mul(i, f.IConst(n)), j), 0, acc)
+				})
+			})
+		}
+		matmul(40, aB, bB, dB)
+		matmul(50, dB, cB, eB)
+		f.RetVoid()
+	}
+
+	m := pb.Func("main", 0)
+	m.SetFile("2mm.c")
+	m.At(20)
+	lcg := newLCG(m, 103)
+	fillRandomF(m, lcg, "A", a)
+	fillRandomF(m, lcg, "B", bG)
+	fillRandomF(m, lcg, "C", c)
+	m.At(40)
+	m.Call(kernel.ID())
+	m.Halt()
+	pb.SetMain(m)
+	return pb.MustBuild()
+}
+
+// Atax builds y = A^T (A x): a forward product followed by a transposed
+// accumulation.
+func Atax() *isa.Program {
+	const n, mDim = 14, 12
+	pb := isa.NewProgram("atax")
+	a := pb.Global("A", mDim*n)
+	x := pb.Global("x", n)
+	y := pb.Global("y", n)
+	tmp := pb.Global("tmp", mDim)
+
+	kernel := pb.Func("kernel_atax", 0)
+	kernel.SetSrcDepth(2)
+	{
+		f := kernel
+		f.SetFile("atax.c")
+		aB, xB, yB, tB := f.IConst(a.Base), f.IConst(x.Base), f.IConst(y.Base), f.IConst(tmp.Base)
+		f.At(60)
+		f.Loop("Lzero", f.IConst(0), f.IConst(n), 1, func(j isa.Reg) {
+			f.FStoreIdx(yB, j, 0, f.FConst(0))
+		})
+		f.At(63)
+		f.Loop("Li", f.IConst(0), f.IConst(mDim), 1, func(i isa.Reg) {
+			acc := f.NewReg()
+			f.SetF(acc, 0)
+			f.Loop("Lj1", f.IConst(0), f.IConst(n), 1, func(j isa.Reg) {
+				av := f.FLoadIdx(aB, f.Add(f.Mul(i, f.IConst(n)), j), 0)
+				f.FMovTo(acc, f.FAdd(acc, f.FMul(av, f.FLoadIdx(xB, j, 0))))
+			})
+			f.FStoreIdx(tB, i, 0, acc)
+			f.At(68)
+			f.Loop("Lj2", f.IConst(0), f.IConst(n), 1, func(j isa.Reg) {
+				av := f.FLoadIdx(aB, f.Add(f.Mul(i, f.IConst(n)), j), 0)
+				old := f.FLoadIdx(yB, j, 0)
+				f.FStoreIdx(yB, j, 0, f.FAdd(old, f.FMul(av, acc)))
+			})
+		})
+		f.RetVoid()
+	}
+
+	m := pb.Func("main", 0)
+	m.SetFile("atax.c")
+	m.At(20)
+	lcg := newLCG(m, 107)
+	fillRandomF(m, lcg, "A", a)
+	fillRandomF(m, lcg, "x", x)
+	m.At(60)
+	m.Call(kernel.ID())
+	m.Halt()
+	pb.SetMain(m)
+	return pb.MustBuild()
+}
+
+// Trisolv builds a lower-triangular solve Lx = b: the triangular
+// iteration domain { 0 <= j < i < n } must fold exactly.
+func Trisolv() *isa.Program {
+	const n = 16
+	pb := isa.NewProgram("trisolv")
+	l := pb.Global("L", n*n)
+	x := pb.Global("x", n)
+	bV := pb.Global("b", n)
+
+	kernel := pb.Func("kernel_trisolv", 0)
+	kernel.SetSrcDepth(2)
+	{
+		f := kernel
+		f.SetFile("trisolv.c")
+		lB, xB, bB := f.IConst(l.Base), f.IConst(x.Base), f.IConst(bV.Base)
+		f.At(50)
+		f.Loop("Li", f.IConst(0), f.IConst(n), 1, func(i isa.Reg) {
+			acc := f.NewReg()
+			f.FMovTo(acc, f.FLoadIdx(bB, i, 0))
+			f.Loop("Lj", f.IConst(0), i, 1, func(j isa.Reg) {
+				lv := f.FLoadIdx(lB, f.Add(f.Mul(i, f.IConst(n)), j), 0)
+				f.FMovTo(acc, f.FSub(acc, f.FMul(lv, f.FLoadIdx(xB, j, 0))))
+			})
+			diag := f.FLoadIdx(lB, f.Add(f.Mul(i, f.IConst(n)), i), 0)
+			f.FStoreIdx(xB, i, 0, f.FDiv(acc, diag))
+		})
+		f.RetVoid()
+	}
+
+	m := pb.Func("main", 0)
+	m.SetFile("trisolv.c")
+	m.At(20)
+	lcg := newLCG(m, 109)
+	fillRandomF(m, lcg, "b", bV)
+	// Diagonally dominant L so the solve stays finite.
+	lB := m.IConst(l.Base)
+	m.Loop("initL", m.IConst(0), m.IConst(n*n), 1, func(k isa.Reg) {
+		v := m.FAdd(m.FDiv(m.I2F(lcg.nextMod(100)), m.FConst(200)), m.FConst(1))
+		m.FStoreIdx(lB, k, 0, v)
+	})
+	m.At(50)
+	m.Call(kernel.ID())
+	m.Halt()
+	pb.SetMain(m)
+	return pb.MustBuild()
+}
+
+// Jacobi2D builds the double-buffered 2D Jacobi stencil over tsteps:
+// spatial dimensions fully parallel, 2D tilable (plus the time loop,
+// which carries).
+func Jacobi2D() *isa.Program {
+	const (
+		n      = 16
+		tsteps = 3
+	)
+	pb := isa.NewProgram("jacobi-2d")
+	aG := pb.Global("A", n*n)
+	bG := pb.Global("B", n*n)
+
+	kernel := pb.Func("kernel_jacobi_2d", 0)
+	kernel.SetSrcDepth(3)
+	{
+		f := kernel
+		f.SetFile("jacobi-2d.c")
+		aB, bB := f.IConst(aG.Base), f.IConst(bG.Base)
+		fifth := f.FConst(0.2)
+		stencil := func(line int, src, dst isa.Reg) {
+			f.At(line)
+			f.Loop("Li", f.IConst(1), f.IConst(n-1), 1, func(i isa.Reg) {
+				f.Loop("Lj", f.IConst(1), f.IConst(n-1), 1, func(j isa.Reg) {
+					lin := f.Add(f.Mul(i, f.IConst(n)), j)
+					sum := f.FAdd(
+						f.FAdd(f.FLoadIdx(src, lin, 0), f.FLoadIdx(src, lin, -1)),
+						f.FAdd(f.FLoadIdx(src, lin, 1),
+							f.FAdd(f.FLoadIdx(src, lin, -n), f.FLoadIdx(src, lin, n))))
+					f.FStoreIdx(dst, lin, 0, f.FMul(fifth, sum))
+				})
+			})
+		}
+		f.Loop("Lt", f.IConst(0), f.IConst(tsteps), 1, func(t isa.Reg) {
+			stencil(75, aB, bB)
+			stencil(80, bB, aB)
+		})
+		f.RetVoid()
+	}
+
+	m := pb.Func("main", 0)
+	m.SetFile("jacobi-2d.c")
+	m.At(20)
+	lcg := newLCG(m, 113)
+	fillRandomF(m, lcg, "A", aG)
+	m.At(75)
+	m.Call(kernel.ID())
+	m.Halt()
+	pb.SetMain(m)
+	return pb.MustBuild()
+}
+
+// Seidel2D builds the in-place Gauss–Seidel 2D stencil: the textbook
+// kernel whose dependencies (distance vectors mixing (0,1,*), (1,*,*)
+// and negative spatial components) admit tiling only after skewing —
+// the scheduler must discover a skewed permutable band.
+func Seidel2D() *isa.Program {
+	const (
+		n      = 14
+		tsteps = 3
+	)
+	pb := isa.NewProgram("seidel-2d")
+	aG := pb.Global("A", n*n)
+
+	kernel := pb.Func("kernel_seidel_2d", 0)
+	kernel.SetSrcDepth(3)
+	{
+		f := kernel
+		f.SetFile("seidel-2d.c")
+		aB := f.IConst(aG.Base)
+		ninth := f.FConst(1.0 / 9.0)
+		f.At(40)
+		f.Loop("Lt", f.IConst(0), f.IConst(tsteps), 1, func(t isa.Reg) {
+			f.Loop("Li", f.IConst(1), f.IConst(n-1), 1, func(i isa.Reg) {
+				f.Loop("Lj", f.IConst(1), f.IConst(n-1), 1, func(j isa.Reg) {
+					lin := f.Add(f.Mul(i, f.IConst(n)), j)
+					sum := f.NewReg()
+					f.SetF(sum, 0)
+					for _, off := range []int64{-n - 1, -n, -n + 1, -1, 0, 1, n - 1, n, n + 1} {
+						f.FMovTo(sum, f.FAdd(sum, f.FLoadIdx(aB, lin, off)))
+					}
+					f.FStoreIdx(aB, lin, 0, f.FMul(ninth, sum))
+				})
+			})
+		})
+		f.RetVoid()
+	}
+
+	m := pb.Func("main", 0)
+	m.SetFile("seidel-2d.c")
+	m.At(20)
+	lcg := newLCG(m, 127)
+	fillRandomF(m, lcg, "A", aG)
+	m.At(40)
+	m.Call(kernel.ID())
+	m.Halt()
+	pb.SetMain(m)
+	return pb.MustBuild()
+}

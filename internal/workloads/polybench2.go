@@ -1,0 +1,336 @@
+package workloads
+
+import "polyprof/internal/isa"
+
+// Second batch of PolyBench twins: triangular factorization (cholesky),
+// two transposed-product kernels (mvt, bicg), a triangular update
+// (syrk), a 4D tensor contraction (doitgen) and a 4D space-time stencil
+// (heat-3d).  Together with polybench.go they cover every scheduling
+// shape the paper's back-end distinguishes.
+
+// PolyBenchExtra returns the second batch.
+func PolyBenchExtra() []Spec {
+	return []Spec{
+		{Name: "cholesky", Build: Cholesky, RegionFuncs: []string{"kernel_cholesky"}},
+		{Name: "mvt", Build: MVT, RegionFuncs: []string{"kernel_mvt"}},
+		{Name: "bicg", Build: Bicg, RegionFuncs: []string{"kernel_bicg"}},
+		{Name: "syrk", Build: Syrk, RegionFuncs: []string{"kernel_syrk"}},
+		{Name: "doitgen", Build: Doitgen, RegionFuncs: []string{"kernel_doitgen"}},
+		{Name: "heat-3d", Build: Heat3D, RegionFuncs: []string{"kernel_heat_3d"}},
+	}
+}
+
+// Cholesky factorizes a symmetric positive-definite matrix in place:
+// triangular domains at every level plus a sequential outer k loop.
+func Cholesky() *isa.Program {
+	const n = 12
+	pb := isa.NewProgram("cholesky")
+	aG := pb.Global("A", n*n)
+
+	kernel := pb.Func("kernel_cholesky", 0)
+	kernel.SetSrcDepth(3)
+	{
+		f := kernel
+		f.SetFile("cholesky.c")
+		aB := f.IConst(aG.Base)
+		at := func(i, j isa.Reg) isa.Reg { return f.Add(f.Mul(i, f.IConst(n)), j) }
+		f.At(60)
+		f.Loop("Lk", f.IConst(0), f.IConst(n), 1, func(k isa.Reg) {
+			// A[k][k] = sqrt(A[k][k])
+			dkk := f.FSqrt(f.FLoadIdx(aB, at(k, k), 0))
+			f.FStoreIdx(aB, at(k, k), 0, dkk)
+			// Column scale: A[i][k] /= A[k][k], i > k.
+			f.Loop("Li1", f.Add(k, f.IConst(1)), f.IConst(n), 1, func(i isa.Reg) {
+				v := f.FDiv(f.FLoadIdx(aB, at(i, k), 0), dkk)
+				f.FStoreIdx(aB, at(i, k), 0, v)
+			})
+			// Trailing update: A[i][j] -= A[i][k]*A[j][k], k < j <= i.
+			f.At(66)
+			f.Loop("Li2", f.Add(k, f.IConst(1)), f.IConst(n), 1, func(i isa.Reg) {
+				f.Loop("Lj", f.Add(k, f.IConst(1)), f.Add(i, f.IConst(1)), 1, func(j isa.Reg) {
+					v := f.FSub(f.FLoadIdx(aB, at(i, j), 0),
+						f.FMul(f.FLoadIdx(aB, at(i, k), 0), f.FLoadIdx(aB, at(j, k), 0)))
+					f.FStoreIdx(aB, at(i, j), 0, v)
+				})
+			})
+		})
+		f.RetVoid()
+	}
+
+	m := pb.Func("main", 0)
+	m.SetFile("cholesky.c")
+	m.At(20)
+	// Diagonally dominant SPD-ish input keeps sqrt real.
+	aB := m.IConst(aG.Base)
+	lcg := newLCG(m, 131)
+	m.Loop("init", m.IConst(0), m.IConst(n*n), 1, func(k isa.Reg) {
+		m.FStoreIdx(aB, k, 0, m.FDiv(m.I2F(lcg.nextMod(10)), m.FConst(100)))
+	})
+	m.Loop("diag", m.IConst(0), m.IConst(n), 1, func(i isa.Reg) {
+		m.FStoreIdx(aB, m.Add(m.Mul(i, m.IConst(n)), i), 0, m.FConst(4))
+	})
+	m.At(60)
+	m.Call(kernel.ID())
+	m.Halt()
+	pb.SetMain(m)
+	return pb.MustBuild()
+}
+
+// MVT computes x1 += A*y1 and x2 += A^T*y2: two independent 2D nests
+// over the same matrix — a fusion candidate with opposite stride
+// preferences.
+func MVT() *isa.Program {
+	const n = 16
+	pb := isa.NewProgram("mvt")
+	aG := pb.Global("A", n*n)
+	x1 := pb.Global("x1", n)
+	x2 := pb.Global("x2", n)
+	y1 := pb.Global("y1", n)
+	y2 := pb.Global("y2", n)
+
+	kernel := pb.Func("kernel_mvt", 0)
+	kernel.SetSrcDepth(2)
+	{
+		f := kernel
+		f.SetFile("mvt.c")
+		aB := f.IConst(aG.Base)
+		x1B, x2B := f.IConst(x1.Base), f.IConst(x2.Base)
+		y1B, y2B := f.IConst(y1.Base), f.IConst(y2.Base)
+		f.At(50)
+		f.Loop("Li1", f.IConst(0), f.IConst(n), 1, func(i isa.Reg) {
+			acc := f.NewReg()
+			f.FMovTo(acc, f.FLoadIdx(x1B, i, 0))
+			f.Loop("Lj1", f.IConst(0), f.IConst(n), 1, func(j isa.Reg) {
+				av := f.FLoadIdx(aB, f.Add(f.Mul(i, f.IConst(n)), j), 0)
+				f.FMovTo(acc, f.FAdd(acc, f.FMul(av, f.FLoadIdx(y1B, j, 0))))
+			})
+			f.FStoreIdx(x1B, i, 0, acc)
+		})
+		f.At(55)
+		f.Loop("Li2", f.IConst(0), f.IConst(n), 1, func(i isa.Reg) {
+			acc := f.NewReg()
+			f.FMovTo(acc, f.FLoadIdx(x2B, i, 0))
+			f.Loop("Lj2", f.IConst(0), f.IConst(n), 1, func(j isa.Reg) {
+				av := f.FLoadIdx(aB, f.Add(f.Mul(j, f.IConst(n)), i), 0) // transposed
+				f.FMovTo(acc, f.FAdd(acc, f.FMul(av, f.FLoadIdx(y2B, j, 0))))
+			})
+			f.FStoreIdx(x2B, i, 0, acc)
+		})
+		f.RetVoid()
+	}
+
+	m := pb.Func("main", 0)
+	m.SetFile("mvt.c")
+	m.At(20)
+	lcg := newLCG(m, 137)
+	fillRandomF(m, lcg, "A", aG)
+	fillRandomF(m, lcg, "x1", x1)
+	fillRandomF(m, lcg, "x2", x2)
+	fillRandomF(m, lcg, "y1", y1)
+	fillRandomF(m, lcg, "y2", y2)
+	m.At(50)
+	m.Call(kernel.ID())
+	m.Halt()
+	pb.SetMain(m)
+	return pb.MustBuild()
+}
+
+// Bicg computes s = A^T*r and q = A*p in a single fused nest.
+func Bicg() *isa.Program {
+	const nRows, nCols = 14, 12
+	pb := isa.NewProgram("bicg")
+	aG := pb.Global("A", nRows*nCols)
+	s := pb.Global("s", nCols)
+	q := pb.Global("q", nRows)
+	p := pb.Global("p", nCols)
+	rV := pb.Global("r", nRows)
+
+	kernel := pb.Func("kernel_bicg", 0)
+	kernel.SetSrcDepth(2)
+	{
+		f := kernel
+		f.SetFile("bicg.c")
+		aB := f.IConst(aG.Base)
+		sB, qB, pB, rB := f.IConst(s.Base), f.IConst(q.Base), f.IConst(p.Base), f.IConst(rV.Base)
+		f.At(40)
+		f.Loop("Lz", f.IConst(0), f.IConst(nCols), 1, func(j isa.Reg) {
+			f.FStoreIdx(sB, j, 0, f.FConst(0))
+		})
+		f.At(43)
+		f.Loop("Li", f.IConst(0), f.IConst(nRows), 1, func(i isa.Reg) {
+			acc := f.NewReg()
+			f.SetF(acc, 0)
+			rv := f.FLoadIdx(rB, i, 0)
+			f.Loop("Lj", f.IConst(0), f.IConst(nCols), 1, func(j isa.Reg) {
+				av := f.FLoadIdx(aB, f.Add(f.Mul(i, f.IConst(nCols)), j), 0)
+				// s[j] += r[i]*A[i][j]
+				f.FStoreIdx(sB, j, 0, f.FAdd(f.FLoadIdx(sB, j, 0), f.FMul(rv, av)))
+				// q[i] += A[i][j]*p[j]
+				f.FMovTo(acc, f.FAdd(acc, f.FMul(av, f.FLoadIdx(pB, j, 0))))
+			})
+			f.FStoreIdx(qB, i, 0, acc)
+		})
+		f.RetVoid()
+	}
+
+	m := pb.Func("main", 0)
+	m.SetFile("bicg.c")
+	m.At(20)
+	lcg := newLCG(m, 139)
+	fillRandomF(m, lcg, "A", aG)
+	fillRandomF(m, lcg, "p", p)
+	fillRandomF(m, lcg, "r", rV)
+	m.At(40)
+	m.Call(kernel.ID())
+	m.Halt()
+	pb.SetMain(m)
+	return pb.MustBuild()
+}
+
+// Syrk computes the symmetric rank-k update C = C + A*A^T on the lower
+// triangle: a triangular write domain inside a 3D nest.
+func Syrk() *isa.Program {
+	const n, mDim = 12, 8
+	pb := isa.NewProgram("syrk")
+	aG := pb.Global("A", n*mDim)
+	cG := pb.Global("C", n*n)
+
+	kernel := pb.Func("kernel_syrk", 0)
+	kernel.SetSrcDepth(3)
+	{
+		f := kernel
+		f.SetFile("syrk.c")
+		aB, cB := f.IConst(aG.Base), f.IConst(cG.Base)
+		f.At(50)
+		f.Loop("Li", f.IConst(0), f.IConst(n), 1, func(i isa.Reg) {
+			f.Loop("Lj", f.IConst(0), f.Add(i, f.IConst(1)), 1, func(j isa.Reg) {
+				acc := f.NewReg()
+				f.FMovTo(acc, f.FLoadIdx(cB, f.Add(f.Mul(i, f.IConst(n)), j), 0))
+				f.Loop("Lk", f.IConst(0), f.IConst(mDim), 1, func(k isa.Reg) {
+					ai := f.FLoadIdx(aB, f.Add(f.Mul(i, f.IConst(mDim)), k), 0)
+					aj := f.FLoadIdx(aB, f.Add(f.Mul(j, f.IConst(mDim)), k), 0)
+					f.FMovTo(acc, f.FAdd(acc, f.FMul(ai, aj)))
+				})
+				f.FStoreIdx(cB, f.Add(f.Mul(i, f.IConst(n)), j), 0, acc)
+			})
+		})
+		f.RetVoid()
+	}
+
+	m := pb.Func("main", 0)
+	m.SetFile("syrk.c")
+	m.At(20)
+	lcg := newLCG(m, 149)
+	fillRandomF(m, lcg, "A", aG)
+	fillRandomF(m, lcg, "C", cG)
+	m.At(50)
+	m.Call(kernel.ID())
+	m.Halt()
+	pb.SetMain(m)
+	return pb.MustBuild()
+}
+
+// Doitgen contracts a 3D tensor with a 2D matrix: a 4D nest with a
+// temporary vector per (r, q) pair.
+func Doitgen() *isa.Program {
+	const nr, nq, np = 6, 6, 8
+	pb := isa.NewProgram("doitgen")
+	aG := pb.Global("A", nr*nq*np)
+	c4 := pb.Global("C4", np*np)
+	sum := pb.Global("sum", np)
+
+	kernel := pb.Func("kernel_doitgen", 0)
+	kernel.SetSrcDepth(4)
+	{
+		f := kernel
+		f.SetFile("doitgen.c")
+		aB, cB, sB := f.IConst(aG.Base), f.IConst(c4.Base), f.IConst(sum.Base)
+		f.At(40)
+		f.Loop("Lr", f.IConst(0), f.IConst(nr), 1, func(r isa.Reg) {
+			f.Loop("Lq", f.IConst(0), f.IConst(nq), 1, func(q isa.Reg) {
+				base := f.Add(f.Mul(r, f.IConst(nq*np)), f.Mul(q, f.IConst(np)))
+				f.Loop("Lp", f.IConst(0), f.IConst(np), 1, func(p isa.Reg) {
+					acc := f.NewReg()
+					f.SetF(acc, 0)
+					f.Loop("Ls", f.IConst(0), f.IConst(np), 1, func(s isa.Reg) {
+						av := f.FLoadIdx(aB, f.Add(base, s), 0)
+						cv := f.FLoadIdx(cB, f.Add(f.Mul(s, f.IConst(np)), p), 0)
+						f.FMovTo(acc, f.FAdd(acc, f.FMul(av, cv)))
+					})
+					f.FStoreIdx(sB, p, 0, acc)
+				})
+				f.Loop("Lw", f.IConst(0), f.IConst(np), 1, func(p isa.Reg) {
+					f.FStoreIdx(aB, f.Add(base, p), 0, f.FLoadIdx(sB, p, 0))
+				})
+			})
+		})
+		f.RetVoid()
+	}
+
+	m := pb.Func("main", 0)
+	m.SetFile("doitgen.c")
+	m.At(20)
+	lcg := newLCG(m, 151)
+	fillRandomF(m, lcg, "A", aG)
+	fillRandomF(m, lcg, "C4", c4)
+	m.At(40)
+	m.Call(kernel.ID())
+	m.Halt()
+	pb.SetMain(m)
+	return pb.MustBuild()
+}
+
+// Heat3D advances a 3D heat stencil through double-buffered time steps:
+// a 4D space-time nest whose spatial band is fully parallel and
+// tilable.
+func Heat3D() *isa.Program {
+	const (
+		n      = 8
+		tsteps = 2
+	)
+	pb := isa.NewProgram("heat-3d")
+	aG := pb.Global("A", n*n*n)
+	bG := pb.Global("B", n*n*n)
+
+	kernel := pb.Func("kernel_heat_3d", 0)
+	kernel.SetSrcDepth(4)
+	{
+		f := kernel
+		f.SetFile("heat-3d.c")
+		aB, bB := f.IConst(aG.Base), f.IConst(bG.Base)
+		eighth := f.FConst(0.125)
+		stencil := func(line int, src, dst isa.Reg) {
+			f.At(line)
+			f.Loop("Li", f.IConst(1), f.IConst(n-1), 1, func(i isa.Reg) {
+				f.Loop("Lj", f.IConst(1), f.IConst(n-1), 1, func(j isa.Reg) {
+					f.Loop("Lk", f.IConst(1), f.IConst(n-1), 1, func(k isa.Reg) {
+						lin := f.Add(f.Add(f.Mul(i, f.IConst(n*n)), f.Mul(j, f.IConst(n))), k)
+						c := f.FLoadIdx(src, lin, 0)
+						lap := f.FSub(
+							f.FAdd(f.FAdd(f.FLoadIdx(src, lin, 1), f.FLoadIdx(src, lin, -1)),
+								f.FAdd(f.FLoadIdx(src, lin, n), f.FLoadIdx(src, lin, -n))),
+							f.FMul(f.FConst(4), c))
+						lap = f.FAdd(lap, f.FAdd(f.FLoadIdx(src, lin, n*n), f.FLoadIdx(src, lin, -n*n)))
+						f.FStoreIdx(dst, lin, 0, f.FAdd(c, f.FMul(eighth, lap)))
+					})
+				})
+			})
+		}
+		f.Loop("Lt", f.IConst(0), f.IConst(tsteps), 1, func(t isa.Reg) {
+			stencil(70, aB, bB)
+			stencil(76, bB, aB)
+		})
+		f.RetVoid()
+	}
+
+	m := pb.Func("main", 0)
+	m.SetFile("heat-3d.c")
+	m.At(20)
+	lcg := newLCG(m, 157)
+	fillRandomF(m, lcg, "A", aG)
+	m.At(70)
+	m.Call(kernel.ID())
+	m.Halt()
+	pb.SetMain(m)
+	return pb.MustBuild()
+}

@@ -1,0 +1,407 @@
+package workloads
+
+import "polyprof/internal/isa"
+
+// BFS builds the Rodinia bfs twin: frontier-based breadth-first search
+// over a CSR graph.  Structural features reproduced: a convergence
+// while-loop whose trip count depends on data (non-affine bound, B),
+// edge-list indirection (cost[edges[e]], non-affine accesses, F), and
+// a low fully-affine fraction — the frontier conditionals give every
+// hot statement a data-dependent iteration domain.
+func BFS() *isa.Program {
+	const (
+		nodes = 192
+		deg   = 4
+		edges = nodes * deg
+	)
+	pb := isa.NewProgram("bfs")
+	offs := pb.Global("offsets", nodes+1)
+	elist := pb.Global("edges", edges)
+	cost := pb.Global("cost", nodes)
+	mask := pb.Global("mask", nodes)
+	newMask := pb.Global("updating_mask", nodes)
+	visited := pb.Global("visited", nodes)
+	doneCell := pb.Global("done", 1)
+
+	setup := pb.Func("graph_setup", 0)
+	{
+		f := setup
+		f.SetFile("bfs.cpp")
+		f.At(60)
+		lcg := newLCG(f, 11)
+		fillIota(f, "offs", offs, deg, 0)
+		fillRandomI(f, lcg, "edges", elist, nodes)
+		cB, mB, nB, vB := f.IConst(cost.Base), f.IConst(mask.Base), f.IConst(newMask.Base), f.IConst(visited.Base)
+		f.Loop("reset", f.IConst(0), f.IConst(nodes), 1, func(i isa.Reg) {
+			f.StoreIdx(cB, i, 0, f.IConst(-1))
+			f.StoreIdx(mB, i, 0, f.IConst(0))
+			f.StoreIdx(nB, i, 0, f.IConst(0))
+			f.StoreIdx(vB, i, 0, f.IConst(0))
+		})
+		// Source node 0.
+		f.Store(cB, 0, f.IConst(0))
+		f.Store(mB, 0, f.IConst(1))
+		f.Store(vB, 0, f.IConst(1))
+		f.RetVoid()
+	}
+
+	kernel := pb.Func("bfs_kernel", 0)
+	kernel.SetSrcDepth(3)
+	{
+		f := kernel
+		f.SetFile("bfs.cpp")
+		f.At(137)
+		oB := f.IConst(offs.Base)
+		eB := f.IConst(elist.Base)
+		cB := f.IConst(cost.Base)
+		mB := f.IConst(mask.Base)
+		nB := f.IConst(newMask.Base)
+		vB := f.IConst(visited.Base)
+		dB := f.IConst(doneCell.Base)
+		f.Store(dB, 0, f.IConst(0))
+		f.While("front", func() isa.Reg {
+			return f.CmpEQ(f.Load(dB, 0), f.IConst(0))
+		}, func() {
+			f.Store(dB, 0, f.IConst(1))
+			f.At(140)
+			f.Loop("Ltid", f.IConst(0), f.IConst(nodes), 1, func(tid isa.Reg) {
+				inFront := f.CmpEQ(f.LoadIdx(mB, tid, 0), f.IConst(1))
+				f.If(inFront, func() {
+					f.StoreIdx(mB, tid, 0, f.IConst(0))
+					myCost := f.LoadIdx(cB, tid, 0)
+					lo := f.LoadIdx(oB, tid, 0)
+					hi := f.LoadIdx(oB, tid, 1)
+					f.At(145)
+					f.Loop("Ledge", lo, hi, 1, func(e isa.Reg) {
+						id := f.LoadIdx(eB, e, 0)
+						unseen := f.CmpEQ(f.LoadIdx(vB, id, 0), f.IConst(0))
+						f.If(unseen, func() {
+							f.StoreIdx(cB, id, 0, f.Add(myCost, f.IConst(1)))
+							f.StoreIdx(nB, id, 0, f.IConst(1))
+						}, nil)
+					})
+				}, nil)
+			})
+			f.At(155)
+			f.Loop("Lupd", f.IConst(0), f.IConst(nodes), 1, func(tid isa.Reg) {
+				pend := f.CmpEQ(f.LoadIdx(nB, tid, 0), f.IConst(1))
+				f.If(pend, func() {
+					f.StoreIdx(mB, tid, 0, f.IConst(1))
+					f.StoreIdx(vB, tid, 0, f.IConst(1))
+					f.StoreIdx(nB, tid, 0, f.IConst(0))
+					f.Store(dB, 0, f.IConst(0))
+				}, nil)
+			})
+		})
+		f.RetVoid()
+	}
+
+	m := pb.Func("main", 0)
+	m.SetFile("bfs.cpp")
+	m.At(20)
+	m.Call(setup.ID())
+	m.At(137)
+	m.Call(kernel.ID())
+	m.Halt()
+	pb.SetMain(m)
+	return pb.MustBuild()
+}
+
+// BTree builds the Rodinia b+tree twin: point queries descending a
+// statically packed order-4 B+tree.  Features: data-dependent descent
+// (while loop, B), child-pointer indirection (F), and shallow affine
+// fraction from the per-level key scans.
+func BTree() *isa.Program {
+	const (
+		order   = 4
+		levels  = 4
+		nodes   = 1 + order + order*order + order*order*order
+		queries = 150
+	)
+	pb := isa.NewProgram("b+tree")
+	keys := pb.Global("node_keys", nodes*order)
+	kids := pb.Global("node_children", nodes*order)
+	leaves := pb.Global("leaf_values", nodes*order)
+	qry := pb.Global("queries", queries)
+	out := pb.Global("answers", queries)
+
+	setup := pb.Func("tree_setup", 0)
+	{
+		f := setup
+		f.SetFile("main.c")
+		f.At(2000)
+		lcg := newLCG(f, 3)
+		// Keys ascending per node, children layered breadth-first.
+		fillIota(f, "keys", keys, 7, 1)
+		kB := f.IConst(kids.Base)
+		f.Loop("kids", f.IConst(0), f.IConst(int64(nodes*order)), 1, func(i isa.Reg) {
+			// child(node n, slot s) = n*order + s + 1, wrapped into range.
+			f.StoreIdx(kB, i, 0, f.Mod(f.Add(i, f.IConst(1)), f.IConst(nodes)))
+		})
+		fillRandomF(f, lcg, "vals", leaves)
+		fillRandomI(f, lcg, "qry", qry, nodes*order*7)
+		f.RetVoid()
+	}
+
+	kernel := pb.Func("kernel_query", 0)
+	kernel.SetSrcDepth(3)
+	{
+		f := kernel
+		f.SetFile("main.c")
+		f.At(2345)
+		kB := f.IConst(keys.Base)
+		cB := f.IConst(kids.Base)
+		lB := f.IConst(leaves.Base)
+		qB := f.IConst(qry.Base)
+		oB := f.IConst(out.Base)
+		f.Loop("Lq", f.IConst(0), f.IConst(queries), 1, func(q isa.Reg) {
+			target := f.LoadIdx(qB, q, 0)
+			node := f.NewReg()
+			f.SetI(node, 0)
+			depth := f.NewReg()
+			f.SetI(depth, 0)
+			f.While("descend", func() isa.Reg {
+				// Data-dependent descent: stop at sentinel children (B).
+				inTree := f.CmpGE(node, f.IConst(0))
+				return f.And(f.CmpLT(depth, f.IConst(levels)), inTree)
+			}, func() {
+				slot := f.NewReg()
+				f.SetI(slot, 0)
+				base := f.Mul(node, f.IConst(order))
+				f.At(2350)
+				f.Loop("Lscan", f.IConst(0), f.IConst(order), 1, func(s isa.Reg) {
+					k := f.LoadIdx(kB, f.Add(base, s), 0)
+					le := f.CmpLE(k, target)
+					f.If(le, func() { f.Mov(slot, s) }, nil)
+				})
+				f.Mov(node, f.LoadIdx(cB, f.Add(base, slot), 0))
+				f.AddTo(depth, depth, f.IConst(1))
+			})
+			v := f.LoadIdx(lB, f.Mod(node, f.IConst(int64(nodes))), 0)
+			f.StoreIdx(oB, q, 0, v)
+		})
+		f.RetVoid()
+	}
+
+	m := pb.Func("main", 0)
+	m.SetFile("main.c")
+	m.At(100)
+	m.Call(setup.ID())
+	m.At(2345)
+	m.Call(kernel.ID())
+	m.Halt()
+	pb.SetMain(m)
+	return pb.MustBuild()
+}
+
+// CFD builds the Rodinia cfd (euler3d_cpu) twin: flux computation over
+// unstructured cells with neighbor indirection.  The neighbor loop is
+// fully unrolled as the compiler does (declared source depth 5, binary
+// depth 4 — the paper's ld-src/ld-bin gap), densities are updated via a
+// Runge-Kutta stepping loop, and the only static-analysis defect is the
+// non-affine neighbor access (F).
+func CFD() *isa.Program {
+	const (
+		cells = 256
+		nnb   = 4
+		vars  = 5
+		iters = 2
+		rk    = 3
+	)
+	pb := isa.NewProgram("cfd")
+	variables := pb.Global("variables", cells*vars)
+	oldVars := pb.Global("old_variables", cells*vars)
+	fluxes := pb.Global("fluxes", cells*vars)
+	neigh := pb.Global("elements_surrounding_elements", cells*nnb)
+	areas := pb.Global("areas", cells)
+
+	setup := pb.Func("cfd_setup", 0)
+	{
+		f := setup
+		f.SetFile("euler3d_cpu.cpp")
+		f.At(100)
+		lcg := newLCG(f, 5)
+		fillRandomF(f, lcg, "vars", variables)
+		fillRandomI(f, lcg, "nb", neigh, cells)
+		fillRandomF(f, lcg, "areas", areas)
+		f.RetVoid()
+	}
+
+	flux := pb.Func("compute_flux", 0)
+	flux.SetSrcDepth(5) // source: iters, rk, cells, neighbors, vars
+	{
+		f := flux
+		f.SetFile("euler3d_cpu.cpp")
+		f.At(480)
+		vB := f.IConst(variables.Base)
+		fB := f.IConst(fluxes.Base)
+		nB := f.IConst(neigh.Base)
+		aB := f.IConst(areas.Base)
+		f.Loop("Li", f.IConst(0), f.IConst(cells), 1, func(i isa.Reg) {
+			area := f.FLoadIdx(aB, i, 0)
+			f.At(484)
+			f.Loop("Lv", f.IConst(0), f.IConst(vars), 1, func(v isa.Reg) {
+				self := f.FLoadIdx(vB, f.Add(f.Mul(i, f.IConst(vars)), v), 0)
+				acc := f.NewReg()
+				f.FMovTo(acc, self)
+				// Neighbor loop fully unrolled (binary loses one depth).
+				for nb := int64(0); nb < nnb; nb++ {
+					id := f.LoadIdx(nB, f.Add(f.Mul(i, f.IConst(nnb)), f.IConst(nb)), 0)
+					nv := f.FLoadIdx(vB, f.Add(f.Mul(id, f.IConst(vars)), v), 0)
+					f.FMovTo(acc, f.FAdd(acc, f.FMul(nv, area)))
+				}
+				f.FStoreIdx(fB, f.Add(f.Mul(i, f.IConst(vars)), v), 0, acc)
+			})
+		})
+		f.RetVoid()
+	}
+
+	step := pb.Func("time_step", 0)
+	{
+		f := step
+		f.SetFile("euler3d_cpu.cpp")
+		f.At(510)
+		vB := f.IConst(variables.Base)
+		oB := f.IConst(oldVars.Base)
+		fB := f.IConst(fluxes.Base)
+		f.Loop("Ls", f.IConst(0), f.IConst(cells*vars), 1, func(i isa.Reg) {
+			o := f.FLoadIdx(oB, i, 0)
+			fl := f.FLoadIdx(fB, i, 0)
+			f.FStoreIdx(vB, i, 0, f.FAdd(o, f.FMul(fl, f.FConst(0.05))))
+		})
+		f.RetVoid()
+	}
+
+	m := pb.Func("main", 0)
+	{
+		f := m
+		f.SetFile("euler3d_cpu.cpp")
+		f.At(20)
+		f.Call(setup.ID())
+		f.At(470)
+		vB := f.IConst(variables.Base)
+		oB := f.IConst(oldVars.Base)
+		f.Loop("Liter", f.IConst(0), f.IConst(iters), 1, func(it isa.Reg) {
+			f.Loop("Lcopy", f.IConst(0), f.IConst(cells*vars), 1, func(i isa.Reg) {
+				f.FStoreIdx(oB, i, 0, f.FLoadIdx(vB, i, 0))
+			})
+			f.Loop("Lrk", f.IConst(0), f.IConst(rk), 1, func(r isa.Reg) {
+				f.Call(flux.ID())
+				f.Call(step.ID())
+			})
+		})
+		f.Halt()
+	}
+	pb.SetMain(m)
+	return pb.MustBuild()
+}
+
+// Heartwall builds the Rodinia heartwall twin: template matching of
+// tracking points against video frames.  Features: a deep (5-level)
+// nest, hand-linearized arrays indexed through modulo expressions (the
+// reason the paper reports ~1% affine operations), point coordinates
+// loaded from memory (non-affine bounds, B), an opaque libc call inside
+// the kernel (R), an early-exit convergence helper (C), and indirect
+// accesses (F).
+func Heartwall() *isa.Program {
+	const (
+		frames = 8
+		points = 8
+		tmplH  = 6
+		tmplW  = 6
+		imgW   = 64
+		imgH   = 32
+	)
+	pb := isa.NewProgram("heartwall")
+	img := pb.Global("frame", imgW*imgH)
+	tmpl := pb.Global("templates", points*tmplH*tmplW)
+	px := pb.Global("point_x", points)
+	py := pb.Global("point_y", points)
+	score := pb.Global("scores", points)
+	seed := pb.Global("rand_seed", 1)
+	rand := libcRand(pb, seed)
+
+	// check_convergence returns early from inside its scan loop (complex
+	// CFG for the static baseline).
+	conv := pb.Func("check_convergence", 1)
+	{
+		f := conv
+		f.SetFile("main.c")
+		f.At(500)
+		sB := f.IConst(score.Base)
+		limit := f.Arg(0)
+		f.Loop("Lc", f.IConst(0), f.IConst(points), 1, func(p isa.Reg) {
+			s := f.LoadIdx(sB, p, 0)
+			over := f.CmpGT(s, limit)
+			f.If(over, func() {
+				f.Ret(f.IConst(0)) // early return inside the loop: C
+			}, nil)
+		})
+		f.Ret(f.IConst(1))
+	}
+
+	kernel := pb.Func("heartwall_kernel", 0)
+	kernel.SetSrcDepth(7)
+	{
+		f := kernel
+		f.SetFile("main.c")
+		f.At(536)
+		iB := f.IConst(img.Base)
+		tB := f.IConst(tmpl.Base)
+		xB := f.IConst(px.Base)
+		yB := f.IConst(py.Base)
+		sB := f.IConst(score.Base)
+		f.Loop("Lframe", f.IConst(0), f.IConst(frames), 1, func(fr isa.Reg) {
+			// Per-frame jitter from an opaque libc call (R).
+			jit := f.Mod(f.Call(rand), f.IConst(3))
+			f.Loop("Lpoint", f.IConst(0), f.IConst(points), 1, func(p isa.Reg) {
+				x0 := f.LoadIdx(xB, p, 0) // data-dependent window origin
+				y0 := f.LoadIdx(yB, p, 0)
+				acc := f.NewReg()
+				f.SetI(acc, 0)
+				f.At(540)
+				f.Loop("Lr", f.IConst(0), f.IConst(tmplH), 1, func(r isa.Reg) {
+					f.Loop("Lc", f.IConst(0), f.IConst(tmplW), 1, func(c isa.Reg) {
+						// Hand-linearized + modulo wrapped image index: the
+						// folded access is not affine.
+						row := f.Add(y0, r)
+						col := f.Add(f.Add(x0, c), jit)
+						lin := f.Mod(f.Add(f.Mul(row, f.IConst(imgW)), col), f.IConst(imgW*imgH))
+						pix := f.LoadIdx(iB, lin, 0)
+						tIdx := f.Add(f.Mul(p, f.IConst(tmplH*tmplW)), f.Add(f.Mul(r, f.IConst(tmplW)), c))
+						tv := f.LoadIdx(tB, tIdx, 0)
+						d := f.Sub(pix, tv)
+						f.AddTo(acc, acc, f.Mul(d, d))
+					})
+				})
+				f.StoreIdx(sB, p, 0, acc)
+			})
+			f.Call(conv.ID(), f.IConst(1000000))
+		})
+		f.RetVoid()
+	}
+
+	setup := pb.Func("heartwall_setup", 0)
+	{
+		f := setup
+		f.SetFile("main.c")
+		f.At(100)
+		lcg := newLCG(f, 17)
+		fillRandomI(f, lcg, "img", img, 255)
+		fillRandomI(f, lcg, "tmpl", tmpl, 255)
+		fillRandomI(f, lcg, "px", px, imgW-tmplW-4)
+		fillRandomI(f, lcg, "py", py, imgH-tmplH-4)
+		f.Store(f.IConst(seed.Base), 0, f.IConst(99))
+		f.RetVoid()
+	}
+
+	m := pb.Func("main", 0)
+	m.SetFile("main.c")
+	m.At(30)
+	m.Call(setup.ID())
+	m.At(536)
+	m.Call(kernel.ID())
+	m.Halt()
+	pb.SetMain(m)
+	return pb.MustBuild()
+}

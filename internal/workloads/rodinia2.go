@@ -1,0 +1,337 @@
+package workloads
+
+import "polyprof/internal/isa"
+
+// Hotspot builds the Rodinia hotspot twin: thermal simulation on a 2D
+// grid, updated in place Gauss–Seidel style with clamped (MIN/MAX)
+// boundary indexing, which makes the loop bounds/conditionals
+// non-affine to the static baseline (B) and leaves almost no exactly
+// affine statements (the paper reports 0% %Aff from hand-linearized
+// modulo addressing; our clamps have the same folding effect).  The
+// time-carried in-place dependencies force skewing for tiling —
+// hotspot is one of the paper's skew=Y rows.
+func Hotspot() *isa.Program {
+	const (
+		rows  = 24
+		cols  = 24
+		steps = 3
+	)
+	pb := isa.NewProgram("hotspot")
+	temp := pb.Global("temp", rows*cols)
+	power := pb.Global("power", rows*cols)
+
+	setup := pb.Func("hotspot_setup", 0)
+	{
+		f := setup
+		f.SetFile("hotspot_openmp.cpp")
+		f.At(90)
+		lcg := newLCG(f, 23)
+		fillRandomF(f, lcg, "temp", temp)
+		fillRandomF(f, lcg, "power", power)
+		f.RetVoid()
+	}
+
+	kernel := pb.Func("compute_tran_temp", 0)
+	kernel.SetSrcDepth(4)
+	{
+		f := kernel
+		f.SetFile("hotspot_openmp.cpp")
+		f.At(318)
+		tB := f.IConst(temp.Base)
+		pB := f.IConst(power.Base)
+		cap := f.FConst(0.5)
+		f.Loop("Lt", f.IConst(0), f.IConst(steps), 1, func(t isa.Reg) {
+			f.At(320)
+			f.Loop("Lr", f.IConst(0), f.IConst(rows), 1, func(r isa.Reg) {
+				f.Loop("Lc", f.IConst(1), f.IConst(cols-1), 1, func(c isa.Reg) {
+					lin := f.Add(f.Mul(r, f.IConst(cols)), c)
+					center := f.FLoadIdx(tB, lin, 0)
+					west := f.FLoadIdx(tB, lin, -1)
+					east := f.FLoadIdx(tB, lin, 1)
+					// Clamped vertical scan: MIN/MAX bounds are opaque to
+					// the static baseline (B) and break affine folding at
+					// the borders, crushing the affine fraction as the
+					// paper's hand-linearized variant does.
+					rlo := f.MaxI(f.Sub(r, f.IConst(1)), f.IConst(0))
+					rhi := f.MinI(f.Add(r, f.IConst(2)), f.IConst(rows))
+					vsum := f.NewReg()
+					f.SetF(vsum, 0)
+					f.Loop("Lnb", rlo, rhi, 1, func(rr isa.Reg) {
+						v := f.FLoadIdx(tB, f.Add(f.Mul(rr, f.IConst(cols)), c), 0)
+						f.FAddTo(vsum, vsum, v)
+					})
+					pw := f.FLoadIdx(pB, lin, 0)
+					sum := f.FAdd(f.FAdd(west, east), vsum)
+					delta := f.FMul(cap, f.FAdd(pw, f.FSub(sum, f.FMul(f.FConst(5), center))))
+					f.FStoreIdx(tB, lin, 0, f.FAdd(center, delta))
+				})
+			})
+		})
+		f.RetVoid()
+	}
+
+	m := pb.Func("main", 0)
+	m.SetFile("hotspot_openmp.cpp")
+	m.At(40)
+	m.Call(setup.ID())
+	m.At(318)
+	m.Call(kernel.ID())
+	m.Halt()
+	pb.SetMain(m)
+	return pb.MustBuild()
+}
+
+// Hotspot3D builds the Rodinia hotspot3D twin: the same thermal update
+// on a 3D grid with explicit double buffering (ping/pong arrays chosen
+// through a pointer cell — the source of the static baseline's F) and
+// interior-only loops, so the dynamic profile is almost entirely affine
+// (paper: 99%) and the three spatial dimensions are fully parallel and
+// tilable (TileD 3D).
+func Hotspot3D() *isa.Program {
+	const (
+		nx    = 12
+		ny    = 12
+		nz    = 8
+		steps = 4
+	)
+	pb := isa.NewProgram("hotspot3D")
+	tIn := pb.Global("tIn", nx*ny*nz)
+	tOut := pb.Global("tOut", nx*ny*nz)
+	pw := pb.Global("power3d", nx*ny*nz)
+	ptrs := pb.Global("bufptrs", 2)
+
+	setup := pb.Func("hotspot3d_setup", 0)
+	{
+		f := setup
+		f.SetFile("3D.c")
+		f.At(100)
+		lcg := newLCG(f, 29)
+		fillRandomF(f, lcg, "tin", tIn)
+		fillRandomF(f, lcg, "pw3", pw)
+		b := f.IConst(ptrs.Base)
+		f.Store(b, 0, f.IConst(tIn.Base))
+		f.Store(b, 1, f.IConst(tOut.Base))
+		f.RetVoid()
+	}
+
+	kernel := pb.Func("compute_tran_temp_3d", 0)
+	kernel.SetSrcDepth(4)
+	{
+		f := kernel
+		f.SetFile("3D.c")
+		f.At(261)
+		pB := f.IConst(pw.Base)
+		bufs := f.IConst(ptrs.Base)
+		f.Loop("Lt", f.IConst(0), f.IConst(steps), 1, func(t isa.Reg) {
+			// Ping-pong buffer selection via the pointer table.
+			sel := f.Mod(t, f.IConst(2))
+			src := f.LoadIdx(bufs, sel, 0)
+			dst := f.LoadIdx(bufs, f.Sub(f.IConst(1), sel), 0)
+			f.At(263)
+			f.Loop("Lz", f.IConst(1), f.IConst(nz-1), 1, func(z isa.Reg) {
+				f.Loop("Ly", f.IConst(1), f.IConst(ny-1), 1, func(y isa.Reg) {
+					f.Loop("Lx", f.IConst(1), f.IConst(nx-1), 1, func(x isa.Reg) {
+						lin := f.Add(f.Add(f.Mul(z, f.IConst(nx*ny)), f.Mul(y, f.IConst(nx))), x)
+						c := f.FLoadIdx(src, lin, 0)
+						e := f.FLoadIdx(src, lin, 1)
+						w := f.FLoadIdx(src, lin, -1)
+						n := f.FLoadIdx(src, lin, nx)
+						s := f.FLoadIdx(src, lin, -nx)
+						u := f.FLoadIdx(src, lin, nx*ny)
+						d := f.FLoadIdx(src, lin, -nx*ny)
+						p := f.FLoadIdx(pB, lin, 0)
+						sum := f.FAdd(f.FAdd(f.FAdd(e, w), f.FAdd(n, s)), f.FAdd(u, d))
+						v := f.FAdd(c, f.FMul(f.FConst(0.125), f.FAdd(p, f.FSub(sum, f.FMul(f.FConst(6), c)))))
+						f.FStoreIdx(dst, lin, 0, v)
+					})
+				})
+			})
+		})
+		f.RetVoid()
+	}
+
+	m := pb.Func("main", 0)
+	m.SetFile("3D.c")
+	m.At(30)
+	m.Call(setup.ID())
+	m.At(261)
+	m.Call(kernel.ID())
+	m.Halt()
+	pb.SetMain(m)
+	return pb.MustBuild()
+}
+
+// KMeans builds the Rodinia kmeans twin: iterative clustering with a
+// distance nest (points x clusters x features), argmin conditionals,
+// indirect accumulation into the member cluster (F), opaque libc_rand
+// initialization inside the clustering function (R), and writable
+// pointer parameters (A) — the paper's RFA row.  The distance nest
+// itself is fully affine and parallel, giving the high %Aff (97%) and
+// 4D tiling of Table 5.
+func KMeans() *isa.Program {
+	const (
+		npoints   = 96
+		nfeatures = 4
+		nclusters = 5
+		iters     = 3
+	)
+	pb := isa.NewProgram("kmeans")
+	feats := pb.Global("features", npoints*nfeatures)
+	clusters := pb.Global("clusters", nclusters*nfeatures)
+	member := pb.Global("membership", npoints)
+	newCenters := pb.Global("new_centers", nclusters*nfeatures)
+	newCount := pb.Global("new_centers_len", nclusters)
+	seed := pb.Global("rand_seed", 1)
+	rand := libcRand(pb, seed)
+
+	// kmeans_clustering(featBase, clustBase, memberBase).
+	clustering := pb.Func("kmeans_clustering", 3)
+	clustering.SetSrcDepth(4)
+	{
+		f := clustering
+		f.SetFile("kmeans_clustering.c")
+		featB, clB, memB := f.Arg(0), f.Arg(1), f.Arg(2)
+		f.At(160)
+		ncB := f.IConst(newCenters.Base)
+		nlB := f.IConst(newCount.Base)
+		// Random initial centers through the opaque libc call (R).
+		f.Loop("Linit", f.IConst(0), f.IConst(nclusters), 1, func(c isa.Reg) {
+			p := f.Mod(f.Call(rand), f.IConst(npoints))
+			f.Loop("Lf0", f.IConst(0), f.IConst(nfeatures), 1, func(ft isa.Reg) {
+				v := f.FLoadIdx(featB, f.Add(f.Mul(p, f.IConst(nfeatures)), ft), 0)
+				f.FStoreIdx(clB, f.Add(f.Mul(c, f.IConst(nfeatures)), ft), 0, v)
+			})
+		})
+		f.Loop("Liter", f.IConst(0), f.IConst(iters), 1, func(it isa.Reg) {
+			f.At(170)
+			f.Loop("Li", f.IConst(0), f.IConst(npoints), 1, func(i isa.Reg) {
+				bestC := f.NewReg()
+				bestD := f.NewReg()
+				f.SetI(bestC, 0)
+				f.SetF(bestD, 1e30)
+				f.Loop("Lc", f.IConst(0), f.IConst(nclusters), 1, func(c isa.Reg) {
+					dist := f.NewReg()
+					f.SetF(dist, 0)
+					f.Loop("Lfeat", f.IConst(0), f.IConst(nfeatures), 1, func(ft isa.Reg) {
+						a := f.FLoadIdx(featB, f.Add(f.Mul(i, f.IConst(nfeatures)), ft), 0)
+						b := f.FLoadIdx(clB, f.Add(f.Mul(c, f.IConst(nfeatures)), ft), 0)
+						d := f.FSub(a, b)
+						f.FAddTo(dist, dist, f.FMul(d, d))
+					})
+					better := f.FCmpLT(dist, bestD)
+					f.If(better, func() {
+						f.FMovTo(bestD, dist)
+						f.Mov(bestC, c)
+					}, nil)
+				})
+				f.StoreIdx(memB, i, 0, bestC)
+				// Indirect accumulation into the chosen cluster (F).
+				f.StoreIdx(nlB, bestC, 0, f.Add(f.LoadIdx(nlB, bestC, 0), f.IConst(1)))
+				f.Loop("Lacc", f.IConst(0), f.IConst(nfeatures), 1, func(ft isa.Reg) {
+					addr := f.Add(f.Mul(bestC, f.IConst(nfeatures)), ft)
+					v := f.FLoadIdx(featB, f.Add(f.Mul(i, f.IConst(nfeatures)), ft), 0)
+					f.FStoreIdx(ncB, addr, 0, f.FAdd(f.FLoadIdx(ncB, addr, 0), v))
+				})
+			})
+		})
+		f.RetVoid()
+	}
+
+	setup := pb.Func("kmeans_setup", 0)
+	{
+		f := setup
+		f.SetFile("kmeans.c")
+		f.At(50)
+		lcg := newLCG(f, 31)
+		fillRandomF(f, lcg, "feat", feats)
+		f.Store(f.IConst(seed.Base), 0, f.IConst(7))
+		f.RetVoid()
+	}
+
+	m := pb.Func("main", 0)
+	m.SetFile("kmeans.c")
+	m.At(30)
+	m.Call(setup.ID())
+	m.At(160)
+	m.Call(clustering.ID(), m.IConst(feats.Base), m.IConst(clusters.Base), m.IConst(member.Base))
+	m.Halt()
+	pb.SetMain(m)
+	return pb.MustBuild()
+}
+
+// LavaMD builds the Rodinia lavaMD twin: particle interactions between
+// a box and its neighbor boxes from an indirection list.  The neighbor
+// box id is loaded from memory (non-affine accesses, F) and the
+// neighbor count is data dependent (B), so almost nothing folds affine
+// — the paper reports 0% %Aff for lavaMD.
+func LavaMD() *isa.Program {
+	const (
+		boxes    = 27
+		maxNeigh = 6
+		parts    = 6
+	)
+	pb := isa.NewProgram("lavaMD")
+	pos := pb.Global("rv", boxes*parts*4)
+	frc := pb.Global("fv", boxes*parts*4)
+	nbList := pb.Global("nei_list", boxes*maxNeigh)
+	nbCount := pb.Global("nei_count", boxes)
+
+	setup := pb.Func("lavamd_setup", 0)
+	{
+		f := setup
+		f.SetFile("kernel_cpu.c")
+		f.At(40)
+		lcg := newLCG(f, 37)
+		fillRandomF(f, lcg, "pos", pos)
+		fillRandomI(f, lcg, "nbl", nbList, boxes)
+		nc := f.IConst(nbCount.Base)
+		f.Loop("nbc", f.IConst(0), f.IConst(boxes), 1, func(b isa.Reg) {
+			f.StoreIdx(nc, b, 0, f.Add(lcg.nextMod(maxNeigh-1), f.IConst(1)))
+		})
+		f.RetVoid()
+	}
+
+	kernel := pb.Func("kernel_cpu", 0)
+	kernel.SetSrcDepth(4)
+	{
+		f := kernel
+		f.SetFile("kernel_cpu.c")
+		f.At(123)
+		posB := f.IConst(pos.Base)
+		frcB := f.IConst(frc.Base)
+		nlB := f.IConst(nbList.Base)
+		ncB := f.IConst(nbCount.Base)
+		f.Loop("Lbox", f.IConst(0), f.IConst(boxes), 1, func(b isa.Reg) {
+			cnt := f.LoadIdx(ncB, b, 0) // data-dependent bound (B)
+			f.Loop("Lnb", f.IConst(0), cnt, 1, func(nb isa.Reg) {
+				other := f.LoadIdx(nlB, f.Add(f.Mul(b, f.IConst(maxNeigh)), nb), 0)
+				f.At(127)
+				f.Loop("Li", f.IConst(0), f.IConst(parts), 1, func(i isa.Reg) {
+					selfIdx := f.Add(f.Mul(b, f.IConst(parts*4)), f.Mul(i, f.IConst(4)))
+					ax := f.FLoadIdx(posB, selfIdx, 0)
+					acc := f.NewReg()
+					f.SetF(acc, 0)
+					f.Loop("Lj", f.IConst(0), f.IConst(parts), 1, func(j isa.Reg) {
+						otherIdx := f.Add(f.Mul(other, f.IConst(parts*4)), f.Mul(j, f.IConst(4)))
+						bx := f.FLoadIdx(posB, otherIdx, 0) // indirect (F)
+						d := f.FSub(ax, bx)
+						r2 := f.FAdd(f.FMul(d, d), f.FConst(0.01))
+						f.FAddTo(acc, acc, f.FDiv(d, r2))
+					})
+					f.FStoreIdx(frcB, selfIdx, 0, f.FAdd(f.FLoadIdx(frcB, selfIdx, 0), acc))
+				})
+			})
+		})
+		f.RetVoid()
+	}
+
+	m := pb.Func("main", 0)
+	m.SetFile("kernel_cpu.c")
+	m.At(20)
+	m.Call(setup.ID())
+	m.At(123)
+	m.Call(kernel.ID())
+	m.Halt()
+	pb.SetMain(m)
+	return pb.MustBuild()
+}

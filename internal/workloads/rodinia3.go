@@ -1,0 +1,373 @@
+package workloads
+
+import "polyprof/internal/isa"
+
+// Leukocyte builds the Rodinia leukocyte twin: cell detection over
+// video frames.  It concentrates every static-analysis defect of the
+// paper's RCBFAP row: an opaque libc call in the kernel (R), an
+// early-return helper inside the detection loop (C), data-dependent
+// sample counts (B), double indirection through a per-cell row table
+// (F and, because the row pointer is reloaded from a data-dependent
+// slot inside the loop, P), and two writable pointer parameters (A).
+func Leukocyte() *isa.Program {
+	const (
+		frames  = 6
+		cells   = 6
+		angles  = 10
+		samples = 6
+		imgW    = 48
+		imgH    = 24
+	)
+	pb := isa.NewProgram("leukocyte")
+	img := pb.Global("frame", imgW*imgH)
+	rowTbl := pb.Global("row_table", imgH)
+	cellIdx := pb.Global("cell_rows", cells)
+	result := pb.Global("gicov", cells*angles)
+	counts := pb.Global("sample_count", cells)
+	seed := pb.Global("rand_seed", 1)
+	rand := libcRand(pb, seed)
+
+	// Early-exit quality check (C).
+	quality := pb.Func("check_quality", 1)
+	{
+		f := quality
+		f.SetFile("detect_main.c")
+		f.At(200)
+		rB := f.IConst(result.Base)
+		lim := f.Arg(0)
+		f.Loop("Lq", f.IConst(0), f.IConst(cells*angles), 1, func(i isa.Reg) {
+			bad := f.CmpGT(f.LoadIdx(rB, i, 0), lim)
+			f.If(bad, func() { f.Ret(f.IConst(0)) }, nil)
+		})
+		f.Ret(f.IConst(1))
+	}
+
+	// detect_kernel(imgBase, resultBase): two pointer params, result
+	// written (A).
+	kernel := pb.Func("detect_kernel", 2)
+	kernel.SetSrcDepth(4)
+	{
+		f := kernel
+		f.SetFile("detect_main.c")
+		imgB, resB := f.Arg(0), f.Arg(1)
+		f.At(51)
+		rtB := f.IConst(rowTbl.Base)
+		ciB := f.IConst(cellIdx.Base)
+		cntB := f.IConst(counts.Base)
+		f.Loop("Lframe", f.IConst(0), f.IConst(frames), 1, func(fr isa.Reg) {
+			jitter := f.Mod(f.Call(rand), f.IConst(4)) // R
+			f.Loop("Lcell", f.IConst(0), f.IConst(cells), 1, func(c isa.Reg) {
+				n := f.LoadIdx(cntB, c, 0) // data-dependent bound (B)
+				f.At(55)
+				f.Loop("Lang", f.IConst(0), f.IConst(angles), 1, func(a isa.Reg) {
+					acc := f.NewReg()
+					f.SetI(acc, 0)
+					f.Loop("Lsmp", f.IConst(0), n, 1, func(s isa.Reg) {
+						// Double indirection: row pointer from a table slot
+						// chosen by a loaded cell row (F + P).
+						row := f.LoadIdx(ciB, c, 0)
+						rowPtr := f.LoadIdx(rtB, f.Mod(f.Add(row, s), f.IConst(imgH)), 0)
+						col := f.Mod(f.Add(f.Mul(a, f.IConst(samples)), f.Add(s, jitter)), f.IConst(imgW))
+						pix := f.LoadIdx(rowPtr, col, 0)
+						f.AddTo(acc, acc, pix)
+					})
+					// Direct background sample through the image parameter
+					// (second aliasing base, A).
+					bg := f.LoadIdx(imgB, f.Mod(f.Mul(a, f.IConst(7)), f.IConst(imgW*imgH)), 0)
+					f.StoreIdx(resB, f.Add(f.Mul(c, f.IConst(angles)), a), 0, f.Add(acc, bg))
+				})
+			})
+			f.Call(quality.ID(), f.IConst(1<<40))
+		})
+		f.RetVoid()
+	}
+
+	setup := pb.Func("leukocyte_setup", 0)
+	{
+		f := setup
+		f.SetFile("detect_main.c")
+		f.At(20)
+		lcg := newLCG(f, 41)
+		fillRandomI(f, lcg, "img", img, 255)
+		fillRandomI(f, lcg, "cidx", cellIdx, imgH)
+		cB := f.IConst(counts.Base)
+		f.Loop("cnt", f.IConst(0), f.IConst(cells), 1, func(c isa.Reg) {
+			f.StoreIdx(cB, c, 0, f.Add(lcg.nextMod(samples-2), f.IConst(2)))
+		})
+		rt := f.IConst(rowTbl.Base)
+		f.Loop("rows", f.IConst(0), f.IConst(imgH), 1, func(r isa.Reg) {
+			f.StoreIdx(rt, r, 0, f.Add(f.IConst(img.Base), f.Mul(r, f.IConst(imgW))))
+		})
+		f.Store(f.IConst(seed.Base), 0, f.IConst(3))
+		f.RetVoid()
+	}
+
+	m := pb.Func("main", 0)
+	m.SetFile("detect_main.c")
+	m.At(10)
+	m.Call(setup.ID())
+	m.At(51)
+	m.Call(kernel.ID(), m.IConst(img.Base), m.IConst(result.Base))
+	m.Halt()
+	pb.SetMain(m)
+	return pb.MustBuild()
+}
+
+// LUD builds the Rodinia lud twin: blocked LU decomposition on a
+// hand-linearized matrix.  The linearized index multiplies the loop
+// counter by the (parametric) matrix dimension (F for the static
+// baseline) and the blocked variant wraps offsets with modulo
+// expressions, which also defeats dynamic folding — the paper reports
+// only 4% affine operations despite the regular algorithm.  The
+// triangular loop structure itself folds exactly (bounds affine in the
+// outer iterator).
+func LUD() *isa.Program {
+	const n = 20
+	pb := isa.NewProgram("lud")
+	mat := pb.Global("matrix", n*n)
+
+	// lud_kernel(matrixBase, dim): dim is a runtime parameter so the
+	// linearized subscript is IV*param.
+	kernel := pb.Func("lud_kernel", 2)
+	kernel.SetSrcDepth(3)
+	{
+		f := kernel
+		f.SetFile("lud.c")
+		matB, dim := f.Arg(0), f.Arg(1)
+		f.At(121)
+		f.Loop("Lk", f.IConst(0), dim, 1, func(k isa.Reg) {
+			pivotIdx := f.Add(f.Mul(k, dim), k)
+			pivot := f.FLoadIdx(matB, pivotIdx, 0)
+			f.At(125)
+			iEnd := f.MinI(f.Add(k, f.IConst(16)), dim) // blocked bound (B)
+			f.Loop("Li", f.Add(k, f.IConst(1)), iEnd, 1, func(i isa.Reg) {
+				// Modulo-wrapped linearization, as in the blocked source.
+				rowIdx := f.Mod(f.Add(f.Mul(i, dim), k), f.IConst(n*n))
+				v := f.FDiv(f.FLoadIdx(matB, rowIdx, 0), pivot)
+				f.FStoreIdx(matB, rowIdx, 0, v)
+				f.Loop("Lj", f.Add(k, f.IConst(1)), dim, 1, func(j isa.Reg) {
+					tIdx := f.Mod(f.Add(f.Mul(i, dim), j), f.IConst(n*n))
+					uIdx := f.Mod(f.Add(f.Mul(k, dim), j), f.IConst(n*n))
+					t := f.FLoadIdx(matB, tIdx, 0)
+					u := f.FLoadIdx(matB, uIdx, 0)
+					f.FStoreIdx(matB, tIdx, 0, f.FSub(t, f.FMul(v, u)))
+				})
+			})
+		})
+		f.RetVoid()
+	}
+
+	setup := pb.Func("lud_setup", 0)
+	{
+		f := setup
+		f.SetFile("lud.c")
+		f.At(40)
+		lcg := newLCG(f, 43)
+		mB := f.IConst(mat.Base)
+		f.Loop("init", f.IConst(0), f.IConst(n*n), 1, func(i isa.Reg) {
+			v := f.FAdd(f.FDiv(f.I2F(lcg.nextMod(100)), f.FConst(100)), f.FConst(1))
+			f.FStoreIdx(mB, i, 0, v)
+		})
+		f.RetVoid()
+	}
+
+	m := pb.Func("main", 0)
+	m.SetFile("lud.c")
+	m.At(20)
+	m.Call(setup.ID())
+	m.At(121)
+	m.Call(kernel.ID(), m.IConst(mat.Base), m.IConst(n))
+	m.Halt()
+	pb.SetMain(m)
+	return pb.MustBuild()
+}
+
+// Myocyte builds the Rodinia myocyte twin: an ODE right-hand side of
+// many straight-line equations advanced by a time-stepping solver with
+// an adaptive convergence check.  Static defects per the paper's CBA
+// row: early exit from the convergence scan (C), an error-derived
+// adaptive bound (B), and writable pointer parameters (A).  Most
+// operations are straight-line float math over affine subscripts, so
+// the dynamic affine fraction is high (paper: 89%).
+func Myocyte() *isa.Program {
+	const (
+		eqs   = 40
+		steps = 12
+	)
+	pb := isa.NewProgram("myocyte")
+	y := pb.Global("y", eqs+1) // +1: halo slot mirroring y[0]
+	dy := pb.Global("dy", eqs)
+	params := pb.Global("params", eqs)
+
+	// convergence(yBase): early return inside the scan (C).
+	conv := pb.Func("embedded_fehlberg_check", 1)
+	{
+		f := conv
+		f.SetFile("main.c")
+		f.At(260)
+		yB := f.Arg(0)
+		f.Loop("Lchk", f.IConst(0), f.IConst(eqs), 1, func(i isa.Reg) {
+			big := f.FCmpLT(f.FConst(1e6), f.FAbs(f.FLoadIdx(yB, i, 0)))
+			f.If(big, func() { f.Ret(f.IConst(0)) }, nil)
+		})
+		f.Ret(f.IConst(1))
+	}
+
+	// solver(yBase, dyBase, paramBase): A from the three pointer params.
+	solver := pb.Func("solver", 3)
+	solver.SetSrcDepth(4)
+	{
+		f := solver
+		f.SetFile("main.c")
+		yB, dyB, pB := f.Arg(0), f.Arg(1), f.Arg(2)
+		f.At(283)
+		f.Loop("Lt", f.IConst(0), f.IConst(steps), 1, func(t isa.Reg) {
+			// Halo update keeps the neighbor subscript affine.
+			f.FStore(yB, eqs, f.FLoad(yB, 0))
+			// RHS evaluation: each equation couples with its neighbor.
+			f.Loop("Leq", f.IConst(0), f.IConst(eqs), 1, func(e isa.Reg) {
+				v := f.FLoadIdx(yB, e, 0)
+				nb := f.FLoadIdx(yB, e, 1)
+				p := f.FLoadIdx(pB, e, 0)
+				r := f.FSub(f.FMul(p, nb), f.FMul(v, v))
+				f.FStoreIdx(dyB, e, 0, r)
+			})
+			// Adaptive inner iterations: bound derived from the state (B).
+			errv := f.FAbs(f.FLoad(yB, 0))
+			inner := f.Add(f.Mod(f.F2I(f.FMul(errv, f.FConst(3))), f.IConst(3)), f.IConst(1))
+			f.Loop("Ladapt", f.IConst(0), inner, 1, func(s isa.Reg) {
+				f.Loop("Lupd", f.IConst(0), f.IConst(eqs), 1, func(e isa.Reg) {
+					v := f.FLoadIdx(yB, e, 0)
+					d := f.FLoadIdx(dyB, e, 0)
+					f.FStoreIdx(yB, e, 0, f.FAdd(v, f.FMul(d, f.FConst(0.001))))
+				})
+			})
+			f.Call(conv.ID(), yB)
+		})
+		f.RetVoid()
+	}
+
+	setup := pb.Func("myocyte_setup", 0)
+	{
+		f := setup
+		f.SetFile("main.c")
+		f.At(30)
+		lcg := newLCG(f, 47)
+		fillRandomF(f, lcg, "y", y)
+		fillRandomF(f, lcg, "p", params)
+		f.RetVoid()
+	}
+
+	m := pb.Func("main", 0)
+	m.SetFile("main.c")
+	m.At(20)
+	m.Call(setup.ID())
+	m.At(283)
+	m.Call(solver.ID(), m.IConst(y.Base), m.IConst(dy.Base), m.IConst(params.Base))
+	m.Halt()
+	pb.SetMain(m)
+	return pb.MustBuild()
+}
+
+// NN builds the Rodinia nn twin: nearest-neighbor search over records
+// streamed through an opaque reader.  The hot loop calls libc_read for
+// every record (R) — and the reader's field scan has a data-dependent
+// trip count, so most dynamic operations sit in non-affine domains
+// (paper: 1% affine) — then computes a distance and keeps the running
+// minimum.  Field extraction goes through a loaded offset (F).
+func NN() *isa.Program {
+	const (
+		records = 128
+		recLen  = 8
+	)
+	pb := isa.NewProgram("nn")
+	data := pb.Global("records", records*recLen)
+	buf := pb.Global("buf", recLen)
+	fieldOff := pb.Global("field_offsets", 2)
+	best := pb.Global("best", 2)
+
+	// libc_read(recIdx): copies one record into buf, scanning for a
+	// data-dependent terminator like the original's fgets/sscanf.
+	reader := pb.Func("libc_read", 1)
+	{
+		f := reader
+		rec := f.Arg(0)
+		dB := f.IConst(data.Base)
+		bB := f.IConst(buf.Base)
+		j := f.NewReg()
+		f.SetI(j, 0)
+		f.While("scan", func() isa.Reg {
+			inRange := f.CmpLT(j, f.IConst(recLen))
+			v := f.LoadIdx(dB, f.Add(f.Mul(rec, f.IConst(recLen)), f.MinI(j, f.IConst(recLen-1))), 0)
+			return f.And(inRange, f.CmpNE(v, f.IConst(0)))
+		}, func() {
+			v := f.LoadIdx(dB, f.Add(f.Mul(rec, f.IConst(recLen)), j), 0)
+			f.StoreIdx(bB, j, 0, v)
+			f.AddTo(j, j, f.IConst(1))
+		})
+		f.Ret(j)
+	}
+
+	kernel := pb.Func("nn_kernel", 0)
+	kernel.SetSrcDepth(1)
+	{
+		f := kernel
+		f.SetFile("nn_openmp.c")
+		f.At(119)
+		bB := f.IConst(buf.Base)
+		foB := f.IConst(fieldOff.Base)
+		bestB := f.IConst(best.Base)
+		tgtLat := f.IConst(30)
+		tgtLng := f.IConst(50)
+		bestD := f.NewReg()
+		bestI := f.NewReg()
+		f.SetI(bestD, 1<<40)
+		f.SetI(bestI, -1)
+		f.Loop("Lrec", f.IConst(0), f.IConst(records), 1, func(i isa.Reg) {
+			f.Call(reader.ID(), i) // R: opaque libc call in the hot loop
+			latOff := f.LoadIdx(foB, f.IConst(0), 0)
+			lngOff := f.LoadIdx(foB, f.IConst(1), 0)
+			lat := f.LoadIdx(bB, latOff, 0) // loaded field offset (F)
+			lng := f.LoadIdx(bB, lngOff, 0)
+			dlat := f.Sub(lat, tgtLat)
+			dlng := f.Sub(lng, tgtLng)
+			d := f.Add(f.Mul(dlat, dlat), f.Mul(dlng, dlng))
+			// Register-only argmin: if-converted to selects by the
+			// compiler, so the conditional costs no B.
+			closer := f.CmpLT(d, bestD)
+			f.If(closer, func() {
+				f.Mov(bestD, d)
+				f.Mov(bestI, i)
+			}, nil)
+		})
+		f.Store(bestB, 0, bestD)
+		f.Store(bestB, 1, bestI)
+		f.RetVoid()
+	}
+
+	setup := pb.Func("nn_setup", 0)
+	{
+		f := setup
+		f.SetFile("nn_openmp.c")
+		f.At(30)
+		lcg := newLCG(f, 53)
+		dB := f.IConst(data.Base)
+		f.Loop("init", f.IConst(0), f.IConst(records*recLen), 1, func(i isa.Reg) {
+			f.StoreIdx(dB, i, 0, f.Add(lcg.nextMod(99), f.IConst(1)))
+		})
+		fo := f.IConst(fieldOff.Base)
+		f.Store(fo, 0, f.IConst(2))
+		f.Store(fo, 1, f.IConst(5))
+		f.RetVoid()
+	}
+
+	m := pb.Func("main", 0)
+	m.SetFile("nn_openmp.c")
+	m.At(20)
+	m.Call(setup.ID())
+	m.At(119)
+	m.Call(kernel.ID())
+	m.Halt()
+	pb.SetMain(m)
+	return pb.MustBuild()
+}

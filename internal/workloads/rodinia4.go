@@ -1,0 +1,535 @@
+package workloads
+
+import "polyprof/internal/isa"
+
+// NW builds the Rodinia nw (Needleman–Wunsch) twin: the classic 2D
+// dynamic-programming recurrence
+//
+//	score[i][j] = max(score[i-1][j-1] + ref, score[i-1][j] - p,
+//	              score[i][j-1] - p)
+//
+// whose dependence distances (1,1), (1,0), (0,1) make neither loop
+// parallel but the 2D band fully permutable — coarse-grain parallelism
+// needs the wavefront (skewed) schedule, the paper's skew=Y entry.  The
+// matrix is linearized with a parametric dimension (F) and the region
+// initializes inputs through an opaque libc call (R).
+func NW() *isa.Program {
+	const n = 28
+	pb := isa.NewProgram("nw")
+	score := pb.Global("input_itemsets", n*n)
+	ref := pb.Global("reference", n*n)
+	seed := pb.Global("rand_seed", 1)
+	rand := libcRand(pb, seed)
+
+	kernel := pb.Func("nw_kernel", 2)
+	kernel.SetSrcDepth(2)
+	{
+		f := kernel
+		f.SetFile("needle.cpp")
+		sB, dim := f.Arg(0), f.Arg(1)
+		f.At(305)
+		rB := f.IConst(ref.Base)
+		// Opaque reference-matrix initialization (R).
+		f.Loop("Lrand", f.IConst(0), f.IConst(n*n), 1, func(i isa.Reg) {
+			f.StoreIdx(rB, i, 0, f.Mod(f.Call(rand), f.IConst(10)))
+		})
+		penalty := f.IConst(1)
+		f.At(308)
+		f.Loop("Li", f.IConst(1), dim, 1, func(i isa.Reg) {
+			f.Loop("Lj", f.IConst(1), dim, 1, func(j isa.Reg) {
+				lin := f.Add(f.Mul(i, dim), j) // parametric linearization (F)
+				nwv := f.Add(f.LoadIdx(sB, f.Sub(lin, f.Add(dim, f.IConst(1))), 0),
+					f.LoadIdx(rB, lin, 0))
+				up := f.Sub(f.LoadIdx(sB, f.Sub(lin, dim), 0), penalty)
+				left := f.Sub(f.LoadIdx(sB, f.Sub(lin, f.IConst(1)), 0), penalty)
+				f.StoreIdx(sB, lin, 0, f.MaxI(f.MaxI(nwv, up), left))
+			})
+		})
+		f.RetVoid()
+	}
+
+	setup := pb.Func("nw_setup", 0)
+	{
+		f := setup
+		f.SetFile("needle.cpp")
+		f.At(40)
+		sB := f.IConst(score.Base)
+		f.Loop("init", f.IConst(0), f.IConst(n*n), 1, func(i isa.Reg) {
+			f.StoreIdx(sB, i, 0, f.IConst(0))
+		})
+		f.Store(f.IConst(seed.Base), 0, f.IConst(13))
+		f.RetVoid()
+	}
+
+	m := pb.Func("main", 0)
+	m.SetFile("needle.cpp")
+	m.At(20)
+	m.Call(setup.ID())
+	m.At(308)
+	m.Call(kernel.ID(), m.IConst(score.Base), m.IConst(n))
+	m.Halt()
+	pb.SetMain(m)
+	return pb.MustBuild()
+}
+
+// ParticleFilter builds the Rodinia particlefilter twin: sequential
+// Monte-Carlo tracking with a weight nest (affine) and a resampling
+// step that walks the CDF with an early-exit helper (C) and scatters
+// through an index array (F).
+func ParticleFilter() *isa.Program {
+	const (
+		particles = 64
+		steps     = 3
+	)
+	pb := isa.NewProgram("particlefilter")
+	x := pb.Global("arrayX", particles)
+	w := pb.Global("weights", particles)
+	cdf := pb.Global("CDF", particles)
+	idx := pb.Global("index", particles)
+	xNew := pb.Global("xj", particles)
+
+	// find_index(cdfBase, u): scans the CDF and returns early (C).
+	find := pb.Func("find_index", 2)
+	{
+		f := find
+		f.SetFile("ex_particle_seq.c")
+		f.At(450)
+		cB, u := f.Arg(0), f.Arg(1)
+		f.Loop("Lfind", f.IConst(0), f.IConst(particles), 1, func(i isa.Reg) {
+			ge := f.FCmpLE(u, f.FLoadIdx(cB, i, 0))
+			f.If(ge, func() { f.Ret(i) }, nil)
+		})
+		f.Ret(f.IConst(particles - 1))
+	}
+
+	kernel := pb.Func("particle_kernel", 0)
+	kernel.SetSrcDepth(3)
+	{
+		f := kernel
+		f.SetFile("ex_particle_seq.c")
+		f.At(593)
+		xB := f.IConst(x.Base)
+		wB := f.IConst(w.Base)
+		cB := f.IConst(cdf.Base)
+		iB := f.IConst(idx.Base)
+		nB := f.IConst(xNew.Base)
+		f.Loop("Lt", f.IConst(0), f.IConst(steps), 1, func(t isa.Reg) {
+			// Likelihood/weight update (affine, parallel).
+			f.Loop("Lw", f.IConst(0), f.IConst(particles), 1, func(p isa.Reg) {
+				xv := f.FLoadIdx(xB, p, 0)
+				f.FStoreIdx(wB, p, 0, f.FDiv(f.FConst(1), f.FAdd(f.FConst(1), f.FMul(xv, xv))))
+			})
+			// Prefix-sum CDF (serial recurrence).
+			run := f.NewReg()
+			f.SetF(run, 0)
+			f.Loop("Lcdf", f.IConst(0), f.IConst(particles), 1, func(p isa.Reg) {
+				f.FMovTo(run, f.FAdd(run, f.FLoadIdx(wB, p, 0)))
+				f.FStoreIdx(cB, p, 0, run)
+			})
+			total := f.NewReg()
+			f.FMovTo(total, run)
+			// Systematic resampling via the early-exit scan (C) and an
+			// index-array gather (F).
+			f.At(610)
+			f.Loop("Lres", f.IConst(0), f.IConst(particles), 1, func(p isa.Reg) {
+				u := f.FMul(f.FDiv(f.I2F(p), f.FConst(particles)), total)
+				pick := f.Call(find.ID(), cB, u)
+				f.StoreIdx(iB, p, 0, pick)
+				v := f.FLoadIdx(xB, pick, 0)
+				f.FStoreIdx(nB, p, 0, v)
+			})
+			f.Loop("Lcopy", f.IConst(0), f.IConst(particles), 1, func(p isa.Reg) {
+				moved := f.FAdd(f.FLoadIdx(nB, p, 0), f.FConst(0.05))
+				f.FStoreIdx(xB, p, 0, moved)
+			})
+		})
+		f.RetVoid()
+	}
+
+	setup := pb.Func("pf_setup", 0)
+	{
+		f := setup
+		f.SetFile("ex_particle_seq.c")
+		f.At(40)
+		lcg := newLCG(f, 59)
+		fillRandomF(f, lcg, "x", x)
+		f.RetVoid()
+	}
+
+	m := pb.Func("main", 0)
+	m.SetFile("ex_particle_seq.c")
+	m.At(20)
+	m.Call(setup.ID())
+	m.At(593)
+	m.Call(kernel.ID())
+	m.Halt()
+	pb.SetMain(m)
+	return pb.MustBuild()
+}
+
+// Pathfinder builds the Rodinia pathfinder twin: a row-by-row
+// grid DP using two result rows whose base pointers are swapped through
+// a pointer table inside the time loop (P — base pointer not loop
+// invariant) and a MIN-clamped trip count (B).  The carried row-to-row
+// dependencies leave no parallel dimension; tiling requires the
+// wavefront (skew=Y in the paper's table).
+func Pathfinder() *isa.Program {
+	const (
+		cols = 64
+		rows = 16
+	)
+	pb := isa.NewProgram("pathfinder")
+	wall := pb.Global("wall", rows*cols)
+	rowA := pb.Global("rowA", cols)
+	rowB := pb.Global("rowB", cols)
+	ptrs := pb.Global("row_ptrs", 2)
+
+	// pathfinder_kernel(nrows): the trip count is clamped with MIN (B).
+	kernel := pb.Func("pathfinder_kernel", 1)
+	kernel.SetSrcDepth(2)
+	{
+		f := kernel
+		f.SetFile("pathfinder.cpp")
+		nrows := f.Arg(0)
+		f.At(99)
+		wB := f.IConst(wall.Base)
+		pB := f.IConst(ptrs.Base)
+		tEnd := f.MinI(nrows, f.IConst(rows)) // clamped bound (B)
+		f.Loop("Lt", f.IConst(1), tEnd, 1, func(t isa.Reg) {
+			src := f.LoadIdx(pB, f.IConst(0), 0)
+			dst := f.LoadIdx(pB, f.IConst(1), 0)
+			f.At(103)
+			// Interior columns with halo padding: neighbor offsets stay
+			// affine.
+			f.Loop("Lc", f.IConst(1), f.IConst(cols-1), 1, func(c isa.Reg) {
+				left := f.LoadIdx(src, c, -1)
+				mid := f.LoadIdx(src, c, 0)
+				right := f.LoadIdx(src, c, 1)
+				best := f.MinI(f.MinI(left, mid), right)
+				wv := f.LoadIdx(wB, f.Add(f.Mul(t, f.IConst(cols)), c), 0)
+				f.StoreIdx(dst, c, 0, f.Add(best, wv))
+			})
+			// Swap the row pointers in place (P).
+			a := f.LoadIdx(pB, f.IConst(0), 0)
+			b := f.LoadIdx(pB, f.IConst(1), 0)
+			f.StoreIdx(pB, f.IConst(0), 0, b)
+			f.StoreIdx(pB, f.IConst(1), 0, a)
+		})
+		f.RetVoid()
+	}
+
+	setup := pb.Func("pathfinder_setup", 0)
+	{
+		f := setup
+		f.SetFile("pathfinder.cpp")
+		f.At(40)
+		lcg := newLCG(f, 61)
+		fillRandomI(f, lcg, "wall", wall, 10)
+		aB := f.IConst(rowA.Base)
+		wB := f.IConst(wall.Base)
+		f.Loop("seed", f.IConst(0), f.IConst(cols), 1, func(c isa.Reg) {
+			f.StoreIdx(aB, c, 0, f.LoadIdx(wB, c, 0))
+		})
+		p := f.IConst(ptrs.Base)
+		f.Store(p, 0, f.IConst(rowA.Base))
+		f.Store(p, 1, f.IConst(rowB.Base))
+		f.RetVoid()
+	}
+
+	m := pb.Func("main", 0)
+	m.SetFile("pathfinder.cpp")
+	m.At(20)
+	m.Call(setup.ID())
+	m.At(99)
+	m.Call(kernel.ID(), m.IConst(rows))
+	m.Halt()
+	pb.SetMain(m)
+	return pb.MustBuild()
+}
+
+// sradCommon emits one SRAD-style diffusion program.  Both Rodinia srad
+// versions share the shape: neighbor *index arrays* (iN/iS/jW/jE) that
+// are affine at runtime — the showcase for dynamic profiling beating
+// static analysis (paper: 99% affine dynamically, while the static
+// baseline reports F for the loaded subscripts) — plus a diffusion
+// coefficient computed through an opaque exp call (R).  Both 2D phase
+// nests are fully parallel and tilable.
+func sradCommon(name, file string, rows, cols, iters int64, split bool) *isa.Program {
+	pb := isa.NewProgram(name)
+	img := pb.Global("J", rows*cols)
+	coef := pb.Global("c", rows*cols)
+	iN := pb.Global("iN", rows)
+	iS := pb.Global("iS", rows)
+	jW := pb.Global("jW", cols)
+	jE := pb.Global("jE", cols)
+	expFn := libcExpF(pb)
+
+	phase1 := func(f *isa.FuncBuilder) {
+		jB := f.IConst(img.Base)
+		cB := f.IConst(coef.Base)
+		iNB, iSB := f.IConst(iN.Base), f.IConst(iS.Base)
+		jWB, jEB := f.IConst(jW.Base), f.IConst(jE.Base)
+		f.Loop("Lp1i", f.IConst(0), f.IConst(rows), 1, func(i isa.Reg) {
+			f.Loop("Lp1j", f.IConst(0), f.IConst(cols), 1, func(j isa.Reg) {
+				up := f.LoadIdx(iNB, i, 0)
+				dn := f.LoadIdx(iSB, i, 0)
+				lf := f.LoadIdx(jWB, j, 0)
+				rt := f.LoadIdx(jEB, j, 0)
+				lin := f.Add(f.Mul(i, f.IConst(cols)), j)
+				c0 := f.FLoadIdx(jB, lin, 0)
+				cu := f.FLoadIdx(jB, f.Add(f.Mul(up, f.IConst(cols)), j), 0)
+				cd := f.FLoadIdx(jB, f.Add(f.Mul(dn, f.IConst(cols)), j), 0)
+				cl := f.FLoadIdx(jB, f.Add(f.Mul(i, f.IConst(cols)), lf), 0)
+				cr := f.FLoadIdx(jB, f.Add(f.Mul(i, f.IConst(cols)), rt), 0)
+				g := f.FSub(f.FAdd(f.FAdd(cu, cd), f.FAdd(cl, cr)), f.FMul(f.FConst(4), c0))
+				d := f.Call(expFn, f.FAbs(g)) // R: opaque exp in the kernel
+				f.FStoreIdx(cB, lin, 0, d)
+			})
+		})
+	}
+	phase2 := func(f *isa.FuncBuilder) {
+		jB := f.IConst(img.Base)
+		cB := f.IConst(coef.Base)
+		iSB := f.IConst(iS.Base)
+		jEB := f.IConst(jE.Base)
+		f.Loop("Lp2i", f.IConst(0), f.IConst(rows), 1, func(i isa.Reg) {
+			f.Loop("Lp2j", f.IConst(0), f.IConst(cols), 1, func(j isa.Reg) {
+				dn := f.LoadIdx(iSB, i, 0)
+				rt := f.LoadIdx(jEB, j, 0)
+				lin := f.Add(f.Mul(i, f.IConst(cols)), j)
+				cc := f.FLoadIdx(cB, lin, 0)
+				cs := f.FLoadIdx(cB, f.Add(f.Mul(dn, f.IConst(cols)), j), 0)
+				ce := f.FLoadIdx(cB, f.Add(f.Mul(i, f.IConst(cols)), rt), 0)
+				div := f.FAdd(cc, f.FAdd(cs, ce))
+				old := f.FLoadIdx(jB, lin, 0)
+				f.FStoreIdx(jB, lin, 0, f.FAdd(old, f.FMul(f.FConst(0.05), div)))
+			})
+		})
+	}
+
+	var region *isa.FuncBuilder
+	if split {
+		p1 := pb.Func("srad_phase1", 0)
+		p1.SetFile(file)
+		p1.At(250)
+		phase1(p1)
+		p1.RetVoid()
+		p2 := pb.Func("srad_phase2", 0)
+		p2.SetFile(file)
+		p2.At(290)
+		phase2(p2)
+		p2.RetVoid()
+		region = pb.Func("srad_main_loop", 0)
+		region.SetFile(file)
+		region.At(241)
+		region.SetSrcDepth(3)
+		region.Loop("Liter", region.IConst(0), region.IConst(iters), 1, func(isa.Reg) {
+			region.Call(p1.ID())
+			region.Call(p2.ID())
+		})
+		region.RetVoid()
+	} else {
+		region = pb.Func("srad_kernel", 0)
+		region.SetFile(file)
+		region.At(114)
+		region.SetSrcDepth(3)
+		region.Loop("Liter", region.IConst(0), region.IConst(iters), 1, func(isa.Reg) {
+			phase1(region)
+			phase2(region)
+		})
+		region.RetVoid()
+	}
+
+	setup := pb.Func("srad_setup", 0)
+	{
+		f := setup
+		f.SetFile(file)
+		f.At(40)
+		lcg := newLCG(f, 67)
+		fillRandomF(f, lcg, "img", img)
+		// Clamped neighbor index arrays: iN[i] = max(i-1,0) etc. — affine
+		// at runtime except at the border.
+		iNB, iSB := f.IConst(iN.Base), f.IConst(iS.Base)
+		f.Loop("nbi", f.IConst(0), f.IConst(rows), 1, func(i isa.Reg) {
+			f.StoreIdx(iNB, i, 0, f.MaxI(f.Sub(i, f.IConst(1)), f.IConst(0)))
+			f.StoreIdx(iSB, i, 0, f.MinI(f.Add(i, f.IConst(1)), f.IConst(rows-1)))
+		})
+		jWB, jEB := f.IConst(jW.Base), f.IConst(jE.Base)
+		f.Loop("nbj", f.IConst(0), f.IConst(cols), 1, func(j isa.Reg) {
+			f.StoreIdx(jWB, j, 0, f.MaxI(f.Sub(j, f.IConst(1)), f.IConst(0)))
+			f.StoreIdx(jEB, j, 0, f.MinI(f.Add(j, f.IConst(1)), f.IConst(cols-1)))
+		})
+		f.RetVoid()
+	}
+
+	m := pb.Func("main", 0)
+	m.SetFile(file)
+	m.At(20)
+	m.Call(setup.ID())
+	m.At(241)
+	m.Call(region.ID())
+	m.Halt()
+	pb.SetMain(m)
+	return pb.MustBuild()
+}
+
+// SradV1 builds the interprocedural SRAD variant (separate phase
+// functions called from the iteration loop, region main.c:241).
+func SradV1() *isa.Program { return sradCommon("srad_v1", "main.c", 20, 24, 2, true) }
+
+// SradV2 builds the single-function SRAD variant (region srad.cpp:114).
+func SradV2() *isa.Program { return sradCommon("srad_v2", "srad.cpp", 16, 32, 2, false) }
+
+// Streamcluster builds the Rodinia streamcluster twin: online k-median
+// clustering whose gain computation mixes every static defect (RCBFAP)
+// and produces many distinct calling contexts — the benchmark whose
+// scheduling stage exhausted memory in the paper.
+func Streamcluster() *isa.Program {
+	const (
+		points  = 64
+		dims    = 4
+		centers = 6
+	)
+	pb := isa.NewProgram("streamcluster")
+	coords := pb.Global("points", points*dims)
+	ctrTbl := pb.Global("center_ptrs", centers)
+	ctrData := pb.Global("center_data", centers*dims)
+	assign := pb.Global("assignment", points)
+	costs := pb.Global("costs", points)
+	seed := pb.Global("rand_seed", 1)
+	rand := libcRand(pb, seed)
+
+	dist := pb.Func("d_dist", 2) // (pointBase, centerBase)
+	{
+		f := dist
+		f.SetFile("streamcluster.cpp")
+		f.At(1100)
+		p, c := f.Arg(0), f.Arg(1)
+		acc := f.NewReg()
+		f.SetF(acc, 0)
+		f.Loop("Ld", f.IConst(0), f.IConst(dims), 1, func(d isa.Reg) {
+			diff := f.FSub(f.FLoadIdx(p, d, 0), f.FLoadIdx(c, d, 0))
+			f.FAddTo(acc, acc, f.FMul(diff, diff))
+		})
+		f.Ret(acc)
+	}
+
+	// shuffle swaps two random center pointers (P: table rewritten).
+	shuffle := pb.Func("shuffle_centers", 0)
+	{
+		f := shuffle
+		f.SetFile("streamcluster.cpp")
+		f.At(1200)
+		tB := f.IConst(ctrTbl.Base)
+		f.Loop("Lsh", f.IConst(0), f.IConst(centers/2), 1, func(i isa.Reg) {
+			a := f.Mod(f.Call(rand), f.IConst(centers))
+			b := f.Mod(f.Call(rand), f.IConst(centers))
+			pa := f.LoadIdx(tB, a, 0)
+			pc := f.LoadIdx(tB, b, 0)
+			f.StoreIdx(tB, a, 0, pc)
+			f.StoreIdx(tB, b, 0, pa)
+		})
+		f.RetVoid()
+	}
+
+	// cost scan with early exit (C), called from pgain's loop.
+	costCheck := pb.Func("cost_check", 0)
+	{
+		f := costCheck
+		f.SetFile("streamcluster.cpp")
+		f.At(1350)
+		coB := f.IConst(costs.Base)
+		f.Loop("Lcc", f.IConst(0), f.IConst(points), 1, func(p isa.Reg) {
+			over := f.FCmpLT(f.FConst(1e20), f.FLoadIdx(coB, p, 0))
+			f.If(over, func() { f.Ret(f.IConst(0)) }, nil)
+		})
+		f.Ret(f.IConst(1))
+	}
+
+	// pgain(pointsBase, assignBase): the paper's hot function.
+	pgain := pb.Func("pgain", 2)
+	pgain.SetSrcDepth(3)
+	{
+		f := pgain
+		f.SetFile("streamcluster.cpp")
+		ptB, asB := f.Arg(0), f.Arg(1)
+		f.At(1269)
+		tB := f.IConst(ctrTbl.Base)
+		coB := f.IConst(costs.Base)
+		// In-place center-table rotation inside the loop below makes the
+		// loaded center pointers non-invariant (P).
+		converged := f.NewReg()
+		f.SetI(converged, 0)
+		rounds := f.NewReg()
+		f.SetI(rounds, 0)
+		f.While("Louter", func() isa.Reg {
+			notDone := f.CmpEQ(converged, f.IConst(0))
+			return f.And(notDone, f.CmpLT(rounds, f.IConst(3)))
+		}, func() {
+			f.Call(shuffle.ID())
+			// Rotate the first two center pointers in place (P).
+			c0 := f.LoadIdx(tB, f.IConst(0), 0)
+			c1 := f.LoadIdx(tB, f.IConst(1), 0)
+			f.StoreIdx(tB, f.IConst(0), 0, c1)
+			f.StoreIdx(tB, f.IConst(1), 0, c0)
+			improved := f.NewReg()
+			f.SetI(improved, 0)
+			f.Loop("Lp", f.IConst(0), f.IConst(points), 1, func(p isa.Reg) {
+				bestC := f.NewReg()
+				bestD := f.NewReg()
+				f.SetI(bestC, 0)
+				f.SetF(bestD, 1e30)
+				f.Loop("Lc", f.IConst(0), f.IConst(centers), 1, func(c isa.Reg) {
+					ctr := f.LoadIdx(tB, c, 0) // loaded center pointer (P)
+					pt := f.Add(ptB, f.Mul(p, f.IConst(dims)))
+					// Quick-reject on the first coordinate, read directly
+					// through both pointers (A for the parameter base, P
+					// for the mutated center table).
+					gap := f.FAbs(f.FSub(f.FLoad(pt, 0), f.FLoad(ctr, 0)))
+					d := f.Call(dist.ID(), pt, ctr)
+					far := f.FCmpLT(bestD, f.FMul(gap, gap))
+					better := f.And(f.CmpEQ(far, f.IConst(0)), f.FCmpLT(d, bestD))
+					f.If(better, func() {
+						f.FMovTo(bestD, d)
+						f.Mov(bestC, c)
+						f.Mov(improved, f.IConst(1))
+					}, nil)
+				})
+				f.StoreIdx(asB, p, 0, bestC)
+				f.FStoreIdx(coB, p, 0, bestD)
+			})
+			f.Call(costCheck.ID())
+			f.If(f.CmpEQ(improved, f.IConst(0)), func() {
+				f.Mov(converged, f.IConst(1))
+			}, nil)
+			f.AddTo(rounds, rounds, f.IConst(1))
+		})
+		f.RetVoid()
+	}
+
+	setup := pb.Func("sc_setup", 0)
+	{
+		f := setup
+		f.SetFile("streamcluster.cpp")
+		f.At(40)
+		lcg := newLCG(f, 71)
+		fillRandomF(f, lcg, "pts", coords)
+		fillRandomF(f, lcg, "ctr", ctrData)
+		tB := f.IConst(ctrTbl.Base)
+		f.Loop("tbl", f.IConst(0), f.IConst(centers), 1, func(c isa.Reg) {
+			f.StoreIdx(tB, c, 0, f.Add(f.IConst(ctrData.Base), f.Mul(c, f.IConst(dims))))
+		})
+		f.Store(f.IConst(seed.Base), 0, f.IConst(5))
+		f.RetVoid()
+	}
+
+	m := pb.Func("main", 0)
+	m.SetFile("streamcluster.cpp")
+	m.At(20)
+	m.Call(setup.ID())
+	m.At(1269)
+	m.Call(pgain.ID(), m.IConst(coords.Base), m.IConst(assign.Base))
+	m.Halt()
+	pb.SetMain(m)
+	return pb.MustBuild()
+}

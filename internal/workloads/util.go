@@ -1,0 +1,155 @@
+package workloads
+
+import "polyprof/internal/isa"
+
+// Spec describes one bundled workload for the evaluation harness.
+type Spec struct {
+	Name  string
+	Build func() *isa.Program
+	// RegionFuncs are the functions forming the paper's region of
+	// interest, used to aggregate the static baseline's failure reasons.
+	RegionFuncs []string
+	// PaperReasons is the "Reasons why Polly failed" entry of Table 5
+	// for the original benchmark, kept for side-by-side reporting.
+	PaperReasons string
+	// PaperAffine ("H"/"L") is the qualitative %Aff band of Table 5:
+	// H >= 85%, L < 50%; "" when mid or unstated.
+	PaperAffine string
+	// PaperSkew is the Table 5 skew column.
+	PaperSkew bool
+}
+
+// Rodinia returns the 19 Rodinia 3.1 twins in the paper's Table 5
+// order.
+func Rodinia() []Spec {
+	return []Spec{
+		{"backprop", func() *isa.Program { return Backprop(DefaultBackpropParams()) },
+			[]string{"bpnn_layerforward", "bpnn_adjust_weights", "bpnn_hidden_error"}, "A", "H", false},
+		{"bfs", BFS, []string{"bfs_kernel"}, "BF", "L", false},
+		{"b+tree", BTree, []string{"kernel_query"}, "BF", "L", false},
+		{"cfd", CFD, []string{"compute_flux"}, "F", "H", false},
+		{"heartwall", Heartwall, []string{"heartwall_kernel"}, "RCBF", "L", false},
+		{"hotspot", Hotspot, []string{"compute_tran_temp"}, "B", "L", true},
+		{"hotspot3D", Hotspot3D, []string{"compute_tran_temp_3d"}, "BF", "H", false},
+		{"kmeans", KMeans, []string{"kmeans_clustering"}, "RFA", "H", false},
+		{"lavaMD", LavaMD, []string{"kernel_cpu"}, "BF", "L", false},
+		{"leukocyte", Leukocyte, []string{"detect_kernel"}, "RCBFAP", "L", false},
+		{"lud", LUD, []string{"lud_kernel"}, "BF", "L", false},
+		{"myocyte", Myocyte, []string{"solver"}, "CBA", "H", false},
+		{"nn", NN, []string{"nn_kernel"}, "RF", "L", false},
+		{"nw", NW, []string{"nw_kernel"}, "RF", "H", true},
+		{"particlefilter", ParticleFilter, []string{"particle_kernel"}, "CF", "L", false},
+		{"pathfinder", Pathfinder, []string{"pathfinder_kernel"}, "BP", "", true},
+		{"srad_v1", SradV1, []string{"srad_main_loop"}, "RF", "H", false},
+		{"srad_v2", SradV2, []string{"srad_kernel"}, "RF", "H", false},
+		{"streamcluster", Streamcluster, []string{"pgain"}, "RCBFAP", "H", false},
+	}
+}
+
+// ByName returns the spec with the given name, or nil.
+func ByName(name string) *Spec {
+	for _, s := range Rodinia() {
+		if s.Name == name {
+			return &s
+		}
+	}
+	for _, s := range PolyBench() {
+		if s.Name == name {
+			return &s
+		}
+	}
+	for _, s := range PolyBenchExtra() {
+		if s.Name == name {
+			return &s
+		}
+	}
+	switch name {
+	case "gemsfdtd":
+		s := &Spec{Name: "gemsfdtd", Build: GemsFDTD,
+			RegionFuncs: []string{"updateH_homo", "updateE_homo"}}
+		return s
+	case "example1":
+		return &Spec{Name: "example1", Build: Example1}
+	case "example2":
+		return &Spec{Name: "example2", Build: Example2}
+	}
+	return nil
+}
+
+// lcgState threads a linear congruential generator through emitted
+// code; every advance writes the seed register.
+type lcgState struct {
+	f    *isa.FuncBuilder
+	seed isa.Reg
+}
+
+func newLCG(f *isa.FuncBuilder, seed int64) *lcgState {
+	s := &lcgState{f: f, seed: f.NewReg()}
+	f.SetI(s.seed, seed)
+	return s
+}
+
+// next returns the register holding a fresh pseudo-random non-negative
+// value.
+func (s *lcgState) next() isa.Reg {
+	f := s.f
+	a := f.IConst(1103515245)
+	c := f.IConst(12345)
+	m := f.IConst(1 << 31)
+	f.Mov(s.seed, f.Mod(f.Add(f.Mul(f.Mod(s.seed, m), a), c), m))
+	return s.seed
+}
+
+// nextMod returns a register holding next() % mod.
+func (s *lcgState) nextMod(mod int64) isa.Reg {
+	return s.f.Mod(s.next(), s.f.IConst(mod))
+}
+
+// fillRandomF fills a global with pseudo-random floats in [0, 1).
+func fillRandomF(f *isa.FuncBuilder, lcg *lcgState, label string, g isa.Global) {
+	base := f.IConst(g.Base)
+	f.Loop("init_"+label, f.IConst(0), f.IConst(g.Size), 1, func(i isa.Reg) {
+		v := f.FDiv(f.I2F(lcg.nextMod(1000)), f.FConst(1000))
+		f.FStoreIdx(base, i, 0, v)
+	})
+}
+
+// fillRandomI fills a global with pseudo-random ints in [0, mod).
+func fillRandomI(f *isa.FuncBuilder, lcg *lcgState, label string, g isa.Global, mod int64) {
+	base := f.IConst(g.Base)
+	f.Loop("init_"+label, f.IConst(0), f.IConst(g.Size), 1, func(i isa.Reg) {
+		f.StoreIdx(base, i, 0, lcg.nextMod(mod))
+	})
+}
+
+// fillIota fills a global with g[i] = i*scale + off.
+func fillIota(f *isa.FuncBuilder, label string, g isa.Global, scale, off int64) {
+	base := f.IConst(g.Base)
+	f.Loop("iota_"+label, f.IConst(0), f.IConst(g.Size), 1, func(i isa.Reg) {
+		f.StoreIdx(base, i, 0, f.Add(f.Mul(i, f.IConst(scale)), f.IConst(off)))
+	})
+}
+
+// libcRand declares an opaque "libc" random function (the static
+// baseline treats libc_* functions as unanalyzable, matching the
+// paper's non-inlined libc calls).  It returns a value derived from a
+// global seed cell.
+func libcRand(pb *isa.ProgramBuilder, seedCell isa.Global) isa.FuncID {
+	f := pb.Func("libc_rand", 0)
+	base := f.IConst(seedCell.Base)
+	s := f.Load(base, 0)
+	a := f.IConst(1103515245)
+	c := f.IConst(12345)
+	m := f.IConst(1 << 31)
+	v := f.Mod(f.Add(f.Mul(s, a), c), m)
+	f.Store(base, 0, v)
+	f.Ret(v)
+	return f.ID()
+}
+
+// libcExpF declares an opaque "libc" float helper computing exp(-x).
+func libcExpF(pb *isa.ProgramBuilder) isa.FuncID {
+	f := pb.Func("libc_exp", 1)
+	f.Ret(f.FExp(f.FNeg(f.Arg(0))))
+	return f.ID()
+}

@@ -1,0 +1,140 @@
+package workloads_test
+
+import (
+	"strings"
+	"testing"
+
+	"polyprof/internal/vm"
+	"polyprof/internal/workloads"
+)
+
+// TestAllWorkloadsBuildAndRun: every bundled program validates and
+// executes to completion under the plain VM.
+func TestAllWorkloadsBuildAndRun(t *testing.T) {
+	specs := workloads.Rodinia()
+	for _, extra := range []string{"gemsfdtd", "example1", "example2"} {
+		specs = append(specs, *workloads.ByName(extra))
+	}
+	for _, spec := range specs {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			t.Parallel()
+			prog := spec.Build()
+			if err := prog.Validate(); err != nil {
+				t.Fatalf("validate: %v", err)
+			}
+			m := vm.New(prog)
+			if err := m.Run(); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if m.Stats().Ops == 0 {
+				t.Fatal("program executed no instructions")
+			}
+		})
+	}
+}
+
+// TestWorkloadsDeterministic: building and running a twin twice gives
+// identical disassembly and memory, so profiles and golden outputs are
+// stable.
+func TestWorkloadsDeterministic(t *testing.T) {
+	for _, name := range []string{"backprop", "bfs", "gemsfdtd", "streamcluster"} {
+		spec := workloads.ByName(name)
+		p1, p2 := spec.Build(), spec.Build()
+		if p1.Disasm() != p2.Disasm() {
+			t.Errorf("%s: two builds disassemble differently", name)
+		}
+		m1, m2 := vm.New(p1), vm.New(p2)
+		if err := m1.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if err := m2.Run(); err != nil {
+			t.Fatal(err)
+		}
+		a, b := m1.Mem(), m2.Mem()
+		if len(a) != len(b) {
+			t.Fatalf("%s: memory sizes differ", name)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: memory differs at word %d", name, i)
+			}
+		}
+	}
+}
+
+// TestFig6KernelListing: the layer-forward kernel disassembles to the
+// paper's Fig. 6 shape — a pointer load (I1), two indexed data loads
+// (I2, I3), the multiply-accumulate (I4), the squash call (I6) and the
+// l2 store (I7).
+func TestFig6KernelListing(t *testing.T) {
+	prog := workloads.Backprop(workloads.DefaultBackpropParams())
+	listing := prog.DisasmFunc(prog.FuncByName("bpnn_layerforward"))
+	for _, want := range []string{
+		"load(&",         // I1/I2/I3 loads
+		"fmul",           // I4
+		"fadd",           // I4
+		"call squash",    // I6
+		"fstore(&",       // I7
+		"backprop.c:255", // debug info the feedback maps onto
+	} {
+		if !strings.Contains(listing, want) {
+			t.Errorf("listing missing %q:\n%s", want, listing)
+		}
+	}
+}
+
+// TestBackpropParamsScale: the kernel trip counts follow the parameters
+// (guards the Table 1/2 instance sizes).
+func TestBackpropParamsScale(t *testing.T) {
+	p := workloads.DefaultBackpropParams()
+	if p.In != 42 || p.Hidden != 16 {
+		t.Fatalf("default params %+v; Tables 1/2 need In=42 (ck in [0,42]) and Hidden=16 (cj in [0,15])", p)
+	}
+	prog := workloads.Backprop(workloads.BackpropParams{In: 5, Hidden: 3, Out: 2})
+	if err := vm.New(prog).Run(); err != nil {
+		t.Fatalf("small instance: %v", err)
+	}
+}
+
+// TestSpecsComplete: registry invariants.
+func TestSpecsComplete(t *testing.T) {
+	specs := workloads.Rodinia()
+	if len(specs) != 19 {
+		t.Fatalf("Rodinia registry has %d entries, want 19", len(specs))
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if seen[s.Name] {
+			t.Errorf("duplicate workload %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Build == nil || len(s.RegionFuncs) == 0 || s.PaperReasons == "" {
+			t.Errorf("%s: incomplete spec", s.Name)
+		}
+		prog := s.Build()
+		for _, fn := range s.RegionFuncs {
+			if prog.FuncByName(fn) == nil {
+				t.Errorf("%s: region function %q does not exist", s.Name, fn)
+			}
+		}
+	}
+	if workloads.ByName("no-such-benchmark") != nil {
+		t.Error("ByName must return nil for unknown names")
+	}
+}
+
+// TestLibcFunctionsAreOpaqueNamed: the static baseline keys off the
+// libc_ prefix; every opaque helper must carry it.
+func TestLibcFunctionsAreOpaqueNamed(t *testing.T) {
+	prog := workloads.NN()
+	var found bool
+	for _, f := range prog.Funcs {
+		if strings.HasPrefix(f.Name, "libc_") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("nn must contain a libc_-prefixed opaque reader")
+	}
+}

@@ -1,0 +1,101 @@
+package polyprof_test
+
+import (
+	"strings"
+	"testing"
+
+	"polyprof"
+)
+
+// TestPublicAPIQuickstart exercises the documented public surface: build
+// a program with the builder, profile it, read the feedback.
+func TestPublicAPIQuickstart(t *testing.T) {
+	pb := polyprof.NewProgram("api-demo")
+	x := pb.Global("x", 256)
+	y := pb.Global("y", 256)
+	f := pb.Func("main", 0)
+	a := f.FConst(2.0)
+	xB, yB := f.IConst(x.Base), f.IConst(y.Base)
+	f.Loop("L", f.IConst(0), f.IConst(256), 1, func(i polyprof.Reg) {
+		v := f.FAdd(f.FMul(a, f.FLoadIdx(xB, i, 0)), f.FLoadIdx(yB, i, 0))
+		f.FStoreIdx(yB, i, 0, v)
+	})
+	f.Halt()
+	pb.SetMain(f)
+
+	prog := pb.MustBuild()
+	report, err := polyprof.Profile(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Best == nil {
+		t.Fatal("saxpy must yield a region of interest")
+	}
+	found := false
+	for _, tr := range report.Best.Transforms {
+		if tr.Nest.Depth() == 1 && tr.Parallel[0] && tr.SIMD {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("saxpy's loop must be parallel and SIMDizable")
+	}
+	if s := report.Summary(); !strings.Contains(s, "api-demo") {
+		t.Errorf("summary missing program name: %s", s)
+	}
+	if svg := report.FlameGraph(800, 16); !strings.Contains(svg, "<svg") {
+		t.Error("flame graph not SVG")
+	}
+}
+
+func TestPublicAPIWorkloads(t *testing.T) {
+	if len(polyprof.Rodinia()) != 19 {
+		t.Fatalf("Rodinia() returned %d specs, want 19", len(polyprof.Rodinia()))
+	}
+	if _, err := polyprof.Workload("no-such"); err == nil {
+		t.Error("unknown workload must error")
+	}
+	prog, err := polyprof.Workload("example1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := polyprof.ProfileExecution(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.DDG.TotalOps == 0 {
+		t.Error("profile collected nothing")
+	}
+	if out := polyprof.RenderScheduleTree(p, 0); !strings.Contains(out, "iters=") {
+		t.Errorf("schedule tree rendering malformed:\n%s", out)
+	}
+}
+
+func TestPublicAPIStaticBaseline(t *testing.T) {
+	prog, err := polyprof.Workload("backprop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := polyprof.AnalyzeStatic(prog)
+	lf := prog.FuncByName("bpnn_layerforward")
+	fr := res.Funcs[lf.ID]
+	if fr.Modeled {
+		t.Error("static baseline must fail on the pointer-based kernel")
+	}
+	if got := fr.Reasons.String(); got != "A" {
+		t.Errorf("reasons = %s, want A (the paper's backprop row)", got)
+	}
+}
+
+func TestPublicAPIRunBenchmark(t *testing.T) {
+	r, err := polyprof.RunBenchmark("pathfinder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Row.HasTransform || r.Row.PollyModeled {
+		t.Errorf("pathfinder row wrong: %+v", r.Row)
+	}
+	if out := polyprof.RenderTable5([]*polyprof.BenchResult{r}); !strings.Contains(out, "pathfinder") {
+		t.Error("table rendering lost the row")
+	}
+}

@@ -15,7 +15,9 @@
 package polyprof_test
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"sync"
 	"testing"
 
@@ -225,12 +227,22 @@ func BenchmarkTable5StaticBaseline(b *testing.B) {
 func BenchmarkProfilingOverhead(b *testing.B) {
 	prog := workloads.SradV2()
 
+	// nsPerOp collects the final per-stage cost; each sub-benchmark runs
+	// several times with growing b.N and the last recording wins.
+	nsPerOp := map[string]int64{}
+	record := func(name string, b *testing.B) {
+		if b.N > 0 {
+			nsPerOp[name] = b.Elapsed().Nanoseconds() / int64(b.N)
+		}
+	}
+
 	b.Run("pass1-structure", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := core.AnalyzeStructure(prog, nil); err != nil {
 				b.Fatal(err)
 			}
 		}
+		record("pass1-structure", b)
 	})
 	b.Run("pass2-iiv-only", func(b *testing.B) {
 		st, _ := core.AnalyzeStructure(prog, nil)
@@ -240,6 +252,7 @@ func BenchmarkProfilingOverhead(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+		record("pass2-iiv-only", b)
 	})
 	b.Run("pass2-full-ddg", func(b *testing.B) {
 		st, _ := core.AnalyzeStructure(prog, nil)
@@ -251,6 +264,7 @@ func BenchmarkProfilingOverhead(b *testing.B) {
 			}
 			builder.Finish()
 		}
+		record("pass2-full-ddg", b)
 	})
 	b.Run("scheduler-feedback", func(b *testing.B) {
 		p, err := core.Run(prog, core.DefaultRunOptions())
@@ -263,7 +277,34 @@ func BenchmarkProfilingOverhead(b *testing.B) {
 				b.Fatal("no region")
 			}
 		}
+		record("scheduler-feedback", b)
 	})
+
+	if path := benchJSONPath(); path != "" {
+		data, err := json.MarshalIndent(nsPerOp, "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("wrote per-stage ns/op to %s", path)
+	}
+}
+
+// benchJSONPath decides where BenchmarkProfilingOverhead writes its
+// machine-readable per-stage results.  Unset/0/false disables the
+// emission (the default), 1/true selects BENCH_overhead.json, and any
+// other value is used as an explicit output path.
+func benchJSONPath() string {
+	switch v := os.Getenv("POLYPROF_BENCHJSON"); v {
+	case "", "0", "false":
+		return ""
+	case "1", "true":
+		return "BENCH_overhead.json"
+	default:
+		return v
+	}
 }
 
 // --- Ablations (design decisions from DESIGN.md) ---------------------------

@@ -1,7 +1,8 @@
 // Command polyprof runs the POLY-PROF reproduction pipeline on the
 // bundled workloads: profile a benchmark and print its feedback, render
 // an annotated flame graph, regenerate the paper's evaluation tables,
-// or run the static baseline.
+// run the static baseline, or measure the profiler's own per-stage
+// cost.
 //
 // Usage:
 //
@@ -12,6 +13,10 @@
 //	polyprof disasm <workload>         pseudo-assembler listing
 //	polyprof table5                    Experiment I+II summary table
 //	polyprof casestudy <backprop|gemsfdtd>   Table 3 / Table 4
+//	polyprof overhead [workload|all]   per-stage profiling cost (Exp. I)
+//
+// profile, report and table5 accept -metrics (append a metrics
+// section) and -http :addr (serve live metrics JSON + pprof).
 package main
 
 import (
@@ -23,6 +28,7 @@ import (
 	"polyprof"
 	"polyprof/internal/evaluation"
 	"polyprof/internal/iiv"
+	"polyprof/internal/obs"
 	"polyprof/internal/workloads"
 )
 
@@ -44,7 +50,9 @@ func main() {
 	case "disasm":
 		err = cmdDisasm(os.Args[2:])
 	case "table5":
-		err = cmdTable5()
+		err = cmdTable5(os.Args[2:])
+	case "overhead":
+		err = cmdOverhead(os.Args[2:])
 	case "casestudy":
 		err = cmdCaseStudy(os.Args[2:])
 	case "ddg":
@@ -73,9 +81,14 @@ commands:
   static <workload>       run the Polly-like static baseline
   disasm <workload>       print the pseudo-assembler listing
   table5                  run the whole Rodinia suite (Experiment I+II)
+  overhead [workload|all] per-stage profiling cost table (Experiment I)
   casestudy <name>        backprop (Table 3) or gemsfdtd (Table 4)
   ddg <workload>          dump the folded polyhedral DDG of the region
-  report <workload> [-json]  full feedback document (or JSON)`)
+  report <workload> [-json]  full feedback document (or JSON)
+
+flags (profile, report, table5):
+  -metrics      append the metrics-registry section to the output
+  -http :addr   serve /metrics JSON and /debug/pprof during the run`)
 }
 
 func cmdList() error {
@@ -97,11 +110,62 @@ func cmdList() error {
 	return nil
 }
 
+// obsFlags holds the shared observability flags of the profiling
+// commands: -metrics appends the registry snapshot to the output,
+// -http serves live metrics JSON and pprof during (and after) the run.
+type obsFlags struct {
+	metrics bool
+	http    string
+}
+
+func addObsFlags(fs *flag.FlagSet) *obsFlags {
+	f := &obsFlags{}
+	fs.BoolVar(&f.metrics, "metrics", false, "append the metrics-registry section to the output")
+	fs.StringVar(&f.http, "http", "", "serve metrics JSON and pprof on this address (e.g. :6060)")
+	return f
+}
+
+func (f *obsFlags) start() error {
+	if f.metrics || f.http != "" {
+		obs.Enable()
+		obs.Reset()
+	}
+	if f.http != "" {
+		ln, err := obs.Serve(f.http)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "polyprof: metrics on http://%s/metrics (pprof under /debug/pprof/)\n", ln.Addr())
+	}
+	return nil
+}
+
+func (f *obsFlags) finish() {
+	if f.metrics {
+		fmt.Println()
+		fmt.Println("== metrics ==")
+		fmt.Print(obs.TakeSnapshot().Text())
+	}
+	if f.http != "" {
+		fmt.Fprintln(os.Stderr, "polyprof: metrics server still running; Ctrl-C to exit")
+		select {}
+	}
+}
+
 func cmdProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ExitOnError)
+	of := addObsFlags(fs)
 	if len(args) < 1 {
 		return fmt.Errorf("profile: missing workload name")
 	}
-	prog, err := polyprof.Workload(args[0])
+	name := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	if err := of.start(); err != nil {
+		return err
+	}
+	prog, err := polyprof.Workload(name)
 	if err != nil {
 		return err
 	}
@@ -115,7 +179,7 @@ func cmdProfile(args []string) error {
 		fmt.Print(rep.AnnotatedAST(rep.Best))
 		fmt.Println()
 		for _, t := range rep.Best.Transforms {
-			if t.Nest.Loops[0].TotalOps*10 < rep.Best.Ops {
+			if len(t.Nest.Loops) == 0 || t.Nest.Loops[0].TotalOps*10 < rep.Best.Ops {
 				continue
 			}
 			if sp, err := rep.EstimateSpeedup(t, polyprof.DefaultCostModel()); err == nil {
@@ -126,6 +190,7 @@ func cmdProfile(args []string) error {
 	fmt.Println()
 	fmt.Println("dynamic schedule tree (hot paths):")
 	fmt.Print(rep.Profile.Tree.Render(iiv.ProgramNamer(prog), rep.Profile.Tree.TotalOps()/50))
+	of.finish()
 	return nil
 }
 
@@ -217,11 +282,15 @@ func cmdDDG(args []string) error {
 func cmdReport(args []string) error {
 	fs := flag.NewFlagSet("report", flag.ExitOnError)
 	asJSON := fs.Bool("json", false, "emit the machine-readable report")
+	of := addObsFlags(fs)
 	if len(args) < 1 {
 		return fmt.Errorf("report: missing workload name")
 	}
 	name := args[0]
 	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	if err := of.start(); err != nil {
 		return err
 	}
 	prog, err := polyprof.Workload(name)
@@ -239,13 +308,23 @@ func cmdReport(args []string) error {
 			return err
 		}
 		fmt.Println(string(data))
+		of.finish()
 		return nil
 	}
 	fmt.Print(rep.Document(polyprof.DefaultCostModel()))
+	of.finish()
 	return nil
 }
 
-func cmdTable5() error {
+func cmdTable5(args []string) error {
+	fs := flag.NewFlagSet("table5", flag.ExitOnError)
+	of := addObsFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := of.start(); err != nil {
+		return err
+	}
 	fmt.Println("running the Rodinia suite through the full pipeline (Experiment I+II)...")
 	rows, err := polyprof.RunSuite()
 	if err != nil {
@@ -257,7 +336,57 @@ func cmdTable5() error {
 	for _, r := range rows {
 		fmt.Printf("%-16s %-10s %-10s %v\n", r.Row.Name, r.Row.PollyReasons, r.Row.PaperReasons, r.Row.PollyModeled)
 	}
+	of.finish()
 	return nil
+}
+
+// cmdOverhead measures the cost of the profiling pipeline itself, per
+// stage, for one workload or the whole Rodinia suite (the shape of the
+// paper's Experiment I).
+func cmdOverhead(args []string) error {
+	fs := flag.NewFlagSet("overhead", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit machine-readable stage costs")
+	name := "all"
+	rest := args
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		name = args[0]
+		rest = args[1:]
+	}
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	if name == "all" && fs.NArg() > 0 {
+		name = fs.Arg(0)
+	}
+	emit := func(rs []*evaluation.OverheadReport, render func() string) error {
+		if *asJSON {
+			data, err := evaluation.OverheadJSON(rs)
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(data))
+			return nil
+		}
+		fmt.Print(render())
+		return nil
+	}
+	if name == "all" {
+		fmt.Fprintln(os.Stderr, "measuring per-stage profiling cost across the Rodinia suite...")
+		rs, err := evaluation.OverheadSuite()
+		if err != nil {
+			return err
+		}
+		return emit(rs, func() string { return evaluation.RenderOverheadSuite(rs) })
+	}
+	spec := workloads.ByName(name)
+	if spec == nil {
+		return fmt.Errorf("unknown workload %q", name)
+	}
+	r, err := evaluation.Overhead(*spec)
+	if err != nil {
+		return err
+	}
+	return emit([]*evaluation.OverheadReport{r}, func() string { return evaluation.RenderOverhead(r) })
 }
 
 func cmdCaseStudy(args []string) error {

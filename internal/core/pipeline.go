@@ -13,6 +13,7 @@ import (
 	"polyprof/internal/iiv"
 	"polyprof/internal/isa"
 	"polyprof/internal/loopevents"
+	"polyprof/internal/obs"
 	"polyprof/internal/trace"
 	"polyprof/internal/vm"
 )
@@ -30,12 +31,16 @@ type Structure struct {
 // AnalyzeStructure executes the program once under control-event
 // instrumentation and derives its control structure.
 func AnalyzeStructure(prog *isa.Program, initMem func([]uint64)) (*Structure, error) {
+	sp := obs.StartSpan("pass1-structure")
 	rec := cfg.NewRecorder(prog)
 	m := vm.New(prog, rec)
 	m.InitMem = initMem
 	if err := m.Run(); err != nil {
+		sp.End()
 		return nil, err
 	}
+	sp.AddEvents(m.Stats().Ops)
+	defer sp.End()
 	callGraph := cg.FromCallEdges(prog.Main, rec.CallEdges)
 	return &Structure{
 		CFG:       rec.G,
@@ -115,12 +120,19 @@ func (p *Pass2) Instr(ev trace.InstrEvent, in *isa.Instr) {
 // instrumentation and returns the pass-2 artifacts with the schedule
 // tree finalized.
 func RunPass2(prog *isa.Program, st *Structure, sink InstrSink, initMem func([]uint64)) (*Pass2, vm.Stats, error) {
+	name := "pass2-iiv"
+	if sink != nil {
+		name = "pass2-ddg"
+	}
+	sp := obs.StartSpan(name)
+	defer sp.End()
 	p := NewPass2(prog, st, sink)
 	m := vm.New(prog, p)
 	m.InitMem = initMem
 	if err := m.Run(); err != nil {
 		return nil, vm.Stats{}, err
 	}
+	sp.AddEvents(m.Stats().Ops)
 	p.Tree.Finalize()
 	return p, m.Stats(), nil
 }

@@ -4,6 +4,7 @@ import (
 	"polyprof/internal/ddg"
 	"polyprof/internal/iiv"
 	"polyprof/internal/isa"
+	"polyprof/internal/obs"
 	"polyprof/internal/vm"
 )
 
@@ -45,11 +46,32 @@ func Run(prog *isa.Program, opts Options) (*Profile, error) {
 	if err != nil {
 		return nil, err
 	}
+	sp := obs.StartSpan("fold-finish")
+	g := builder.Finish()
+	sp.AddEvents(FoldedStreams(g))
+	sp.End()
 	return &Profile{
 		Prog:      prog,
 		Structure: st,
 		Tree:      p2.Tree,
-		DDG:       builder.Finish(),
+		DDG:       g,
 		Stats:     stats,
 	}, nil
+}
+
+// FoldedStreams counts the folded streams of a finished DDG: one
+// iteration-domain stream per statement, one value/access stream per
+// instruction that produced one, and one dependence stream per emitted
+// edge bundle.  It is the event count of the folding stage.
+func FoldedStreams(g *ddg.Graph) uint64 {
+	n := uint64(len(g.Stmts)) + uint64(len(g.Deps))
+	for _, in := range g.Instrs {
+		if in.HasValue() {
+			n++
+		}
+		if in.HasAccess() {
+			n++
+		}
+	}
+	return n
 }

@@ -23,6 +23,7 @@ import (
 
 	"polyprof/internal/fold"
 	"polyprof/internal/isa"
+	"polyprof/internal/obs"
 	"polyprof/internal/trace"
 )
 
@@ -208,6 +209,12 @@ type Builder struct {
 	lblBuf  []int64
 
 	totalOps, memOps, fpOps uint64
+
+	// curRegWords/peakRegWords track the live register-table size
+	// (writer records across all mirrored frames); maintained with plain
+	// integer arithmetic on call/return so the per-instruction path is
+	// untouched, published to the metrics registry in Finish.
+	curRegWords, peakRegWords int
 }
 
 // NewBuilder creates a DDG builder for one execution of prog.
@@ -223,6 +230,8 @@ func NewBuilder(prog *isa.Program, opts Options) *Builder {
 	}
 	main := prog.Func(prog.Main)
 	b.frames = append(b.frames, frame{regw: make([]writerRec, main.NumRegs), retDst: isa.NoReg})
+	b.curRegWords = main.NumRegs
+	b.peakRegWords = b.curRegWords
 	return b
 }
 
@@ -250,9 +259,14 @@ func (b *Builder) OnControl(ev trace.ControlEvent) {
 			}
 		}
 		b.frames = append(b.frames, f)
+		b.curRegWords += len(f.regw)
+		if b.curRegWords > b.peakRegWords {
+			b.peakRegWords = b.curRegWords
+		}
 	case trace.Return:
 		top := b.frames[len(b.frames)-1]
 		b.frames = b.frames[:len(b.frames)-1]
+		b.curRegWords -= len(top.regw)
 		if len(b.frames) > 0 && top.retDst != isa.NoReg && b.pendingRet.instr != nil {
 			b.curFrame().regw[top.retDst].set(b.pendingRet.instr, b.pendingRet.coords)
 		}
@@ -471,5 +485,31 @@ func (b *Builder) Finish() *Graph {
 		}
 		return a.Kind < c.Kind
 	})
+	b.publishMetrics(g)
 	return g
+}
+
+// publishMetrics records the builder's structural statistics (shadow
+// memory footprint, register-table peak, folded vs. emitted dependence
+// edges) in the default metrics registry.
+func (b *Builder) publishMetrics(g *Graph) {
+	if !obs.Enabled() {
+		return
+	}
+	// Two writer records per program word: last writer + last reader.
+	obs.MaxGauge("ddg.shadow.words", int64(len(b.shadow)+len(b.lastRead)))
+	obs.MaxGauge("ddg.regtable.peak_words", int64(b.peakRegWords))
+	obs.Add("ddg.stmts", uint64(len(g.Stmts)))
+	obs.Add("ddg.instrs", uint64(len(g.Instrs)))
+	obs.Add("ddg.deps.folded", uint64(len(b.allDeps)))
+	obs.Add("ddg.deps.emitted", uint64(len(g.Deps)))
+	obs.Add("ddg.deps.scev_elided", uint64(len(b.allDeps)-len(g.Deps)))
+	obs.Add("ddg.events.instr", b.totalOps)
+	obs.Add("ddg.events.mem", b.memOps)
+	var depPoints uint64
+	for _, d := range g.Deps {
+		depPoints += d.Count
+		obs.Observe("ddg.dep.points", d.Count)
+	}
+	obs.Add("ddg.dep.points.total", depPoints)
 }

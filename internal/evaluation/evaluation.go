@@ -11,6 +11,7 @@ import (
 
 	"polyprof/internal/core"
 	"polyprof/internal/feedback"
+	"polyprof/internal/obs"
 	"polyprof/internal/sched"
 	"polyprof/internal/staticpoly"
 	"polyprof/internal/workloads"
@@ -53,13 +54,18 @@ type Table5Row struct {
 
 // RunWorkload profiles one workload and assembles its row.
 func RunWorkload(spec workloads.Spec) (*BenchResult, error) {
+	sp := obs.StartSpan("workload:" + spec.Name)
+	defer sp.End()
 	prog := spec.Build()
 	p, err := core.Run(prog, core.DefaultRunOptions())
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", spec.Name, err)
 	}
+	sp.AddEvents(p.DDG.TotalOps)
 	rep := feedback.Analyze(p)
+	stSp := obs.StartSpan("static-baseline")
 	st := staticpoly.Analyze(prog)
+	stSp.End()
 
 	row := Table5Row{
 		Name:         spec.Name,

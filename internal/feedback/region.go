@@ -16,6 +16,7 @@ import (
 	"polyprof/internal/core"
 	"polyprof/internal/iiv"
 	"polyprof/internal/isa"
+	"polyprof/internal/obs"
 	"polyprof/internal/sched"
 )
 
@@ -65,7 +66,20 @@ type Report struct {
 
 // Analyze builds the feedback report from a profile.
 func Analyze(p *core.Profile) *Report {
+	sp := obs.StartSpan("sched-build")
 	m := sched.Build(p)
+	sp.AddEvents(uint64(len(m.Deps)))
+	sp.End()
+	return AnalyzeModel(p, m)
+}
+
+// AnalyzeModel builds the feedback report from a profile and a
+// prebuilt scheduling model; Analyze is the one-shot wrapper.  The
+// split lets the overhead harness time the scheduler and feedback
+// stages separately (the paper's Experiment I cost breakdown).
+func AnalyzeModel(p *core.Profile, m *sched.Model) *Report {
+	sp := obs.StartSpan("feedback-analyze")
+	defer sp.End()
 	r := &Report{Profile: p, Model: m}
 
 	// %Aff at instruction granularity: an instruction is fully affine
@@ -104,8 +118,13 @@ func Analyze(p *core.Profile) *Report {
 			}
 		}
 	}
+	sp.AddEvents(uint64(len(r.allTransforms)))
 	return r
 }
+
+// TransformCount returns the number of nest transformations derived
+// over the whole schedule tree (the feedback stage's event count).
+func (r *Report) TransformCount() int { return len(r.allTransforms) }
 
 func (reg *Region) hasInterestingTransform() bool {
 	for _, t := range reg.Transforms {

@@ -3,6 +3,7 @@ package fold
 import (
 	"fmt"
 
+	"polyprof/internal/obs"
 	"polyprof/internal/poly"
 )
 
@@ -208,6 +209,7 @@ func (f *Folder) closeRun(j int) {
 // zero-point piece for empty streams.
 func (f *Folder) Finish() Piece {
 	if !f.started {
+		noteFinish(Piece{Exact: true})
 		return Piece{Dom: poly.NewPoly(f.dim), Exact: true}
 	}
 	for j := f.dim - 1; j >= 0; j-- {
@@ -252,7 +254,9 @@ func (f *Folder) Finish() Piece {
 			}
 		}
 		if good {
-			return Piece{Dom: dom, Fn: fn, Exact: true, Points: f.points}
+			p := Piece{Dom: dom, Fn: fn, Exact: true, Points: f.points}
+			noteFinish(p)
+			return p
 		}
 	}
 
@@ -262,7 +266,26 @@ func (f *Folder) Finish() Piece {
 	for k := 0; k < f.dim; k++ {
 		dom.AddRange(k, f.minBox[k], f.maxBox[k])
 	}
-	return Piece{Dom: dom, Fn: fn, Exact: false, Points: f.points}
+	p := Piece{Dom: dom, Fn: fn, Exact: false, Points: f.points}
+	noteFinish(p)
+	return p
+}
+
+// noteFinish publishes fold-outcome metrics: how many streams folded,
+// and whether each came out exact-affine or as a bounding-box
+// over-approximation.  Called once per stream (at Finish), never on the
+// per-point path.
+func noteFinish(p Piece) {
+	if !obs.Enabled() {
+		return
+	}
+	obs.Add("fold.streams", 1)
+	if p.Exact {
+		obs.Add("fold.streams.exact", 1)
+	} else {
+		obs.Add("fold.streams.approx", 1)
+	}
+	obs.Observe("fold.stream.points", p.Points)
 }
 
 // embed widens an expression over the first k variables to dim

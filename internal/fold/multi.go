@@ -1,6 +1,10 @@
 package fold
 
-import "math/big"
+import (
+	"math/big"
+
+	"polyprof/internal/obs"
+)
 
 // Check reports whether the sample is consistent with the fitter's
 // current state without mutating it: an already-determined function
@@ -100,6 +104,8 @@ func (m *MultiFolder) Finish() []Piece {
 		op.Fn = nil
 		op.Exact = false
 		out = append(out, op)
+		obs.Add("fold.multi.overflow", 1)
 	}
+	obs.Observe("fold.multi.pieces", uint64(len(out)))
 	return out
 }

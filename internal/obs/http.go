@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns an http.Handler serving the registry as expvar-style
+// JSON under /metrics and /debug/vars.
+func (r *Registry) Handler() http.Handler {
+	serve := func(w http.ResponseWriter, _ *http.Request) {
+		data, err := r.Snapshot().JSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Write(data)
+		w.Write([]byte("\n"))
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", serve)
+	mux.HandleFunc("/debug/vars", serve)
+	return mux
+}
+
+// Serve starts an HTTP server on addr exposing the default registry's
+// metrics JSON (/metrics, /debug/vars) and net/http/pprof
+// (/debug/pprof/) for live inspection of long runs.  It returns the
+// bound listener (whose Addr resolves ":0" requests); the server runs
+// until the listener is closed or the process exits.
+func Serve(addr string) (net.Listener, error) {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Default.Handler())
+	mux.Handle("/debug/vars", Default.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go http.Serve(ln, mux) //nolint:errcheck — server lives for the process
+	return ln, nil
+}

@@ -1,0 +1,257 @@
+// Package obs is polyprof's dependency-free observability layer: a
+// metrics registry (counters, gauges, histograms with fixed log2
+// buckets) and a stage-span tracer that records wall time, events
+// processed, and events/sec for every pipeline stage.  It plays, for
+// this reproduction, the role the paper's hand-maintained cost
+// accounting plays for Experiment I: every profiling run can report
+// where its own time went.
+//
+// Collection is disabled by default and enabled explicitly (the
+// `polyprof overhead` subcommand, the -metrics / -http CLI flags, and
+// the tests).  While disabled, every instrumentation entry point
+// reduces to a single atomic load, so the pipeline's hot paths pay no
+// measurable cost; instrumentation call sites are additionally kept at
+// stage granularity (end of a VM run, folder finish, dependence
+// analysis), never per dynamic instruction.
+package obs
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable instantaneous value.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Max raises the gauge to v if v exceeds the current value.
+func (g *Gauge) Max(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur {
+			return
+		}
+		if g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// NumBuckets is the fixed bucket count of a Histogram: bucket i holds
+// observations v with bits.Len64(v) == i, i.e. bucket 0 holds zeros and
+// bucket i >= 1 holds the range [2^(i-1), 2^i - 1].
+const NumBuckets = 65
+
+// Histogram counts observations into fixed log2 buckets.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [NumBuckets]atomic.Uint64
+}
+
+// BucketIndex returns the bucket an observation falls into.
+func BucketIndex(v uint64) int { return bits.Len64(v) }
+
+// BucketBounds returns the inclusive value range [lo, hi] of bucket i.
+func BucketBounds(i int) (lo, hi uint64) {
+	if i <= 0 {
+		return 0, 0
+	}
+	lo = uint64(1) << (i - 1)
+	if i >= 64 {
+		return lo, ^uint64(0)
+	}
+	return lo, (uint64(1) << i) - 1
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v uint64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bits.Len64(v)].Add(1)
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// Bucket returns the sample count of bucket i.
+func (h *Histogram) Bucket(i int) uint64 {
+	if i < 0 || i >= NumBuckets {
+		return 0
+	}
+	return h.buckets[i].Load()
+}
+
+// Registry holds named metrics and finished stage spans.  All methods
+// are safe for concurrent use.
+type Registry struct {
+	enabled atomic.Bool
+
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	spans    []SpanRecord
+	active   []*Span
+}
+
+// NewRegistry returns an empty, disabled registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Default is the process-wide registry the pipeline instruments.
+var Default = NewRegistry()
+
+// SetEnabled switches metric collection on or off.
+func (r *Registry) SetEnabled(on bool) { r.enabled.Store(on) }
+
+// Enabled reports whether the registry is collecting.
+func (r *Registry) Enabled() bool { return r.enabled.Load() }
+
+// Reset drops every metric and span, keeping the enabled state.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters = map[string]*Counter{}
+	r.gauges = map[string]*Gauge{}
+	r.hists = map[string]*Histogram{}
+	r.spans = nil
+	r.active = nil
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Add increments the named counter when collection is enabled.
+func (r *Registry) Add(name string, n uint64) {
+	if !r.enabled.Load() {
+		return
+	}
+	r.Counter(name).Add(n)
+}
+
+// SetGauge stores the named gauge value when collection is enabled.
+func (r *Registry) SetGauge(name string, v int64) {
+	if !r.enabled.Load() {
+		return
+	}
+	r.Gauge(name).Set(v)
+}
+
+// MaxGauge raises the named gauge when collection is enabled.
+func (r *Registry) MaxGauge(name string, v int64) {
+	if !r.enabled.Load() {
+		return
+	}
+	r.Gauge(name).Max(v)
+}
+
+// Observe records a histogram sample when collection is enabled.
+func (r *Registry) Observe(name string, v uint64) {
+	if !r.enabled.Load() {
+		return
+	}
+	r.Histogram(name).Observe(v)
+}
+
+// sortedNames returns the keys of a metric map in stable order.
+func sortedNames[M any](m map[string]M) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Package-level shorthands operating on Default.
+
+// Enable switches the default registry on.
+func Enable() { Default.SetEnabled(true) }
+
+// Disable switches the default registry off.
+func Disable() { Default.SetEnabled(false) }
+
+// Enabled reports whether the default registry is collecting.
+func Enabled() bool { return Default.Enabled() }
+
+// Reset clears the default registry.
+func Reset() { Default.Reset() }
+
+// Add increments a counter on the default registry.
+func Add(name string, n uint64) { Default.Add(name, n) }
+
+// SetGauge sets a gauge on the default registry.
+func SetGauge(name string, v int64) { Default.SetGauge(name, v) }
+
+// MaxGauge raises a gauge on the default registry.
+func MaxGauge(name string, v int64) { Default.MaxGauge(name, v) }
+
+// Observe records a histogram sample on the default registry.
+func Observe(name string, v uint64) { Default.Observe(name, v) }
+
+// StartSpan opens a stage span on the default registry.
+func StartSpan(name string) *Span { return Default.StartSpan(name) }

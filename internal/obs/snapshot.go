@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// NamedUint is one counter in a snapshot.
+type NamedUint struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}
+
+// NamedInt is one gauge in a snapshot.
+type NamedInt struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// BucketCount is one non-empty histogram bucket.
+type BucketCount struct {
+	Lo    uint64 `json:"lo"`
+	Hi    uint64 `json:"hi"`
+	Count uint64 `json:"count"`
+}
+
+// HistogramSnapshot is one histogram in a snapshot.
+type HistogramSnapshot struct {
+	Name    string        `json:"name"`
+	Count   uint64        `json:"count"`
+	Sum     uint64        `json:"sum"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// Snapshot is a consistent, sorted view of a registry, suitable for
+// text reports and JSON serving.
+type Snapshot struct {
+	Counters   []NamedUint         `json:"counters,omitempty"`
+	Gauges     []NamedInt          `json:"gauges,omitempty"`
+	Histograms []HistogramSnapshot `json:"histograms,omitempty"`
+	Spans      []SpanRecord        `json:"spans,omitempty"`
+}
+
+// Snapshot captures the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counters := r.counters
+	gauges := r.gauges
+	hists := r.hists
+	spans := make([]SpanRecord, len(r.spans))
+	copy(spans, r.spans)
+	r.mu.Unlock()
+
+	var s Snapshot
+	for _, name := range sortedNames(counters) {
+		s.Counters = append(s.Counters, NamedUint{Name: name, Value: counters[name].Value()})
+	}
+	for _, name := range sortedNames(gauges) {
+		s.Gauges = append(s.Gauges, NamedInt{Name: name, Value: gauges[name].Value()})
+	}
+	for _, name := range sortedNames(hists) {
+		h := hists[name]
+		hs := HistogramSnapshot{Name: name, Count: h.Count(), Sum: h.Sum()}
+		for i := 0; i < NumBuckets; i++ {
+			if c := h.Bucket(i); c > 0 {
+				lo, hi := BucketBounds(i)
+				hs.Buckets = append(hs.Buckets, BucketCount{Lo: lo, Hi: hi, Count: c})
+			}
+		}
+		s.Histograms = append(s.Histograms, hs)
+	}
+	s.Spans = spans
+	return s
+}
+
+// TakeSnapshot captures the default registry.
+func TakeSnapshot() Snapshot { return Default.Snapshot() }
+
+// JSON serializes the snapshot (pretty-printed, matching the style of
+// the feedback report's -json output).
+func (s Snapshot) JSON() ([]byte, error) { return json.MarshalIndent(s, "", "  ") }
+
+// Text renders the snapshot as an aligned plain-text metrics section.
+func (s Snapshot) Text() string {
+	var sb strings.Builder
+	if len(s.Counters) > 0 {
+		sb.WriteString("counters:\n")
+		for _, c := range s.Counters {
+			fmt.Fprintf(&sb, "  %-36s %12d\n", c.Name, c.Value)
+		}
+	}
+	if len(s.Gauges) > 0 {
+		sb.WriteString("gauges:\n")
+		for _, g := range s.Gauges {
+			fmt.Fprintf(&sb, "  %-36s %12d\n", g.Name, g.Value)
+		}
+	}
+	if len(s.Histograms) > 0 {
+		sb.WriteString("histograms:\n")
+		for _, h := range s.Histograms {
+			fmt.Fprintf(&sb, "  %-36s count=%d sum=%d\n", h.Name, h.Count, h.Sum)
+			for _, b := range h.Buckets {
+				fmt.Fprintf(&sb, "    [%d,%d]: %d\n", b.Lo, b.Hi, b.Count)
+			}
+		}
+	}
+	if len(s.Spans) > 0 {
+		sb.WriteString("spans:\n")
+		for _, sp := range s.Spans {
+			indent := strings.Repeat("  ", sp.Depth)
+			fmt.Fprintf(&sb, "  %-36s %10s", indent+sp.Name, FormatDuration(sp.Wall))
+			if sp.Events > 0 {
+				fmt.Fprintf(&sb, " %12d events %10s ev/s", sp.Events, FormatRate(sp.EventsPerSec))
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	if sb.Len() == 0 {
+		return "(no metrics recorded)\n"
+	}
+	return sb.String()
+}
+
+// FormatRate renders an events/sec figure compactly ("36.7M").
+func FormatRate(v float64) string {
+	switch {
+	case v <= 0:
+		return "-"
+	case v >= 1e9:
+		return fmt.Sprintf("%.1fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+// FormatDuration renders a wall time with three significant units at
+// most ("1.23ms").
+func FormatDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.2fµs", float64(d)/float64(time.Microsecond))
+	}
+	return fmt.Sprintf("%dns", d.Nanoseconds())
+}

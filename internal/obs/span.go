@@ -1,0 +1,87 @@
+package obs
+
+import "time"
+
+// Span measures one pipeline stage: wall time between StartSpan and
+// End, plus an event count the stage reports (dynamic instructions,
+// folded streams, dependencies analyzed, ...), from which the record
+// derives an events/sec throughput.  Spans nest: a span started while
+// another is active records the enclosing depth, so the rendered trace
+// shows the stage structure (pass1 under a workload, sched-build under
+// feedback-analyze, ...).
+//
+// A span obtained from a disabled registry is a shared no-op; all its
+// methods return immediately.
+type Span struct {
+	reg    *Registry
+	name   string
+	depth  int
+	start  time.Time
+	events uint64
+}
+
+// SpanRecord is one finished stage span.
+type SpanRecord struct {
+	Name         string        `json:"name"`
+	Depth        int           `json:"depth"`
+	Wall         time.Duration `json:"wall_ns"`
+	Events       uint64        `json:"events,omitempty"`
+	EventsPerSec float64       `json:"events_per_sec,omitempty"`
+}
+
+var noopSpan = &Span{}
+
+// StartSpan opens a span; call End on the returned span when the stage
+// completes.
+func (r *Registry) StartSpan(name string) *Span {
+	if !r.enabled.Load() {
+		return noopSpan
+	}
+	r.mu.Lock()
+	s := &Span{reg: r, name: name, depth: len(r.active), start: time.Now()}
+	r.active = append(r.active, s)
+	r.mu.Unlock()
+	return s
+}
+
+// AddEvents accumulates the stage's processed-event count.
+func (s *Span) AddEvents(n uint64) {
+	if s.reg == nil {
+		return
+	}
+	s.events += n
+}
+
+// End closes the span, appends its record to the registry, and returns
+// it.  Ending a span twice (or a no-op span) returns a zero record.
+func (s *Span) End() SpanRecord {
+	if s.reg == nil {
+		return SpanRecord{}
+	}
+	wall := time.Since(s.start)
+	rec := SpanRecord{Name: s.name, Depth: s.depth, Wall: wall, Events: s.events}
+	if wall > 0 && s.events > 0 {
+		rec.EventsPerSec = float64(s.events) / wall.Seconds()
+	}
+	r := s.reg
+	r.mu.Lock()
+	for i := len(r.active) - 1; i >= 0; i-- {
+		if r.active[i] == s {
+			r.active = append(r.active[:i], r.active[i+1:]...)
+			break
+		}
+	}
+	r.spans = append(r.spans, rec)
+	r.mu.Unlock()
+	s.reg = nil
+	return rec
+}
+
+// Spans returns the finished span records in end order.
+func (r *Registry) Spans() []SpanRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SpanRecord, len(r.spans))
+	copy(out, r.spans)
+	return out
+}

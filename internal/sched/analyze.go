@@ -2,6 +2,7 @@ package sched
 
 import (
 	"polyprof/internal/iiv"
+	"polyprof/internal/obs"
 )
 
 // LoopInfo is the dependence summary of one loop dimension (one loop
@@ -27,6 +28,7 @@ type LoopInfo struct {
 
 // AnalyzeLoop computes the dependence summary of one loop node.
 func (m *Model) AnalyzeLoop(loop *iiv.TreeNode, depth int) *LoopInfo {
+	obs.Add("sched.loops.analyzed", 1)
 	info := &LoopInfo{Loop: loop, Depth: depth, Parallel: true, NonNeg: true, Ops: loop.TotalOps}
 	for _, d := range m.DepsUnder(loop) {
 		if d.Common <= depth {

@@ -16,6 +16,7 @@ import (
 	"polyprof/internal/core"
 	"polyprof/internal/ddg"
 	"polyprof/internal/iiv"
+	"polyprof/internal/obs"
 	"polyprof/internal/poly"
 )
 
@@ -140,6 +141,8 @@ func Build(p *core.Profile) *Model {
 	sort.SliceStable(m.Deps, func(i, j int) bool {
 		return m.Deps[i].D.Dst.ID < m.Deps[j].D.Dst.ID
 	})
+	obs.Add("sched.stmts", uint64(len(m.Stmts)))
+	obs.Add("sched.deps", uint64(len(m.Deps)))
 	return m
 }
 
@@ -183,6 +186,8 @@ func (d *Dep) analyze() {
 		return
 	}
 	first := true
+	fmQueries := uint64(0)
+	defer func() { obs.Add("sched.fm.queries", fmQueries) }()
 	for _, piece := range d.D.Pieces {
 		if piece.Fn == nil || piece.Dom == nil {
 			d.Star = true
@@ -197,6 +202,7 @@ func (d *Dep) analyze() {
 			// distance_k = consumer_k - producer_k over the dependence
 			// domain (domain coordinates are the consumer's).
 			delta := poly.Var(dim, k).Sub(piece.Fn.Rows[k])
+			fmQueries++
 			lo, hi, lok, hok := piece.Dom.IntBounds(delta)
 			if !lok || !hok {
 				d.Star = true

@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"polyprof/internal/isa"
+	"polyprof/internal/obs"
 	"polyprof/internal/trace"
 )
 
@@ -97,9 +98,26 @@ func (m *Machine) emitInstr(ev trace.InstrEvent, in *isa.Instr) {
 	}
 }
 
+// publishStats records the run's dynamic event counters in the default
+// metrics registry.  Counting happens in Stats during execution; this
+// publishes once per run, so the interpreter loop carries no
+// instrumentation cost.
+func (m *Machine) publishStats() {
+	if !obs.Enabled() {
+		return
+	}
+	obs.Add("vm.runs", 1)
+	obs.Add("vm.instructions", m.stats.Ops)
+	obs.Add("vm.mem_events", m.stats.MemOps)
+	obs.Add("vm.control_events", m.stats.Calls+m.stats.Jumps)
+	obs.Add("vm.fp_ops", m.stats.FPOps)
+	obs.Observe("vm.run.instructions", m.stats.Ops)
+}
+
 // Run executes the program from its main function until Halt, the final
 // return from main, or an error (trap, step limit).
 func (m *Machine) Run() error {
+	defer m.publishStats()
 	m.mem = make([]uint64, m.prog.MemWords)
 	if m.InitMem != nil {
 		m.InitMem(m.mem)

@@ -22,6 +22,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -110,12 +111,37 @@ func cmdList() error {
 	return nil
 }
 
+// parseWorkload parses a subcommand's flag set together with its
+// workload operand, accepting the flags on either side of the name
+// (`profile backprop -metrics` and `profile -metrics backprop` both
+// work, matching the overhead subcommand).  It returns "" when no
+// workload was given.
+func parseWorkload(fs *flag.FlagSet, args []string) (string, error) {
+	name := ""
+	rest := args
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		name = args[0]
+		rest = args[1:]
+	}
+	if err := fs.Parse(rest); err != nil {
+		return "", err
+	}
+	if name == "" && fs.NArg() > 0 {
+		name = fs.Arg(0)
+	}
+	return name, nil
+}
+
 // obsFlags holds the shared observability flags of the profiling
 // commands: -metrics appends the registry snapshot to the output,
 // -http serves live metrics JSON and pprof during (and after) the run.
 type obsFlags struct {
 	metrics bool
 	http    string
+	// jsonOut is set by commands emitting a machine-readable document
+	// on stdout; the metrics section then goes to stderr so stdout
+	// stays valid JSON for consumers piping it.
+	jsonOut bool
 }
 
 func addObsFlags(fs *flag.FlagSet) *obsFlags {
@@ -142,9 +168,13 @@ func (f *obsFlags) start() error {
 
 func (f *obsFlags) finish() {
 	if f.metrics {
-		fmt.Println()
-		fmt.Println("== metrics ==")
-		fmt.Print(obs.TakeSnapshot().Text())
+		out := io.Writer(os.Stdout)
+		if f.jsonOut {
+			out = os.Stderr
+		}
+		fmt.Fprintln(out)
+		fmt.Fprintln(out, "== metrics ==")
+		fmt.Fprint(out, obs.TakeSnapshot().Text())
 	}
 	if f.http != "" {
 		fmt.Fprintln(os.Stderr, "polyprof: metrics server still running; Ctrl-C to exit")
@@ -155,12 +185,12 @@ func (f *obsFlags) finish() {
 func cmdProfile(args []string) error {
 	fs := flag.NewFlagSet("profile", flag.ExitOnError)
 	of := addObsFlags(fs)
-	if len(args) < 1 {
-		return fmt.Errorf("profile: missing workload name")
-	}
-	name := args[0]
-	if err := fs.Parse(args[1:]); err != nil {
+	name, err := parseWorkload(fs, args)
+	if err != nil {
 		return err
+	}
+	if name == "" {
+		return fmt.Errorf("profile: missing workload name")
 	}
 	if err := of.start(); err != nil {
 		return err
@@ -198,12 +228,12 @@ func cmdFlame(args []string) error {
 	fs := flag.NewFlagSet("flame", flag.ExitOnError)
 	out := fs.String("o", "", "output file (default <workload>.svg)")
 	width := fs.Int("w", 1200, "SVG width")
-	if len(args) < 1 {
-		return fmt.Errorf("flame: missing workload name")
-	}
-	name := args[0]
-	if err := fs.Parse(args[1:]); err != nil {
+	name, err := parseWorkload(fs, args)
+	if err != nil {
 		return err
+	}
+	if name == "" {
+		return fmt.Errorf("flame: missing workload name")
 	}
 	prog, err := polyprof.Workload(name)
 	if err != nil {
@@ -283,13 +313,14 @@ func cmdReport(args []string) error {
 	fs := flag.NewFlagSet("report", flag.ExitOnError)
 	asJSON := fs.Bool("json", false, "emit the machine-readable report")
 	of := addObsFlags(fs)
-	if len(args) < 1 {
-		return fmt.Errorf("report: missing workload name")
-	}
-	name := args[0]
-	if err := fs.Parse(args[1:]); err != nil {
+	name, err := parseWorkload(fs, args)
+	if err != nil {
 		return err
 	}
+	if name == "" {
+		return fmt.Errorf("report: missing workload name")
+	}
+	of.jsonOut = *asJSON
 	if err := of.start(); err != nil {
 		return err
 	}
@@ -346,17 +377,12 @@ func cmdTable5(args []string) error {
 func cmdOverhead(args []string) error {
 	fs := flag.NewFlagSet("overhead", flag.ExitOnError)
 	asJSON := fs.Bool("json", false, "emit machine-readable stage costs")
-	name := "all"
-	rest := args
-	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
-		name = args[0]
-		rest = args[1:]
-	}
-	if err := fs.Parse(rest); err != nil {
+	name, err := parseWorkload(fs, args)
+	if err != nil {
 		return err
 	}
-	if name == "all" && fs.NArg() > 0 {
-		name = fs.Arg(0)
+	if name == "" {
+		name = "all"
 	}
 	emit := func(rs []*evaluation.OverheadReport, render func() string) error {
 		if *asJSON {

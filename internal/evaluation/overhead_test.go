@@ -41,6 +41,7 @@ fold <wall> <pct> 32 <rate> streams
 sched <wall> <pct> 2 <rate> deps
 feedback <wall> <pct> 1 <rate> nests
 total <wall> <pct> 83 <rate> instrs (one full run)
+note: fold times the terminal Finish() drain; per-event incremental folding is charged to ddg
 `
 
 func TestOverheadGoldenExample1(t *testing.T) {

@@ -118,6 +118,99 @@ func TestRegistryConcurrency(t *testing.T) {
 	}
 }
 
+// TestSnapshotDuringMetricCreation pins the race the first
+// TestRegistryConcurrency version missed: Snapshot iterating the
+// metric maps while other goroutines insert *new* names via first-use
+// Counter/Gauge/Histogram lookups.  Run under -race (and without it,
+// via the runtime's concurrent map iteration check) this fails if
+// Snapshot ever reads the maps outside the registry lock.
+func TestSnapshotDuringMetricCreation(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			suffix := string(rune('a' + i%26))
+			r.Add("fresh.counter."+suffix+string(rune('a'+(i/26)%26)), 1)
+			r.SetGauge("fresh.gauge."+suffix, int64(i))
+			r.Observe("fresh.hist."+suffix, uint64(i))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			s := r.Snapshot()
+			if len(s.Counters) > 0 && s.Counters[0].Name == "" {
+				t.Error("snapshot contains empty counter name")
+				return
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		_ = r.Snapshot()
+	}
+	close(done)
+	wg.Wait()
+}
+
+// TestSpanConcurrentAddEventsEnd exercises AddEvents from several
+// goroutines racing one End; under -race this validates the span's
+// atomic event counter and close-once semantics.
+func TestSpanConcurrentAddEventsEnd(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	sp := r.StartSpan("stage")
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				sp.AddEvents(1)
+			}
+		}()
+	}
+	wg.Wait()
+	rec := sp.End()
+	if rec.Events != 4000 {
+		t.Fatalf("events = %d, want 4000", rec.Events)
+	}
+	// Racing Ends close the span exactly once: every further End is a
+	// zero record and the registry holds a single span.
+	var extra sync.WaitGroup
+	sp2 := r.StartSpan("stage2")
+	records := make([]SpanRecord, 4)
+	for g := 0; g < 4; g++ {
+		extra.Add(1)
+		go func(g int) {
+			defer extra.Done()
+			sp2.AddEvents(1)
+			records[g] = sp2.End()
+		}(g)
+	}
+	extra.Wait()
+	closed := 0
+	for _, rec := range records {
+		if rec.Name != "" {
+			closed++
+		}
+	}
+	if closed != 1 {
+		t.Fatalf("%d Ends recorded the span, want exactly 1", closed)
+	}
+	if got := len(r.Spans()); got != 2 {
+		t.Fatalf("registry holds %d spans, want 2", got)
+	}
+}
+
 func TestSpanNesting(t *testing.T) {
 	r := NewRegistry()
 	r.SetEnabled(true)

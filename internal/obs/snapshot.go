@@ -43,25 +43,24 @@ type Snapshot struct {
 	Spans      []SpanRecord        `json:"spans,omitempty"`
 }
 
-// Snapshot captures the registry's current state.
+// Snapshot captures the registry's current state.  The whole snapshot
+// is built while holding the registry lock: the maps may gain entries
+// from concurrent first-use lookups, so iterating them outside the
+// lock would race.  The metric values themselves are atomics, making
+// the reads under the lock cheap and tear-free.
 func (r *Registry) Snapshot() Snapshot {
 	r.mu.Lock()
-	counters := r.counters
-	gauges := r.gauges
-	hists := r.hists
-	spans := make([]SpanRecord, len(r.spans))
-	copy(spans, r.spans)
-	r.mu.Unlock()
+	defer r.mu.Unlock()
 
 	var s Snapshot
-	for _, name := range sortedNames(counters) {
-		s.Counters = append(s.Counters, NamedUint{Name: name, Value: counters[name].Value()})
+	for _, name := range sortedNames(r.counters) {
+		s.Counters = append(s.Counters, NamedUint{Name: name, Value: r.counters[name].Value()})
 	}
-	for _, name := range sortedNames(gauges) {
-		s.Gauges = append(s.Gauges, NamedInt{Name: name, Value: gauges[name].Value()})
+	for _, name := range sortedNames(r.gauges) {
+		s.Gauges = append(s.Gauges, NamedInt{Name: name, Value: r.gauges[name].Value()})
 	}
-	for _, name := range sortedNames(hists) {
-		h := hists[name]
+	for _, name := range sortedNames(r.hists) {
+		h := r.hists[name]
 		hs := HistogramSnapshot{Name: name, Count: h.Count(), Sum: h.Sum()}
 		for i := 0; i < NumBuckets; i++ {
 			if c := h.Bucket(i); c > 0 {
@@ -71,7 +70,8 @@ func (r *Registry) Snapshot() Snapshot {
 		}
 		s.Histograms = append(s.Histograms, hs)
 	}
-	s.Spans = spans
+	s.Spans = make([]SpanRecord, len(r.spans))
+	copy(s.Spans, r.spans)
 	return s
 }
 

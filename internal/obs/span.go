@@ -1,6 +1,9 @@
 package obs
 
-import "time"
+import (
+	"sync/atomic"
+	"time"
+)
 
 // Span measures one pipeline stage: wall time between StartSpan and
 // End, plus an event count the stage reports (dynamic instructions,
@@ -10,14 +13,19 @@ import "time"
 // shows the stage structure (pass1 under a workload, sched-build under
 // feedback-analyze, ...).
 //
+// Like the registry, a Span is safe for concurrent use: AddEvents may
+// be called from multiple goroutines, and a concurrent End closes the
+// span exactly once (events added after End lose the race and are
+// dropped).
+//
 // A span obtained from a disabled registry is a shared no-op; all its
 // methods return immediately.
 type Span struct {
-	reg    *Registry
+	reg    atomic.Pointer[Registry]
 	name   string
 	depth  int
 	start  time.Time
-	events uint64
+	events atomic.Uint64
 }
 
 // SpanRecord is one finished stage span.
@@ -38,7 +46,8 @@ func (r *Registry) StartSpan(name string) *Span {
 		return noopSpan
 	}
 	r.mu.Lock()
-	s := &Span{reg: r, name: name, depth: len(r.active), start: time.Now()}
+	s := &Span{name: name, depth: len(r.active), start: time.Now()}
+	s.reg.Store(r)
 	r.active = append(r.active, s)
 	r.mu.Unlock()
 	return s
@@ -46,24 +55,25 @@ func (r *Registry) StartSpan(name string) *Span {
 
 // AddEvents accumulates the stage's processed-event count.
 func (s *Span) AddEvents(n uint64) {
-	if s.reg == nil {
+	if s.reg.Load() == nil {
 		return
 	}
-	s.events += n
+	s.events.Add(n)
 }
 
 // End closes the span, appends its record to the registry, and returns
 // it.  Ending a span twice (or a no-op span) returns a zero record.
 func (s *Span) End() SpanRecord {
-	if s.reg == nil {
+	r := s.reg.Swap(nil)
+	if r == nil {
 		return SpanRecord{}
 	}
 	wall := time.Since(s.start)
-	rec := SpanRecord{Name: s.name, Depth: s.depth, Wall: wall, Events: s.events}
-	if wall > 0 && s.events > 0 {
-		rec.EventsPerSec = float64(s.events) / wall.Seconds()
+	events := s.events.Load()
+	rec := SpanRecord{Name: s.name, Depth: s.depth, Wall: wall, Events: events}
+	if wall > 0 && events > 0 {
+		rec.EventsPerSec = float64(events) / wall.Seconds()
 	}
-	r := s.reg
 	r.mu.Lock()
 	for i := len(r.active) - 1; i >= 0; i-- {
 		if r.active[i] == s {
@@ -73,7 +83,6 @@ func (s *Span) End() SpanRecord {
 	}
 	r.spans = append(r.spans, rec)
 	r.mu.Unlock()
-	s.reg = nil
 	return rec
 }
 

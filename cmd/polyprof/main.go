@@ -14,22 +14,32 @@
 //	polyprof table5                    Experiment I+II summary table
 //	polyprof casestudy <backprop|gemsfdtd>   Table 3 / Table 4
 //	polyprof overhead [workload|all]   per-stage profiling cost (Exp. I)
+//	polyprof serve [-http :7070]       profiling-as-a-service daemon
 //
-// profile, report and table5 accept -metrics (append a metrics
-// section) and -http :addr (serve live metrics JSON + pprof).
+// profile, report, table5 and overhead accept -metrics (append a
+// metrics section), -http :addr (serve live Prometheus/JSON metrics +
+// pprof), and -trace out.json (write the pipeline span tree as Chrome
+// trace-event JSON for Perfetto).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"polyprof"
 	"polyprof/internal/evaluation"
 	"polyprof/internal/iiv"
 	"polyprof/internal/obs"
+	"polyprof/internal/serve"
 	"polyprof/internal/workloads"
 )
 
@@ -54,6 +64,8 @@ func main() {
 		err = cmdTable5(os.Args[2:])
 	case "overhead":
 		err = cmdOverhead(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "casestudy":
 		err = cmdCaseStudy(os.Args[2:])
 	case "ddg":
@@ -86,10 +98,17 @@ commands:
   casestudy <name>        backprop (Table 3) or gemsfdtd (Table 4)
   ddg <workload>          dump the folded polyhedral DDG of the region
   report <workload> [-json]  full feedback document (or JSON)
+  serve [-http :7070]     profiling-as-a-service daemon (POST /v1/profile)
 
-flags (profile, report, table5):
+flags (profile, report, table5, overhead):
   -metrics      append the metrics-registry section to the output
-  -http :addr   serve /metrics JSON and /debug/pprof during the run`)
+  -http :addr   serve /metrics (Prometheus or ?format=json) + pprof
+  -trace f.json write the pipeline span tree as Chrome trace-event JSON
+
+serve flags:
+  -http :addr        listen address (default :7070)
+  -max-inflight n    concurrent profile requests before 429 (default 2)
+  -ring n            request summaries kept for /v1/requests (default 64)`)
 }
 
 func cmdList() error {
@@ -134,39 +153,45 @@ func parseWorkload(fs *flag.FlagSet, args []string) (string, error) {
 
 // obsFlags holds the shared observability flags of the profiling
 // commands: -metrics appends the registry snapshot to the output,
-// -http serves live metrics JSON and pprof during (and after) the run.
+// -http serves live metrics (Prometheus or JSON) and pprof during the
+// run, -trace writes the run's span tree as Chrome trace-event JSON.
 type obsFlags struct {
 	metrics bool
 	http    string
+	trace   string
 	// jsonOut is set by commands emitting a machine-readable document
 	// on stdout; the metrics section then goes to stderr so stdout
 	// stays valid JSON for consumers piping it.
 	jsonOut bool
+
+	srv *obs.MetricsServer
 }
 
 func addObsFlags(fs *flag.FlagSet) *obsFlags {
 	f := &obsFlags{}
 	fs.BoolVar(&f.metrics, "metrics", false, "append the metrics-registry section to the output")
-	fs.StringVar(&f.http, "http", "", "serve metrics JSON and pprof on this address (e.g. :6060)")
+	fs.StringVar(&f.http, "http", "", "serve metrics and pprof on this address (e.g. :6060)")
+	fs.StringVar(&f.trace, "trace", "", "write the pipeline span tree as Chrome trace-event JSON to this file")
 	return f
 }
 
 func (f *obsFlags) start() error {
-	if f.metrics || f.http != "" {
+	if f.metrics || f.http != "" || f.trace != "" {
 		obs.Enable()
 		obs.Reset()
 	}
 	if f.http != "" {
-		ln, err := obs.Serve(f.http)
+		srv, err := obs.Serve(f.http)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "polyprof: metrics on http://%s/metrics (pprof under /debug/pprof/)\n", ln.Addr())
+		f.srv = srv
+		fmt.Fprintf(os.Stderr, "polyprof: metrics on http://%s/metrics (pprof under /debug/pprof/)\n", srv.Addr())
 	}
 	return nil
 }
 
-func (f *obsFlags) finish() {
+func (f *obsFlags) finish() error {
 	if f.metrics {
 		out := io.Writer(os.Stdout)
 		if f.jsonOut {
@@ -176,10 +201,24 @@ func (f *obsFlags) finish() {
 		fmt.Fprintln(out, "== metrics ==")
 		fmt.Fprint(out, obs.TakeSnapshot().Text())
 	}
-	if f.http != "" {
-		fmt.Fprintln(os.Stderr, "polyprof: metrics server still running; Ctrl-C to exit")
-		select {}
+	if f.trace != "" {
+		spans := obs.Default.Spans()
+		if err := obs.WriteChromeTrace(f.trace, spans); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "polyprof: wrote %s (%d spans; load in Perfetto or chrome://tracing)\n", f.trace, len(spans))
 	}
+	if f.srv != nil {
+		fmt.Fprintln(os.Stderr, "polyprof: metrics server still running; Ctrl-C to exit")
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		if err := f.srv.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "polyprof: metrics server stopped")
+	}
+	return nil
 }
 
 func cmdProfile(args []string) error {
@@ -220,8 +259,7 @@ func cmdProfile(args []string) error {
 	fmt.Println()
 	fmt.Println("dynamic schedule tree (hot paths):")
 	fmt.Print(rep.Profile.Tree.Render(iiv.ProgramNamer(prog), rep.Profile.Tree.TotalOps()/50))
-	of.finish()
-	return nil
+	return of.finish()
 }
 
 func cmdFlame(args []string) error {
@@ -339,12 +377,10 @@ func cmdReport(args []string) error {
 			return err
 		}
 		fmt.Println(string(data))
-		of.finish()
-		return nil
+		return of.finish()
 	}
 	fmt.Print(rep.Document(polyprof.DefaultCostModel()))
-	of.finish()
-	return nil
+	return of.finish()
 }
 
 func cmdTable5(args []string) error {
@@ -367,8 +403,7 @@ func cmdTable5(args []string) error {
 	for _, r := range rows {
 		fmt.Printf("%-16s %-10s %-10s %v\n", r.Row.Name, r.Row.PollyReasons, r.Row.PaperReasons, r.Row.PollyModeled)
 	}
-	of.finish()
-	return nil
+	return of.finish()
 }
 
 // cmdOverhead measures the cost of the profiling pipeline itself, per
@@ -377,12 +412,17 @@ func cmdTable5(args []string) error {
 func cmdOverhead(args []string) error {
 	fs := flag.NewFlagSet("overhead", flag.ExitOnError)
 	asJSON := fs.Bool("json", false, "emit machine-readable stage costs")
+	of := addObsFlags(fs)
 	name, err := parseWorkload(fs, args)
 	if err != nil {
 		return err
 	}
 	if name == "" {
 		name = "all"
+	}
+	of.jsonOut = *asJSON
+	if err := of.start(); err != nil {
+		return err
 	}
 	emit := func(rs []*evaluation.OverheadReport, render func() string) error {
 		if *asJSON {
@@ -391,10 +431,10 @@ func cmdOverhead(args []string) error {
 				return err
 			}
 			fmt.Println(string(data))
-			return nil
+			return of.finish()
 		}
 		fmt.Print(render())
-		return nil
+		return of.finish()
 	}
 	if name == "all" {
 		fmt.Fprintln(os.Stderr, "measuring per-stage profiling cost across the Rodinia suite...")
@@ -413,6 +453,53 @@ func cmdOverhead(args []string) error {
 		return err
 	}
 	return emit([]*evaluation.OverheadReport{r}, func() string { return evaluation.RenderOverhead(r) })
+}
+
+// cmdServe runs the profiling-as-a-service daemon: POST
+// /v1/profile?workload=<name> runs the full pipeline per request with
+// a per-request span tree; /metrics exposes the merged process
+// registry.  SIGINT/SIGTERM drain in-flight profiles and exit.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("http", ":7070", "listen address")
+	maxInFlight := fs.Int("max-inflight", 2, "max concurrently running profile requests (excess get 429)")
+	ring := fs.Int("ring", 64, "recent-request summaries kept for /v1/requests")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	s := serve.New(serve.Options{
+		MaxInFlight: *maxInFlight,
+		RingSize:    *ring,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", a...)
+		},
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	fmt.Fprintf(os.Stderr, "polyprof: serving profiles on http://%s (POST /v1/profile?workload=<name>)\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case got := <-sig:
+		fmt.Fprintf(os.Stderr, "polyprof: %v — draining in-flight profiles\n", got)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "polyprof: drained, bye")
+		return nil
+	}
 }
 
 func cmdCaseStudy(args []string) error {

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"polyprof/internal/obs"
+)
+
+// TestProfileTraceFlag is the acceptance test for the -trace exporter:
+// `polyprof profile example1 -trace out.json` must write a Chrome
+// trace-event document with one complete event per pipeline stage.
+func TestProfileTraceFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+
+	// The command prints the report to stdout; silence it for the test.
+	old := os.Stdout
+	null, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = null
+	err = cmdProfile([]string{"example1", "-trace", path})
+	os.Stdout = old
+	null.Close()
+	if err != nil {
+		t.Fatalf("cmdProfile: %v", err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc obs.TraceDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace file does not round-trip: %v", err)
+	}
+	complete := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "X" {
+			complete[ev.Name]++
+		}
+	}
+	for _, stage := range []string{"pass1-structure", "pass2-ddg", "fold-finish", "sched-build", "feedback-analyze"} {
+		if complete[stage] < 1 {
+			t.Errorf("trace missing complete event for stage %q; got %v", stage, complete)
+		}
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+}

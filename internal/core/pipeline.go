@@ -29,13 +29,22 @@ type Structure struct {
 }
 
 // AnalyzeStructure executes the program once under control-event
-// instrumentation and derives its control structure.
+// instrumentation and derives its control structure, recording into the
+// default registry.
 func AnalyzeStructure(prog *isa.Program, initMem func([]uint64)) (*Structure, error) {
-	sp := obs.StartSpan("pass1-structure")
+	return AnalyzeStructureScoped(prog, initMem, obs.Scope{})
+}
+
+// AnalyzeStructureScoped is AnalyzeStructure recording its stage span
+// and VM counters into sc's registry, nested under sc's parent span.
+func AnalyzeStructureScoped(prog *isa.Program, initMem func([]uint64), sc obs.Scope) (*Structure, error) {
+	sp := sc.StartSpan("pass1-structure")
 	rec := cfg.NewRecorder(prog)
 	m := vm.New(prog, rec)
 	m.InitMem = initMem
+	m.Obs = sc
 	if err := m.Run(); err != nil {
+		sp.Fail(err)
 		sp.End()
 		return nil, err
 	}
@@ -118,18 +127,26 @@ func (p *Pass2) Instr(ev trace.InstrEvent, in *isa.Instr) {
 
 // RunPass2 executes the program a second time under full
 // instrumentation and returns the pass-2 artifacts with the schedule
-// tree finalized.
+// tree finalized, recording into the default registry.
 func RunPass2(prog *isa.Program, st *Structure, sink InstrSink, initMem func([]uint64)) (*Pass2, vm.Stats, error) {
+	return RunPass2Scoped(prog, st, sink, initMem, obs.Scope{})
+}
+
+// RunPass2Scoped is RunPass2 recording its stage span and VM counters
+// into sc's registry, nested under sc's parent span.
+func RunPass2Scoped(prog *isa.Program, st *Structure, sink InstrSink, initMem func([]uint64), sc obs.Scope) (*Pass2, vm.Stats, error) {
 	name := "pass2-iiv"
 	if sink != nil {
 		name = "pass2-ddg"
 	}
-	sp := obs.StartSpan(name)
+	sp := sc.StartSpan(name)
 	defer sp.End()
 	p := NewPass2(prog, st, sink)
 	m := vm.New(prog, p)
 	m.InitMem = initMem
+	m.Obs = sc
 	if err := m.Run(); err != nil {
+		sp.Fail(err)
 		return nil, vm.Stats{}, err
 	}
 	sp.AddEvents(m.Stats().Ops)

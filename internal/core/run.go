@@ -16,6 +16,11 @@ type Options struct {
 	DDG ddg.Options
 	// InitMem optionally preloads the VM memory before each pass.
 	InitMem func([]uint64)
+	// Obs is the span-context the run records into: stage spans nest
+	// under its parent span and all pipeline counters land in its
+	// registry.  The zero Scope targets the process-wide default
+	// registry, preserving the standalone behavior.
+	Obs obs.Scope
 }
 
 // DefaultRunOptions returns the configuration used throughout the
@@ -33,20 +38,28 @@ type Profile struct {
 	Tree      *iiv.Tree
 	DDG       *ddg.Graph
 	Stats     vm.Stats
+
+	// Obs is the span-context the profile was recorded under;
+	// downstream stages (sched-build, feedback-analyze) nest their
+	// spans and metrics under it.
+	Obs obs.Scope
 }
 
 // Run executes the two instrumented passes and folds the DDG.
 func Run(prog *isa.Program, opts Options) (*Profile, error) {
-	st, err := AnalyzeStructure(prog, opts.InitMem)
+	sc := opts.Obs
+	st, err := AnalyzeStructureScoped(prog, opts.InitMem, sc)
 	if err != nil {
 		return nil, err
 	}
-	builder := ddg.NewBuilder(prog, opts.DDG)
-	p2, stats, err := RunPass2(prog, st, builder, opts.InitMem)
+	ddgOpts := opts.DDG
+	ddgOpts.Obs = sc
+	builder := ddg.NewBuilder(prog, ddgOpts)
+	p2, stats, err := RunPass2Scoped(prog, st, builder, opts.InitMem, sc)
 	if err != nil {
 		return nil, err
 	}
-	sp := obs.StartSpan("fold-finish")
+	sp := sc.StartSpan("fold-finish")
 	g := builder.Finish()
 	sp.AddEvents(FoldedStreams(g))
 	sp.End()
@@ -56,6 +69,7 @@ func Run(prog *isa.Program, opts Options) (*Profile, error) {
 		Tree:      p2.Tree,
 		DDG:       g,
 		Stats:     stats,
+		Obs:       sc,
 	}, nil
 }
 

@@ -139,6 +139,9 @@ type Options struct {
 	// (ablation: the paper's published folder, which over-approximates
 	// strided domains).
 	NoStrideDetection bool
+	// Obs is the span-context the builder publishes its metrics into;
+	// the zero Scope targets the process-wide default registry.
+	Obs obs.Scope
 }
 
 // DefaultOptions tracks everything with the lattice extension enabled.
@@ -240,6 +243,7 @@ func (b *Builder) curFrame() *frame { return &b.frames[len(b.frames)-1] }
 // newFolder creates a stream folder honoring the builder options.
 func (b *Builder) newFolder(dim, labelW int) *fold.Folder {
 	f := fold.NewFolder(dim, labelW)
+	f.Obs = b.opts.Obs
 	if b.opts.NoStrideDetection {
 		f.DetectStrides = false
 	}
@@ -343,10 +347,9 @@ func (b *Builder) addDep(src *Instr, srcCoords []int64, dst *Instr, dstCoords []
 	key := depKey{src: src.ID, dst: dst.ID, kind: kind}
 	d, ok := b.deps[key]
 	if !ok {
-		d = &Dep{
-			Src: src, Dst: dst, Kind: kind,
-			folder: fold.NewMultiFolder(dst.Depth, src.Depth, fold.DefaultMaxPieces),
-		}
+		mf := fold.NewMultiFolder(dst.Depth, src.Depth, fold.DefaultMaxPieces)
+		mf.Obs = b.opts.Obs
+		d = &Dep{Src: src, Dst: dst, Kind: kind, folder: mf}
 		b.deps[key] = d
 		b.allDeps = append(b.allDeps, d)
 	}
@@ -491,25 +494,26 @@ func (b *Builder) Finish() *Graph {
 
 // publishMetrics records the builder's structural statistics (shadow
 // memory footprint, register-table peak, folded vs. emitted dependence
-// edges) in the default metrics registry.
+// edges) in the builder's scoped metrics registry.
 func (b *Builder) publishMetrics(g *Graph) {
-	if !obs.Enabled() {
+	sc := b.opts.Obs
+	if !sc.Enabled() {
 		return
 	}
 	// Two writer records per program word: last writer + last reader.
-	obs.MaxGauge("ddg.shadow.words", int64(len(b.shadow)+len(b.lastRead)))
-	obs.MaxGauge("ddg.regtable.peak_words", int64(b.peakRegWords))
-	obs.Add("ddg.stmts", uint64(len(g.Stmts)))
-	obs.Add("ddg.instrs", uint64(len(g.Instrs)))
-	obs.Add("ddg.deps.folded", uint64(len(b.allDeps)))
-	obs.Add("ddg.deps.emitted", uint64(len(g.Deps)))
-	obs.Add("ddg.deps.scev_elided", uint64(len(b.allDeps)-len(g.Deps)))
-	obs.Add("ddg.events.instr", b.totalOps)
-	obs.Add("ddg.events.mem", b.memOps)
+	sc.MaxGauge("ddg.shadow.words", int64(len(b.shadow)+len(b.lastRead)))
+	sc.MaxGauge("ddg.regtable.peak_words", int64(b.peakRegWords))
+	sc.Add("ddg.stmts", uint64(len(g.Stmts)))
+	sc.Add("ddg.instrs", uint64(len(g.Instrs)))
+	sc.Add("ddg.deps.folded", uint64(len(b.allDeps)))
+	sc.Add("ddg.deps.emitted", uint64(len(g.Deps)))
+	sc.Add("ddg.deps.scev_elided", uint64(len(b.allDeps)-len(g.Deps)))
+	sc.Add("ddg.events.instr", b.totalOps)
+	sc.Add("ddg.events.mem", b.memOps)
 	var depPoints uint64
 	for _, d := range g.Deps {
 		depPoints += d.Count
-		obs.Observe("ddg.dep.points", d.Count)
+		sc.Observe("ddg.dep.points", d.Count)
 	}
-	obs.Add("ddg.dep.points.total", depPoints)
+	sc.Add("ddg.dep.points.total", depPoints)
 }

@@ -52,18 +52,30 @@ type Table5Row struct {
 	HasTransform                         bool
 }
 
-// RunWorkload profiles one workload and assembles its row.
+// RunWorkload profiles one workload and assembles its row, recording
+// into the default registry.
 func RunWorkload(spec workloads.Spec) (*BenchResult, error) {
-	sp := obs.StartSpan("workload:" + spec.Name)
+	return RunWorkloadScoped(spec, obs.Scope{})
+}
+
+// RunWorkloadScoped is RunWorkload recording its spans and metrics
+// into sc's registry: a "workload:<name>" span nests under sc's parent
+// span and every pipeline stage nests under the workload span.
+func RunWorkloadScoped(spec workloads.Spec, sc obs.Scope) (*BenchResult, error) {
+	sp := sc.StartSpan("workload:" + spec.Name)
 	defer sp.End()
+	wsc := sc.WithSpan(sp)
 	prog := spec.Build()
-	p, err := core.Run(prog, core.DefaultRunOptions())
+	opts := core.DefaultRunOptions()
+	opts.Obs = wsc
+	p, err := core.Run(prog, opts)
 	if err != nil {
+		sp.Fail(err)
 		return nil, fmt.Errorf("%s: %w", spec.Name, err)
 	}
 	sp.AddEvents(p.DDG.TotalOps)
 	rep := feedback.Analyze(p)
-	stSp := obs.StartSpan("static-baseline")
+	stSp := wsc.StartSpan("static-baseline")
 	st := staticpoly.Analyze(prog)
 	stSp.End()
 

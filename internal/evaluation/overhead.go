@@ -59,43 +59,70 @@ var OverheadStages = []string{"pass1", "pass2-iiv", "ddg", "fold", "sched", "fee
 // "pass2-iiv" bounds the combined dependence-builder + incremental
 // folding overhead.
 func Overhead(spec workloads.Spec) (*OverheadReport, error) {
+	return OverheadScoped(spec, obs.Scope{})
+}
+
+// OverheadScoped is Overhead recording into sc's registry: an
+// "overhead:<name>" root span encloses the per-stage spans, and every
+// stage wall time is also observed into an
+// "overhead.stage.<stage>.wall_ns" histogram, so suite sweeps report
+// per-stage latency percentiles (p50/p90/p99) alongside the tables.
+func OverheadScoped(spec workloads.Spec, sc obs.Scope) (*OverheadReport, error) {
+	root := sc.StartSpan("overhead:" + spec.Name)
+	defer root.End()
+	ssc := sc.WithSpan(root)
+
 	prog := spec.Build()
 	rep := &OverheadReport{Workload: spec.Name}
 	add := func(stage string, wall time.Duration, events uint64, unit string) {
 		rep.Stages = append(rep.Stages, StageCost{Stage: stage, Wall: wall, Events: events, Unit: unit})
 		rep.Total += wall
+		if ssc.Enabled() && wall > 0 {
+			ssc.Observe("overhead.stage."+stage+".wall_ns", uint64(wall))
+		}
 	}
 
 	t0 := time.Now()
-	st, err := core.AnalyzeStructure(prog, nil)
+	st, err := core.AnalyzeStructureScoped(prog, nil, ssc)
 	if err != nil {
+		root.Fail(err)
 		return nil, fmt.Errorf("%s: pass1: %w", spec.Name, err)
 	}
 	add("pass1", time.Since(t0), st.Stats.Ops, "instrs")
 
 	t0 = time.Now()
-	_, iivStats, err := core.RunPass2(prog, st, nil, nil)
+	_, iivStats, err := core.RunPass2Scoped(prog, st, nil, nil, ssc)
 	if err != nil {
+		root.Fail(err)
 		return nil, fmt.Errorf("%s: pass2-iiv: %w", spec.Name, err)
 	}
 	add("pass2-iiv", time.Since(t0), iivStats.Ops, "instrs")
 
 	t0 = time.Now()
-	builder := ddg.NewBuilder(prog, ddg.DefaultOptions())
-	p2, stats, err := core.RunPass2(prog, st, builder, nil)
+	ddgOpts := ddg.DefaultOptions()
+	ddgOpts.Obs = ssc
+	builder := ddg.NewBuilder(prog, ddgOpts)
+	p2, stats, err := core.RunPass2Scoped(prog, st, builder, nil, ssc)
 	if err != nil {
+		root.Fail(err)
 		return nil, fmt.Errorf("%s: ddg: %w", spec.Name, err)
 	}
 	add("ddg", time.Since(t0), stats.Ops, "instrs")
 	rep.Ops = stats.Ops
 
 	t0 = time.Now()
+	foldSp := ssc.StartSpan("fold-finish")
 	g := builder.Finish()
+	foldSp.AddEvents(core.FoldedStreams(g))
+	foldSp.End()
 	add("fold", time.Since(t0), core.FoldedStreams(g), "streams")
 
-	profile := &core.Profile{Prog: prog, Structure: st, Tree: p2.Tree, DDG: g, Stats: stats}
+	profile := &core.Profile{Prog: prog, Structure: st, Tree: p2.Tree, DDG: g, Stats: stats, Obs: ssc}
 	t0 = time.Now()
+	schedSp := ssc.StartSpan("sched-build")
 	model := sched.Build(profile)
+	schedSp.AddEvents(uint64(len(model.Deps)))
+	schedSp.End()
 	add("sched", time.Since(t0), uint64(len(model.Deps)), "deps")
 
 	t0 = time.Now()

@@ -16,7 +16,6 @@ import (
 	"polyprof/internal/core"
 	"polyprof/internal/iiv"
 	"polyprof/internal/isa"
-	"polyprof/internal/obs"
 	"polyprof/internal/sched"
 )
 
@@ -66,7 +65,7 @@ type Report struct {
 
 // Analyze builds the feedback report from a profile.
 func Analyze(p *core.Profile) *Report {
-	sp := obs.StartSpan("sched-build")
+	sp := p.Obs.StartSpan("sched-build")
 	m := sched.Build(p)
 	sp.AddEvents(uint64(len(m.Deps)))
 	sp.End()
@@ -78,7 +77,7 @@ func Analyze(p *core.Profile) *Report {
 // split lets the overhead harness time the scheduler and feedback
 // stages separately (the paper's Experiment I cost breakdown).
 func AnalyzeModel(p *core.Profile, m *sched.Model) *Report {
-	sp := obs.StartSpan("feedback-analyze")
+	sp := p.Obs.StartSpan("feedback-analyze")
 	defer sp.End()
 	r := &Report{Profile: p, Model: m}
 

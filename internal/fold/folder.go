@@ -74,6 +74,10 @@ type Folder struct {
 	DetectStrides bool
 	labelDup      bool // duplicate coords carried different labels
 	lastLbl       []int64
+
+	// Obs is the span-context fold-outcome metrics publish into; the
+	// zero Scope targets the process-wide default registry.
+	Obs obs.Scope
 }
 
 // NewFolder creates a folder for dim-dimensional coordinates and
@@ -209,7 +213,7 @@ func (f *Folder) closeRun(j int) {
 // zero-point piece for empty streams.
 func (f *Folder) Finish() Piece {
 	if !f.started {
-		noteFinish(Piece{Exact: true})
+		f.noteFinish(Piece{Exact: true})
 		return Piece{Dom: poly.NewPoly(f.dim), Exact: true}
 	}
 	for j := f.dim - 1; j >= 0; j-- {
@@ -255,7 +259,7 @@ func (f *Folder) Finish() Piece {
 		}
 		if good {
 			p := Piece{Dom: dom, Fn: fn, Exact: true, Points: f.points}
-			noteFinish(p)
+			f.noteFinish(p)
 			return p
 		}
 	}
@@ -267,7 +271,7 @@ func (f *Folder) Finish() Piece {
 		dom.AddRange(k, f.minBox[k], f.maxBox[k])
 	}
 	p := Piece{Dom: dom, Fn: fn, Exact: false, Points: f.points}
-	noteFinish(p)
+	f.noteFinish(p)
 	return p
 }
 
@@ -275,17 +279,17 @@ func (f *Folder) Finish() Piece {
 // and whether each came out exact-affine or as a bounding-box
 // over-approximation.  Called once per stream (at Finish), never on the
 // per-point path.
-func noteFinish(p Piece) {
-	if !obs.Enabled() {
+func (f *Folder) noteFinish(p Piece) {
+	if !f.Obs.Enabled() {
 		return
 	}
-	obs.Add("fold.streams", 1)
+	f.Obs.Add("fold.streams", 1)
 	if p.Exact {
-		obs.Add("fold.streams.exact", 1)
+		f.Obs.Add("fold.streams.exact", 1)
 	} else {
-		obs.Add("fold.streams.approx", 1)
+		f.Obs.Add("fold.streams.approx", 1)
 	}
-	obs.Observe("fold.stream.points", p.Points)
+	f.Obs.Observe("fold.stream.points", p.Points)
 }
 
 // embed widens an expression over the first k variables to dim

@@ -54,6 +54,11 @@ type MultiFolder struct {
 	pieces   []*Folder
 	overflow *Folder // points no piece accepts; nil until needed
 	points   uint64
+
+	// Obs is the span-context fold metrics publish into; the zero
+	// Scope targets the process-wide default registry.  Propagated to
+	// every piece folder this multi-folder creates.
+	Obs obs.Scope
 }
 
 // DefaultMaxPieces bounds the union size per dependence.
@@ -81,12 +86,14 @@ func (m *MultiFolder) Add(coords, label []int64) {
 	}
 	if len(m.pieces) < m.maxPieces {
 		p := NewFolder(m.dim, m.labelW)
+		p.Obs = m.Obs
 		p.Add(coords, label)
 		m.pieces = append(m.pieces, p)
 		return
 	}
 	if m.overflow == nil {
 		m.overflow = NewFolder(m.dim, 0)
+		m.overflow.Obs = m.Obs
 	}
 	m.overflow.Add(coords, nil)
 }
@@ -104,8 +111,8 @@ func (m *MultiFolder) Finish() []Piece {
 		op.Fn = nil
 		op.Exact = false
 		out = append(out, op)
-		obs.Add("fold.multi.overflow", 1)
+		m.Obs.Add("fold.multi.overflow", 1)
 	}
-	obs.Observe("fold.multi.pieces", uint64(len(out)))
+	m.Obs.Observe("fold.multi.pieces", uint64(len(out)))
 	return out
 }

@@ -1,36 +1,85 @@
 package obs
 
 import (
+	"context"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
+	"time"
 )
 
-// Handler returns an http.Handler serving the registry as expvar-style
-// JSON under /metrics and /debug/vars.
+// Handler returns an http.Handler serving the registry: /metrics is
+// content-negotiated between the Prometheus text exposition (the
+// default, and what scrapers' Accept headers select) and the
+// expvar-style JSON snapshot (Accept: application/json or
+// ?format=json); /debug/vars always serves JSON.
 func (r *Registry) Handler() http.Handler {
-	serve := func(w http.ResponseWriter, _ *http.Request) {
-		data, err := r.Snapshot().JSON()
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json; charset=utf-8")
-		w.Write(data)
-		w.Write([]byte("\n"))
-	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", serve)
-	mux.HandleFunc("/debug/vars", serve)
+	mux.HandleFunc("/metrics", r.serveMetrics)
+	mux.HandleFunc("/debug/vars", r.serveSnapshotJSON)
 	return mux
 }
 
+func (r *Registry) serveMetrics(w http.ResponseWriter, req *http.Request) {
+	if wantJSON(req) {
+		r.serveSnapshotJSON(w, req)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(r.Snapshot().Prometheus())
+}
+
+func (r *Registry) serveSnapshotJSON(w http.ResponseWriter, _ *http.Request) {
+	data, err := r.Snapshot().JSON()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Write(data)
+	w.Write([]byte("\n"))
+}
+
+// wantJSON decides the /metrics representation: an explicit ?format=
+// wins, then an Accept header naming application/json; everything
+// else (including Prometheus scrapers' text/plain preferences) gets
+// the Prometheus exposition.
+func wantJSON(req *http.Request) bool {
+	switch req.URL.Query().Get("format") {
+	case "json":
+		return true
+	case "prometheus", "prom":
+		return false
+	}
+	return strings.Contains(req.Header.Get("Accept"), "application/json")
+}
+
+// MetricsServer is a running metrics endpoint: the bound listener plus
+// the http.Server behind it, so callers can log the resolved address
+// and shut the server down cleanly when the run finishes (Serve used
+// to return a bare listener that nobody ever closed).
+type MetricsServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound address (resolving ":0" requests).
+func (m *MetricsServer) Addr() net.Addr { return m.ln.Addr() }
+
+// Close gracefully shuts the server down, waiting briefly for
+// in-flight scrapes, and closes the listener.
+func (m *MetricsServer) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return m.srv.Shutdown(ctx)
+}
+
 // Serve starts an HTTP server on addr exposing the default registry's
-// metrics JSON (/metrics, /debug/vars) and net/http/pprof
-// (/debug/pprof/) for live inspection of long runs.  It returns the
-// bound listener (whose Addr resolves ":0" requests); the server runs
-// until the listener is closed or the process exits.
-func Serve(addr string) (net.Listener, error) {
+// metrics (/metrics Prometheus-or-JSON, /debug/vars JSON) and
+// net/http/pprof (/debug/pprof/) for live inspection of long runs.
+// The caller owns the returned server and should Close it on exit.
+func Serve(addr string) (*MetricsServer, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", Default.Handler())
 	mux.Handle("/debug/vars", Default.Handler())
@@ -43,6 +92,7 @@ func Serve(addr string) (net.Listener, error) {
 	if err != nil {
 		return nil, err
 	}
-	go http.Serve(ln, mux) //nolint:errcheck — server lives for the process
-	return ln, nil
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln) //nolint:errcheck — Shutdown's ErrServerClosed is the normal exit
+	return &MetricsServer{ln: ln, srv: srv}, nil
 }

@@ -110,7 +110,8 @@ func (h *Histogram) Bucket(i int) uint64 {
 // Registry holds named metrics and finished stage spans.  All methods
 // are safe for concurrent use.
 type Registry struct {
-	enabled atomic.Bool
+	enabled    atomic.Bool
+	nextSpanID atomic.Uint64
 
 	mu       sync.Mutex
 	counters map[string]*Counter
@@ -138,7 +139,9 @@ func (r *Registry) SetEnabled(on bool) { r.enabled.Store(on) }
 // Enabled reports whether the registry is collecting.
 func (r *Registry) Enabled() bool { return r.enabled.Load() }
 
-// Reset drops every metric and span, keeping the enabled state.
+// Reset drops every metric and span, keeping the enabled state.  Span
+// IDs restart from 1 so successive runs on one registry trace
+// identically.
 func (r *Registry) Reset() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -147,6 +150,7 @@ func (r *Registry) Reset() {
 	r.hists = map[string]*Histogram{}
 	r.spans = nil
 	r.active = nil
+	r.nextSpanID.Store(0)
 }
 
 // Counter returns the named counter, creating it on first use.
@@ -215,6 +219,59 @@ func (r *Registry) Observe(name string, v uint64) {
 		return
 	}
 	r.Histogram(name).Observe(v)
+}
+
+// Merge folds another registry's metrics into r: counters add, gauges
+// merge by maximum (the gauges in this codebase record peaks),
+// histograms merge bucket-wise.  Spans are not merged — a span tree
+// belongs to the run that produced it (the serving daemon keeps them
+// in its per-request ring instead of the process registry).  Merge is
+// a no-op while r is disabled.
+func (r *Registry) Merge(src *Registry) {
+	if src == nil || src == r || !r.enabled.Load() {
+		return
+	}
+	type histCopy struct {
+		count, sum uint64
+		buckets    [NumBuckets]uint64
+	}
+	src.mu.Lock()
+	counters := make(map[string]uint64, len(src.counters))
+	for n, c := range src.counters {
+		counters[n] = c.Value()
+	}
+	gauges := make(map[string]int64, len(src.gauges))
+	for n, g := range src.gauges {
+		gauges[n] = g.Value()
+	}
+	hists := make(map[string]*histCopy, len(src.hists))
+	for n, h := range src.hists {
+		hc := &histCopy{count: h.Count(), sum: h.Sum()}
+		for i := 0; i < NumBuckets; i++ {
+			hc.buckets[i] = h.Bucket(i)
+		}
+		hists[n] = hc
+	}
+	src.mu.Unlock()
+
+	for n, v := range counters {
+		if v > 0 {
+			r.Counter(n).Add(v)
+		}
+	}
+	for n, v := range gauges {
+		r.Gauge(n).Max(v)
+	}
+	for n, hc := range hists {
+		h := r.Histogram(n)
+		h.count.Add(hc.count)
+		h.sum.Add(hc.sum)
+		for i, c := range hc.buckets {
+			if c > 0 {
+				h.buckets[i].Add(c)
+			}
+		}
+	}
 }
 
 // sortedNames returns the keys of a metric map in stable order.

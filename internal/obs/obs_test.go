@@ -291,14 +291,46 @@ func TestHTTPHandler(t *testing.T) {
 	r.SetEnabled(true)
 	r.Add("served.counter", 9)
 	srv := r.Handler()
+
+	// Default representation is the Prometheus text exposition.
 	req, _ := http.NewRequest("GET", "/metrics", nil)
 	rec := &responseRecorder{header: http.Header{}}
 	srv.ServeHTTP(rec, req)
 	if rec.status != 0 && rec.status != http.StatusOK {
 		t.Fatalf("status = %d", rec.status)
 	}
-	if !strings.Contains(rec.body.String(), "served.counter") {
-		t.Fatalf("metrics body missing counter: %s", rec.body.String())
+	if !strings.Contains(rec.body.String(), "polyprof_served_counter 9") {
+		t.Fatalf("prometheus body missing counter: %s", rec.body.String())
+	}
+	if ct := rec.header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("prometheus content type = %q", ct)
+	}
+
+	// Accept: application/json (or ?format=json) selects the snapshot.
+	for _, mk := range []func() *http.Request{
+		func() *http.Request {
+			req, _ := http.NewRequest("GET", "/metrics", nil)
+			req.Header.Set("Accept", "application/json")
+			return req
+		},
+		func() *http.Request {
+			req, _ := http.NewRequest("GET", "/metrics?format=json", nil)
+			return req
+		},
+		func() *http.Request {
+			req, _ := http.NewRequest("GET", "/debug/vars", nil)
+			return req
+		},
+	} {
+		rec := &responseRecorder{header: http.Header{}}
+		srv.ServeHTTP(rec, mk())
+		var snap Snapshot
+		if err := json.Unmarshal([]byte(rec.body.String()), &snap); err != nil {
+			t.Fatalf("JSON body does not parse: %v\n%s", err, rec.body.String())
+		}
+		if len(snap.Counters) != 1 || snap.Counters[0].Name != "served.counter" {
+			t.Fatalf("JSON snapshot counters = %+v", snap.Counters)
+		}
 	}
 }
 

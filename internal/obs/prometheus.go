@@ -1,0 +1,69 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PromNamespace prefixes every metric in the Prometheus exposition.
+const PromNamespace = "polyprof"
+
+// Prometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples, and
+// histograms as cumulative le-bucket families with _sum and _count
+// (the le bounds are the inclusive log2 bucket uppers), followed by a
+// gauge family of p50/p90/p99 midpoint estimates so scrapes see
+// latency percentiles directly.  Metric names are sanitized and
+// prefixed with PromNamespace; spans are not exposed here (they belong
+// to traces and the serving daemon's request ring).
+func (s Snapshot) Prometheus() []byte {
+	var sb strings.Builder
+	for _, c := range s.Counters {
+		n := promName(c.Name)
+		fmt.Fprintf(&sb, "# TYPE %s counter\n%s %d\n", n, n, c.Value)
+	}
+	for _, g := range s.Gauges {
+		n := promName(g.Name)
+		fmt.Fprintf(&sb, "# TYPE %s gauge\n%s %d\n", n, n, g.Value)
+	}
+	for _, h := range s.Histograms {
+		n := promName(h.Name)
+		fmt.Fprintf(&sb, "# TYPE %s histogram\n", n)
+		var cum uint64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			if b.Hi == ^uint64(0) {
+				continue // covered by the +Inf bucket
+			}
+			fmt.Fprintf(&sb, "%s_bucket{le=\"%d\"} %d\n", n, b.Hi, cum)
+		}
+		fmt.Fprintf(&sb, "%s_bucket{le=\"+Inf\"} %d\n", n, h.Count)
+		fmt.Fprintf(&sb, "%s_sum %d\n", n, h.Sum)
+		fmt.Fprintf(&sb, "%s_count %d\n", n, h.Count)
+		if h.Count > 0 {
+			qn := n + "_quantile"
+			fmt.Fprintf(&sb, "# TYPE %s gauge\n", qn)
+			fmt.Fprintf(&sb, "%s{q=\"0.5\"} %g\n", qn, h.P50)
+			fmt.Fprintf(&sb, "%s{q=\"0.9\"} %g\n", qn, h.P90)
+			fmt.Fprintf(&sb, "%s{q=\"0.99\"} %g\n", qn, h.P99)
+		}
+	}
+	return []byte(sb.String())
+}
+
+// promName sanitizes a dotted metric name into a Prometheus metric
+// name under the polyprof namespace.
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString(PromNamespace)
+	b.WriteByte('_')
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

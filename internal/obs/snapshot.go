@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"strings"
 	"time"
 )
@@ -26,12 +27,43 @@ type BucketCount struct {
 	Count uint64 `json:"count"`
 }
 
-// HistogramSnapshot is one histogram in a snapshot.
+// HistogramSnapshot is one histogram in a snapshot.  P50/P90/P99 are
+// quantile estimates derived from the log2 bucket midpoints (see
+// Quantile), so latency histograms report percentiles, not just
+// count/sum.
 type HistogramSnapshot struct {
 	Name    string        `json:"name"`
 	Count   uint64        `json:"count"`
 	Sum     uint64        `json:"sum"`
+	P50     float64       `json:"p50,omitempty"`
+	P90     float64       `json:"p90,omitempty"`
+	P99     float64       `json:"p99,omitempty"`
 	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) from the bucket
+// midpoints: it returns the midpoint of the bucket holding the sample
+// of rank ceil(q*count).  Exact for the zero bucket; within 2x inside
+// a power-of-two bucket, which is all the log2 layout can promise.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(h.Count)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for _, b := range h.Buckets {
+		cum += b.Count
+		if cum >= rank {
+			return float64(b.Lo) + float64(b.Hi-b.Lo)/2
+		}
+	}
+	return 0
 }
 
 // Snapshot is a consistent, sorted view of a registry, suitable for
@@ -68,6 +100,9 @@ func (r *Registry) Snapshot() Snapshot {
 				hs.Buckets = append(hs.Buckets, BucketCount{Lo: lo, Hi: hi, Count: c})
 			}
 		}
+		hs.P50 = hs.Quantile(0.50)
+		hs.P90 = hs.Quantile(0.90)
+		hs.P99 = hs.Quantile(0.99)
 		s.Histograms = append(s.Histograms, hs)
 	}
 	s.Spans = make([]SpanRecord, len(r.spans))
@@ -100,7 +135,8 @@ func (s Snapshot) Text() string {
 	if len(s.Histograms) > 0 {
 		sb.WriteString("histograms:\n")
 		for _, h := range s.Histograms {
-			fmt.Fprintf(&sb, "  %-36s count=%d sum=%d\n", h.Name, h.Count, h.Sum)
+			fmt.Fprintf(&sb, "  %-36s count=%d sum=%d p50=%g p90=%g p99=%g\n",
+				h.Name, h.Count, h.Sum, h.P50, h.P90, h.P99)
 			for _, b := range h.Buckets {
 				fmt.Fprintf(&sb, "    [%d,%d]: %d\n", b.Lo, b.Hi, b.Count)
 			}
@@ -113,6 +149,9 @@ func (s Snapshot) Text() string {
 			fmt.Fprintf(&sb, "  %-36s %10s", indent+sp.Name, FormatDuration(sp.Wall))
 			if sp.Events > 0 {
 				fmt.Fprintf(&sb, " %12d events %10s ev/s", sp.Events, FormatRate(sp.EventsPerSec))
+			}
+			if sp.Status == "error" {
+				fmt.Fprintf(&sb, "  ERROR: %s", sp.Err)
 			}
 			sb.WriteByte('\n')
 		}

@@ -8,10 +8,11 @@ import (
 // Span measures one pipeline stage: wall time between StartSpan and
 // End, plus an event count the stage reports (dynamic instructions,
 // folded streams, dependencies analyzed, ...), from which the record
-// derives an events/sec throughput.  Spans nest: a span started while
-// another is active records the enclosing depth, so the rendered trace
-// shows the stage structure (pass1 under a workload, sched-build under
-// feedback-analyze, ...).
+// derives an events/sec throughput.  Spans form a tree: a span started
+// from a Scope nests under the scope's parent span, and a span started
+// directly on a registry nests under the registry's innermost active
+// span, so the rendered trace shows the stage structure (pass1 under a
+// workload, sched-build under a request root, ...).
 //
 // Like the registry, a Span is safe for concurrent use: AddEvents may
 // be called from multiple goroutines, and a concurrent End closes the
@@ -23,30 +24,54 @@ import (
 type Span struct {
 	reg    atomic.Pointer[Registry]
 	name   string
+	id     uint64
+	parent uint64
 	depth  int
 	start  time.Time
 	events atomic.Uint64
+	errMsg atomic.Pointer[string]
 }
 
 // SpanRecord is one finished stage span.
 type SpanRecord struct {
 	Name         string        `json:"name"`
+	ID           uint64        `json:"id,omitempty"`
+	Parent       uint64        `json:"parent,omitempty"`
 	Depth        int           `json:"depth"`
+	Start        time.Time     `json:"start,omitzero"`
 	Wall         time.Duration `json:"wall_ns"`
 	Events       uint64        `json:"events,omitempty"`
 	EventsPerSec float64       `json:"events_per_sec,omitempty"`
+	// Status is "ok" or "error"; Err carries the message recorded by
+	// Fail when Status is "error".
+	Status string `json:"status,omitempty"`
+	Err    string `json:"error,omitempty"`
 }
 
 var noopSpan = &Span{}
 
-// StartSpan opens a span; call End on the returned span when the stage
-// completes.
+// StartSpan opens a span nested under the registry's innermost active
+// span; call End on the returned span when the stage completes.
 func (r *Registry) StartSpan(name string) *Span {
+	return r.startSpan(name, nil, false)
+}
+
+// startSpan opens a span.  With explicit set, parent names the parent
+// span (nil for a root); otherwise the innermost active span is the
+// parent, preserving the implicit stack nesting of plain StartSpan.
+func (r *Registry) startSpan(name string, parent *Span, explicit bool) *Span {
 	if !r.enabled.Load() {
 		return noopSpan
 	}
 	r.mu.Lock()
-	s := &Span{name: name, depth: len(r.active), start: time.Now()}
+	if !explicit && len(r.active) > 0 {
+		parent = r.active[len(r.active)-1]
+	}
+	s := &Span{name: name, id: r.nextSpanID.Add(1), start: time.Now()}
+	if parent != nil && parent.id != 0 {
+		s.parent = parent.id
+		s.depth = parent.depth + 1
+	}
 	s.reg.Store(r)
 	r.active = append(r.active, s)
 	r.mu.Unlock()
@@ -61,6 +86,21 @@ func (s *Span) AddEvents(n uint64) {
 	s.events.Add(n)
 }
 
+// Fail records an error status on the span; the span must still be
+// Ended.  The last Fail before End wins.  A nil error, a no-op span,
+// or an already-ended span is ignored.
+func (s *Span) Fail(err error) {
+	if err == nil || s.reg.Load() == nil {
+		return
+	}
+	msg := err.Error()
+	s.errMsg.Store(&msg)
+}
+
+// ID returns the span's registry-unique identifier (0 for a no-op
+// span).
+func (s *Span) ID() uint64 { return s.id }
+
 // End closes the span, appends its record to the registry, and returns
 // it.  Ending a span twice (or a no-op span) returns a zero record.
 func (s *Span) End() SpanRecord {
@@ -70,9 +110,16 @@ func (s *Span) End() SpanRecord {
 	}
 	wall := time.Since(s.start)
 	events := s.events.Load()
-	rec := SpanRecord{Name: s.name, Depth: s.depth, Wall: wall, Events: events}
+	rec := SpanRecord{
+		Name: s.name, ID: s.id, Parent: s.parent, Depth: s.depth,
+		Start: s.start, Wall: wall, Events: events, Status: "ok",
+	}
 	if wall > 0 && events > 0 {
 		rec.EventsPerSec = float64(events) / wall.Seconds()
+	}
+	if msg := s.errMsg.Load(); msg != nil {
+		rec.Status = "error"
+		rec.Err = *msg
 	}
 	r.mu.Lock()
 	for i := len(r.active) - 1; i >= 0; i-- {

@@ -28,7 +28,7 @@ type LoopInfo struct {
 
 // AnalyzeLoop computes the dependence summary of one loop node.
 func (m *Model) AnalyzeLoop(loop *iiv.TreeNode, depth int) *LoopInfo {
-	obs.Add("sched.loops.analyzed", 1)
+	m.obs.Add("sched.loops.analyzed", 1)
 	info := &LoopInfo{Loop: loop, Depth: depth, Parallel: true, NonNeg: true, Ops: loop.TotalOps}
 	for _, d := range m.DepsUnder(loop) {
 		if d.Common <= depth {
@@ -81,6 +81,10 @@ type Nest struct {
 	// skewDeps[k] caches known-distance deps relevant to dimension k
 	// (filled by fillSkewDeps before transformation).
 	skewDeps [][]*Dep
+
+	// obs is the model's span-context, inherited at Nests time so the
+	// band search publishes into the same registry.
+	obs obs.Scope
 }
 
 // Depth returns the nest depth.
@@ -109,7 +113,7 @@ func (m *Model) Nests(root *iiv.TreeNode) []*Nest {
 			walk(c, here)
 		}
 		if !n.IsRoot() && n.Elem.IsLoop() && !hasLoopChild {
-			nest := &Nest{Loops: here}
+			nest := &Nest{Loops: here, obs: m.obs}
 			for d, l := range here {
 				info := cache[l]
 				if info == nil {

@@ -72,11 +72,15 @@ type Model struct {
 	Deps    []*Dep
 
 	byLeaf map[*iiv.TreeNode]*Stmt
+	// obs is the span-context scheduler metrics publish into,
+	// inherited from the profile (the zero Scope targets the default
+	// registry).
+	obs obs.Scope
 }
 
 // Build constructs the scheduling model from a profile.
 func Build(p *core.Profile) *Model {
-	m := &Model{Profile: p, byLeaf: map[*iiv.TreeNode]*Stmt{}}
+	m := &Model{Profile: p, byLeaf: map[*iiv.TreeNode]*Stmt{}, obs: p.Obs}
 
 	// Group instruction statistics per DDG statement.
 	type agg struct {
@@ -135,14 +139,14 @@ func Build(p *core.Profile) *Model {
 		}
 		sd := &Dep{D: d, Src: src, Dst: dst}
 		sd.Common = commonLoops(src.Loops, dst.Loops)
-		sd.analyze()
+		sd.analyze(m.obs)
 		m.Deps = append(m.Deps, sd)
 	}
 	sort.SliceStable(m.Deps, func(i, j int) bool {
 		return m.Deps[i].D.Dst.ID < m.Deps[j].D.Dst.ID
 	})
-	obs.Add("sched.stmts", uint64(len(m.Stmts)))
-	obs.Add("sched.deps", uint64(len(m.Deps)))
+	m.obs.Add("sched.stmts", uint64(len(m.Stmts)))
+	m.obs.Add("sched.deps", uint64(len(m.Deps)))
 	return m
 }
 
@@ -176,7 +180,7 @@ func commonLoops(a, b []*iiv.TreeNode) int {
 // bracket the true range — this is what makes the paper's
 // over-approximation useful.  Only a piece with no affine map (or an
 // unbounded distance) forces the all-directions assumption.
-func (d *Dep) analyze() {
+func (d *Dep) analyze(sc obs.Scope) {
 	if d.Common == 0 {
 		return
 	}
@@ -187,7 +191,7 @@ func (d *Dep) analyze() {
 	}
 	first := true
 	fmQueries := uint64(0)
-	defer func() { obs.Add("sched.fm.queries", fmQueries) }()
+	defer func() { sc.Add("sched.fm.queries", fmQueries) }()
 	for _, piece := range d.D.Pieces {
 		if piece.Fn == nil || piece.Dom == nil {
 			d.Star = true

@@ -6,7 +6,6 @@ import (
 	"strings"
 
 	"polyprof/internal/iiv"
-	"polyprof/internal/obs"
 )
 
 // NestTransform is the proposed structured transformation of one nest.
@@ -189,7 +188,7 @@ func TransformNest(n *Nest) *NestTransform {
 // possible, skewing as needed.  It returns the per-dimension skew terms
 // and the band length.
 func (n *Nest) growBand(a int, allowSkew bool) ([][]SkewTerm, int) {
-	obs.Add("sched.bands.searched", 1)
+	n.obs.Add("sched.bands.searched", 1)
 	d := n.Depth()
 	skews := make([][]SkewTerm, d)
 
@@ -314,7 +313,7 @@ func (m *Model) Transform(root *iiv.TreeNode) []*NestTransform {
 		n.fillSkewDeps(m)
 		out = append(out, TransformNest(n))
 	}
-	obs.Add("sched.nests.transformed", uint64(len(out)))
+	m.obs.Add("sched.nests.transformed", uint64(len(out)))
 	return out
 }
 

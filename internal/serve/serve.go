@@ -1,0 +1,303 @@
+// Package serve is polyprof's profiling-as-a-service daemon: an HTTP
+// server that runs the full pipeline per request with per-request span
+// trees and metrics, keeps a ring of recent request summaries, and
+// exposes the process registry in both Prometheus and JSON form.
+//
+// Endpoints:
+//
+//	POST /v1/profile?workload=<name>   run the pipeline, return the report
+//	GET  /v1/requests                  ring of recent request summaries
+//	GET  /v1/workloads                 names the daemon can profile
+//	GET  /healthz                      liveness + in-flight gauge
+//	GET  /metrics                      process registry (Prometheus/JSON)
+//	GET  /debug/vars                   process registry (always JSON)
+//	GET  /debug/pprof/                 net/http/pprof
+//
+// Every profile request runs against its own enabled obs.Registry with
+// a "request:<workload>" root span; the pipeline stages nest under the
+// root via the obs.Scope threaded through core.Run.  On completion the
+// request registry's counters, gauges, and histograms merge into the
+// process registry, while the span tree stays with the request summary
+// — concurrent requests never bleed into each other.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"polyprof/internal/core"
+	"polyprof/internal/feedback"
+	"polyprof/internal/obs"
+	"polyprof/internal/workloads"
+)
+
+// Options tunes the daemon.
+type Options struct {
+	// MaxInFlight bounds concurrently running profile requests; excess
+	// requests are rejected with 429 + Retry-After.  Default 2 — the
+	// pipeline is CPU-bound, so admission control beats queueing.
+	MaxInFlight int
+	// RingSize is how many finished request summaries /v1/requests
+	// keeps (default 64).
+	RingSize int
+	// Registry is the process-wide registry request metrics merge into
+	// and /metrics serves (default obs.Default, which the daemon
+	// enables).
+	Registry *obs.Registry
+	// Logf receives one line per request (nil to disable).
+	Logf func(format string, args ...any)
+}
+
+// Server is the daemon state.
+type Server struct {
+	opts   Options
+	reg    *obs.Registry
+	sem    chan struct{}
+	reqSeq atomic.Uint64
+
+	mu   sync.Mutex
+	ring []RequestSummary
+}
+
+// New creates a daemon.
+func New(opts Options) *Server {
+	if opts.MaxInFlight <= 0 {
+		opts.MaxInFlight = 2
+	}
+	if opts.RingSize <= 0 {
+		opts.RingSize = 64
+	}
+	if opts.Registry == nil {
+		opts.Registry = obs.Default
+	}
+	opts.Registry.SetEnabled(true)
+	return &Server{
+		opts: opts,
+		reg:  opts.Registry,
+		sem:  make(chan struct{}, opts.MaxInFlight),
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// ProfileResponse is the body of a successful /v1/profile call.
+type ProfileResponse struct {
+	RequestID string          `json:"request_id"`
+	Workload  string          `json:"workload"`
+	Status    string          `json:"status"`
+	Error     string          `json:"error,omitempty"`
+	WallNS    int64           `json:"wall_ns"`
+	Ops       uint64          `json:"ops,omitempty"`
+	Report    json.RawMessage `json:"report,omitempty"`
+	// Spans is the request's span tree: the "request:<name>" root plus
+	// every pipeline stage, linked by id/parent.
+	Spans []obs.SpanRecord `json:"spans"`
+	// Metrics is the request-scoped registry snapshot (only this
+	// request's counters; spans excluded — see Spans).
+	Metrics *MetricsBody `json:"metrics,omitempty"`
+}
+
+// MetricsBody is the request-scoped metric section of a response.
+type MetricsBody struct {
+	Counters   []obs.NamedUint         `json:"counters,omitempty"`
+	Gauges     []obs.NamedInt          `json:"gauges,omitempty"`
+	Histograms []obs.HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// RequestSummary is one entry of the /v1/requests ring.
+type RequestSummary struct {
+	ID       string           `json:"id"`
+	Workload string           `json:"workload"`
+	Status   string           `json:"status"`
+	Error    string           `json:"error,omitempty"`
+	Start    time.Time        `json:"start"`
+	WallNS   int64            `json:"wall_ns"`
+	Ops      uint64           `json:"ops,omitempty"`
+	Spans    []obs.SpanRecord `json:"spans"`
+}
+
+// Handler returns the daemon's HTTP mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/profile", s.handleProfile)
+	mux.HandleFunc("/v1/requests", s.handleRequests)
+	mux.HandleFunc("/v1/workloads", s.handleWorkloads)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.Handle("/metrics", s.reg.Handler())
+	mux.Handle("/debug/vars", s.reg.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost && req.Method != http.MethodGet {
+		http.Error(w, "POST /v1/profile?workload=<name>", http.StatusMethodNotAllowed)
+		return
+	}
+	name := req.URL.Query().Get("workload")
+	if name == "" {
+		http.Error(w, "missing workload parameter", http.StatusBadRequest)
+		return
+	}
+	spec := workloads.ByName(name)
+	if spec == nil {
+		http.Error(w, fmt.Sprintf("unknown workload %q", name), http.StatusNotFound)
+		return
+	}
+
+	// Admission control: non-blocking slot grab; a full daemon sheds
+	// load instead of queueing CPU-bound work.
+	select {
+	case s.sem <- struct{}{}:
+		defer func() { <-s.sem }()
+	default:
+		s.reg.Add("serve.rejected", 1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "too many profile requests in flight", http.StatusTooManyRequests)
+		return
+	}
+
+	id := fmt.Sprintf("req-%d", s.reqSeq.Add(1))
+	resp := s.runProfile(id, *spec, req.URL.Query().Get("metrics") == "1")
+
+	w.Header().Set("X-Request-ID", id)
+	if req.URL.Query().Get("trace") == "1" {
+		// Chrome trace of this request's span tree instead of the JSON
+		// report — curl straight into Perfetto.
+		data, err := obs.ChromeTrace(resp.Spans)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Write(data)
+		w.Write([]byte("\n"))
+		return
+	}
+	status := http.StatusOK
+	if resp.Status != "ok" {
+		status = http.StatusUnprocessableEntity
+	}
+	writeJSON(w, status, resp)
+}
+
+// runProfile executes the pipeline for one request under its own
+// registry and returns the response; the summary lands in the ring and
+// the request metrics merge into the process registry.
+func (s *Server) runProfile(id string, spec workloads.Spec, wantMetrics bool) *ProfileResponse {
+	reqReg := obs.NewRegistry()
+	reqReg.SetEnabled(true)
+	root := reqReg.Scope().StartSpan("request:" + spec.Name)
+	sc := reqReg.Scope().WithSpan(root)
+
+	resp := &ProfileResponse{RequestID: id, Workload: spec.Name, Status: "ok"}
+	start := time.Now()
+
+	prog := spec.Build()
+	opts := core.DefaultRunOptions()
+	opts.Obs = sc
+	p, err := core.Run(prog, opts)
+	if err == nil {
+		rep := feedback.Analyze(p)
+		cm := feedback.DefaultCostModel()
+		var data []byte
+		if data, err = rep.JSON(&cm); err == nil {
+			resp.Report = data
+			resp.Ops = p.DDG.TotalOps
+			root.AddEvents(p.DDG.TotalOps)
+		}
+	}
+	if err != nil {
+		resp.Status = "error"
+		resp.Error = err.Error()
+		root.Fail(err)
+	}
+	root.End()
+	resp.WallNS = int64(time.Since(start))
+	resp.Spans = reqReg.Spans()
+	if wantMetrics {
+		snap := reqReg.Snapshot()
+		resp.Metrics = &MetricsBody{
+			Counters: snap.Counters, Gauges: snap.Gauges, Histograms: snap.Histograms,
+		}
+	}
+
+	// Fold the request registry into the process one (spans stay with
+	// the request) and record the daemon's own serving metrics.
+	s.reg.Merge(reqReg)
+	s.reg.Add("serve.requests", 1)
+	if resp.Status != "ok" {
+		s.reg.Add("serve.requests.errors", 1)
+	}
+	s.reg.Observe("serve.request.wall_ns", uint64(resp.WallNS))
+
+	s.mu.Lock()
+	s.ring = append(s.ring, RequestSummary{
+		ID: id, Workload: spec.Name, Status: resp.Status, Error: resp.Error,
+		Start: start, WallNS: resp.WallNS, Ops: resp.Ops, Spans: resp.Spans,
+	})
+	if len(s.ring) > s.opts.RingSize {
+		s.ring = s.ring[len(s.ring)-s.opts.RingSize:]
+	}
+	s.mu.Unlock()
+
+	s.logf("polyprof: %s workload=%s status=%s wall=%s ops=%d",
+		id, spec.Name, resp.Status, time.Duration(resp.WallNS), resp.Ops)
+	return resp
+}
+
+func (s *Server) handleRequests(w http.ResponseWriter, req *http.Request) {
+	limit := 0
+	if v := req.URL.Query().Get("limit"); v != "" {
+		limit, _ = strconv.Atoi(v)
+	}
+	s.mu.Lock()
+	// Newest first.
+	out := make([]RequestSummary, 0, len(s.ring))
+	for i := len(s.ring) - 1; i >= 0; i-- {
+		out = append(out, s.ring[i])
+	}
+	s.mu.Unlock()
+	if limit > 0 && limit < len(out) {
+		out = out[:limit]
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"requests": out})
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"workloads": workloads.Names()})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"in_flight": len(s.sem),
+		"capacity":  cap(s.sem),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	w.Write(data)
+	w.Write([]byte("\n"))
+}

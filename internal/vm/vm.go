@@ -57,6 +57,11 @@ type Machine struct {
 	// input files; ours synthesize equivalent data).
 	InitMem func(mem []uint64)
 
+	// Obs is the span-context this run publishes its dynamic event
+	// counters into; the zero Scope targets the process-wide default
+	// registry, so standalone machines behave as before.
+	Obs obs.Scope
+
 	// Cost, when set, accumulates simulated cycles during execution
 	// (base per-opcode costs plus cache-modeled memory latency).
 	Cost *CycleModel
@@ -98,20 +103,20 @@ func (m *Machine) emitInstr(ev trace.InstrEvent, in *isa.Instr) {
 	}
 }
 
-// publishStats records the run's dynamic event counters in the default
+// publishStats records the run's dynamic event counters in the scoped
 // metrics registry.  Counting happens in Stats during execution; this
 // publishes once per run, so the interpreter loop carries no
 // instrumentation cost.
 func (m *Machine) publishStats() {
-	if !obs.Enabled() {
+	if !m.Obs.Enabled() {
 		return
 	}
-	obs.Add("vm.runs", 1)
-	obs.Add("vm.instructions", m.stats.Ops)
-	obs.Add("vm.mem_events", m.stats.MemOps)
-	obs.Add("vm.control_events", m.stats.Calls+m.stats.Jumps)
-	obs.Add("vm.fp_ops", m.stats.FPOps)
-	obs.Observe("vm.run.instructions", m.stats.Ops)
+	m.Obs.Add("vm.runs", 1)
+	m.Obs.Add("vm.instructions", m.stats.Ops)
+	m.Obs.Add("vm.mem_events", m.stats.MemOps)
+	m.Obs.Add("vm.control_events", m.stats.Calls+m.stats.Jumps)
+	m.Obs.Add("vm.fp_ops", m.stats.FPOps)
+	m.Obs.Observe("vm.run.instructions", m.stats.Ops)
 }
 
 // Run executes the program from its main function until Halt, the final

@@ -76,6 +76,21 @@ func ByName(name string) *Spec {
 	return nil
 }
 
+// Names lists every workload ByName resolves, suite twins first.
+func Names() []string {
+	var out []string
+	for _, s := range Rodinia() {
+		out = append(out, s.Name)
+	}
+	for _, s := range PolyBench() {
+		out = append(out, s.Name)
+	}
+	for _, s := range PolyBenchExtra() {
+		out = append(out, s.Name)
+	}
+	return append(out, "gemsfdtd", "example1", "example2")
+}
+
 // lcgState threads a linear congruential generator through emitted
 // code; every advance writes the seed register.
 type lcgState struct {

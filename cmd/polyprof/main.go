@@ -37,6 +37,7 @@ import (
 
 	"polyprof"
 	"polyprof/internal/evaluation"
+	"polyprof/internal/faultinject"
 	"polyprof/internal/iiv"
 	"polyprof/internal/obs"
 	"polyprof/internal/serve"
@@ -46,6 +47,13 @@ import (
 func main() {
 	if len(os.Args) < 2 {
 		usage()
+		os.Exit(2)
+	}
+	// POLYPROF_FAULT=point=mode[:arg][:count],... arms the fault
+	// injection registry for chaos testing (e.g.
+	// POLYPROF_FAULT=vm.step=error:boom:3).
+	if err := faultinject.ArmFromEnv(os.Getenv("POLYPROF_FAULT")); err != nil {
+		fmt.Fprintln(os.Stderr, "polyprof:", err)
 		os.Exit(2)
 	}
 	var err error
@@ -105,10 +113,21 @@ flags (profile, report, table5, overhead):
   -http :addr   serve /metrics (Prometheus or ?format=json) + pprof
   -trace f.json write the pipeline span tree as Chrome trace-event JSON
 
+budget flags (profile, report, serve):
+  -timeout d         abort after this wall-clock duration (0 = unlimited)
+  -max-steps n       abort after n dynamic VM steps (0 = unlimited)
+  -max-shadow-mb n   degrade (coarsen, soundly) DDG tracking past n MiB
+  -max-ddg-edges n   degrade DDG folding past n distinct edges
+
 serve flags:
   -http :addr        listen address (default :7070)
   -max-inflight n    concurrent profile requests before 429 (default 2)
-  -ring n            request summaries kept for /v1/requests (default 64)`)
+  -ring n            request summaries kept for /v1/requests (default 64)
+  -request-timeout d per-request wall-clock limit, 408 on expiry (default 60s)
+
+POLYPROF_FAULT=point=mode[:arg][:count],... arms fault injection
+(points: vm.step, ddg.shadow.insert, fold.finish, sched.build,
+serve.handler; modes: panic, error, budget, delay)`)
 }
 
 func cmdList() error {
@@ -165,6 +184,45 @@ type obsFlags struct {
 	jsonOut bool
 
 	srv *obs.MetricsServer
+}
+
+// budgetFlags holds the shared resource-governance flags of the
+// profiling commands.  Wall clock and steps are hard limits (the run
+// aborts with a budget error); shadow memory and DDG edges are
+// degrading limits (dependence tracking coarsens, soundly, instead of
+// failing).
+type budgetFlags struct {
+	timeout     time.Duration
+	maxSteps    uint64
+	maxShadowMB uint64
+	maxEdges    uint64
+}
+
+func addBudgetFlags(fs *flag.FlagSet) *budgetFlags {
+	f := &budgetFlags{}
+	fs.DurationVar(&f.timeout, "timeout", 0, "abort the run after this wall-clock duration (0 = unlimited)")
+	fs.Uint64Var(&f.maxSteps, "max-steps", 0, "abort the run after this many dynamic VM steps (0 = unlimited)")
+	fs.Uint64Var(&f.maxShadowMB, "max-shadow-mb", 0, "degrade dependence tracking past this much shadow memory, MiB (0 = unlimited)")
+	fs.Uint64Var(&f.maxEdges, "max-ddg-edges", 0, "degrade dependence folding past this many distinct DDG edges (0 = unlimited)")
+	return f
+}
+
+func (f *budgetFlags) limits() polyprof.BudgetLimits {
+	return polyprof.BudgetLimits{
+		Wall:           f.timeout,
+		MaxSteps:       f.maxSteps,
+		MaxShadowBytes: f.maxShadowMB << 20,
+		MaxDDGEdges:    f.maxEdges,
+	}
+}
+
+// noteDegraded warns on stderr when a run's DDG was coarsened by a
+// resource budget.
+func noteDegraded(rep *polyprof.Report) {
+	if d := rep.Profile.DDG.Degraded; d != nil {
+		fmt.Fprintf(os.Stderr, "polyprof: degraded run: budget(s) %v tripped; %d dependence(s) over-approximated (sound superset)\n",
+			d.Budgets, d.CoarseDeps)
+	}
 }
 
 func addObsFlags(fs *flag.FlagSet) *obsFlags {
@@ -224,6 +282,7 @@ func (f *obsFlags) finish() error {
 func cmdProfile(args []string) error {
 	fs := flag.NewFlagSet("profile", flag.ExitOnError)
 	of := addObsFlags(fs)
+	bf := addBudgetFlags(fs)
 	name, err := parseWorkload(fs, args)
 	if err != nil {
 		return err
@@ -238,10 +297,11 @@ func cmdProfile(args []string) error {
 	if err != nil {
 		return err
 	}
-	rep, err := polyprof.Profile(prog)
+	rep, err := polyprof.ProfileCtx(context.Background(), prog, bf.limits())
 	if err != nil {
 		return err
 	}
+	noteDegraded(rep)
 	fmt.Print(rep.Summary())
 	if rep.Best != nil {
 		fmt.Println()
@@ -351,6 +411,7 @@ func cmdReport(args []string) error {
 	fs := flag.NewFlagSet("report", flag.ExitOnError)
 	asJSON := fs.Bool("json", false, "emit the machine-readable report")
 	of := addObsFlags(fs)
+	bf := addBudgetFlags(fs)
 	name, err := parseWorkload(fs, args)
 	if err != nil {
 		return err
@@ -366,10 +427,11 @@ func cmdReport(args []string) error {
 	if err != nil {
 		return err
 	}
-	rep, err := polyprof.Profile(prog)
+	rep, err := polyprof.ProfileCtx(context.Background(), prog, bf.limits())
 	if err != nil {
 		return err
 	}
+	noteDegraded(rep)
 	if *asJSON {
 		cm := polyprof.DefaultCostModel()
 		data, err := rep.JSON(&cm)
@@ -464,13 +526,18 @@ func cmdServe(args []string) error {
 	addr := fs.String("http", ":7070", "listen address")
 	maxInFlight := fs.Int("max-inflight", 2, "max concurrently running profile requests (excess get 429)")
 	ring := fs.Int("ring", 64, "recent-request summaries kept for /v1/requests")
+	reqTimeout := fs.Duration("request-timeout", serve.DefaultRequestTimeout,
+		"per-request wall-clock limit, 408 on expiry (negative disables)")
+	bf := addBudgetFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	s := serve.New(serve.Options{
-		MaxInFlight: *maxInFlight,
-		RingSize:    *ring,
+		MaxInFlight:    *maxInFlight,
+		RingSize:       *ring,
+		RequestTimeout: *reqTimeout,
+		Limits:         bf.limits(),
 		Logf: func(format string, a ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", a...)
 		},

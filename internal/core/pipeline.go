@@ -8,6 +8,9 @@
 package core
 
 import (
+	"fmt"
+
+	"polyprof/internal/budget"
 	"polyprof/internal/cfg"
 	"polyprof/internal/cg"
 	"polyprof/internal/iiv"
@@ -17,6 +20,31 @@ import (
 	"polyprof/internal/trace"
 	"polyprof/internal/vm"
 )
+
+// RecoverStage converts a panic inside a pipeline stage into an error
+// and a failed span, so one hostile program or injected fault degrades
+// a single run instead of killing the process.  Use as
+//
+//	defer sp.End()
+//	defer core.RecoverStage(stage, sp, &err)
+//
+// (deferred after sp.End so it runs first and can fail the span).
+// Error-valued panics — injected faults, budget aborts — are wrapped
+// with %w so errors.As still classifies them.
+func RecoverStage(stage string, sp *obs.Span, errp *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	var err error
+	if e, ok := r.(error); ok {
+		err = fmt.Errorf("panic in %s: %w", stage, e)
+	} else {
+		err = fmt.Errorf("panic in %s: %v", stage, r)
+	}
+	sp.Fail(err)
+	*errp = err
+}
 
 // Structure is the result of pass 1 ("Instrumentation I"): the
 // interprocedural control structure of one execution.
@@ -32,24 +60,26 @@ type Structure struct {
 // instrumentation and derives its control structure, recording into the
 // default registry.
 func AnalyzeStructure(prog *isa.Program, initMem func([]uint64)) (*Structure, error) {
-	return AnalyzeStructureScoped(prog, initMem, obs.Scope{})
+	return AnalyzeStructureScoped(prog, initMem, obs.Scope{}, nil)
 }
 
 // AnalyzeStructureScoped is AnalyzeStructure recording its stage span
-// and VM counters into sc's registry, nested under sc's parent span.
-func AnalyzeStructureScoped(prog *isa.Program, initMem func([]uint64), sc obs.Scope) (*Structure, error) {
+// and VM counters into sc's registry, nested under sc's parent span,
+// governed by bud (nil for unlimited).
+func AnalyzeStructureScoped(prog *isa.Program, initMem func([]uint64), sc obs.Scope, bud *budget.Budget) (st *Structure, err error) {
 	sp := sc.StartSpan("pass1-structure")
+	defer sp.End()
+	defer RecoverStage("pass1-structure", sp, &err)
 	rec := cfg.NewRecorder(prog)
 	m := vm.New(prog, rec)
 	m.InitMem = initMem
 	m.Obs = sc
+	m.Budget = bud
 	if err := m.Run(); err != nil {
 		sp.Fail(err)
-		sp.End()
 		return nil, err
 	}
 	sp.AddEvents(m.Stats().Ops)
-	defer sp.End()
 	callGraph := cg.FromCallEdges(prog.Main, rec.CallEdges)
 	return &Structure{
 		CFG:       rec.G,
@@ -129,22 +159,25 @@ func (p *Pass2) Instr(ev trace.InstrEvent, in *isa.Instr) {
 // instrumentation and returns the pass-2 artifacts with the schedule
 // tree finalized, recording into the default registry.
 func RunPass2(prog *isa.Program, st *Structure, sink InstrSink, initMem func([]uint64)) (*Pass2, vm.Stats, error) {
-	return RunPass2Scoped(prog, st, sink, initMem, obs.Scope{})
+	return RunPass2Scoped(prog, st, sink, initMem, obs.Scope{}, nil)
 }
 
 // RunPass2Scoped is RunPass2 recording its stage span and VM counters
-// into sc's registry, nested under sc's parent span.
-func RunPass2Scoped(prog *isa.Program, st *Structure, sink InstrSink, initMem func([]uint64), sc obs.Scope) (*Pass2, vm.Stats, error) {
+// into sc's registry, nested under sc's parent span, governed by bud
+// (nil for unlimited).
+func RunPass2Scoped(prog *isa.Program, st *Structure, sink InstrSink, initMem func([]uint64), sc obs.Scope, bud *budget.Budget) (p *Pass2, stats vm.Stats, err error) {
 	name := "pass2-iiv"
 	if sink != nil {
 		name = "pass2-ddg"
 	}
 	sp := sc.StartSpan(name)
 	defer sp.End()
-	p := NewPass2(prog, st, sink)
+	defer RecoverStage(name, sp, &err)
+	p = NewPass2(prog, st, sink)
 	m := vm.New(prog, p)
 	m.InitMem = initMem
 	m.Obs = sc
+	m.Budget = bud
 	if err := m.Run(); err != nil {
 		sp.Fail(err)
 		return nil, vm.Stats{}, err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"polyprof/internal/budget"
 	"polyprof/internal/ddg"
 	"polyprof/internal/iiv"
 	"polyprof/internal/isa"
@@ -21,6 +22,11 @@ type Options struct {
 	// registry.  The zero Scope targets the process-wide default
 	// registry, preserving the standalone behavior.
 	Obs obs.Scope
+	// Budget governs the run's resources (nil for unlimited).  Hard
+	// limits (deadline, cancellation, steps, trace events) abort with a
+	// *budget.Error; degrading limits (shadow bytes, DDG edges) coarsen
+	// the graph — see ddg.Degradation.
+	Budget *budget.Budget
 }
 
 // DefaultRunOptions returns the configuration used throughout the
@@ -43,26 +49,34 @@ type Profile struct {
 	// downstream stages (sched-build, feedback-analyze) nest their
 	// spans and metrics under it.
 	Obs obs.Scope
+
+	// Budget is the governing budget of the run (nil for unlimited);
+	// downstream stages keep polling it.
+	Budget *budget.Budget
 }
 
 // Run executes the two instrumented passes and folds the DDG.
 func Run(prog *isa.Program, opts Options) (*Profile, error) {
-	sc := opts.Obs
-	st, err := AnalyzeStructureScoped(prog, opts.InitMem, sc)
+	sc, bud := opts.Obs, opts.Budget
+	st, err := AnalyzeStructureScoped(prog, opts.InitMem, sc, bud)
 	if err != nil {
+		return nil, err
+	}
+	if err := bud.Check("pass2"); err != nil {
 		return nil, err
 	}
 	ddgOpts := opts.DDG
 	ddgOpts.Obs = sc
+	ddgOpts.Budget = bud
 	builder := ddg.NewBuilder(prog, ddgOpts)
-	p2, stats, err := RunPass2Scoped(prog, st, builder, opts.InitMem, sc)
+	p2, stats, err := RunPass2Scoped(prog, st, builder, opts.InitMem, sc, bud)
 	if err != nil {
 		return nil, err
 	}
-	sp := sc.StartSpan("fold-finish")
-	g := builder.Finish()
-	sp.AddEvents(FoldedStreams(g))
-	sp.End()
+	g, err := finishFold(builder, sc)
+	if err != nil {
+		return nil, err
+	}
 	return &Profile{
 		Prog:      prog,
 		Structure: st,
@@ -70,7 +84,22 @@ func Run(prog *isa.Program, opts Options) (*Profile, error) {
 		DDG:       g,
 		Stats:     stats,
 		Obs:       sc,
+		Budget:    bud,
 	}, nil
+}
+
+// finishFold runs the fold stage under its span with panic recovery.
+func finishFold(builder *ddg.Builder, sc obs.Scope) (g *ddg.Graph, err error) {
+	sp := sc.StartSpan("fold-finish")
+	defer sp.End()
+	defer RecoverStage("fold-finish", sp, &err)
+	g, err = builder.FinishChecked()
+	if err != nil {
+		sp.Fail(err)
+		return nil, err
+	}
+	sp.AddEvents(FoldedStreams(g))
+	return g, nil
 }
 
 // FoldedStreams counts the folded streams of a finished DDG: one

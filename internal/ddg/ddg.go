@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sort"
 
+	"polyprof/internal/budget"
 	"polyprof/internal/fold"
 	"polyprof/internal/isa"
 	"polyprof/internal/obs"
@@ -106,7 +107,14 @@ type Dep struct {
 	Kind     Kind
 	Count    uint64
 
+	// Degraded marks bundles holding an over-approximated coarse piece
+	// produced under budget pressure (see degrade.go); their final
+	// piece has no affine function, which the scheduler treats as a
+	// star dependence.
+	Degraded bool
+
 	folder *fold.MultiFolder
+	box    *coordBox // coarse consumer box, merged into Pieces at Finish
 	// Pieces folds the dependence as a union: each piece's domain is a
 	// set of consumer coordinates and its Fn maps them to the producer
 	// coordinates.  Piecewise-affine dependencies (in-place stencils,
@@ -142,6 +150,10 @@ type Options struct {
 	// Obs is the span-context the builder publishes its metrics into;
 	// the zero Scope targets the process-wide default registry.
 	Obs obs.Scope
+	// Budget, when set, bounds shadow-memory bytes and dependence
+	// edges.  Exhaustion degrades the graph to coarse summaries (see
+	// degrade.go) instead of failing the run.
+	Budget *budget.Budget
 }
 
 // DefaultOptions tracks everything with the lattice extension enabled.
@@ -174,6 +186,10 @@ type Graph struct {
 	Stmts  []*Stmt
 	Instrs []*Instr
 	Deps   []*Dep
+
+	// Degraded is non-nil when a resource budget tripped during the
+	// run and parts of the graph were coarsened (see degrade.go).
+	Degraded *Degradation
 
 	// TotalOps/MemOps/FPOps are the dynamic operation counters observed
 	// by this builder (equal to the VM's when attached to a full run).
@@ -218,6 +234,13 @@ type Builder struct {
 	// integer arithmetic on call/return so the per-instruction path is
 	// untouched, published to the metrics registry in Finish.
 	curRegWords, peakRegWords int
+
+	// coarse is non-nil once the shadow budget tripped; from then on
+	// the memory hot path routes through coarseEvent (degrade.go).
+	coarse *coarseState
+	// faultErr latches an error injected on a path that cannot return
+	// one; FinishChecked surfaces it.
+	faultErr error
 }
 
 // NewBuilder creates a DDG builder for one execution of prog.
@@ -235,6 +258,11 @@ func NewBuilder(prog *isa.Program, opts Options) *Builder {
 	b.frames = append(b.frames, frame{regw: make([]writerRec, main.NumRegs), retDst: isa.NoReg})
 	b.curRegWords = main.NumRegs
 	b.peakRegWords = b.curRegWords
+	// Charge the fixed record tables up front; a budget too small for
+	// them degrades the whole address space from the first event.
+	if !opts.Budget.GrantShadow(baseShadowBytes(prog.MemWords)) {
+		b.tripShadow()
+	}
 	return b
 }
 
@@ -347,14 +375,26 @@ func (b *Builder) addDep(src *Instr, srcCoords []int64, dst *Instr, dstCoords []
 	key := depKey{src: src.ID, dst: dst.ID, kind: kind}
 	d, ok := b.deps[key]
 	if !ok {
-		mf := fold.NewMultiFolder(dst.Depth, src.Depth, fold.DefaultMaxPieces)
-		mf.Obs = b.opts.Obs
-		d = &Dep{Src: src, Dst: dst, Kind: kind, folder: mf}
+		d = &Dep{Src: src, Dst: dst, Kind: kind}
+		if b.opts.Budget.GrantEdges(1) {
+			mf := fold.NewMultiFolder(dst.Depth, src.Depth, fold.DefaultMaxPieces)
+			mf.Obs = b.opts.Obs
+			d.folder = mf
+		} else {
+			// Edge budget exhausted: keep the bundle (dropping it would
+			// be unsound) but only as a consumer bounding box.
+			d.Degraded = true
+			d.box = &coordBox{}
+		}
 		b.deps[key] = d
 		b.allDeps = append(b.allDeps, d)
 	}
 	d.Count++
-	d.folder.Add(dstCoords, srcCoords)
+	if d.folder != nil {
+		d.folder.Add(dstCoords, srcCoords)
+	} else {
+		d.box.extend(dstCoords)
+	}
 }
 
 // OnInstr implements core.InstrSink.
@@ -386,24 +426,39 @@ func (b *Builder) OnInstr(ctxKey string, coords []int64, ev trace.InstrEvent, in
 		}
 	}
 
-	// Memory dependencies via shadow memory.
+	// Memory dependencies via shadow memory.  Once the shadow budget
+	// trips (b.coarse non-nil) events route through coarseEvent; until
+	// then the only extra cost over unbudgeted tracking is a grant call
+	// on each address's first touch.
 	if ev.Addr >= 0 {
 		b.memOps++
 		b.lblBuf = append(b.lblBuf[:0], ev.Addr)
 		instr.accessFolder.Add(coords, b.lblBuf)
-		if in.Op.IsMemWrite() {
-			if w := &b.shadow[ev.Addr]; w.instr != nil && b.opts.TrackOutput {
-				b.addDep(w.instr, w.coords, instr, coords, Output)
+		if b.coarse != nil {
+			b.coarseEvent(instr, coords, ev.Addr, in.Op.IsMemWrite())
+		} else if in.Op.IsMemWrite() {
+			w := &b.shadow[ev.Addr]
+			if w.instr == nil && !b.grantRec(len(coords)) {
+				b.coarseEvent(instr, coords, ev.Addr, true)
+			} else {
+				if w.instr != nil && b.opts.TrackOutput {
+					b.addDep(w.instr, w.coords, instr, coords, Output)
+				}
+				if r := &b.lastRead[ev.Addr]; r.instr != nil && b.opts.TrackAnti {
+					b.addDep(r.instr, r.coords, instr, coords, Anti)
+				}
+				w.set(instr, coords)
 			}
-			if r := &b.lastRead[ev.Addr]; r.instr != nil && b.opts.TrackAnti {
-				b.addDep(r.instr, r.coords, instr, coords, Anti)
-			}
-			b.shadow[ev.Addr].set(instr, coords)
 		} else {
-			if w := &b.shadow[ev.Addr]; w.instr != nil {
-				b.addDep(w.instr, w.coords, instr, coords, FlowMem)
+			r := &b.lastRead[ev.Addr]
+			if r.instr == nil && !b.grantRec(len(coords)) {
+				b.coarseEvent(instr, coords, ev.Addr, false)
+			} else {
+				if w := &b.shadow[ev.Addr]; w.instr != nil {
+					b.addDep(w.instr, w.coords, instr, coords, FlowMem)
+				}
+				r.set(instr, coords)
 			}
-			b.lastRead[ev.Addr].set(instr, coords)
 		}
 	}
 
@@ -441,8 +496,36 @@ func (b *Builder) OnInstr(ctxKey string, coords []int64, ev trace.InstrEvent, in
 }
 
 // Finish folds every stream and runs SCEV elimination, returning the
-// folded graph.
+// folded graph.  It panics on an injected fault or hard-budget abort;
+// budget-governed callers use FinishChecked.
 func (b *Builder) Finish() *Graph {
+	g, err := b.FinishChecked()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// FinishChecked is Finish with error reporting: it surfaces injected
+// faults and polls the hard budget (deadline, cancellation) between
+// folding batches, so a degenerate graph cannot stall the stage past
+// its deadline.
+func (b *Builder) FinishChecked() (*Graph, error) {
+	if b.faultErr != nil {
+		return nil, b.faultErr
+	}
+	bud := b.opts.Budget
+	checkEvery := 0
+	check := func() error {
+		checkEvery++
+		if checkEvery&4095 == 0 {
+			return bud.Check("fold")
+		}
+		return nil
+	}
+	// Pair coarse ranges first so degraded bundles fold below with
+	// everything else.
+	b.finishCoarse()
 	g := &Graph{
 		Stmts:    b.allStmts,
 		Instrs:   b.allInst,
@@ -453,6 +536,9 @@ func (b *Builder) Finish() *Graph {
 	for _, s := range g.Stmts {
 		s.Domain = s.folder.Finish()
 		s.folder = nil
+		if err := check(); err != nil {
+			return nil, err
+		}
 	}
 	for _, i := range g.Instrs {
 		if i.valueFolder != nil {
@@ -468,15 +554,30 @@ func (b *Builder) Finish() *Graph {
 		if i.Op.IsIntALU() && i.Value.Fn != nil {
 			i.IsSCEV = true
 		}
+		if err := check(); err != nil {
+			return nil, err
+		}
 	}
 	// Fold dependencies, dropping chains into SCEV instructions.
 	for _, d := range b.allDeps {
 		if d.Src.IsSCEV || d.Dst.IsSCEV {
 			continue
 		}
-		d.Pieces = d.folder.Finish()
-		d.folder = nil
+		if d.folder != nil {
+			d.Pieces = d.folder.Finish()
+			d.folder = nil
+		}
+		if d.box != nil {
+			d.Pieces = append(d.Pieces, d.box.piece())
+			if d.Count == 0 {
+				d.Count = d.box.n
+			}
+			d.box = nil
+		}
 		g.Deps = append(g.Deps, d)
+		if err := check(); err != nil {
+			return nil, err
+		}
 	}
 	sort.Slice(g.Deps, func(i, j int) bool {
 		a, c := g.Deps[i], g.Deps[j]
@@ -488,8 +589,9 @@ func (b *Builder) Finish() *Graph {
 		}
 		return a.Kind < c.Kind
 	})
+	b.buildDegradation(g)
 	b.publishMetrics(g)
-	return g
+	return g, nil
 }
 
 // publishMetrics records the builder's structural statistics (shadow
@@ -516,4 +618,10 @@ func (b *Builder) publishMetrics(g *Graph) {
 		sc.Observe("ddg.dep.points", d.Count)
 	}
 	sc.Add("ddg.dep.points.total", depPoints)
+	if deg := g.Degraded; deg != nil {
+		sc.Add("ddg.degraded.runs", 1)
+		sc.Add("ddg.degraded.coarse_deps", uint64(deg.CoarseDeps))
+		sc.Add("ddg.degraded.coarse_events", deg.CoarseEvents)
+		sc.Add("ddg.degraded.regions", uint64(len(deg.Regions)))
+	}
 }

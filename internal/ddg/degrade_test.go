@@ -1,0 +1,166 @@
+package ddg_test
+
+import (
+	"context"
+	"fmt"
+	"slices"
+	"testing"
+
+	"polyprof/internal/budget"
+	"polyprof/internal/core"
+	"polyprof/internal/ddg"
+	"polyprof/internal/sched"
+	"polyprof/internal/workloads"
+)
+
+// depKeys returns one stable identity string per dependence bundle:
+// source and destination instruction (context + code reference) plus
+// the dependence kind.
+func depKeys(g *ddg.Graph) map[string]bool {
+	keys := map[string]bool{}
+	for _, d := range g.Deps {
+		keys[fmt.Sprintf("%s|%v|%d -> %s|%v|%d : %v",
+			d.Src.Ctx, d.Src.Ref.Block, d.Src.Ref.Index,
+			d.Dst.Ctx, d.Dst.Ref.Block, d.Dst.Ref.Index, d.Kind)] = true
+	}
+	return keys
+}
+
+func runWithLimits(t *testing.T, name string, limits budget.Limits) *core.Profile {
+	t.Helper()
+	spec := workloads.ByName(name)
+	if spec == nil {
+		t.Fatalf("unknown workload %q", name)
+	}
+	opts := core.DefaultRunOptions()
+	opts.Budget = budget.New(context.Background(), limits)
+	p, err := core.Run(spec.Build(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestShadowDegradationSuperset is the tentpole soundness property:
+// exhausting the shadow-memory budget coarsens dependence tracking but
+// may only ADD dependence bundles relative to the exact run — every
+// exact dependence must survive, as itself or inside a coarse bundle.
+func TestShadowDegradationSuperset(t *testing.T) {
+	clean := runWithLimits(t, "nn", budget.Limits{})
+	if clean.DDG.Degraded != nil {
+		t.Fatal("unlimited run must not degrade")
+	}
+
+	degraded := runWithLimits(t, "nn", budget.Limits{MaxShadowBytes: 4096})
+	d := degraded.DDG.Degraded
+	if d == nil {
+		t.Fatal("4 KiB shadow budget did not degrade the run")
+	}
+	if !slices.Contains(d.Budgets, budget.ResourceShadowBytes) {
+		t.Fatalf("degradation budgets = %v, want %s", d.Budgets, budget.ResourceShadowBytes)
+	}
+	if d.CoarseEvents == 0 {
+		t.Error("degraded run folded no coarse events")
+	}
+	if len(d.Regions) == 0 {
+		t.Error("degraded run reports no coarsened regions")
+	}
+
+	cleanKeys, degKeys := depKeys(clean.DDG), depKeys(degraded.DDG)
+	missing := 0
+	for k := range cleanKeys {
+		if !degKeys[k] {
+			missing++
+			if missing <= 5 {
+				t.Errorf("dependence lost under degradation: %s", k)
+			}
+		}
+	}
+	if missing > 0 {
+		t.Fatalf("%d of %d exact dependences missing from the degraded run", missing, len(cleanKeys))
+	}
+}
+
+// TestDegradedDepsAreStar: every coarse bundle must carry a piece with
+// no affine map, which the scheduler's analyze step turns into a Star
+// (all-directions) dependence — the conservative reading that keeps
+// degraded feedback sound.
+func TestDegradedDepsAreStar(t *testing.T) {
+	p := runWithLimits(t, "nn", budget.Limits{MaxShadowBytes: 4096})
+	if p.DDG.Degraded == nil {
+		t.Fatal("run did not degrade")
+	}
+	nDeg := 0
+	for _, d := range p.DDG.Deps {
+		if !d.Degraded {
+			continue
+		}
+		nDeg++
+		coarse := false
+		for _, piece := range d.Pieces {
+			if piece.Fn == nil && !piece.Exact {
+				coarse = true
+			}
+		}
+		if !coarse {
+			t.Errorf("degraded dep %v has no coarse piece", d)
+		}
+	}
+	if nDeg == 0 {
+		t.Fatal("no dependence bundle marked degraded")
+	}
+	if p.DDG.Degraded.CoarseDeps != nDeg {
+		t.Errorf("Degradation.CoarseDeps = %d, want %d", p.DDG.Degraded.CoarseDeps, nDeg)
+	}
+
+	m := sched.Build(p)
+	star := 0
+	for _, sd := range m.Deps {
+		if sd.D.Degraded {
+			if !sd.Star && sd.Common > 0 {
+				t.Errorf("degraded dep %v scheduled without Star", sd.D)
+			}
+			star++
+		}
+	}
+	if star == 0 {
+		t.Fatal("scheduler saw no degraded dependences")
+	}
+}
+
+// TestEdgeBudgetDegrades: exhausting the DDG-edge budget keeps every
+// bundle but drops exact folding past the limit.
+func TestEdgeBudgetDegrades(t *testing.T) {
+	clean := runWithLimits(t, "nn", budget.Limits{})
+	degraded := runWithLimits(t, "nn", budget.Limits{MaxDDGEdges: 3})
+	d := degraded.DDG.Degraded
+	if d == nil {
+		t.Fatal("3-edge budget did not degrade the run")
+	}
+	if !slices.Contains(d.Budgets, budget.ResourceDDGEdges) {
+		t.Fatalf("degradation budgets = %v, want %s", d.Budgets, budget.ResourceDDGEdges)
+	}
+	// Edge exhaustion never drops bundles, so the key sets are equal.
+	cleanKeys, degKeys := depKeys(clean.DDG), depKeys(degraded.DDG)
+	if len(cleanKeys) != len(degKeys) {
+		t.Fatalf("edge-budget run has %d bundles, clean run %d", len(degKeys), len(cleanKeys))
+	}
+	for k := range cleanKeys {
+		if !degKeys[k] {
+			t.Errorf("bundle lost under edge budget: %s", k)
+		}
+	}
+}
+
+// TestDegradationDeterministic: two identically budgeted runs produce
+// the same degradation summary (coarse folding is order-stable).
+func TestDegradationDeterministic(t *testing.T) {
+	a := runWithLimits(t, "nn", budget.Limits{MaxShadowBytes: 4096}).DDG.Degraded
+	b := runWithLimits(t, "nn", budget.Limits{MaxShadowBytes: 4096}).DDG.Degraded
+	if a == nil || b == nil {
+		t.Fatal("runs did not degrade")
+	}
+	if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
+		t.Errorf("degradation summaries differ:\n%+v\n%+v", a, b)
+	}
+}

@@ -83,7 +83,7 @@ func OverheadScoped(spec workloads.Spec, sc obs.Scope) (*OverheadReport, error) 
 	}
 
 	t0 := time.Now()
-	st, err := core.AnalyzeStructureScoped(prog, nil, ssc)
+	st, err := core.AnalyzeStructureScoped(prog, nil, ssc, nil)
 	if err != nil {
 		root.Fail(err)
 		return nil, fmt.Errorf("%s: pass1: %w", spec.Name, err)
@@ -91,7 +91,7 @@ func OverheadScoped(spec workloads.Spec, sc obs.Scope) (*OverheadReport, error) 
 	add("pass1", time.Since(t0), st.Stats.Ops, "instrs")
 
 	t0 = time.Now()
-	_, iivStats, err := core.RunPass2Scoped(prog, st, nil, nil, ssc)
+	_, iivStats, err := core.RunPass2Scoped(prog, st, nil, nil, ssc, nil)
 	if err != nil {
 		root.Fail(err)
 		return nil, fmt.Errorf("%s: pass2-iiv: %w", spec.Name, err)
@@ -102,7 +102,7 @@ func OverheadScoped(spec workloads.Spec, sc obs.Scope) (*OverheadReport, error) 
 	ddgOpts := ddg.DefaultOptions()
 	ddgOpts.Obs = ssc
 	builder := ddg.NewBuilder(prog, ddgOpts)
-	p2, stats, err := core.RunPass2Scoped(prog, st, builder, nil, ssc)
+	p2, stats, err := core.RunPass2Scoped(prog, st, builder, nil, ssc, nil)
 	if err != nil {
 		root.Fail(err)
 		return nil, fmt.Errorf("%s: ddg: %w", spec.Name, err)

@@ -1,0 +1,175 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"polyprof/internal/budget"
+)
+
+func TestDisarmedHitIsNil(t *testing.T) {
+	p := Point("test.disarmed")
+	t.Cleanup(DisarmAll)
+	for i := 0; i < 1000; i++ {
+		if err := p.Hit(); err != nil {
+			t.Fatalf("disarmed hit %d = %v", i, err)
+		}
+	}
+}
+
+func TestErrorModeFiresOnceThenDisarms(t *testing.T) {
+	p := Point("test.error")
+	t.Cleanup(DisarmAll)
+	p.Arm(Spec{Mode: ModeError, Arg: "boom"})
+	err := p.Hit()
+	var f *Fault
+	if !errors.As(err, &f) || f.Point != "test.error" || f.Msg != "boom" {
+		t.Fatalf("armed hit = %v", err)
+	}
+	if p.Armed() {
+		t.Fatal("point still armed after firing")
+	}
+	if err := p.Hit(); err != nil {
+		t.Fatalf("hit after self-disarm = %v", err)
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	p := Point("test.panic")
+	t.Cleanup(DisarmAll)
+	p.Arm(Spec{Mode: ModePanic, Arg: "kaboom"})
+	defer func() {
+		r := recover()
+		f, ok := r.(*Fault)
+		if !ok || f.Msg != "kaboom" {
+			t.Fatalf("recovered %v", r)
+		}
+	}()
+	p.Hit()
+	t.Fatal("armed panic point did not panic")
+}
+
+func TestBudgetMode(t *testing.T) {
+	p := Point("test.budget")
+	t.Cleanup(DisarmAll)
+	p.Arm(Spec{Mode: ModeBudget, Arg: budget.ResourceShadowBytes})
+	err := p.Hit()
+	be, ok := budget.AsError(err)
+	if !ok || be.Resource != budget.ResourceShadowBytes || be.Stage != "test.budget" {
+		t.Fatalf("budget hit = %v", err)
+	}
+}
+
+func TestDelayMode(t *testing.T) {
+	p := Point("test.delay")
+	t.Cleanup(DisarmAll)
+	p.Arm(Spec{Mode: ModeDelay, Delay: 20 * time.Millisecond})
+	start := time.Now()
+	if err := p.Hit(); err != nil {
+		t.Fatalf("delay hit = %v", err)
+	}
+	if d := time.Since(start); d < 15*time.Millisecond {
+		t.Fatalf("delay only slept %v", d)
+	}
+}
+
+func TestCountFiresOnNthHit(t *testing.T) {
+	p := Point("test.count")
+	t.Cleanup(DisarmAll)
+	p.Arm(Spec{Mode: ModeError, Count: 3})
+	if err := p.Hit(); err != nil {
+		t.Fatalf("hit 1 = %v", err)
+	}
+	if err := p.Hit(); err != nil {
+		t.Fatalf("hit 2 = %v", err)
+	}
+	if err := p.Hit(); err == nil {
+		t.Fatal("hit 3 did not fire")
+	}
+}
+
+func TestHitPanicConvertsErrors(t *testing.T) {
+	p := Point("test.hitpanic")
+	t.Cleanup(DisarmAll)
+	p.Arm(Spec{Mode: ModeError, Arg: "converted"})
+	defer func() {
+		r := recover()
+		err, ok := r.(error)
+		if !ok {
+			t.Fatalf("recovered non-error %v", r)
+		}
+		var f *Fault
+		if !errors.As(err, &f) || f.Msg != "converted" {
+			t.Fatalf("recovered %v", err)
+		}
+	}()
+	p.HitPanic()
+	t.Fatal("HitPanic did not panic on error mode")
+}
+
+func TestArmString(t *testing.T) {
+	t.Cleanup(DisarmAll)
+	if err := ArmFromEnv("test.env1=error:oops, test.env2=delay:5ms:2"); err != nil {
+		t.Fatal(err)
+	}
+	if !Point("test.env1").Armed() || !Point("test.env2").Armed() {
+		t.Fatal("env specs did not arm")
+	}
+	spec := Point("test.env2").spec.Load()
+	if spec.Mode != ModeDelay || spec.Delay != 5*time.Millisecond || spec.Count != 2 {
+		t.Fatalf("parsed spec = %+v", spec)
+	}
+	for _, bad := range []string{"noequals", "x=", "x=wat", "x=delay:zz", "x=error:m:zz"} {
+		if err := ArmString(bad); err == nil {
+			t.Fatalf("ArmString(%q) accepted", bad)
+		}
+	}
+}
+
+func TestNamesSortedAndIdempotent(t *testing.T) {
+	a := Point("test.names.b")
+	b := Point("test.names.a")
+	if Point("test.names.b") != a || Point("test.names.a") != b {
+		t.Fatal("Point not idempotent")
+	}
+	names := Names()
+	ia, ib := -1, -1
+	for i, n := range names {
+		if n == "test.names.a" {
+			ia = i
+		}
+		if n == "test.names.b" {
+			ib = i
+		}
+	}
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Fatalf("Names() = %v", names)
+	}
+}
+
+func TestConcurrentHitsFireExactlyOnce(t *testing.T) {
+	p := Point("test.concurrent")
+	t.Cleanup(DisarmAll)
+	p.Arm(Spec{Mode: ModeError})
+	var fired sync.Map
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				if err := p.Hit(); err != nil {
+					fired.Store(i*1000+j, true)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	n := 0
+	fired.Range(func(_, _ any) bool { n++; return true })
+	if n != 1 {
+		t.Fatalf("fault fired %d times, want 1", n)
+	}
+}

@@ -3,6 +3,8 @@ package feedback
 import (
 	"encoding/json"
 	"fmt"
+
+	"polyprof/internal/ddg"
 )
 
 // JSONReport is the machine-readable form of a feedback report, for
@@ -14,6 +16,14 @@ type JSONReport struct {
 	MemOps    uint64  `json:"mem_ops"`
 	FPOps     uint64  `json:"fp_ops"`
 	PctAffine float64 `json:"pct_affine"`
+
+	// Degraded is true when resource budgets forced the DDG into
+	// coarse over-approximated tracking; Degradation details which
+	// budgets tripped and which address regions were coarsened.  A
+	// degraded report is still sound in one direction: it may only
+	// report MORE dependences than a full run, never fewer.
+	Degraded    bool             `json:"degraded,omitempty"`
+	Degradation *ddg.Degradation `json:"degradation,omitempty"`
 
 	Region *JSONRegion `json:"region,omitempty"`
 }
@@ -66,6 +76,10 @@ func (r *Report) JSON(cm *CostModel) ([]byte, error) {
 		MemOps:    r.Profile.DDG.MemOps,
 		FPOps:     r.Profile.DDG.FPOps,
 		PctAffine: r.PctAffine,
+	}
+	if d := r.Profile.DDG.Degraded; d != nil {
+		out.Degraded = true
+		out.Degradation = d
 	}
 	if reg := r.Best; reg != nil {
 		met := r.ComputeMetrics(reg)

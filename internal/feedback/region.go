@@ -63,13 +63,39 @@ type Report struct {
 	allTransforms []*sched.NestTransform
 }
 
-// Analyze builds the feedback report from a profile.
+// Analyze builds the feedback report from a profile.  It panics if a
+// stage fails (injected fault, exhausted budget); servers and the CLI
+// use AnalyzeChecked instead.
 func Analyze(p *core.Profile) *Report {
+	r, err := AnalyzeChecked(p)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// AnalyzeChecked is Analyze returning stage failures — budget aborts
+// between stages and recovered stage panics — as errors.
+func AnalyzeChecked(p *core.Profile) (*Report, error) {
+	m, err := buildModel(p)
+	if err != nil {
+		return nil, err
+	}
+	return analyzeModelChecked(p, m)
+}
+
+// buildModel runs the sched-build stage under its span with budget
+// polling and panic recovery.
+func buildModel(p *core.Profile) (m *sched.Model, err error) {
+	if err := p.Budget.Check("sched-build"); err != nil {
+		return nil, err
+	}
 	sp := p.Obs.StartSpan("sched-build")
-	m := sched.Build(p)
+	defer sp.End()
+	defer core.RecoverStage("sched-build", sp, &err)
+	m = sched.Build(p)
 	sp.AddEvents(uint64(len(m.Deps)))
-	sp.End()
-	return AnalyzeModel(p, m)
+	return m, nil
 }
 
 // AnalyzeModel builds the feedback report from a profile and a
@@ -77,9 +103,23 @@ func Analyze(p *core.Profile) *Report {
 // split lets the overhead harness time the scheduler and feedback
 // stages separately (the paper's Experiment I cost breakdown).
 func AnalyzeModel(p *core.Profile, m *sched.Model) *Report {
+	r, err := analyzeModelChecked(p, m)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// analyzeModelChecked runs the feedback-analyze stage under its span
+// with budget polling and panic recovery.
+func analyzeModelChecked(p *core.Profile, m *sched.Model) (r *Report, err error) {
+	if err := p.Budget.Check("feedback-analyze"); err != nil {
+		return nil, err
+	}
 	sp := p.Obs.StartSpan("feedback-analyze")
 	defer sp.End()
-	r := &Report{Profile: p, Model: m}
+	defer core.RecoverStage("feedback-analyze", sp, &err)
+	r = &Report{Profile: p, Model: m}
 
 	// %Aff at instruction granularity: an instruction is fully affine
 	// when its statement's iteration domain folded exactly, its memory
@@ -118,7 +158,7 @@ func AnalyzeModel(p *core.Profile, m *sched.Model) *Report {
 		}
 	}
 	sp.AddEvents(uint64(len(r.allTransforms)))
-	return r
+	return r, nil
 }
 
 // TransformCount returns the number of nest transformations derived

@@ -3,9 +3,15 @@ package fold
 import (
 	"fmt"
 
+	"polyprof/internal/faultinject"
 	"polyprof/internal/obs"
 	"polyprof/internal/poly"
 )
+
+// finishFault injects at stream folding; error-shaped injections panic
+// here and are converted back to errors by the fold-finish stage
+// recovery in core.
+var finishFault = faultinject.Point("fold.finish")
 
 // Piece is one folded element: an iteration-domain polyhedron plus, when
 // it could be fitted, an affine function mapping domain points to the
@@ -212,6 +218,7 @@ func (f *Folder) closeRun(j int) {
 // Finish closes all open runs and returns the folded piece.  Returns a
 // zero-point piece for empty streams.
 func (f *Folder) Finish() Piece {
+	finishFault.HitPanic()
 	if !f.started {
 		f.noteFinish(Piece{Exact: true})
 		return Piece{Dom: poly.NewPoly(f.dim), Exact: true}

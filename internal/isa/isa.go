@@ -358,16 +358,35 @@ func (p *Program) FuncByName(name string) *Func {
 	return nil
 }
 
+// MaxRegsPerFunc caps a function's register frame.  The VM allocates
+// NumRegs words per call frame, so an unchecked hostile program could
+// request absurd frames; no generated workload comes near this.
+const MaxRegsPerFunc = 1 << 16
+
 // Validate checks structural invariants: every block ends in exactly one
-// terminator, no terminator appears mid-block, and all control-flow
-// targets exist and stay within the owning function (calls excepted).
+// terminator, no terminator appears mid-block, all control-flow targets
+// exist and stay within the owning function (calls excepted), and every
+// register operand fits the owning function's frame.  The VM refuses to
+// run programs that fail validation, so hostile images trap here
+// instead of panicking mid-interpretation.
 func (p *Program) Validate() error {
 	if p.Main < 0 || int(p.Main) >= len(p.Funcs) {
 		return fmt.Errorf("program %q: invalid main function %d", p.Name, p.Main)
 	}
+	if p.MemWords < 0 {
+		return fmt.Errorf("program %q: negative memory size %d", p.Name, p.MemWords)
+	}
+	var buf []Reg
 	for _, f := range p.Funcs {
 		if len(f.Blocks) == 0 {
 			return fmt.Errorf("function %q has no blocks", f.Name)
+		}
+		if f.NumRegs < 0 || f.NumRegs > MaxRegsPerFunc {
+			return fmt.Errorf("function %q: register frame %d out of range [0, %d]",
+				f.Name, f.NumRegs, MaxRegsPerFunc)
+		}
+		if f.NumArgs < 0 || f.NumArgs > f.NumRegs {
+			return fmt.Errorf("function %q: %d args exceed %d registers", f.Name, f.NumArgs, f.NumRegs)
 		}
 		for _, bid := range f.Blocks {
 			if bid < 0 || int(bid) >= len(p.Blocks) {
@@ -386,6 +405,26 @@ func (p *Program) Validate() error {
 				if in.Op.IsTerminator() != isLast {
 					return fmt.Errorf("block %q (%d) in %q: instruction %d (%v) misplaced terminator",
 						b.Name, bid, f.Name, i, in.Op)
+				}
+				if int(in.Op) >= len(opNames) || opNames[in.Op] == "" {
+					return fmt.Errorf("block %q (%d) in %q: instruction %d has unknown opcode %d",
+						b.Name, bid, f.Name, i, uint8(in.Op))
+				}
+				badReg := func(r Reg) bool { return r < 0 || int(r) >= f.NumRegs }
+				buf = in.Uses(buf)
+				for _, r := range buf {
+					if badReg(r) {
+						return fmt.Errorf("block %q (%d) in %q: instruction %d (%v) reads register %d (frame %d)",
+							b.Name, bid, f.Name, i, in.Op, r, f.NumRegs)
+					}
+				}
+				if in.Op.WritesDst() {
+					// Call may discard its result (Dst == NoReg); every
+					// other writer needs a real destination.
+					if badReg(in.Dst) && !(in.Op == Call && in.Dst == NoReg) {
+						return fmt.Errorf("block %q (%d) in %q: instruction %d (%v) writes register %d (frame %d)",
+							b.Name, bid, f.Name, i, in.Op, in.Dst, f.NumRegs)
+					}
 				}
 			}
 			if err := p.validateTerminator(f, b); err != nil {

@@ -15,6 +15,7 @@ import (
 
 	"polyprof/internal/core"
 	"polyprof/internal/ddg"
+	"polyprof/internal/faultinject"
 	"polyprof/internal/iiv"
 	"polyprof/internal/obs"
 	"polyprof/internal/poly"
@@ -78,8 +79,14 @@ type Model struct {
 	obs obs.Scope
 }
 
+// buildFault injects at scheduling-model construction; error-shaped
+// injections panic here and are converted back to errors by the
+// sched-build stage recovery in feedback.
+var buildFault = faultinject.Point("sched.build")
+
 // Build constructs the scheduling model from a profile.
 func Build(p *core.Profile) *Model {
+	buildFault.HitPanic()
 	m := &Model{Profile: p, byLeaf: map[*iiv.TreeNode]*Stmt{}, obs: p.Obs}
 
 	// Group instruction statistics per DDG statement.

@@ -22,6 +22,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -31,11 +32,25 @@ import (
 	"sync/atomic"
 	"time"
 
+	"polyprof/internal/budget"
 	"polyprof/internal/core"
+	"polyprof/internal/faultinject"
 	"polyprof/internal/feedback"
 	"polyprof/internal/obs"
 	"polyprof/internal/workloads"
 )
+
+// handlerFault injects at the top of each profile request, inside the
+// handler's recovery scope; its panics exercise the 500-JSON path.
+var handlerFault = faultinject.Point("serve.handler")
+
+// DefaultRequestTimeout bounds a profile request's wall clock when
+// Options.RequestTimeout is zero.
+const DefaultRequestTimeout = 60 * time.Second
+
+// StatusClientClosedRequest is the (nginx-convention) status reported
+// when the client disconnected before the pipeline finished.
+const StatusClientClosedRequest = 499
 
 // Options tunes the daemon.
 type Options struct {
@@ -52,6 +67,15 @@ type Options struct {
 	Registry *obs.Registry
 	// Logf receives one line per request (nil to disable).
 	Logf func(format string, args ...any)
+	// RequestTimeout bounds each profile request's wall clock (default
+	// DefaultRequestTimeout; negative disables).  The request budget
+	// also cancels when the client disconnects.
+	RequestTimeout time.Duration
+	// Limits are the per-request resource budgets (zero fields
+	// unlimited).  Hard limits abort the request with a budget status;
+	// degrading limits (shadow bytes, DDG edges) coarsen the DDG and
+	// mark the response degraded.
+	Limits budget.Limits
 }
 
 // Server is the daemon state.
@@ -76,6 +100,9 @@ func New(opts Options) *Server {
 	if opts.Registry == nil {
 		opts.Registry = obs.Default
 	}
+	if opts.RequestTimeout == 0 {
+		opts.RequestTimeout = DefaultRequestTimeout
+	}
 	opts.Registry.SetEnabled(true)
 	return &Server{
 		opts: opts,
@@ -90,15 +117,25 @@ func (s *Server) logf(format string, args ...any) {
 	}
 }
 
-// ProfileResponse is the body of a successful /v1/profile call.
+// ProfileResponse is the body of a /v1/profile call.  Status is one of
+// "ok", "timeout" (408), "canceled" (499), "budget"/"error" (422), or
+// "panic" (500).
 type ProfileResponse struct {
-	RequestID string          `json:"request_id"`
-	Workload  string          `json:"workload"`
-	Status    string          `json:"status"`
-	Error     string          `json:"error,omitempty"`
-	WallNS    int64           `json:"wall_ns"`
-	Ops       uint64          `json:"ops,omitempty"`
-	Report    json.RawMessage `json:"report,omitempty"`
+	RequestID string `json:"request_id"`
+	Workload  string `json:"workload"`
+	Status    string `json:"status"`
+	Error     string `json:"error,omitempty"`
+	// SpanID is the id of the request's root span within Spans, so a
+	// 500 can be correlated with its trace.
+	SpanID uint64 `json:"span_id,omitempty"`
+	// Degraded is true when a resource budget coarsened the DDG;
+	// Budget names the tripped budgets.  The report is still sound —
+	// it may only contain MORE dependences than a full run.
+	Degraded bool            `json:"degraded,omitempty"`
+	Budget   []string        `json:"budget,omitempty"`
+	WallNS   int64           `json:"wall_ns"`
+	Ops      uint64          `json:"ops,omitempty"`
+	Report   json.RawMessage `json:"report,omitempty"`
 	// Spans is the request's span tree: the "request:<name>" root plus
 	// every pipeline stage, linked by id/parent.
 	Spans []obs.SpanRecord `json:"spans"`
@@ -120,6 +157,7 @@ type RequestSummary struct {
 	Workload string           `json:"workload"`
 	Status   string           `json:"status"`
 	Error    string           `json:"error,omitempty"`
+	Degraded bool             `json:"degraded,omitempty"`
 	Start    time.Time        `json:"start"`
 	WallNS   int64            `json:"wall_ns"`
 	Ops      uint64           `json:"ops,omitempty"`
@@ -171,8 +209,18 @@ func (s *Server) handleProfile(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 
+	// The request context cancels the pipeline when the client
+	// disconnects; the timeout turns a runaway workload into a 408
+	// instead of a stuck slot.
+	ctx := req.Context()
+	if s.opts.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.RequestTimeout)
+		defer cancel()
+	}
+
 	id := fmt.Sprintf("req-%d", s.reqSeq.Add(1))
-	resp := s.runProfile(id, *spec, req.URL.Query().Get("metrics") == "1")
+	resp := s.runProfile(ctx, id, *spec, req.URL.Query().Get("metrics") == "1")
 
 	w.Header().Set("X-Request-ID", id)
 	if req.URL.Query().Get("trace") == "1" {
@@ -188,43 +236,44 @@ func (s *Server) handleProfile(w http.ResponseWriter, req *http.Request) {
 		w.Write([]byte("\n"))
 		return
 	}
-	status := http.StatusOK
-	if resp.Status != "ok" {
-		status = http.StatusUnprocessableEntity
+	writeJSON(w, httpStatus(resp.Status), resp)
+}
+
+// httpStatus maps a profile status to its HTTP code.
+func httpStatus(status string) int {
+	switch status {
+	case "ok":
+		return http.StatusOK
+	case "timeout":
+		return http.StatusRequestTimeout
+	case "canceled":
+		return StatusClientClosedRequest
+	case "panic":
+		return http.StatusInternalServerError
+	default: // "budget", "error"
+		return http.StatusUnprocessableEntity
 	}
-	writeJSON(w, status, resp)
 }
 
 // runProfile executes the pipeline for one request under its own
-// registry and returns the response; the summary lands in the ring and
-// the request metrics merge into the process registry.
-func (s *Server) runProfile(id string, spec workloads.Spec, wantMetrics bool) *ProfileResponse {
+// registry and budget and returns the response; the summary lands in
+// the ring and the request metrics merge into the process registry.
+func (s *Server) runProfile(ctx context.Context, id string, spec workloads.Spec, wantMetrics bool) *ProfileResponse {
 	reqReg := obs.NewRegistry()
 	reqReg.SetEnabled(true)
 	root := reqReg.Scope().StartSpan("request:" + spec.Name)
 	sc := reqReg.Scope().WithSpan(root)
 
-	resp := &ProfileResponse{RequestID: id, Workload: spec.Name, Status: "ok"}
+	resp := &ProfileResponse{RequestID: id, Workload: spec.Name, Status: "ok", SpanID: root.ID()}
 	start := time.Now()
 
-	prog := spec.Build()
-	opts := core.DefaultRunOptions()
-	opts.Obs = sc
-	p, err := core.Run(prog, opts)
-	if err == nil {
-		rep := feedback.Analyze(p)
-		cm := feedback.DefaultCostModel()
-		var data []byte
-		if data, err = rep.JSON(&cm); err == nil {
-			resp.Report = data
-			resp.Ops = p.DDG.TotalOps
-			root.AddEvents(p.DDG.TotalOps)
-		}
-	}
-	if err != nil {
-		resp.Status = "error"
+	bud := budget.New(ctx, s.opts.Limits)
+	if err := s.runPipeline(bud, sc, root, spec, resp); err != nil {
 		resp.Error = err.Error()
 		root.Fail(err)
+		if resp.Status == "ok" { // not already "panic"
+			resp.Status = classifyError(err)
+		}
 	}
 	root.End()
 	resp.WallNS = int64(time.Since(start))
@@ -243,12 +292,22 @@ func (s *Server) runProfile(id string, spec workloads.Spec, wantMetrics bool) *P
 	if resp.Status != "ok" {
 		s.reg.Add("serve.requests.errors", 1)
 	}
+	switch resp.Status {
+	case "timeout":
+		s.reg.Add("serve.requests.timeouts", 1)
+	case "canceled":
+		s.reg.Add("serve.requests.canceled", 1)
+	}
+	if resp.Degraded {
+		s.reg.Add("serve.requests.degraded", 1)
+	}
 	s.reg.Observe("serve.request.wall_ns", uint64(resp.WallNS))
 
 	s.mu.Lock()
 	s.ring = append(s.ring, RequestSummary{
 		ID: id, Workload: spec.Name, Status: resp.Status, Error: resp.Error,
-		Start: start, WallNS: resp.WallNS, Ops: resp.Ops, Spans: resp.Spans,
+		Degraded: resp.Degraded,
+		Start:    start, WallNS: resp.WallNS, Ops: resp.Ops, Spans: resp.Spans,
 	})
 	if len(s.ring) > s.opts.RingSize {
 		s.ring = s.ring[len(s.ring)-s.opts.RingSize:]
@@ -258,6 +317,71 @@ func (s *Server) runProfile(id string, spec workloads.Spec, wantMetrics bool) *P
 	s.logf("polyprof: %s workload=%s status=%s wall=%s ops=%d",
 		id, spec.Name, resp.Status, time.Duration(resp.WallNS), resp.Ops)
 	return resp
+}
+
+// runPipeline is the recovered body of one profile request: any panic
+// here — the injected serve.handler fault, a hostile workload slipping
+// past a stage's own recovery — becomes a "panic" response instead of
+// killing the daemon.
+func (s *Server) runPipeline(bud *budget.Budget, sc obs.Scope, root *obs.Span, spec workloads.Spec, resp *ProfileResponse) (err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		s.reg.Add("serve.panics", 1)
+		resp.Status = "panic"
+		if e, ok := r.(error); ok {
+			err = fmt.Errorf("handler panic: %w", e)
+		} else {
+			err = fmt.Errorf("handler panic: %v", r)
+		}
+	}()
+	if err := handlerFault.Hit(); err != nil {
+		return err
+	}
+	prog := spec.Build()
+	opts := core.DefaultRunOptions()
+	opts.Obs = sc
+	opts.Budget = bud
+	p, err := core.Run(prog, opts)
+	if err != nil {
+		return err
+	}
+	rep, err := feedback.AnalyzeChecked(p)
+	if err != nil {
+		return err
+	}
+	cm := feedback.DefaultCostModel()
+	data, err := rep.JSON(&cm)
+	if err != nil {
+		return err
+	}
+	resp.Report = data
+	resp.Ops = p.DDG.TotalOps
+	if d := p.DDG.Degraded; d != nil {
+		resp.Degraded = true
+		resp.Budget = d.Budgets
+	}
+	root.AddEvents(p.DDG.TotalOps)
+	return nil
+}
+
+// classifyError maps a pipeline error to a response status: budget
+// aborts split into timeout/canceled/budget, anything else is a plain
+// error.
+func classifyError(err error) string {
+	be, ok := budget.AsError(err)
+	switch {
+	case !ok:
+		return "error"
+	case be.Timeout():
+		return "timeout"
+	case be.Canceled():
+		return "canceled"
+	default:
+		return "budget"
+	}
 }
 
 func (s *Server) handleRequests(w http.ResponseWriter, req *http.Request) {

@@ -1,0 +1,266 @@
+package vm_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"polyprof/internal/isa"
+	"polyprof/internal/vm"
+)
+
+// hostileProg hand-assembles a raw program, bypassing the builder's
+// checks the way a corrupted or malicious image would.
+func hostileProg(memWords int64, numRegs int, code ...[]isa.Instr) *isa.Program {
+	f := &isa.Func{ID: 0, Name: "main", Entry: 0, NumArgs: 0, NumRegs: numRegs}
+	p := &isa.Program{Name: "hostile", Funcs: []*isa.Func{f}, Main: 0, MemWords: memWords}
+	for i, c := range code {
+		b := &isa.Block{ID: isa.BlockID(i), Fn: 0, Name: fmt.Sprintf("b%d", i), Code: c, Index: i}
+		p.Blocks = append(p.Blocks, b)
+		f.Blocks = append(f.Blocks, b.ID)
+	}
+	return p
+}
+
+// TestHostileProgramsTrap feeds structurally broken images to the VM
+// and requires a clean error — never a panic — from every one of them.
+func TestHostileProgramsTrap(t *testing.T) {
+	halt := isa.Instr{Op: isa.Halt, Dst: isa.NoReg, A: isa.NoReg, B: isa.NoReg, Index: isa.NoReg}
+	tests := []struct {
+		name string
+		prog *isa.Program
+		want string // substring of the error
+	}{
+		{
+			name: "jump target out of range",
+			prog: hostileProg(0, 4, []isa.Instr{
+				{Op: isa.Jmp, Dst: isa.NoReg, A: isa.NoReg, B: isa.NoReg, Index: isa.NoReg, Then: 99},
+			}),
+			want: "target 99 out of range",
+		},
+		{
+			name: "negative jump target",
+			prog: hostileProg(0, 4, []isa.Instr{
+				{Op: isa.Jmp, Dst: isa.NoReg, A: isa.NoReg, B: isa.NoReg, Index: isa.NoReg, Then: -3},
+			}),
+			want: "out of range",
+		},
+		{
+			name: "branch else-target out of range",
+			prog: hostileProg(0, 4, []isa.Instr{
+				{Op: isa.ConstI, Dst: 0, A: isa.NoReg, B: isa.NoReg, Index: isa.NoReg, Imm: 1},
+				{Op: isa.Br, Dst: isa.NoReg, A: 0, B: isa.NoReg, Index: isa.NoReg, Then: 0, Else: 77},
+			}),
+			want: "br-else target 77",
+		},
+		{
+			name: "unknown opcode",
+			prog: hostileProg(0, 4, []isa.Instr{
+				{Op: isa.Opcode(200), Dst: 0, A: 0, B: 0, Index: isa.NoReg},
+				halt,
+			}),
+			want: "unknown opcode",
+		},
+		{
+			name: "register read out of frame",
+			prog: hostileProg(0, 2, []isa.Instr{
+				{Op: isa.Add, Dst: 0, A: 0, B: 50, Index: isa.NoReg},
+				halt,
+			}),
+			want: "reads register 50",
+		},
+		{
+			name: "negative register operand",
+			prog: hostileProg(0, 2, []isa.Instr{
+				{Op: isa.Mov, Dst: 0, A: -2, B: isa.NoReg, Index: isa.NoReg},
+				halt,
+			}),
+			want: "reads register -2",
+		},
+		{
+			name: "register write out of frame",
+			prog: hostileProg(0, 2, []isa.Instr{
+				{Op: isa.ConstI, Dst: 9, A: isa.NoReg, B: isa.NoReg, Index: isa.NoReg, Imm: 1},
+				halt,
+			}),
+			want: "writes register 9",
+		},
+		{
+			name: "terminator mid-block",
+			prog: hostileProg(0, 2, []isa.Instr{
+				halt,
+				{Op: isa.Nop, Dst: isa.NoReg, A: isa.NoReg, B: isa.NoReg, Index: isa.NoReg},
+			}),
+			want: "misplaced terminator",
+		},
+		{
+			name: "no terminator",
+			prog: hostileProg(0, 2, []isa.Instr{
+				{Op: isa.Nop, Dst: isa.NoReg, A: isa.NoReg, B: isa.NoReg, Index: isa.NoReg},
+			}),
+			want: "misplaced terminator",
+		},
+		{
+			name: "empty block",
+			prog: hostileProg(0, 2, []isa.Instr{}),
+			want: "is empty",
+		},
+		{
+			name: "call to unknown function",
+			prog: hostileProg(0, 2, []isa.Instr{
+				{Op: isa.Call, Dst: isa.NoReg, A: isa.NoReg, B: isa.NoReg, Index: isa.NoReg, Callee: 7, Then: 0},
+			}),
+			want: "call to unknown function 7",
+		},
+		{
+			name: "call argument count mismatch",
+			prog: hostileProg(0, 2, []isa.Instr{
+				{Op: isa.Call, Dst: isa.NoReg, A: isa.NoReg, B: isa.NoReg, Index: isa.NoReg,
+					Callee: 0, Then: 0, Args: []isa.Reg{0, 1}},
+			}),
+			want: "with 2 args, want 0",
+		},
+		{
+			name: "negative memory size",
+			prog: hostileProg(-5, 2, []isa.Instr{halt}),
+			want: "negative memory size",
+		},
+		{
+			name: "absurd register frame",
+			prog: hostileProg(0, isa.MaxRegsPerFunc+1, []isa.Instr{halt}),
+			want: "register frame",
+		},
+		{
+			name: "invalid main",
+			prog: &isa.Program{Name: "hostile", Main: 3},
+			want: "invalid main function",
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			err := vm.New(tc.prog).Run()
+			if err == nil {
+				t.Fatal("hostile program ran without error")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestHugeMemoryRefused: a program demanding more memory than
+// MaxMemWords is refused before allocation.
+func TestHugeMemoryRefused(t *testing.T) {
+	p := hostileProg(vm.MaxMemWords+1, 2, []isa.Instr{
+		{Op: isa.Halt, Dst: isa.NoReg, A: isa.NoReg, B: isa.NoReg, Index: isa.NoReg},
+	})
+	err := vm.New(p).Run()
+	if err == nil || !strings.Contains(err.Error(), "memory words") {
+		t.Fatalf("want memory refusal, got %v", err)
+	}
+}
+
+// TestStackOverflowTraps: unbounded recursion hits the depth limit and
+// traps instead of exhausting host memory.
+func TestStackOverflowTraps(t *testing.T) {
+	// main: block0 calls main again; the continuation never runs.
+	p := hostileProg(0, 2,
+		[]isa.Instr{
+			{Op: isa.Call, Dst: isa.NoReg, A: isa.NoReg, B: isa.NoReg, Index: isa.NoReg, Callee: 0, Then: 1},
+		},
+		[]isa.Instr{
+			{Op: isa.Halt, Dst: isa.NoReg, A: isa.NoReg, B: isa.NoReg, Index: isa.NoReg},
+		},
+	)
+	m := vm.New(p)
+	m.MaxDepth = 100
+	err := m.Run()
+	if err == nil || !strings.Contains(err.Error(), "call stack overflow") {
+		t.Fatalf("want stack-overflow trap, got %v", err)
+	}
+}
+
+// decodeProgram turns fuzz bytes into a program image: one function,
+// up to four blocks, eight bytes per instruction.  Field values are
+// deliberately allowed to stray out of range (registers beyond the
+// frame, unknown opcodes, wild branch targets) so the corpus covers
+// both images the validator must refuse and images that run.
+func decodeProgram(data []byte) *isa.Program {
+	nb := 1
+	memWords := int64(0)
+	if len(data) > 0 {
+		nb = 1 + int(data[0]&3)
+		memWords = int64(data[0] >> 2)
+	}
+	const numRegs = 8
+	code := make([][]isa.Instr, nb)
+	bi := 0
+	for pos := 1; pos+8 <= len(data); pos += 8 {
+		c := data[pos : pos+8]
+		in := isa.Instr{
+			Op:    isa.Opcode(c[0] % 56), // a few values past Halt
+			Dst:   isa.Reg(int8(c[1]) % 12),
+			A:     isa.Reg(int8(c[2]) % 12),
+			B:     isa.Reg(int8(c[3]) % 12),
+			Imm:   int64(int8(c[4])),
+			Index: isa.NoReg,
+			Then:  isa.BlockID(int8(c[5]) % int8(nb+1)),
+			Else:  isa.BlockID(int8(c[6]) % int8(nb+1)),
+		}
+		if in.Op == isa.Call {
+			in.Callee = isa.FuncID(int8(c[7]) % 2)
+		}
+		code[bi] = append(code[bi], in)
+		bi = (bi + 1) % nb
+	}
+	// Terminate every block so a fair share of inputs validate: reuse
+	// the block's first instruction bytes to pick the terminator.
+	for i := range code {
+		term := isa.Instr{Op: isa.Halt, Dst: isa.NoReg, A: isa.NoReg, B: isa.NoReg, Index: isa.NoReg}
+		if len(code[i]) > 0 {
+			switch code[i][0].Imm & 3 {
+			case 1:
+				term = isa.Instr{Op: isa.Jmp, Dst: isa.NoReg, A: isa.NoReg, B: isa.NoReg,
+					Index: isa.NoReg, Then: isa.BlockID((i + 1) % nb)}
+			case 2:
+				term = isa.Instr{Op: isa.Ret, Dst: isa.NoReg, A: isa.NoReg, B: isa.NoReg, Index: isa.NoReg}
+			}
+		}
+		// Strip misplaced terminators from the body, then append ours.
+		body := code[i][:0]
+		for _, in := range code[i] {
+			if !in.Op.IsTerminator() && int(in.Op) < 56 {
+				body = append(body, in)
+			}
+		}
+		code[i] = append(body, term)
+	}
+	return hostileProgN(memWords, numRegs, code...)
+}
+
+// hostileProgN is hostileProg without the fixed name, for fuzzing.
+func hostileProgN(memWords int64, numRegs int, code ...[]isa.Instr) *isa.Program {
+	return hostileProg(memWords, numRegs, code...)
+}
+
+// FuzzVM runs arbitrary program encodings through validation and
+// execution; any panic is a bug.  Runaway-but-valid images are bounded
+// by tight step and depth limits.
+func FuzzVM(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x07, 2, 0, 0, 0, 42, 0, 0, 0, 39, 0, 0, 1, 1, 0, 0, 0})
+	f.Add([]byte{0xFF, 46, 1, 2, 3, 4, 5, 6, 7, 47, 0, 0, 0, 1, 2, 0, 0})
+	seed := make([]byte, 65)
+	for i := range seed {
+		seed[i] = byte(i * 37)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		prog := decodeProgram(data)
+		m := vm.New(prog)
+		m.MaxSteps = 10_000
+		m.MaxDepth = 64
+		_ = m.Run() // errors are expected; panics are failures
+	})
+}

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"math"
 
+	"polyprof/internal/budget"
+	"polyprof/internal/faultinject"
 	"polyprof/internal/isa"
 	"polyprof/internal/obs"
 	"polyprof/internal/trace"
@@ -17,6 +19,23 @@ import (
 // DefaultMaxSteps bounds a run to catch accidentally non-terminating
 // workloads; it is far above anything the bundled benchmarks need.
 const DefaultMaxSteps = 500_000_000
+
+// DefaultMaxDepth bounds the call stack so unbounded recursion traps
+// instead of exhausting host memory.
+const DefaultMaxDepth = 1 << 20
+
+// MaxMemWords caps program memory (2 GiB of words); workloads declare
+// far less, and hostile images must not drive host allocation.
+const MaxMemWords = 1 << 28
+
+// watchdogInterval is how many steps run between watchdog checkpoints
+// (budget, deadline, fault injection).  The interpreter loop pays one
+// integer comparison per step; everything else is amortized over this
+// window.
+const watchdogInterval = 1 << 16
+
+// stepFault injects at the VM watchdog checkpoint.
+var stepFault = faultinject.Point("vm.step")
 
 // Stats aggregates the dynamic operation counters the paper reports
 // (#Ops, #Mops and derived percentages).
@@ -46,11 +65,20 @@ type Machine struct {
 	mem   []uint64
 	hooks []trace.Hook
 
-	stack []frame
-	stats Stats
+	stack      []frame
+	stats      Stats
+	depthLimit int
 
 	// MaxSteps overrides DefaultMaxSteps when non-zero.
 	MaxSteps uint64
+
+	// MaxDepth overrides DefaultMaxDepth when non-zero.
+	MaxDepth int
+
+	// Budget, when set, governs the run: its step limit tightens
+	// MaxSteps, and the watchdog checkpoint polls it for cancellation,
+	// deadline and trace-event exhaustion every watchdogInterval steps.
+	Budget *budget.Budget
 
 	// InitMem, when set, is invoked once before execution with the raw
 	// memory so workloads can preload inputs (the paper's benchmarks read
@@ -120,14 +148,27 @@ func (m *Machine) publishStats() {
 }
 
 // Run executes the program from its main function until Halt, the final
-// return from main, or an error (trap, step limit).
+// return from main, or an error (trap, step limit, budget exhaustion).
+// The program is validated first so hostile images (bad targets,
+// out-of-range registers) fail cleanly instead of panicking.
 func (m *Machine) Run() error {
+	if err := m.prog.Validate(); err != nil {
+		return fmt.Errorf("vm: refusing invalid program: %w", err)
+	}
+	if m.prog.MemWords > MaxMemWords {
+		return fmt.Errorf("vm: program %q wants %d memory words (max %d)",
+			m.prog.Name, m.prog.MemWords, MaxMemWords)
+	}
 	defer m.publishStats()
 	m.mem = make([]uint64, m.prog.MemWords)
 	if m.InitMem != nil {
 		m.InitMem(m.mem)
 	}
 	m.stats = Stats{}
+	m.depthLimit = m.MaxDepth
+	if m.depthLimit <= 0 {
+		m.depthLimit = DefaultMaxDepth
+	}
 	main := m.prog.Func(m.prog.Main)
 	m.stack = m.stack[:0]
 	m.push(main, nil, isa.NoReg, isa.NoBlock)
@@ -143,9 +184,26 @@ func (m *Machine) Run() error {
 	if limit == 0 {
 		limit = DefaultMaxSteps
 	}
+	budgetSteps := false
+	if bs := m.Budget.StepLimit(); bs > 0 && bs < limit {
+		limit, budgetSteps = bs, true
+	}
+
+	// The hot loop pays a single comparison per step; the watchdog
+	// (fault injection, step limit, deadline/cancellation, trace-event
+	// budget) runs every watchdogInterval steps.  nextCheck starts at 0
+	// so the first step always checkpoints — fault injection fires
+	// deterministically even on tiny programs.
+	var nextCheck, counted uint64
 	for len(m.stack) > 0 {
-		if m.stats.Ops >= limit {
-			return fmt.Errorf("vm: step limit %d exceeded in %q", limit, m.prog.Name)
+		if m.stats.Ops >= nextCheck {
+			if err := m.checkpoint(limit, budgetSteps, &counted); err != nil {
+				return err
+			}
+			nextCheck = m.stats.Ops + watchdogInterval
+			if nextCheck > limit {
+				nextCheck = limit
+			}
 		}
 		halt, err := m.step()
 		if err != nil {
@@ -154,6 +212,32 @@ func (m *Machine) Run() error {
 		if halt {
 			return nil
 		}
+	}
+	return nil
+}
+
+// checkpoint is the amortized watchdog body.
+func (m *Machine) checkpoint(limit uint64, budgetSteps bool, counted *uint64) error {
+	if err := stepFault.Hit(); err != nil {
+		return fmt.Errorf("vm %q: %w", m.prog.Name, err)
+	}
+	if m.stats.Ops >= limit {
+		if budgetSteps {
+			return &budget.Error{
+				Resource: budget.ResourceSteps, Stage: "vm",
+				Limit: limit, Used: m.stats.Ops,
+			}
+		}
+		return fmt.Errorf("vm: step limit %d exceeded in %q", limit, m.prog.Name)
+	}
+	if m.Budget != nil {
+		if err := m.Budget.Check("vm"); err != nil {
+			return err
+		}
+		if err := m.Budget.CountEvents(m.stats.Ops-*counted, "vm"); err != nil {
+			return err
+		}
+		*counted = m.stats.Ops
 	}
 	return nil
 }
@@ -316,6 +400,9 @@ func (m *Machine) step() (halt bool, err error) {
 		f.blk, f.pc = m.prog.Block(dst), 0
 		return false, nil
 	case isa.Call:
+		if len(m.stack) >= m.depthLimit {
+			return false, m.trap(f, "call stack overflow: depth %d", len(m.stack))
+		}
 		m.stats.Calls++
 		callee := m.prog.Func(in.Callee)
 		args := make([]uint64, len(in.Args))

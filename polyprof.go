@@ -33,8 +33,10 @@
 package polyprof
 
 import (
+	"context"
 	"fmt"
 
+	"polyprof/internal/budget"
 	"polyprof/internal/core"
 	"polyprof/internal/evaluation"
 	"polyprof/internal/feedback"
@@ -82,6 +84,15 @@ type (
 	// BenchResult bundles profile + report + static baseline + Table 5
 	// row for one workload.
 	BenchResult = evaluation.BenchResult
+
+	// BudgetLimits are per-run resource limits (zero fields unlimited):
+	// wall clock, VM steps, and trace events are hard limits that abort
+	// with a *BudgetError; shadow bytes and DDG edges are degrading
+	// limits that coarsen the dependence graph instead of failing.
+	BudgetLimits = budget.Limits
+	// BudgetError reports which resource a run exhausted, at which
+	// stage; extract it from a pipeline error with errors.As.
+	BudgetError = budget.Error
 )
 
 // NewProgram starts building a program.
@@ -95,7 +106,23 @@ func Profile(prog *Program) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return feedback.Analyze(p), nil
+	return feedback.AnalyzeChecked(p)
+}
+
+// ProfileCtx is Profile under resource governance: the run aborts with
+// a *BudgetError when ctx is canceled, its deadline (or limits.Wall)
+// passes, or a hard step/event limit trips, and degrades — coarsening
+// the DDG, still sound in the may-only-add-dependences direction —
+// when a shadow-memory or edge limit trips.  A degraded run reports
+// Degraded/Degradation in its JSON form.
+func ProfileCtx(ctx context.Context, prog *Program, limits BudgetLimits) (*Report, error) {
+	opts := core.DefaultRunOptions()
+	opts.Budget = budget.New(ctx, limits)
+	p, err := core.Run(prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	return feedback.AnalyzeChecked(p)
 }
 
 // ProfileExecution runs only the profiling stages (no feedback),

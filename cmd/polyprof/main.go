@@ -124,10 +124,15 @@ serve flags:
   -max-inflight n    concurrent profile requests before 429 (default 2)
   -ring n            request summaries kept for /v1/requests (default 64)
   -request-timeout d per-request wall-clock limit, 408 on expiry (default 60s)
+  -data-dir path     durable job store (enables POST /v1/jobs, GET /v1/jobs,
+                     crash-safe results + request history via WAL + snapshots)
+  -workers n         concurrent job executions (default 2)
+  -max-attempts n    attempts before a failing job is quarantined (default 3)
 
 POLYPROF_FAULT=point=mode[:arg][:count],... arms fault injection
 (points: vm.step, ddg.shadow.insert, fold.finish, sched.build,
-serve.handler; modes: panic, error, budget, delay)`)
+serve.handler, jobstore.wal.append, jobstore.wal.sync,
+jobstore.snapshot, jobstore.replay; modes: panic, error, budget, delay)`)
 }
 
 func cmdList() error {
@@ -528,26 +533,39 @@ func cmdServe(args []string) error {
 	ring := fs.Int("ring", 64, "recent-request summaries kept for /v1/requests")
 	reqTimeout := fs.Duration("request-timeout", serve.DefaultRequestTimeout,
 		"per-request wall-clock limit, 408 on expiry (negative disables)")
+	dataDir := fs.String("data-dir", "", "durable job-store directory; enables POST /v1/jobs and persistent request history")
+	workers := fs.Int("workers", 2, "concurrent job executions (requires -data-dir)")
+	maxAttempts := fs.Int("max-attempts", 3, "attempts before a failing job is quarantined (requires -data-dir)")
 	bf := addBudgetFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	s := serve.New(serve.Options{
+	s, err := serve.New(serve.Options{
 		MaxInFlight:    *maxInFlight,
 		RingSize:       *ring,
 		RequestTimeout: *reqTimeout,
 		Limits:         bf.limits(),
+		DataDir:        *dataDir,
+		Workers:        *workers,
+		MaxAttempts:    *maxAttempts,
 		Logf: func(format string, a ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", a...)
 		},
 	})
+	if err != nil {
+		return err
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
+		s.Close()
 		return err
 	}
 	srv := &http.Server{Handler: s.Handler()}
 	fmt.Fprintf(os.Stderr, "polyprof: serving profiles on http://%s (POST /v1/profile?workload=<name>)\n", ln.Addr())
+	if *dataDir != "" {
+		fmt.Fprintf(os.Stderr, "polyprof: durable jobs enabled under %s (POST /v1/jobs)\n", *dataDir)
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
@@ -556,12 +574,19 @@ func cmdServe(args []string) error {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case err := <-errc:
+		s.Close()
 		return err
 	case got := <-sig:
 		fmt.Fprintf(os.Stderr, "polyprof: %v — draining in-flight profiles\n", got)
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
+			s.Close()
+			return err
+		}
+		// Stop the worker pool and compact+close the WAL after HTTP
+		// drain, so in-flight jobs either finish or re-enqueue durably.
+		if err := s.Close(); err != nil {
 			return err
 		}
 		fmt.Fprintln(os.Stderr, "polyprof: drained, bye")

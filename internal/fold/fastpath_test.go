@@ -1,0 +1,152 @@
+package fold
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// foldBoth runs the same stream through a fast-path folder and a folder
+// with the buffer disabled from the start, returning both pieces.
+func foldBoth(dim, labelW int, stream []bufPoint) (fast, slow Piece) {
+	ff := NewFolder(dim, labelW)
+	sf := NewFolder(dim, labelW)
+	sf.materialize() // empty buffer: every Add goes straight to the recognizer
+	for _, p := range stream {
+		ff.Add(p.coords, p.label)
+		sf.Add(p.coords, p.label)
+	}
+	return ff.Finish(), sf.Finish()
+}
+
+func requireSamePiece(t *testing.T, fast, slow Piece) {
+	t.Helper()
+	if fast.String() != slow.String() {
+		t.Fatalf("fast path diverged:\n fast: %s\n slow: %s", fast.String(), slow.String())
+	}
+	if fast.Exact != slow.Exact || fast.Points != slow.Points {
+		t.Fatalf("fast path metadata diverged: exact %v/%v points %d/%d",
+			fast.Exact, slow.Exact, fast.Points, slow.Points)
+	}
+	if (fast.Fn == nil) != (slow.Fn == nil) {
+		t.Fatalf("fast path fn presence diverged: %v vs %v", fast.Fn, slow.Fn)
+	}
+}
+
+// TestSmallStreamEquivalence: the buffered fast path and the full
+// recognizer produce identical pieces on hand-picked stream shapes,
+// including the ones that cross the buffering threshold.
+func TestSmallStreamEquivalence(t *testing.T) {
+	pt := func(label int64, coords ...int64) bufPoint {
+		return bufPoint{coords: coords, label: []int64{label}}
+	}
+	cases := []struct {
+		name   string
+		stream []bufPoint
+	}{
+		{"empty", nil},
+		{"single point", []bufPoint{pt(7, 3, 5)}},
+		{"single point duplicated", []bufPoint{pt(7, 3, 5), pt(7, 3, 5), pt(7, 3, 5)}},
+		{"single point conflicting labels", []bufPoint{pt(7, 3, 5), pt(9, 3, 5)}},
+		{"two distinct points", []bufPoint{pt(1, 0, 0), pt(2, 0, 1)}},
+		{"affine row", []bufPoint{pt(0, 0, 0), pt(2, 0, 1), pt(4, 0, 2), pt(6, 0, 3)}},
+		{"strided run", []bufPoint{pt(0, 0), pt(0, 3), pt(0, 6), pt(0, 9)}},
+		{"non-lexicographic", []bufPoint{pt(0, 5), pt(0, 2)}},
+		{"rectangle", []bufPoint{
+			pt(0, 0, 0), pt(1, 0, 1), pt(2, 1, 0), pt(3, 1, 1),
+		}},
+	}
+	// A dense row long enough to overflow the buffer and replay.
+	var long []bufPoint
+	for i := int64(0); i < 2*smallStreamThreshold; i++ {
+		long = append(long, pt(3*i+1, 0, i))
+	}
+	cases = append(cases, struct {
+		name   string
+		stream []bufPoint
+	}{"past the threshold", long})
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dim := 2
+			if len(tc.stream) > 0 {
+				dim = len(tc.stream[0].coords)
+			}
+			fast, slow := foldBoth(dim, 1, tc.stream)
+			requireSamePiece(t, fast, slow)
+		})
+	}
+}
+
+// TestSmallStreamEquivalenceRandom: random tiny streams around the
+// buffering threshold agree between the two paths.
+func TestSmallStreamEquivalenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		dim := 1 + rng.Intn(3)
+		n := rng.Intn(smallStreamThreshold + 4)
+		stream := make([]bufPoint, 0, n)
+		cur := make([]int64, dim)
+		for i := 0; i < n; i++ {
+			// Mostly advance lexicographically, sometimes duplicate,
+			// sometimes jump irregularly.
+			switch rng.Intn(4) {
+			case 0: // duplicate previous point
+			case 1: // irregular jump
+				cur[rng.Intn(dim)] += int64(1 + rng.Intn(5))
+			default: // dense innermost advance
+				cur[dim-1]++
+			}
+			p := bufPoint{coords: append([]int64(nil), cur...),
+				label: []int64{int64(rng.Intn(6)) * cur[dim-1]}}
+			stream = append(stream, p)
+		}
+		fast, slow := foldBoth(dim, 1, stream)
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			requireSamePiece(t, fast, slow)
+		})
+	}
+}
+
+// TestSmallStreamMultiFolder: the piecewise folder still classifies
+// correctly when its pieces are in the buffered state — repeated points
+// stay on the uniform shortcut, divergent ones force materialization.
+func TestSmallStreamMultiFolder(t *testing.T) {
+	m := NewMultiFolder(1, 1, 4)
+	// Three identical points: one buffered piece, never materialized.
+	for i := 0; i < 3; i++ {
+		m.Add([]int64{2}, []int64{5})
+	}
+	// A conflicting label at the same coordinate: must start piece 2.
+	m.Add([]int64{2}, []int64{9})
+	pieces := m.Finish()
+	if len(pieces) != 2 {
+		t.Fatalf("pieces = %d, want 2 (%v)", len(pieces), pieces)
+	}
+	for i, p := range pieces {
+		if !p.Exact || p.Points != 1 || p.Fn == nil {
+			t.Fatalf("piece %d = %s (exact %v points %d)", i, p, p.Exact, p.Points)
+		}
+	}
+}
+
+// BenchmarkSinglePointStream measures what the satellite claims: tiny
+// streams skip the polyhedron/fitter setup entirely.
+func BenchmarkSinglePointStream(b *testing.B) {
+	coords, label := []int64{3, 5}, []int64{7}
+	b.Run("fast", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f := NewFolder(2, 1)
+			f.Add(coords, label)
+			f.Finish()
+		}
+	})
+	b.Run("slow", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			f := NewFolder(2, 1)
+			f.materialize()
+			f.Add(coords, label)
+			f.Finish()
+		}
+	})
+}

@@ -81,6 +81,17 @@ type Folder struct {
 	labelDup      bool // duplicate coords carried different labels
 	lastLbl       []int64
 
+	// Small-stream fast path: the first few points are buffered without
+	// touching the run recognizer or the big.Rat fitters.  Most
+	// dependence streams are tiny (see the fold.stream.points
+	// histogram); a single-distinct-point stream finishes directly with
+	// constant bounds, and anything larger replays the buffer through
+	// the full recognizer with identical results.
+	buffering     bool
+	buf           []bufPoint
+	bufSameCoords bool // every buffered point shares buf[0]'s coords
+	bufSameAll    bool // ... and buf[0]'s label too
+
 	// Obs is the span-context fold-outcome metrics publish into; the
 	// zero Scope targets the process-wide default registry.
 	Obs obs.Scope
@@ -107,17 +118,95 @@ func NewFolder(dim, labelW int) *Folder {
 	if labelW > 0 {
 		f.lastLbl = make([]int64, labelW)
 	}
+	f.buffering = true
+	f.bufSameCoords = true
+	f.bufSameAll = true
 	return f
+}
+
+// smallStreamThreshold is how many Add calls the fast path buffers
+// before falling back to the incremental recognizer.
+const smallStreamThreshold = 8
+
+// bufPoint is one buffered Add call (slices copied; callers reuse
+// their buffers).
+type bufPoint struct {
+	coords, label []int64
 }
 
 // Dim returns the domain dimensionality.
 func (f *Folder) Dim() int { return f.dim }
 
 // Points returns the number of distinct points folded so far.
-func (f *Folder) Points() uint64 { return f.points }
+func (f *Folder) Points() uint64 {
+	if f.buffering {
+		return f.bufDistinct()
+	}
+	return f.points
+}
+
+// bufDistinct counts distinct points in the buffer the same way the
+// recognizer does: a point is new when it differs from its predecessor.
+func (f *Folder) bufDistinct() uint64 {
+	var n uint64
+	for i, p := range f.buf {
+		if i == 0 || !equalCoords(p.coords, f.buf[i-1].coords) {
+			n++
+		}
+	}
+	return n
+}
+
+func equalCoords(a, b []int64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// materialize replays the buffered points through the incremental
+// recognizer, leaving the folder in exactly the state a non-buffered
+// sequence of Add calls would have produced.
+func (f *Folder) materialize() {
+	if !f.buffering {
+		return
+	}
+	f.buffering = false
+	buf := f.buf
+	f.buf = nil
+	for _, p := range buf {
+		f.add(p.coords, p.label)
+	}
+}
 
 // Add feeds one point.  label must have the folder's label width.
 func (f *Folder) Add(coords []int64, label []int64) {
+	if f.buffering {
+		if len(f.buf) < smallStreamThreshold {
+			bp := bufPoint{coords: append([]int64(nil), coords...)}
+			if len(label) > 0 {
+				bp.label = append([]int64(nil), label...)
+			}
+			if len(f.buf) > 0 {
+				if !equalCoords(coords, f.buf[0].coords) {
+					f.bufSameCoords = false
+					f.bufSameAll = false
+				} else if !equalCoords(bp.label, f.buf[0].label) {
+					f.bufSameAll = false
+				}
+			}
+			f.buf = append(f.buf, bp)
+			return
+		}
+		f.materialize()
+	}
+	f.add(coords, label)
+}
+
+// add is the incremental recognizer behind Add.
+func (f *Folder) add(coords []int64, label []int64) {
 	f.total++
 	for i := range f.labelFit {
 		f.labelFit[i].Add(coords, label[i])
@@ -219,6 +308,12 @@ func (f *Folder) closeRun(j int) {
 // zero-point piece for empty streams.
 func (f *Folder) Finish() Piece {
 	finishFault.HitPanic()
+	if f.buffering {
+		if p, ok := f.finishSmall(); ok {
+			return p
+		}
+		f.materialize()
+	}
 	if !f.started {
 		f.noteFinish(Piece{Exact: true})
 		return Piece{Dom: poly.NewPoly(f.dim), Exact: true}
@@ -282,6 +377,43 @@ func (f *Folder) Finish() Piece {
 	return p
 }
 
+// finishSmall resolves the buffered stream directly when it never left
+// its first point: the domain is the single-point box {c} and every
+// label function is the constant the point carried — exactly what the
+// fitters would solve to from one sample (the elimination pivots on the
+// constant column first), without ever allocating them.  Streams with
+// two or more distinct points fall back to the recognizer.
+func (f *Folder) finishSmall() (Piece, bool) {
+	if len(f.buf) == 0 {
+		f.noteFinish(Piece{Exact: true})
+		return Piece{Dom: poly.NewPoly(f.dim), Exact: true}, true
+	}
+	if !f.bufSameCoords {
+		return Piece{}, false
+	}
+	first := f.buf[0]
+	dom := poly.NewPoly(f.dim)
+	for k := 0; k < f.dim; k++ {
+		e := poly.NewExpr(f.dim)
+		e.K = first.coords[k]
+		dom.AddLowerExpr(k, e)
+		dom.AddUpperExpr(k, e)
+	}
+	var fn *poly.Map
+	if f.bufSameAll && f.labelW > 0 {
+		m := poly.NewMap(f.dim, f.labelW)
+		for i := range m.Rows {
+			e := poly.NewExpr(f.dim)
+			e.K = first.label[i]
+			m.Rows[i] = e
+		}
+		fn = &m
+	}
+	p := Piece{Dom: dom, Fn: fn, Exact: true, Points: 1}
+	f.noteFinish(p)
+	return p, true
+}
+
 // noteFinish publishes fold-outcome metrics: how many streams folded,
 // and whether each came out exact-affine or as a bounding-box
 // over-approximation.  Called once per stream (at Finish), never on the
@@ -313,5 +445,5 @@ func embed(e poly.Expr, dim int) poly.Expr {
 
 // Describe summarizes the folder state for diagnostics.
 func (f *Folder) Describe() string {
-	return fmt.Sprintf("folder(dim=%d points=%d exact=%v lex=%v)", f.dim, f.points, f.exact, f.lexOK)
+	return fmt.Sprintf("folder(dim=%d points=%d exact=%v lex=%v)", f.dim, f.Points(), f.exact, f.lexOK)
 }

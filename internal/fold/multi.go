@@ -32,6 +32,17 @@ func (f *Fitter) Check(x []int64, y int64) bool {
 
 // checkLabels tests a whole label vector against the folder's fitters.
 func (f *Folder) checkLabels(coords, label []int64) bool {
+	if f.buffering {
+		// Fast-path folders have no fitters yet.  A point identical to
+		// a uniform buffer is trivially consistent (one repeated sample
+		// constrains nothing it would contradict); anything else forces
+		// the fitters into existence.
+		if f.bufSameAll && len(f.buf) > 0 &&
+			equalCoords(coords, f.buf[0].coords) && equalCoords(label, f.buf[0].label) {
+			return true
+		}
+		f.materialize()
+	}
 	for i, fit := range f.labelFit {
 		if !fit.Check(coords, label[i]) {
 			return false

@@ -1,0 +1,93 @@
+package isa_test
+
+import (
+	"strings"
+	"testing"
+
+	"polyprof/internal/isa"
+	"polyprof/internal/workloads"
+)
+
+// TestEncodeDecodeRoundTrip: every bundled workload survives the wire
+// encoding with an identical disassembly (and still validates).
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	names := []string{"example1", "example2", "backprop", "nw", "hotspot", "gemsfdtd"}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			prog := workloads.ByName(name).Build()
+			data, err := isa.EncodeJSON(prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := isa.DecodeJSON(data)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if err := got.Validate(); err != nil {
+				t.Fatalf("decoded program fails validation: %v", err)
+			}
+			if got.Disasm() != prog.Disasm() {
+				t.Fatalf("round trip changed the program:\n--- original ---\n%.2000s\n--- decoded ---\n%.2000s",
+					prog.Disasm(), got.Disasm())
+			}
+			if got.MemWords != prog.MemWords || len(got.Globals) != len(prog.Globals) {
+				t.Fatalf("round trip changed memory/globals: %d/%d vs %d/%d",
+					got.MemWords, len(got.Globals), prog.MemWords, len(prog.Globals))
+			}
+		})
+	}
+}
+
+// TestDecodeHandWritten: omitted operand fields default to their unused
+// sentinels, so a minimal hand-written program decodes and runs.
+func TestDecodeHandWritten(t *testing.T) {
+	src := `{
+	 "name": "tiny", "main": 0, "mem_words": 8,
+	 "funcs": [{"name": "main", "entry": 0, "blocks": [0], "num_args": 0, "num_regs": 4}],
+	 "blocks": [{"fn": 0, "name": "entry", "code": [
+	   {"op": "consti", "dst": 0, "imm": 7},
+	   {"op": "store", "a": 1, "b": 0},
+	   {"op": "halt"}
+	 ]}]
+	}`
+	p, err := isa.DecodeJSON([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "store" has no index register: omitted means NoReg, not register 0.
+	in := p.Blocks[0].Code[1]
+	if in.Index != isa.NoReg {
+		t.Fatalf("omitted index decoded as %d, want NoReg", in.Index)
+	}
+	if in.A != 1 || in.B != 0 {
+		t.Fatalf("store operands = a%d b%d", in.A, in.B)
+	}
+	// Register frame too small for register 1: Validate is the gate.
+	p.Funcs[0].NumRegs = 1
+	if err := p.Validate(); err == nil {
+		t.Fatal("validation accepted an out-of-frame register")
+	}
+}
+
+// TestDecodeRejects: syntactic garbage gets structured errors, never a
+// panic.
+func TestDecodeRejects(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"not json", `{{{`, "decode"},
+		{"no functions", `{"name":"x","blocks":[]}`, "no functions"},
+		{"unknown opcode", `{"name":"x","funcs":[{"name":"main","blocks":[0],"num_regs":1}],
+		  "blocks":[{"fn":0,"code":[{"op":"frobnicate"}]}]}`, "unknown opcode"},
+		{"block names missing function", `{"name":"x","funcs":[{"name":"main","blocks":[0],"num_regs":1}],
+		  "blocks":[{"fn":9,"code":[{"op":"halt"}]}]}`, "names function 9"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := isa.DecodeJSON([]byte(tc.src))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,239 @@
+// Package jobstore is the durable asynchronous job subsystem behind
+// polyprof serve's /v1/jobs API: a crash-safe store of profiling jobs
+// persisted through an append-only write-ahead log with snapshot
+// compaction, plus a bounded worker pool that executes jobs with
+// per-job retry, exponential backoff and poison quarantine.
+//
+// Durability contract (see DESIGN.md for the full note):
+//
+//   - A job is *acknowledged* once Store.Submit returns nil: its submit
+//     record has been appended to the WAL and fsynced.  Acknowledged
+//     jobs survive kill -9 at any point — replay restores them.
+//   - Jobs that were running at crash time are re-enqueued on restart
+//     (the profiling pipeline is deterministic, so a re-run produces
+//     the identical report).
+//   - A job whose completion record reached the WAL is never re-run:
+//     replay keeps the terminal state, so no job double-completes.
+//   - Torn tail records and CRC-corrupt entries are skipped with a
+//     logged warning during replay; everything before them is kept.
+//
+// What the WAL does NOT guarantee: records appended after the last
+// successful fsync may be lost on power failure (the affected jobs were
+// not yet acknowledged), and a corrupt snapshot loses the state it
+// compacted (replay then falls back to whatever WAL generations are
+// still on disk).
+package jobstore
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"polyprof/internal/budget"
+)
+
+// State is a job's lifecycle state.
+type State string
+
+const (
+	// StateQueued: submitted (or scheduled for retry) and waiting for a
+	// worker.
+	StateQueued State = "queued"
+	// StateRunning: a worker is executing an attempt.
+	StateRunning State = "running"
+	// StateSucceeded: terminal; Result holds the report.
+	StateSucceeded State = "succeeded"
+	// StateFailed: terminal; the job was quarantined with its last
+	// error after a terminal failure or exhausted attempts.
+	StateFailed State = "failed"
+)
+
+// States lists every lifecycle state (for /v1/jobs?state= validation).
+func States() []State {
+	return []State{StateQueued, StateRunning, StateSucceeded, StateFailed}
+}
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s == StateSucceeded || s == StateFailed }
+
+// Job kinds: a bundled workload by name, or a user-submitted program
+// body in the internal/isa JSON encoding.
+const (
+	KindWorkload = "workload"
+	KindProgram  = "program"
+)
+
+// Job is one profiling job.  Exactly one of Workload / Program is set:
+// either a bundled workload name or a user-submitted program body in
+// the internal/isa JSON encoding.  Program is []byte (base64 on the
+// wire and in the WAL), not json.RawMessage: intake is deliberately
+// lax, so the bytes must persist opaquely even when they are not valid
+// JSON — the decode error then surfaces as the job's terminal failure.
+type Job struct {
+	ID string `json:"id"`
+	// Kind is "workload" or "program".
+	Kind     string `json:"kind"`
+	Workload string `json:"workload,omitempty"`
+	Program  []byte `json:"program,omitempty"`
+
+	State State `json:"state"`
+	// Attempts counts started executions (including one interrupted by
+	// a crash); the pool quarantines the job once it reaches the
+	// configured maximum.
+	Attempts int `json:"attempts"`
+
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at,omitempty"`
+	FinishedAt  time.Time `json:"finished_at,omitempty"`
+	// NextRunAt delays a retry (exponential backoff with jitter).
+	NextRunAt time.Time `json:"next_run_at,omitempty"`
+
+	// Error is the last failure (terminal when State == failed).
+	Error *JobError `json:"error,omitempty"`
+	// Result is the profiling outcome once State == succeeded.
+	Result *Result `json:"result,omitempty"`
+}
+
+// Name is the job's display name: the workload, or the submitted
+// program's name.
+func (j *Job) Name() string {
+	if j.Workload != "" {
+		return j.Workload
+	}
+	var p struct {
+		Name string `json:"name"`
+	}
+	if err := json.Unmarshal(j.Program, &p); err == nil && p.Name != "" {
+		return p.Name
+	}
+	return "(program)"
+}
+
+// Clone deep-copies the job so store snapshots can leave the lock.
+func (j *Job) Clone() *Job {
+	c := *j
+	if j.Error != nil {
+		e := *j.Error
+		c.Error = &e
+	}
+	if j.Result != nil {
+		r := *j.Result
+		c.Result = &r
+	}
+	return &c
+}
+
+// Result is the persisted outcome of a succeeded job — the fields of a
+// synchronous /v1/profile response that are worth keeping on disk (the
+// full span tree stays in memory with the request that produced it;
+// only the root span id is kept for correlation).
+type Result struct {
+	Status   string          `json:"status"`
+	WallNS   int64           `json:"wall_ns"`
+	Ops      uint64          `json:"ops,omitempty"`
+	Degraded bool            `json:"degraded,omitempty"`
+	Budget   []string        `json:"budget,omitempty"`
+	SpanID   uint64          `json:"span_id,omitempty"`
+	Report   json.RawMessage `json:"report,omitempty"`
+}
+
+// JobError is the structured failure attached to a job.
+type JobError struct {
+	Message string `json:"message"`
+	// Terminal marks failures that retrying cannot fix (validation
+	// errors, deterministic budget exhaustion); the pool quarantines
+	// instead of retrying.
+	Terminal bool `json:"terminal"`
+	// Budget carries the structured *budget.Error when the failure was
+	// a resource exhaustion.
+	Budget *budget.Error `json:"budget,omitempty"`
+	// SpanID correlates the failing attempt with its trace.
+	SpanID uint64 `json:"span_id,omitempty"`
+	// Attempt is the attempt number that produced this error.
+	Attempt int `json:"attempt,omitempty"`
+}
+
+func (e *JobError) Error() string { return e.Message }
+
+// ErrRetryable marks an error chain as transient: the pool retries it
+// (until attempts run out) even though it is not a timeout.  Wrap with
+// fmt.Errorf("...: %w", jobstore.ErrRetryable) or errors.Join.
+var ErrRetryable = errors.New("retryable")
+
+// Retryable classifies an execution error: wall-clock timeouts and
+// cancellations are worth retrying (the machine was busy, the daemon
+// was shutting down), as is anything explicitly marked ErrRetryable
+// (panic recoveries, injected faults at persistence boundaries).
+// Everything else — validation errors, deterministic step/event budget
+// exhaustion — is terminal: the same program will fail the same way on
+// every attempt.
+func Retryable(err error) bool {
+	if errors.Is(err, ErrRetryable) {
+		return true
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	if be, ok := budget.AsError(err); ok {
+		return be.Timeout() || be.Canceled()
+	}
+	return false
+}
+
+// NewJobError builds the persisted form of an execution error.
+func NewJobError(err error, attempt int, spanID uint64) *JobError {
+	je := &JobError{
+		Message:  err.Error(),
+		Terminal: !Retryable(err),
+		SpanID:   spanID,
+		Attempt:  attempt,
+	}
+	if be, ok := budget.AsError(err); ok {
+		je.Budget = be
+	}
+	return je
+}
+
+// JobSummary is the list form served by GET /v1/jobs.
+type JobSummary struct {
+	ID        string    `json:"id"`
+	Kind      string    `json:"kind"`
+	Name      string    `json:"name"`
+	State     State     `json:"state"`
+	Attempts  int       `json:"attempts"`
+	Submitted time.Time `json:"submitted_at"`
+	Finished  time.Time `json:"finished_at,omitempty"`
+	NextRunAt time.Time `json:"next_run_at,omitempty"`
+	Error     string    `json:"error,omitempty"`
+	Degraded  bool      `json:"degraded,omitempty"`
+	WallNS    int64     `json:"wall_ns,omitempty"`
+}
+
+// Summary renders the job's list form.
+func (j *Job) Summary() JobSummary {
+	s := JobSummary{
+		ID: j.ID, Kind: j.Kind, Name: j.Name(), State: j.State,
+		Attempts: j.Attempts, Submitted: j.SubmittedAt,
+		Finished: j.FinishedAt, NextRunAt: j.NextRunAt,
+	}
+	if j.Error != nil {
+		s.Error = j.Error.Message
+	}
+	if j.Result != nil {
+		s.Degraded = j.Result.Degraded
+		s.WallNS = j.Result.WallNS
+	}
+	return s
+}
+
+// ParseState validates a state filter string.
+func ParseState(s string) (State, error) {
+	for _, st := range States() {
+		if string(st) == s {
+			return st, nil
+		}
+	}
+	return "", fmt.Errorf("jobstore: unknown state %q (want queued|running|succeeded|failed)", s)
+}

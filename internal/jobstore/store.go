@@ -1,0 +1,613 @@
+package jobstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"polyprof/internal/obs"
+)
+
+// record is the WAL envelope.  Every state transition of every job is
+// one record; replay folds them, last writer wins per job.
+type record struct {
+	// T is the record type: "submit", "state", or "hist".
+	T string `json:"t"`
+	// Job is the full job at submission time (T == "submit").
+	Job *Job `json:"job,omitempty"`
+	// ID/State/... describe a transition (T == "state").
+	ID        string    `json:"id,omitempty"`
+	State     State     `json:"state,omitempty"`
+	Attempts  int       `json:"attempts,omitempty"`
+	At        time.Time `json:"at,omitempty"`
+	NextRunAt time.Time `json:"next_run_at,omitempty"`
+	Error     *JobError `json:"error,omitempty"`
+	Result    *Result   `json:"result,omitempty"`
+	// Hist is one request-history entry (T == "hist"), an opaque blob
+	// owned by the serving layer.
+	Hist json.RawMessage `json:"hist,omitempty"`
+}
+
+// snapshot is the compacted on-disk state: everything the WAL records
+// of earlier generations said, folded.
+type snapshot struct {
+	Gen     uint64            `json:"gen"`
+	Seq     uint64            `json:"seq"`
+	Jobs    []*Job            `json:"jobs"`
+	History []json.RawMessage `json:"history,omitempty"`
+}
+
+// Options tunes a Store.
+type Options struct {
+	// SnapshotEvery compacts the WAL after this many appended records
+	// (default 256; negative disables automatic compaction).
+	SnapshotEvery int
+	// MaxHistory bounds the persisted request-history entries kept in
+	// memory and in snapshots (default 256).
+	MaxHistory int
+	// Registry receives job-state gauges, retry counters and the
+	// WAL-fsync histogram (default obs.Default).
+	Registry *obs.Registry
+	// Logf receives replay warnings and lifecycle lines (nil to
+	// disable).
+	Logf func(format string, args ...any)
+}
+
+// Store is the durable job store: an in-memory map of jobs whose every
+// transition is WAL-appended and fsynced before it is acknowledged.
+// All methods are safe for concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+	reg  *obs.Registry
+
+	mu      sync.Mutex
+	wal     *wal
+	walPath string
+	gen     uint64
+	appends int // records since the last snapshot
+	seq     uint64
+	jobs    map[string]*Job
+	order   []string // submission order
+	history []json.RawMessage
+	closed  bool
+}
+
+// Open loads (or initializes) a store under dir: it reads the latest
+// snapshot, replays every surviving WAL generation on top of it,
+// truncates any torn tail, and re-enqueues jobs that were running at
+// crash time.  The returned recovered list holds the jobs needing
+// (re-)execution — queued and formerly-running — in submission order.
+func Open(dir string, opts Options) (*Store, []*Job, error) {
+	if opts.SnapshotEvery == 0 {
+		opts.SnapshotEvery = 256
+	}
+	if opts.MaxHistory <= 0 {
+		opts.MaxHistory = 256
+	}
+	if opts.Registry == nil {
+		opts.Registry = obs.Default
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	s := &Store{
+		dir:  dir,
+		opts: opts,
+		reg:  opts.Registry,
+		jobs: map[string]*Job{},
+	}
+	if err := s.load(); err != nil {
+		return nil, nil, err
+	}
+
+	// Crash recovery: a job that was running when the daemon died goes
+	// back to the queue; its report will be identical to an
+	// uninterrupted run because the pipeline is deterministic.
+	var recovered []*Job
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j.State == StateRunning {
+			j.State = StateQueued
+			s.logf("jobstore: job %s was running at crash time; re-enqueued (attempt %d)", j.ID, j.Attempts)
+		}
+		if j.State == StateQueued {
+			recovered = append(recovered, j.Clone())
+		}
+	}
+	// Persist the re-enqueue so a crash before the next transition does
+	// not replay stale running states, then open the next generation's
+	// append handle via a compaction.
+	if err := s.compactLocked(); err != nil {
+		return nil, nil, err
+	}
+	s.publishGauges()
+	return s, recovered, nil
+}
+
+// load reads snapshot + WAL generations into memory and opens the
+// current generation for append.
+func (s *Store) load() error {
+	snapPath := filepath.Join(s.dir, "snapshot.json")
+	if data, err := os.ReadFile(snapPath); err == nil {
+		var snap snapshot
+		if err := json.Unmarshal(data, &snap); err != nil {
+			// A corrupt snapshot loses the state it compacted; WAL
+			// generations still on disk are replayed below.
+			s.logf("jobstore: %s is corrupt (%v); starting from the surviving WAL generations", snapPath, err)
+			s.reg.Add("jobstore.snapshot.corrupt", 1)
+		} else {
+			s.gen = snap.Gen
+			s.seq = snap.Seq
+			for _, j := range snap.Jobs {
+				s.jobs[j.ID] = j
+				s.order = append(s.order, j.ID)
+			}
+			s.history = snap.History
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+
+	// Replay WAL generations >= the snapshot's, oldest first.  Older
+	// generations already folded into the snapshot are ignored (a crash
+	// between snapshot rename and old-WAL unlink leaves them behind).
+	gens, err := s.walGenerations()
+	if err != nil {
+		return err
+	}
+	for _, g := range gens {
+		path := s.walFile(g)
+		if g < s.gen {
+			continue
+		}
+		good, skipped, err := replayWAL(path, s.applyRecord, s.logf)
+		if err != nil {
+			return err
+		}
+		if skipped > 0 {
+			s.reg.Add("jobstore.replay.skipped", uint64(skipped))
+		}
+		if err := truncateTail(path, good); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// applyRecord folds one replayed WAL record into memory.
+func (s *Store) applyRecord(payload []byte) {
+	var rec record
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		s.logf("jobstore: skipping undecodable WAL record (%v)", err)
+		s.reg.Add("jobstore.replay.skipped", 1)
+		return
+	}
+	switch rec.T {
+	case "submit":
+		if rec.Job == nil || rec.Job.ID == "" {
+			return
+		}
+		if _, ok := s.jobs[rec.Job.ID]; !ok {
+			s.order = append(s.order, rec.Job.ID)
+		}
+		s.jobs[rec.Job.ID] = rec.Job
+		if n := jobSeq(rec.Job.ID); n > s.seq {
+			s.seq = n
+		}
+	case "state":
+		j, ok := s.jobs[rec.ID]
+		if !ok {
+			s.logf("jobstore: state record for unknown job %s; skipping", rec.ID)
+			return
+		}
+		if j.State.Terminal() {
+			// Never regress a terminal job: this is what makes replay
+			// idempotent and forbids double-completion.
+			return
+		}
+		j.State = rec.State
+		if rec.Attempts > 0 {
+			j.Attempts = rec.Attempts
+		}
+		j.NextRunAt = rec.NextRunAt
+		j.Error = rec.Error
+		j.Result = rec.Result
+		switch rec.State {
+		case StateRunning:
+			j.StartedAt = rec.At
+		case StateSucceeded, StateFailed:
+			j.FinishedAt = rec.At
+		}
+	case "hist":
+		s.pushHistory(rec.Hist)
+	default:
+		s.logf("jobstore: unknown WAL record type %q; skipping", rec.T)
+	}
+}
+
+func jobSeq(id string) uint64 {
+	n, _ := strconv.ParseUint(strings.TrimPrefix(id, "job-"), 10, 64)
+	return n
+}
+
+func (s *Store) walFile(gen uint64) string {
+	return filepath.Join(s.dir, fmt.Sprintf("wal.%06d.log", gen))
+}
+
+// walGenerations lists the on-disk WAL generation numbers, sorted.
+func (s *Store) walGenerations() ([]uint64, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var gens []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "wal.") || !strings.HasSuffix(name, ".log") {
+			continue
+		}
+		g, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "wal."), ".log"), 10, 64)
+		if err != nil {
+			continue
+		}
+		gens = append(gens, g)
+	}
+	sort.Slice(gens, func(i, j int) bool { return gens[i] < gens[j] })
+	return gens, nil
+}
+
+func (s *Store) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// append writes one record through the WAL (fsynced) and triggers
+// compaction when due.  Callers hold s.mu.
+func (s *Store) appendLocked(rec record) error {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	if s.wal == nil {
+		return fmt.Errorf("jobstore: store is closed")
+	}
+	if err := s.wal.append(payload); err != nil {
+		return err
+	}
+	s.appends++
+	if s.opts.SnapshotEvery > 0 && s.appends >= s.opts.SnapshotEvery {
+		if err := s.compactLocked(); err != nil {
+			// Compaction failure is not fatal: the WAL keeps growing
+			// and keeps every record, so durability is unaffected.
+			s.logf("jobstore: snapshot compaction failed: %v", err)
+			s.appends = 0
+		}
+	}
+	return nil
+}
+
+// compactLocked writes a snapshot of the current state and rolls the
+// WAL to the next generation:
+//
+//  1. create the next generation's (empty) WAL file,
+//  2. atomically replace snapshot.json (tmp + fsync + rename),
+//  3. switch appends to the new generation and unlink old WAL files.
+//
+// A crash between any of these steps recovers: before (2) the old
+// snapshot + old WALs are authoritative (the new empty WAL replays as
+// nothing); after (2) the new snapshot covers everything and leftover
+// old WALs are ignored by generation.
+func (s *Store) compactLocked() error {
+	if err := snapshotFault.Hit(); err != nil {
+		return fmt.Errorf("jobstore: snapshot: %w", err)
+	}
+	nextGen := s.gen + 1
+	nw, err := openWAL(s.walFile(nextGen), s.reg)
+	if err != nil {
+		return err
+	}
+
+	snap := snapshot{Gen: nextGen, Seq: s.seq, History: s.history}
+	for _, id := range s.order {
+		snap.Jobs = append(snap.Jobs, s.jobs[id])
+	}
+	data, err := json.Marshal(&snap)
+	if err != nil {
+		nw.close()
+		return err
+	}
+	snapPath := filepath.Join(s.dir, "snapshot.json")
+	tmp := snapPath + ".tmp"
+	if err := writeFileSync(tmp, data); err != nil {
+		nw.close()
+		return err
+	}
+	if err := os.Rename(tmp, snapPath); err != nil {
+		nw.close()
+		return err
+	}
+
+	oldGen := s.gen
+	if s.wal != nil {
+		s.wal.close()
+	}
+	s.wal, s.walPath, s.gen, s.appends = nw, s.walFile(nextGen), nextGen, 0
+	// Old generations are now folded into the snapshot; best-effort
+	// cleanup (leftovers are ignored by generation on the next open).
+	if gens, err := s.walGenerations(); err == nil {
+		for _, g := range gens {
+			if g <= oldGen {
+				os.Remove(s.walFile(g))
+			}
+		}
+	}
+	s.reg.Add("jobstore.snapshots", 1)
+	return nil
+}
+
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Submit persists a new job and acknowledges it: when Submit returns
+// nil the job's submit record is on disk (fsynced) and will survive
+// kill -9.  The job's ID and initial state are filled in.
+func (s *Store) Submit(j *Job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	j.ID = fmt.Sprintf("job-%d", s.seq)
+	j.State = StateQueued
+	j.SubmittedAt = time.Now().UTC()
+	if err := s.appendLocked(record{T: "submit", Job: j}); err != nil {
+		// Not acknowledged: forget the job (and give the sequence
+		// number up; ids are unique, not dense).
+		return err
+	}
+	s.jobs[j.ID] = j.Clone()
+	s.order = append(s.order, j.ID)
+	s.reg.Add("jobs.submitted", 1)
+	s.publishGauges()
+	return nil
+}
+
+// Start claims a queued job for execution, incrementing its attempt
+// counter.  It fails if the job is not queued (double-dispatch guard).
+// A WAL append failure does not block the attempt: the in-memory state
+// advances and the next transition will persist it — at worst a crash
+// replays the job as queued and it re-runs, which is the safe
+// direction.
+func (s *Store) Start(id string) (attempt int, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return 0, fmt.Errorf("jobstore: unknown job %s", id)
+	}
+	if j.State != StateQueued {
+		return 0, fmt.Errorf("jobstore: job %s is %s, not queued", id, j.State)
+	}
+	j.State = StateRunning
+	j.Attempts++
+	j.StartedAt = time.Now().UTC()
+	j.NextRunAt = time.Time{}
+	if werr := s.appendLocked(record{
+		T: "state", ID: id, State: StateRunning, Attempts: j.Attempts, At: j.StartedAt,
+	}); werr != nil {
+		s.logf("jobstore: job %s: start record not persisted (%v); continuing", id, werr)
+	}
+	s.publishGauges()
+	return j.Attempts, nil
+}
+
+// Complete marks a job succeeded.  When Complete returns nil the
+// completion record is fsynced: a restart will serve the result from
+// disk and never re-run the job.  On append failure the job is
+// re-queued in memory (err is returned) so a re-run — deterministic —
+// can complete it later.
+func (s *Store) Complete(id string, res *Result) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return fmt.Errorf("jobstore: unknown job %s", id)
+	}
+	if j.State.Terminal() {
+		return fmt.Errorf("jobstore: job %s already %s; refusing double completion", id, j.State)
+	}
+	now := time.Now().UTC()
+	if err := s.appendLocked(record{
+		T: "state", ID: id, State: StateSucceeded, At: now, Result: res,
+	}); err != nil {
+		j.State = StateQueued
+		s.publishGauges()
+		return err
+	}
+	j.State = StateSucceeded
+	j.FinishedAt = now
+	j.Result = res
+	j.Error = nil
+	s.reg.Add("jobs.completed", 1)
+	s.publishGauges()
+	return nil
+}
+
+// Retry re-queues a failed attempt for execution at nextRun (backoff).
+// Persistence is best-effort: losing the record merely replays the job
+// as running → re-enqueued, which is where we are anyway.
+func (s *Store) Retry(id string, jerr *JobError, nextRun time.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return fmt.Errorf("jobstore: unknown job %s", id)
+	}
+	if j.State.Terminal() {
+		return fmt.Errorf("jobstore: job %s already %s", id, j.State)
+	}
+	j.State = StateQueued
+	j.Error = jerr
+	j.NextRunAt = nextRun
+	if werr := s.appendLocked(record{
+		T: "state", ID: id, State: StateQueued, Attempts: j.Attempts,
+		Error: jerr, NextRunAt: nextRun,
+	}); werr != nil {
+		s.logf("jobstore: job %s: retry record not persisted (%v); continuing", id, werr)
+	}
+	s.reg.Add("jobs.retries", 1)
+	s.publishGauges()
+	return nil
+}
+
+// Quarantine marks a job terminally failed (poison or terminal error),
+// keeping its last error and span id.
+func (s *Store) Quarantine(id string, jerr *JobError) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return fmt.Errorf("jobstore: unknown job %s", id)
+	}
+	if j.State.Terminal() {
+		return fmt.Errorf("jobstore: job %s already %s", id, j.State)
+	}
+	now := time.Now().UTC()
+	j.State = StateFailed
+	j.Error = jerr
+	j.FinishedAt = now
+	if werr := s.appendLocked(record{
+		T: "state", ID: id, State: StateFailed, Attempts: j.Attempts, At: now, Error: jerr,
+	}); werr != nil {
+		s.logf("jobstore: job %s: quarantine record not persisted (%v); continuing", id, werr)
+	}
+	s.reg.Add("jobs.quarantined", 1)
+	s.publishGauges()
+	return nil
+}
+
+// Get returns a copy of the job, or nil.
+func (s *Store) Get(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil
+	}
+	return j.Clone()
+}
+
+// List returns job summaries, newest submission first, optionally
+// filtered by state ("" for all).
+func (s *Store) List(state State) []JobSummary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobSummary, 0, len(s.order))
+	for i := len(s.order) - 1; i >= 0; i-- {
+		j := s.jobs[s.order[i]]
+		if state != "" && j.State != state {
+			continue
+		}
+		out = append(out, j.Summary())
+	}
+	return out
+}
+
+// AppendHistory persists one request-history entry (an opaque blob
+// owned by the serving layer) through the WAL.
+func (s *Store) AppendHistory(blob json.RawMessage) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.appendLocked(record{T: "hist", Hist: blob}); err != nil {
+		return err
+	}
+	s.pushHistory(blob)
+	return nil
+}
+
+func (s *Store) pushHistory(blob json.RawMessage) {
+	if len(blob) == 0 {
+		return
+	}
+	s.history = append(s.history, blob)
+	if len(s.history) > s.opts.MaxHistory {
+		s.history = s.history[len(s.history)-s.opts.MaxHistory:]
+	}
+}
+
+// History returns the persisted request-history blobs, oldest first.
+func (s *Store) History() []json.RawMessage {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]json.RawMessage, len(s.history))
+	copy(out, s.history)
+	return out
+}
+
+// Counts returns the number of jobs per state.
+func (s *Store) Counts() map[State]int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.countsLocked()
+}
+
+func (s *Store) countsLocked() map[State]int {
+	counts := map[State]int{}
+	for _, j := range s.jobs {
+		counts[j.State]++
+	}
+	return counts
+}
+
+// publishGauges pushes the per-state job gauges.  Callers hold s.mu.
+func (s *Store) publishGauges() {
+	counts := s.countsLocked()
+	for _, st := range States() {
+		s.reg.SetGauge("jobs."+string(st), int64(counts[st]))
+	}
+}
+
+// Snapshot forces a compaction (tests, shutdown).
+func (s *Store) Snapshot() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactLocked()
+}
+
+// Close compacts and releases the WAL handle.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.compactLocked()
+	if s.wal != nil {
+		s.wal.close()
+		s.wal = nil
+	}
+	return err
+}
+
+// Dir returns the store's data directory.
+func (s *Store) Dir() string { return s.dir }

@@ -1,0 +1,343 @@
+package jobstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"polyprof/internal/obs"
+)
+
+func testOpen(t *testing.T, dir string) (*Store, []*Job) {
+	t.Helper()
+	s, recovered, err := Open(dir, Options{Registry: obs.NewRegistry(), Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, recovered
+}
+
+// TestStoreSubmitGetList: the basic lifecycle without restarts.
+func TestStoreSubmitGetList(t *testing.T) {
+	s, _ := testOpen(t, t.TempDir())
+	defer s.Close()
+
+	j := &Job{Kind: KindWorkload, Workload: "example1"}
+	if err := s.Submit(j); err != nil {
+		t.Fatal(err)
+	}
+	if j.ID == "" || j.State != StateQueued {
+		t.Fatalf("submitted job = %+v", j)
+	}
+	attempt, err := s.Start(j.ID)
+	if err != nil || attempt != 1 {
+		t.Fatalf("start = %d, %v", attempt, err)
+	}
+	if _, err := s.Start(j.ID); err == nil {
+		t.Fatal("double start accepted")
+	}
+	res := &Result{Status: "ok", Report: json.RawMessage(`{"x":1}`)}
+	if err := s.Complete(j.ID, res); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Complete(j.ID, res); err == nil {
+		t.Fatal("double completion accepted")
+	}
+	got := s.Get(j.ID)
+	if got.State != StateSucceeded || got.Result == nil || string(got.Result.Report) != `{"x":1}` {
+		t.Fatalf("job after completion = %+v", got)
+	}
+	if l := s.List(StateSucceeded); len(l) != 1 || l[0].ID != j.ID {
+		t.Fatalf("list(succeeded) = %+v", l)
+	}
+	if l := s.List(StateQueued); len(l) != 0 {
+		t.Fatalf("list(queued) = %+v", l)
+	}
+}
+
+// TestStoreRestartDurability: acknowledged jobs — queued, running,
+// succeeded, failed — survive a reopen with the right states: running
+// re-enqueues, terminal states stay terminal with their payloads.
+func TestStoreRestartDurability(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := testOpen(t, dir)
+
+	mk := func() *Job {
+		j := &Job{Kind: KindWorkload, Workload: "example1"}
+		if err := s.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+	queued := mk()
+	running := mk()
+	done := mk()
+	failed := mk()
+	if _, err := s.Start(running.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Start(done.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Complete(done.ID, &Result{Status: "ok", Report: json.RawMessage(`{"r":2}`)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Start(failed.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Quarantine(failed.ID, &JobError{Message: "poison", Terminal: true, Attempt: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// No Close: simulate a crash by just reopening the directory.
+	s2, recovered := testOpen(t, dir)
+	defer s2.Close()
+
+	if got := s2.Get(queued.ID); got == nil || got.State != StateQueued {
+		t.Fatalf("queued job after crash = %+v", got)
+	}
+	if got := s2.Get(running.ID); got == nil || got.State != StateQueued || got.Attempts != 1 {
+		t.Fatalf("running job after crash = %+v", got)
+	}
+	if got := s2.Get(done.ID); got == nil || got.State != StateSucceeded || string(got.Result.Report) != `{"r":2}` {
+		t.Fatalf("succeeded job after crash = %+v", got)
+	}
+	if got := s2.Get(failed.ID); got == nil || got.State != StateFailed || got.Error == nil || got.Error.Message != "poison" {
+		t.Fatalf("failed job after crash = %+v", got)
+	}
+	ids := map[string]bool{}
+	for _, j := range recovered {
+		ids[j.ID] = true
+	}
+	if !ids[queued.ID] || !ids[running.ID] || ids[done.ID] || ids[failed.ID] {
+		t.Fatalf("recovered set = %v", ids)
+	}
+	// New submissions must not collide with pre-crash ids.
+	nj := &Job{Kind: KindWorkload, Workload: "example1"}
+	if err := s2.Submit(nj); err != nil {
+		t.Fatal(err)
+	}
+	for _, old := range []string{queued.ID, running.ID, done.ID, failed.ID} {
+		if nj.ID == old {
+			t.Fatalf("id %s reused after crash", nj.ID)
+		}
+	}
+}
+
+// TestStoreSnapshotCompaction: compaction folds the WAL into
+// snapshot.json, drops old generations, and the result reopens
+// identically — including after repeated cycles.
+func TestStoreSnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(dir, Options{SnapshotEvery: 4, Registry: obs.NewRegistry(), Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	for i := 0; i < 10; i++ {
+		j := &Job{Kind: KindWorkload, Workload: "example1"}
+		if err := s.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Start(j.ID); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Complete(j.ID, &Result{Status: "ok", WallNS: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// After Close-time compaction only the snapshot and one fresh WAL
+	// generation should remain.
+	entries, _ := os.ReadDir(dir)
+	var wals int
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "wal.") {
+			wals++
+		}
+	}
+	if wals != 1 {
+		names := []string{}
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Fatalf("want exactly 1 WAL generation after compaction, have %v", names)
+	}
+
+	s2, recovered := testOpen(t, dir)
+	defer s2.Close()
+	if len(recovered) != 0 {
+		t.Fatalf("recovered = %v, want none", recovered)
+	}
+	for i, id := range ids {
+		j := s2.Get(id)
+		if j == nil || j.State != StateSucceeded || j.Result.WallNS != int64(i) {
+			t.Fatalf("job %s after compacted reopen = %+v", id, j)
+		}
+	}
+}
+
+// TestStoreTornTailRecovery: a crash that tears the last WAL record
+// loses only that unacknowledged record; everything fsynced before it
+// survives and the torn bytes are truncated away.
+func TestStoreTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := testOpen(t, dir)
+	j := &Job{Kind: KindWorkload, Workload: "example1"}
+	if err := s.Submit(j); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the active generation by appending garbage (a partial write
+	// the crash never finished).
+	gens, err := s.walGenerations()
+	if err != nil || len(gens) == 0 {
+		t.Fatalf("generations: %v %v", gens, err)
+	}
+	active := s.walFile(gens[len(gens)-1])
+	f, err := os.OpenFile(active, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0x13, 0x37, 0xbe})
+	f.Close()
+
+	s2, recovered := testOpen(t, dir)
+	defer s2.Close()
+	if got := s2.Get(j.ID); got == nil || got.State != StateQueued {
+		t.Fatalf("job after torn tail = %+v", got)
+	}
+	if len(recovered) != 1 || recovered[0].ID != j.ID {
+		t.Fatalf("recovered = %+v", recovered)
+	}
+}
+
+// TestStoreHistoryPersists: request-history blobs ride the same WAL and
+// reappear after a reopen, bounded by MaxHistory.
+func TestStoreHistoryPersists(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(dir, Options{MaxHistory: 3, Registry: obs.NewRegistry(), Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		blob := json.RawMessage(fmt.Sprintf(`{"id":"req-%d"}`, i))
+		if err := s.AppendHistory(blob); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := testOpen(t, dir)
+	defer s2.Close()
+	hist := s2.History()
+	if len(hist) != 3 {
+		t.Fatalf("history length = %d, want 3 (bounded)", len(hist))
+	}
+	if string(hist[2]) != `{"id":"req-4"}` || string(hist[0]) != `{"id":"req-2"}` {
+		t.Fatalf("history = %v", hist)
+	}
+}
+
+// TestStoreCorruptSnapshotFallsBack: a trashed snapshot.json degrades
+// to replaying the surviving WAL generations instead of failing open.
+func TestStoreCorruptSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := testOpen(t, dir)
+	j := &Job{Kind: KindWorkload, Workload: "example1"}
+	if err := s.Submit(j); err != nil {
+		t.Fatal(err)
+	}
+	// Submit lives in the current WAL generation; corrupt the snapshot
+	// written at Open time.
+	if err := os.WriteFile(filepath.Join(dir, "snapshot.json"), []byte("not json{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, recovered := testOpen(t, dir)
+	defer s2.Close()
+	if got := s2.Get(j.ID); got == nil || got.State != StateQueued {
+		t.Fatalf("job after snapshot corruption = %+v", got)
+	}
+	if len(recovered) != 1 {
+		t.Fatalf("recovered = %+v", recovered)
+	}
+}
+
+// TestRetryClassification: the error taxonomy the pool relies on.
+func TestRetryClassification(t *testing.T) {
+	if !Retryable(fmt.Errorf("wrapped: %w", ErrRetryable)) {
+		t.Fatal("ErrRetryable chain not retryable")
+	}
+	if Retryable(fmt.Errorf("validation: bad register")) {
+		t.Fatal("plain error retryable")
+	}
+	je := NewJobError(fmt.Errorf("program rejected: bad block"), 2, 7)
+	if !je.Terminal || je.Attempt != 2 || je.SpanID != 7 {
+		t.Fatalf("job error = %+v", je)
+	}
+	if je2 := NewJobError(fmt.Errorf("x: %w", ErrRetryable), 1, 0); je2.Terminal {
+		t.Fatalf("retryable error marked terminal: %+v", je2)
+	}
+}
+
+// TestParseState rejects unknown filters.
+func TestParseState(t *testing.T) {
+	if st, err := ParseState("queued"); err != nil || st != StateQueued {
+		t.Fatalf("ParseState(queued) = %v, %v", st, err)
+	}
+	if _, err := ParseState("exploded"); err == nil {
+		t.Fatal("ParseState accepted garbage")
+	}
+}
+
+// TestStoreGaugesAndCounters: the obs wiring the issue asks for —
+// per-state gauges and lifecycle counters move with the jobs.
+func TestStoreGaugesAndCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.SetEnabled(true)
+	s, _, err := Open(t.TempDir(), Options{Registry: reg, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	j := &Job{Kind: KindWorkload, Workload: "example1"}
+	if err := s.Submit(j); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Gauge("jobs.queued").Value(); got != 1 {
+		t.Fatalf("jobs.queued = %d, want 1", got)
+	}
+	if _, err := s.Start(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Gauge("jobs.running").Value(); got != 1 {
+		t.Fatalf("jobs.running = %d, want 1", got)
+	}
+	if err := s.Retry(j.ID, &JobError{Message: "transient"}, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("jobs.retries").Value(); got != 1 {
+		t.Fatalf("jobs.retries = %d, want 1", got)
+	}
+	if _, err := s.Start(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Complete(j.ID, &Result{Status: "ok"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Gauge("jobs.succeeded").Value(); got != 1 {
+		t.Fatalf("jobs.succeeded = %d, want 1", got)
+	}
+	if got := reg.Counter("jobstore.wal.records").Value(); got == 0 {
+		t.Fatal("jobstore.wal.records never incremented")
+	}
+	if h := reg.Histogram("jobstore.wal.fsync_ns"); h == nil || h.Count() == 0 {
+		t.Fatal("jobstore.wal.fsync_ns histogram empty")
+	}
+}

@@ -1,0 +1,155 @@
+package jobstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"time"
+
+	"polyprof/internal/faultinject"
+	"polyprof/internal/obs"
+)
+
+// Fault points at every persistence boundary, so the chaos suite can
+// prove a daemon killed mid-append, mid-fsync, mid-snapshot or
+// mid-replay recovers without losing an acknowledged job.
+var (
+	walAppendFault = faultinject.Point("jobstore.wal.append")
+	walSyncFault   = faultinject.Point("jobstore.wal.sync")
+	snapshotFault  = faultinject.Point("jobstore.snapshot")
+	replayFault    = faultinject.Point("jobstore.replay")
+)
+
+// WAL record framing: little-endian u32 payload length, u32 IEEE CRC32
+// of the payload, then the payload bytes.  No record spans frames; a
+// frame that does not fit the remaining file is a torn tail.
+const (
+	walHeaderSize = 8
+	// MaxWALRecord bounds one record; a frame claiming more is treated
+	// as corruption (a torn or overwritten length field), not an
+	// instruction to allocate gigabytes.
+	MaxWALRecord = 16 << 20
+)
+
+// wal is the append handle of one WAL generation file.
+type wal struct {
+	f   *os.File
+	reg *obs.Registry
+}
+
+func openWAL(path string, reg *obs.Registry) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &wal{f: f, reg: reg}, nil
+}
+
+// append frames, writes and fsyncs one record.  The record is written
+// with a single Write call so a crash tears at most the tail of this
+// record, never an earlier one.
+func (w *wal) append(payload []byte) error {
+	if err := walAppendFault.Hit(); err != nil {
+		return fmt.Errorf("jobstore: wal append: %w", err)
+	}
+	if len(payload) > MaxWALRecord {
+		return fmt.Errorf("jobstore: wal record of %d bytes exceeds the %d limit", len(payload), MaxWALRecord)
+	}
+	buf := make([]byte, walHeaderSize+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	copy(buf[walHeaderSize:], payload)
+	if _, err := w.f.Write(buf); err != nil {
+		return fmt.Errorf("jobstore: wal write: %w", err)
+	}
+	if err := walSyncFault.Hit(); err != nil {
+		return fmt.Errorf("jobstore: wal sync: %w", err)
+	}
+	start := time.Now()
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("jobstore: wal fsync: %w", err)
+	}
+	if w.reg != nil {
+		w.reg.Observe("jobstore.wal.fsync_ns", uint64(time.Since(start)))
+		w.reg.Add("jobstore.wal.records", 1)
+	}
+	return nil
+}
+
+func (w *wal) close() error { return w.f.Close() }
+
+// replayWAL reads every intact record of the file at path, calling
+// apply for each payload.  Corruption never aborts the replay:
+//
+//   - a CRC mismatch on a plausibly-framed record skips that record
+//     with a warning and continues (a later fsynced record is still
+//     good even if an earlier page was lost);
+//   - a torn tail — truncated header, length beyond the remaining
+//     bytes, or a length past MaxWALRecord — ends the replay with a
+//     warning, keeping everything before it.
+//
+// It returns the byte offset of the last intact frame boundary, so the
+// caller can truncate the torn tail before appending new records, and
+// the number of records skipped or torn.
+func replayWAL(path string, apply func(payload []byte), warnf func(format string, args ...any)) (goodOffset int64, skipped int, err error) {
+	if err := replayFault.Hit(); err != nil {
+		return 0, 0, fmt.Errorf("jobstore: wal replay: %w", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, 0, nil
+		}
+		return 0, 0, err
+	}
+	off := int64(0)
+	for {
+		rest := data[off:]
+		if len(rest) == 0 {
+			return off, skipped, nil
+		}
+		if len(rest) < walHeaderSize {
+			warnf("jobstore: %s: torn record header at offset %d (%d trailing bytes); truncating", path, off, len(rest))
+			return off, skipped + 1, nil
+		}
+		length := binary.LittleEndian.Uint32(rest[0:4])
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		if length > MaxWALRecord || int64(length) > int64(len(rest)-walHeaderSize) {
+			warnf("jobstore: %s: torn record at offset %d (claims %d bytes, %d remain); truncating", path, off, length, len(rest)-walHeaderSize)
+			return off, skipped + 1, nil
+		}
+		payload := rest[walHeaderSize : walHeaderSize+int(length)]
+		if crc32.ChecksumIEEE(payload) != sum {
+			warnf("jobstore: %s: CRC mismatch at offset %d (%d bytes); skipping record", path, off, length)
+			skipped++
+		} else {
+			apply(payload)
+		}
+		off += walHeaderSize + int64(length)
+	}
+}
+
+// truncateTail drops a torn tail so new appends start at a clean frame
+// boundary.
+func truncateTail(path string, goodOffset int64) error {
+	fi, err := os.Stat(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	if fi.Size() <= goodOffset {
+		return nil
+	}
+	return os.Truncate(path, goodOffset)
+}
+
+// copyOf is a small helper for callers that must retain a payload past
+// the replay callback.
+func copyOf(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}

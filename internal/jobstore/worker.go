@@ -1,0 +1,275 @@
+package jobstore
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"polyprof/internal/obs"
+)
+
+// Runner executes one attempt of one job.  It returns the persisted
+// result, or an error the pool classifies with Retryable.
+type Runner func(ctx context.Context, job *Job, attempt int) (*Result, error)
+
+// PoolOptions tunes the worker pool.
+type PoolOptions struct {
+	// Workers bounds concurrent job executions (default 2).
+	Workers int
+	// MaxAttempts quarantines a job after this many started attempts
+	// (default 3).  Crash-interrupted attempts count: the attempt
+	// counter is persisted at Start, so a job that reliably kills the
+	// daemon cannot crash-loop it forever.
+	MaxAttempts int
+	// BackoffBase is the first retry delay (default 250ms); each
+	// further attempt doubles it, capped at BackoffMax (default 30s),
+	// with jitter in [delay/2, delay).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Registry receives pool counters (default obs.Default).
+	Registry *obs.Registry
+	// Logf receives lifecycle lines (nil to disable).
+	Logf func(format string, args ...any)
+}
+
+// Pool executes queued jobs from a Store with bounded concurrency,
+// per-job retry with exponential backoff, and poison quarantine.
+type Pool struct {
+	store  *Store
+	run    Runner
+	opts   PoolOptions
+	reg    *obs.Registry
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	ready   []string // job ids whose NextRunAt has passed, FIFO
+	timers  map[string]*time.Timer
+	stopped bool
+
+	wg sync.WaitGroup
+}
+
+// NewPool builds a pool over store; call Start to begin executing.
+func NewPool(store *Store, run Runner, opts PoolOptions) *Pool {
+	if opts.Workers <= 0 {
+		opts.Workers = 2
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 3
+	}
+	if opts.BackoffBase <= 0 {
+		opts.BackoffBase = 250 * time.Millisecond
+	}
+	if opts.BackoffMax <= 0 {
+		opts.BackoffMax = 30 * time.Second
+	}
+	if opts.Registry == nil {
+		opts.Registry = obs.Default
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &Pool{
+		store: store, run: run, opts: opts, reg: opts.Registry,
+		ctx: ctx, cancel: cancel,
+		timers: map[string]*time.Timer{},
+	}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// Start launches the workers and enqueues the recovered jobs (the
+// queued + formerly-running jobs Open returned).
+func (p *Pool) Start(recovered []*Job) {
+	for i := 0; i < p.opts.Workers; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	for _, j := range recovered {
+		p.Enqueue(j.ID, j.NextRunAt)
+	}
+}
+
+// Enqueue schedules a job id for execution, not before notBefore
+// (zero for immediately).
+func (p *Pool) Enqueue(id string, notBefore time.Time) {
+	delay := time.Until(notBefore)
+	if delay <= 0 {
+		p.push(id)
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stopped {
+		return
+	}
+	if _, ok := p.timers[id]; ok {
+		return
+	}
+	p.timers[id] = time.AfterFunc(delay, func() {
+		p.mu.Lock()
+		delete(p.timers, id)
+		p.mu.Unlock()
+		p.push(id)
+	})
+}
+
+func (p *Pool) push(id string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stopped {
+		return
+	}
+	p.ready = append(p.ready, id)
+	p.cond.Signal()
+}
+
+// Stop halts intake, cancels in-flight attempts, and waits for the
+// workers to drain.
+func (p *Pool) Stop() {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.stopped = true
+	for id, t := range p.timers {
+		t.Stop()
+		delete(p.timers, id)
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.cancel()
+	p.wg.Wait()
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for len(p.ready) == 0 && !p.stopped {
+			p.cond.Wait()
+		}
+		if p.stopped {
+			p.mu.Unlock()
+			return
+		}
+		id := p.ready[0]
+		p.ready = p.ready[1:]
+		p.mu.Unlock()
+		p.execute(id)
+	}
+}
+
+// execute runs one attempt of one job and persists the outcome.  The
+// outer recover contains panics from the *persistence* calls (e.g. an
+// injected jobstore.wal.* fault in panic mode): the worker survives and
+// the job — still `running` on disk — is re-enqueued by the next
+// restart, exactly like a crash at that boundary.
+func (p *Pool) execute(id string) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.reg.Add("jobstore.pool.panics", 1)
+			p.logf("jobstore: pool: contained panic executing %s: %v", id, r)
+		}
+	}()
+	job := p.store.Get(id)
+	if job == nil || job.State != StateQueued {
+		return
+	}
+	attempt, err := p.store.Start(id)
+	if err != nil {
+		p.logf("jobstore: pool: %v", err)
+		return
+	}
+	job.Attempts = attempt
+
+	res, runErr := p.runAttempt(job, attempt)
+	if runErr == nil {
+		if cerr := p.store.Complete(id, res); cerr != nil {
+			// The result is computed but not durable; the store already
+			// re-queued the job in memory, so a re-run (deterministic)
+			// will produce it again.
+			p.logf("jobstore: job %s: completion not persisted (%v); re-queued", id, cerr)
+			p.Enqueue(id, time.Now().Add(p.backoff(attempt)))
+		}
+		return
+	}
+
+	jerr := NewJobError(runErr, attempt, spanIDOf(res))
+	if jerr.Terminal {
+		p.quarantine(id, jerr, "terminal error")
+		return
+	}
+	if attempt >= p.opts.MaxAttempts {
+		jerr.Terminal = true
+		jerr.Message = fmt.Sprintf("quarantined after %d attempts: %s", attempt, jerr.Message)
+		p.quarantine(id, jerr, "attempts exhausted")
+		return
+	}
+	// Shutdown cancellation is not a real failure: leave the job queued
+	// for the next process to pick up, without burning backoff time.
+	if p.ctx.Err() != nil {
+		if rerr := p.store.Retry(id, jerr, time.Time{}); rerr != nil {
+			p.logf("jobstore: job %s: %v", id, rerr)
+		}
+		return
+	}
+	delay := p.backoff(attempt)
+	next := time.Now().UTC().Add(delay)
+	if rerr := p.store.Retry(id, jerr, next); rerr != nil {
+		p.logf("jobstore: job %s: %v", id, rerr)
+		return
+	}
+	p.logf("jobstore: job %s attempt %d failed (%v); retrying in %s", id, attempt, runErr, delay.Round(time.Millisecond))
+	p.Enqueue(id, next)
+}
+
+// runAttempt invokes the Runner with panic containment: a panicking
+// attempt becomes a retryable error, not a dead worker.
+func (p *Pool) runAttempt(job *Job, attempt int) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("attempt panicked: %v: %w", r, ErrRetryable)
+		}
+	}()
+	return p.run(p.ctx, job, attempt)
+}
+
+func (p *Pool) quarantine(id string, jerr *JobError, why string) {
+	if qerr := p.store.Quarantine(id, jerr); qerr != nil {
+		p.logf("jobstore: job %s: %v", id, qerr)
+		return
+	}
+	p.logf("jobstore: job %s failed (%s): %s", id, why, jerr.Message)
+}
+
+// backoff computes the delay before retrying after the given attempt:
+// base * 2^(attempt-1) capped at max, jittered into [d/2, d) so
+// retries from a burst of failures spread out.
+func (p *Pool) backoff(attempt int) time.Duration {
+	d := p.opts.BackoffBase
+	for i := 1; i < attempt && d < p.opts.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > p.opts.BackoffMax {
+		d = p.opts.BackoffMax
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+func (p *Pool) logf(format string, args ...any) {
+	if p.opts.Logf != nil {
+		p.opts.Logf(format, args...)
+	}
+}
+
+func spanIDOf(res *Result) uint64 {
+	if res != nil {
+		return res.SpanID
+	}
+	return 0
+}

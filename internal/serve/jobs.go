@@ -1,0 +1,232 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"polyprof/internal/budget"
+	"polyprof/internal/core"
+	"polyprof/internal/feedback"
+	"polyprof/internal/isa"
+	"polyprof/internal/jobstore"
+	"polyprof/internal/obs"
+	"polyprof/internal/workloads"
+)
+
+// DefaultMaxProgramBytes caps a user-submitted program body; well under
+// jobstore.MaxWALRecord so the submit record always frames.
+const DefaultMaxProgramBytes = 8 << 20
+
+// recoverJSON keeps a panic out of a store operation (e.g. an injected
+// jobstore.wal.* fault in panic mode) from tearing the connection down:
+// the client gets a structured 500 and the daemon keeps serving.
+func (s *Server) recoverJSON(w http.ResponseWriter) {
+	if r := recover(); r != nil {
+		s.reg.Add("serve.panics", 1)
+		writeJSON(w, http.StatusInternalServerError, map[string]any{
+			"status": "panic",
+			"error":  fmt.Sprint(r),
+		})
+	}
+}
+
+// handleJobs serves the /v1/jobs collection: POST submits, GET lists.
+func (s *Server) handleJobs(w http.ResponseWriter, req *http.Request) {
+	defer s.recoverJSON(w)
+	if s.store == nil {
+		http.Error(w, "durable jobs are disabled; restart the daemon with -data-dir", http.StatusServiceUnavailable)
+		return
+	}
+	switch req.Method {
+	case http.MethodPost:
+		s.handleJobSubmit(w, req)
+	case http.MethodGet:
+		s.handleJobList(w, req)
+	default:
+		w.Header().Set("Allow", "POST, GET")
+		http.Error(w, "POST submits a job, GET lists jobs", http.StatusMethodNotAllowed)
+	}
+}
+
+// handleJobSubmit accepts either ?workload=<name> or a request body in
+// the internal/isa JSON encoding.  Submission is intentionally lax for
+// program bodies: any non-empty body is acknowledged and decoded by the
+// worker, so a hostile or malformed program ends as a `failed` job with
+// a structured terminal error rather than a lost 400 — the submission
+// record is the audit trail.
+func (s *Server) handleJobSubmit(w http.ResponseWriter, req *http.Request) {
+	job := &jobstore.Job{}
+	if name := req.URL.Query().Get("workload"); name != "" {
+		if workloads.ByName(name) == nil {
+			http.Error(w, fmt.Sprintf("unknown workload %q", name), http.StatusNotFound)
+			return
+		}
+		job.Kind = jobstore.KindWorkload
+		job.Workload = name
+	} else {
+		maxBytes := s.opts.MaxProgramBytes
+		if maxBytes <= 0 {
+			maxBytes = DefaultMaxProgramBytes
+		}
+		body, err := io.ReadAll(io.LimitReader(req.Body, maxBytes+1))
+		if err != nil {
+			http.Error(w, fmt.Sprintf("reading program body: %v", err), http.StatusBadRequest)
+			return
+		}
+		if len(body) == 0 {
+			http.Error(w, "submit with ?workload=<name> or a program body in the isa JSON encoding", http.StatusBadRequest)
+			return
+		}
+		if int64(len(body)) > maxBytes {
+			http.Error(w, fmt.Sprintf("program body exceeds the %d-byte limit", maxBytes), http.StatusRequestEntityTooLarge)
+			return
+		}
+		job.Kind = jobstore.KindProgram
+		job.Program = body
+	}
+	if err := s.store.Submit(job); err != nil {
+		// Not acknowledged: the WAL write failed, so the client must not
+		// believe the job is durable.
+		http.Error(w, fmt.Sprintf("job not persisted: %v", err), http.StatusInternalServerError)
+		return
+	}
+	s.pool.Enqueue(job.ID, time.Time{})
+	w.Header().Set("Location", "/v1/jobs/"+job.ID)
+	writeJSON(w, http.StatusAccepted, job.Summary())
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, req *http.Request) {
+	var state jobstore.State
+	if v := req.URL.Query().Get("state"); v != "" {
+		st, err := jobstore.ParseState(v)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		state = st
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.store.List(state)})
+}
+
+// handleJobGet serves GET /v1/jobs/{id}: the full job including the
+// persisted report once succeeded.
+func (s *Server) handleJobGet(w http.ResponseWriter, req *http.Request) {
+	defer s.recoverJSON(w)
+	if s.store == nil {
+		http.Error(w, "durable jobs are disabled; restart the daemon with -data-dir", http.StatusServiceUnavailable)
+		return
+	}
+	if req.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "GET /v1/jobs/<id>", http.StatusMethodNotAllowed)
+		return
+	}
+	id := strings.TrimPrefix(req.URL.Path, "/v1/jobs/")
+	job := s.store.Get(id)
+	if job == nil {
+		http.Error(w, fmt.Sprintf("unknown job %q", id), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+// jobProgram materializes the program a job profiles.  Errors here are
+// terminal by construction (never ErrRetryable, never budget timeouts):
+// an unknown workload, an undecodable body, or a structurally invalid
+// program fails identically on every attempt.
+func (s *Server) jobProgram(job *jobstore.Job) (*isa.Program, error) {
+	switch job.Kind {
+	case jobstore.KindWorkload:
+		spec := workloads.ByName(job.Workload)
+		if spec == nil {
+			return nil, fmt.Errorf("unknown workload %q", job.Workload)
+		}
+		return spec.Build(), nil
+	case jobstore.KindProgram:
+		prog, err := isa.DecodeJSON(job.Program)
+		if err != nil {
+			return nil, err
+		}
+		// Validate eagerly for a precise error; the VM re-validates
+		// before execution regardless.
+		if err := prog.Validate(); err != nil {
+			return nil, fmt.Errorf("program rejected: %w", err)
+		}
+		return prog, nil
+	default:
+		return nil, fmt.Errorf("unknown job kind %q", job.Kind)
+	}
+}
+
+// runJob is the pool's Runner: one attempt of one job, executed under
+// the daemon's budget limits with its own span tree and registry, like
+// a synchronous /v1/profile request.  The returned Result is persisted
+// on success; on error the pool classifies it (jobProgram and
+// deterministic budget exhaustion are terminal; wall-clock timeouts and
+// shutdown cancellation retry).
+func (s *Server) runJob(ctx context.Context, job *jobstore.Job, attempt int) (*jobstore.Result, error) {
+	if s.opts.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.RequestTimeout)
+		defer cancel()
+	}
+
+	reqReg := obs.NewRegistry()
+	reqReg.SetEnabled(true)
+	root := reqReg.Scope().StartSpan(fmt.Sprintf("job:%s#%d", job.Name(), attempt))
+	sc := reqReg.Scope().WithSpan(root)
+	res := &jobstore.Result{Status: "ok", SpanID: root.ID()}
+	start := time.Now()
+
+	bud := budget.New(ctx, s.opts.Limits)
+	err := func() error {
+		prog, err := s.jobProgram(job)
+		if err != nil {
+			return err
+		}
+		opts := core.DefaultRunOptions()
+		opts.Obs = sc
+		opts.Budget = bud
+		p, err := core.Run(prog, opts)
+		if err != nil {
+			return err
+		}
+		rep, err := feedback.AnalyzeChecked(p)
+		if err != nil {
+			return err
+		}
+		cm := feedback.DefaultCostModel()
+		data, err := rep.JSON(&cm)
+		if err != nil {
+			return err
+		}
+		res.Report = data
+		res.Ops = p.DDG.TotalOps
+		if d := p.DDG.Degraded; d != nil {
+			res.Degraded = true
+			res.Budget = d.Budgets
+		}
+		root.AddEvents(p.DDG.TotalOps)
+		return nil
+	}()
+	if err != nil {
+		root.Fail(err)
+		res.Status = classifyError(err)
+	}
+	root.End()
+	res.WallNS = int64(time.Since(start))
+
+	s.reg.Merge(reqReg)
+	s.reg.Add("serve.jobs.runs", 1)
+	if err != nil {
+		s.reg.Add("serve.jobs.errors", 1)
+	}
+	s.reg.Observe("serve.job.wall_ns", uint64(res.WallNS))
+	s.logf("polyprof: job %s attempt=%d name=%s status=%s wall=%s ops=%d",
+		job.ID, attempt, job.Name(), res.Status, time.Duration(res.WallNS), res.Ops)
+	return res, err
+}

@@ -1,0 +1,344 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"polyprof/internal/budget"
+	"polyprof/internal/jobstore"
+)
+
+func postJob(t *testing.T, ts *httptest.Server, query string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	url := ts.URL + "/v1/jobs"
+	if query != "" {
+		url += "?" + query
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// waitJob polls GET /v1/jobs/{id} until the job is terminal.
+func waitJob(t *testing.T, ts *httptest.Server, id string) *jobstore.Job {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, body := get(t, ts, "/v1/jobs/"+id)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /v1/jobs/%s = %d: %s", id, resp.StatusCode, body)
+		}
+		var j jobstore.Job
+		if err := json.Unmarshal(body, &j); err != nil {
+			t.Fatalf("job does not parse: %v: %s", err, body)
+		}
+		if j.State.Terminal() {
+			return &j
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never finished", id)
+	return nil
+}
+
+// TestJobsDisabledWithoutDataDir: no -data-dir, no durable jobs — the
+// endpoints answer 503, not 404.
+func TestJobsDisabledWithoutDataDir(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	if resp, _ := postJob(t, ts, "workload=example1", nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("POST /v1/jobs without data dir = %d, want 503", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts, "/v1/jobs/job-1"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("GET /v1/jobs/{id} without data dir = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestJobsWorkloadLifecycle: submit a bundled workload, poll it to
+// success, and read it back — including through list filters.
+func TestJobsWorkloadLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Options{DataDir: t.TempDir()})
+
+	resp, body := postJob(t, ts, "workload=example1", nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", resp.StatusCode, body)
+	}
+	var sum jobstore.JobSummary
+	if err := json.Unmarshal(body, &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.ID == "" || sum.State != jobstore.StateQueued {
+		t.Fatalf("submit response = %+v", sum)
+	}
+	if loc := resp.Header.Get("Location"); loc != "/v1/jobs/"+sum.ID {
+		t.Fatalf("Location = %q", loc)
+	}
+
+	j := waitJob(t, ts, sum.ID)
+	if j.State != jobstore.StateSucceeded || j.Result == nil || len(j.Result.Report) == 0 {
+		t.Fatalf("job = state %s result %+v", j.State, j.Result)
+	}
+	if j.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1", j.Attempts)
+	}
+
+	resp, body = get(t, ts, "/v1/jobs?state=succeeded")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list = %d: %s", resp.StatusCode, body)
+	}
+	var list struct {
+		Jobs []jobstore.JobSummary `json:"jobs"`
+	}
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != sum.ID {
+		t.Fatalf("list(succeeded) = %+v", list.Jobs)
+	}
+	if resp, _ := get(t, ts, "/v1/jobs?state=exploded"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad state filter = %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts, "/v1/jobs/job-999"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job = %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := postJob(t, ts, "workload=no-such-workload", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown workload = %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestJobsUserProgram: a well-formed user-submitted program in the isa
+// JSON encoding runs through the full pipeline to a succeeded job.
+func TestJobsUserProgram(t *testing.T) {
+	_, ts := newTestServer(t, Options{DataDir: t.TempDir()})
+	// A tiny two-iteration loop writing memory: enough for the pipeline
+	// to produce a report.
+	prog := `{
+	 "name": "user-loop", "main": 0, "mem_words": 64,
+	 "globals": {"a": {"base": 0, "size": 64}},
+	 "funcs": [{"name": "main", "entry": 0, "blocks": [0, 1, 2], "num_args": 0, "num_regs": 8}],
+	 "blocks": [
+	  {"fn": 0, "name": "entry", "code": [
+	    {"op": "consti", "dst": 0, "imm": 0},
+	    {"op": "jmp", "then": 1}]},
+	  {"fn": 0, "name": "loop", "code": [
+	    {"op": "consti", "dst": 1, "imm": 1},
+	    {"op": "store", "a": 0, "b": 0},
+	    {"op": "add", "dst": 0, "a": 0, "b": 1},
+	    {"op": "consti", "dst": 2, "imm": 8},
+	    {"op": "cmplt", "dst": 3, "a": 0, "b": 2},
+	    {"op": "br", "a": 3, "then": 1, "else": 2}]},
+	  {"fn": 0, "name": "exit", "code": [{"op": "halt"}]}
+	 ]
+	}`
+	resp, body := postJob(t, ts, "", []byte(prog))
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit program = %d: %s", resp.StatusCode, body)
+	}
+	var sum jobstore.JobSummary
+	if err := json.Unmarshal(body, &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Kind != jobstore.KindProgram || sum.Name != "user-loop" {
+		t.Fatalf("summary = %+v", sum)
+	}
+	j := waitJob(t, ts, sum.ID)
+	if j.State != jobstore.StateSucceeded || len(j.Result.Report) == 0 {
+		t.Fatalf("user program job = state %s err %+v", j.State, j.Error)
+	}
+}
+
+// TestJobsHostileSubmissions is the hostile-intake acceptance check:
+// invalid encodings, runaway loops, and oversized memory all end as
+// `failed` jobs with a structured terminal error — exactly one attempt,
+// no retries — and the daemon keeps serving.
+func TestJobsHostileSubmissions(t *testing.T) {
+	_, ts := newTestServer(t, Options{
+		DataDir: t.TempDir(),
+		// A deterministic step budget turns a runaway loop into a
+		// terminal budget exhaustion instead of a retryable timeout.
+		Limits: budget.Limits{MaxSteps: 100_000},
+	})
+
+	hostiles := []struct {
+		name string
+		body string
+	}{
+		{"not json at all", `this is not a program`},
+		{"wrong structure", `{"funcs": "nope"}`},
+		{"unknown opcode", `{"name":"x","funcs":[{"name":"main","blocks":[0],"num_regs":1}],
+		  "blocks":[{"fn":0,"code":[{"op":"melt_cpu"}]}]}`},
+		{"out of frame register", `{"name":"x","funcs":[{"name":"main","blocks":[0],"num_regs":1}],
+		  "blocks":[{"fn":0,"code":[{"op":"consti","dst":99,"imm":1},{"op":"halt"}]}]}`},
+		{"runaway loop", `{"name":"spin","main":0,"mem_words":8,
+		  "funcs":[{"name":"main","entry":0,"blocks":[0],"num_args":0,"num_regs":2}],
+		  "blocks":[{"fn":0,"name":"entry","code":[{"op":"jmp","then":0}]}]}`},
+		{"oversized memory", `{"name":"huge","main":0,"mem_words":1099511627776,
+		  "funcs":[{"name":"main","entry":0,"blocks":[0],"num_args":0,"num_regs":2}],
+		  "blocks":[{"fn":0,"name":"entry","code":[{"op":"halt"}]}]}`},
+	}
+	for _, h := range hostiles {
+		t.Run(h.name, func(t *testing.T) {
+			resp, body := postJob(t, ts, "", []byte(h.body))
+			if resp.StatusCode != http.StatusAccepted {
+				t.Fatalf("hostile submit = %d: %s", resp.StatusCode, body)
+			}
+			var sum jobstore.JobSummary
+			if err := json.Unmarshal(body, &sum); err != nil {
+				t.Fatal(err)
+			}
+			j := waitJob(t, ts, sum.ID)
+			if j.State != jobstore.StateFailed {
+				t.Fatalf("hostile job ended %s, want failed", j.State)
+			}
+			if j.Error == nil || !j.Error.Terminal || j.Error.Message == "" {
+				t.Fatalf("hostile job error = %+v, want structured terminal", j.Error)
+			}
+			if j.Attempts != 1 {
+				t.Fatalf("hostile job retried: attempts = %d, want 1", j.Attempts)
+			}
+			// The daemon is unharmed: a clean synchronous profile works.
+			resp, body = postProfile(t, ts, "workload=example1")
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("daemon wedged after hostile job: %d: %s", resp.StatusCode, body)
+			}
+		})
+	}
+}
+
+// TestJobsOversizedBody: a body past the limit is rejected with 413 at
+// the door (it could not even be WAL-framed).
+func TestJobsOversizedBody(t *testing.T) {
+	_, ts := newTestServer(t, Options{DataDir: t.TempDir(), MaxProgramBytes: 1024})
+	resp, _ := postJob(t, ts, "", bytes.Repeat([]byte("x"), 2048))
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body = %d, want 413", resp.StatusCode)
+	}
+	if resp, _ := postJob(t, ts, "", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty body = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestJobsSurviveRestart: a completed job's report and the request
+// history are served from disk by a fresh server on the same data dir.
+func TestJobsSurviveRestart(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newTestServer(t, Options{DataDir: dir})
+	resp, body := postJob(t, ts1, "workload=example1", nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", resp.StatusCode, body)
+	}
+	var sum jobstore.JobSummary
+	if err := json.Unmarshal(body, &sum); err != nil {
+		t.Fatal(err)
+	}
+	first := waitJob(t, ts1, sum.ID)
+	if first.State != jobstore.StateSucceeded {
+		t.Fatalf("job = %s", first.State)
+	}
+	// One synchronous request for the history.
+	if resp, body := postProfile(t, ts1, "workload=example2"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("profile = %d: %s", resp.StatusCode, body)
+	}
+	ts1.Close()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, ts2 := newTestServer(t, Options{DataDir: dir})
+	j := waitJob(t, ts2, sum.ID)
+	if j.State != jobstore.StateSucceeded {
+		t.Fatalf("job after restart = %s", j.State)
+	}
+	if !bytes.Equal(j.Result.Report, first.Result.Report) {
+		t.Fatal("persisted report changed across restart")
+	}
+	if j.Attempts != first.Attempts {
+		t.Fatalf("attempts changed across restart: %d -> %d (job re-ran?)", first.Attempts, j.Attempts)
+	}
+	resp, body = get(t, ts2, "/v1/requests")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("requests after restart = %d", resp.StatusCode)
+	}
+	var hist struct {
+		Requests []RequestSummary `json:"requests"`
+	}
+	if err := json.Unmarshal(body, &hist); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range hist.Requests {
+		if r.Workload == "example2" && r.Status == "ok" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("pre-restart request missing from history: %+v", hist.Requests)
+	}
+}
+
+// TestProfileMethodNotAllowedHasAllow: RFC 9110 — the 405 names the
+// allowed methods, POST first.
+func TestProfileMethodNotAllowedHasAllow(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/profile?workload=example1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("DELETE /v1/profile = %d, want 405", resp.StatusCode)
+	}
+	allow := resp.Header.Get("Allow")
+	if !strings.Contains(allow, http.MethodPost) {
+		t.Fatalf("Allow = %q, want POST listed", allow)
+	}
+	// Same contract on the job endpoints.
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("Allow") == "" && resp.StatusCode == http.StatusMethodNotAllowed {
+		t.Fatal("405 on /v1/jobs without Allow header")
+	}
+}
+
+// TestRetryAfterJittered: the 429 Retry-After is a small positive
+// number of seconds, not a constant — shed clients spread out.
+func TestRetryAfterJittered(t *testing.T) {
+	s, _ := newTestServer(t, Options{MaxInFlight: 1})
+	// Saturate the semaphore directly, then hit the handler.
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+	for i := 0; i < 8; i++ {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/v1/profile?workload=example1", nil)
+		s.handleProfile(rec, req)
+		if rec.Code != http.StatusTooManyRequests {
+			t.Fatalf("saturated request = %d, want 429", rec.Code)
+		}
+		ra := rec.Header().Get("Retry-After")
+		n, err := strconv.Atoi(ra)
+		if err != nil || n < 1 || n > 3 {
+			t.Fatalf("Retry-After = %q, want integer in [1,3]", ra)
+		}
+	}
+}

@@ -6,12 +6,24 @@
 // Endpoints:
 //
 //	POST /v1/profile?workload=<name>   run the pipeline, return the report
-//	GET  /v1/requests                  ring of recent request summaries
+//	POST /v1/jobs                      submit a durable async job (workload
+//	                                   name or isa-JSON program body)
+//	GET  /v1/jobs?state=<s>            list jobs, optionally by state
+//	GET  /v1/jobs/{id}                 one job, with its persisted report
+//	GET  /v1/requests                  recent request summaries (persisted
+//	                                   across restarts when -data-dir set)
 //	GET  /v1/workloads                 names the daemon can profile
 //	GET  /healthz                      liveness + in-flight gauge
 //	GET  /metrics                      process registry (Prometheus/JSON)
 //	GET  /debug/vars                   process registry (always JSON)
 //	GET  /debug/pprof/                 net/http/pprof
+//
+// With a data directory configured (-data-dir), the daemon also runs a
+// durable job subsystem (internal/jobstore): submitted jobs are
+// WAL-persisted before they are acknowledged, executed by a bounded
+// worker pool with retry/backoff/quarantine, and survive kill -9 —
+// completed results and request history are served from disk after a
+// restart.
 //
 // Every profile request runs against its own enabled obs.Registry with
 // a "request:<workload>" root span; the pipeline stages nest under the
@@ -25,6 +37,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
@@ -36,6 +49,7 @@ import (
 	"polyprof/internal/core"
 	"polyprof/internal/faultinject"
 	"polyprof/internal/feedback"
+	"polyprof/internal/jobstore"
 	"polyprof/internal/obs"
 	"polyprof/internal/workloads"
 )
@@ -76,6 +90,18 @@ type Options struct {
 	// degrading limits (shadow bytes, DDG edges) coarsen the DDG and
 	// mark the response degraded.
 	Limits budget.Limits
+	// DataDir enables the durable job subsystem: jobs and request
+	// history are WAL-persisted here and survive restarts.  Empty
+	// disables /v1/jobs (503) and keeps history in the volatile ring.
+	DataDir string
+	// Workers bounds concurrent job executions (default 2).
+	Workers int
+	// MaxAttempts quarantines a job after this many started attempts
+	// (default 3).
+	MaxAttempts int
+	// MaxProgramBytes caps a user-submitted program body (default
+	// DefaultMaxProgramBytes).
+	MaxProgramBytes int64
 }
 
 // Server is the daemon state.
@@ -85,12 +111,18 @@ type Server struct {
 	sem    chan struct{}
 	reqSeq atomic.Uint64
 
+	// store/pool are non-nil when Options.DataDir is set.
+	store *jobstore.Store
+	pool  *jobstore.Pool
+
 	mu   sync.Mutex
 	ring []RequestSummary
 }
 
-// New creates a daemon.
-func New(opts Options) *Server {
+// New creates a daemon.  With Options.DataDir set it opens (replaying)
+// the durable job store and starts the worker pool, re-enqueueing jobs
+// that were queued or running when the previous process died.
+func New(opts Options) (*Server, error) {
 	if opts.MaxInFlight <= 0 {
 		opts.MaxInFlight = 2
 	}
@@ -104,11 +136,44 @@ func New(opts Options) *Server {
 		opts.RequestTimeout = DefaultRequestTimeout
 	}
 	opts.Registry.SetEnabled(true)
-	return &Server{
+	s := &Server{
 		opts: opts,
 		reg:  opts.Registry,
 		sem:  make(chan struct{}, opts.MaxInFlight),
 	}
+	if opts.DataDir != "" {
+		store, recovered, err := jobstore.Open(opts.DataDir, jobstore.Options{
+			Registry: opts.Registry,
+			Logf:     opts.Logf,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("serve: opening job store: %w", err)
+		}
+		s.store = store
+		s.pool = jobstore.NewPool(store, s.runJob, jobstore.PoolOptions{
+			Workers:     opts.Workers,
+			MaxAttempts: opts.MaxAttempts,
+			Registry:    opts.Registry,
+			Logf:        opts.Logf,
+		})
+		s.pool.Start(recovered)
+		if n := len(recovered); n > 0 {
+			s.logf("polyprof: job store recovered %d pending job(s) from %s", n, opts.DataDir)
+		}
+	}
+	return s, nil
+}
+
+// Close stops the worker pool (canceling in-flight attempts) and
+// compacts + closes the job store.  Safe on a store-less server.
+func (s *Server) Close() error {
+	if s.pool != nil {
+		s.pool.Stop()
+	}
+	if s.store != nil {
+		return s.store.Close()
+	}
+	return nil
 }
 
 func (s *Server) logf(format string, args ...any) {
@@ -168,6 +233,8 @@ type RequestSummary struct {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/profile", s.handleProfile)
+	mux.HandleFunc("/v1/jobs", s.handleJobs)
+	mux.HandleFunc("/v1/jobs/", s.handleJobGet)
 	mux.HandleFunc("/v1/requests", s.handleRequests)
 	mux.HandleFunc("/v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -183,6 +250,8 @@ func (s *Server) Handler() http.Handler {
 
 func (s *Server) handleProfile(w http.ResponseWriter, req *http.Request) {
 	if req.Method != http.MethodPost && req.Method != http.MethodGet {
+		// RFC 9110 §15.5.6: a 405 must name the allowed methods.
+		w.Header().Set("Allow", "POST, GET")
 		http.Error(w, "POST /v1/profile?workload=<name>", http.StatusMethodNotAllowed)
 		return
 	}
@@ -204,7 +273,9 @@ func (s *Server) handleProfile(w http.ResponseWriter, req *http.Request) {
 		defer func() { <-s.sem }()
 	default:
 		s.reg.Add("serve.rejected", 1)
-		w.Header().Set("Retry-After", "1")
+		// Jittered Retry-After so a burst of shed clients does not
+		// return in lockstep and collide again.
+		w.Header().Set("Retry-After", strconv.Itoa(1+rand.Intn(3)))
 		http.Error(w, "too many profile requests in flight", http.StatusTooManyRequests)
 		return
 	}
@@ -303,16 +374,29 @@ func (s *Server) runProfile(ctx context.Context, id string, spec workloads.Spec,
 	}
 	s.reg.Observe("serve.request.wall_ns", uint64(resp.WallNS))
 
-	s.mu.Lock()
-	s.ring = append(s.ring, RequestSummary{
+	summary := RequestSummary{
 		ID: id, Workload: spec.Name, Status: resp.Status, Error: resp.Error,
 		Degraded: resp.Degraded,
 		Start:    start, WallNS: resp.WallNS, Ops: resp.Ops, Spans: resp.Spans,
-	})
+	}
+	s.mu.Lock()
+	s.ring = append(s.ring, summary)
 	if len(s.ring) > s.opts.RingSize {
 		s.ring = s.ring[len(s.ring)-s.opts.RingSize:]
 	}
 	s.mu.Unlock()
+	if s.store != nil {
+		// Persist the summary (minus the span tree, which can be large
+		// and is only useful with the live process) so /v1/requests
+		// survives restarts.
+		compact := summary
+		compact.Spans = nil
+		if data, err := json.Marshal(&compact); err == nil {
+			if err := s.store.AppendHistory(data); err != nil {
+				s.logf("polyprof: request history not persisted: %v", err)
+			}
+		}
+	}
 
 	s.logf("polyprof: %s workload=%s status=%s wall=%s ops=%d",
 		id, spec.Name, resp.Status, time.Duration(resp.WallNS), resp.Ops)
@@ -389,13 +473,27 @@ func (s *Server) handleRequests(w http.ResponseWriter, req *http.Request) {
 	if v := req.URL.Query().Get("limit"); v != "" {
 		limit, _ = strconv.Atoi(v)
 	}
-	s.mu.Lock()
-	// Newest first.
-	out := make([]RequestSummary, 0, len(s.ring))
-	for i := len(s.ring) - 1; i >= 0; i-- {
-		out = append(out, s.ring[i])
+	var out []RequestSummary
+	if s.store != nil {
+		// Durable history: summaries persisted through the job store's
+		// WAL, so the listing survives restarts (span trees are only
+		// available for requests served by this process, via the ring).
+		blobs := s.store.History()
+		out = make([]RequestSummary, 0, len(blobs))
+		for i := len(blobs) - 1; i >= 0; i-- { // newest first
+			var rs RequestSummary
+			if err := json.Unmarshal(blobs[i], &rs); err == nil {
+				out = append(out, rs)
+			}
+		}
+	} else {
+		s.mu.Lock()
+		out = make([]RequestSummary, 0, len(s.ring))
+		for i := len(s.ring) - 1; i >= 0; i-- { // newest first
+			out = append(out, s.ring[i])
+		}
+		s.mu.Unlock()
 	}
-	s.mu.Unlock()
 	if limit > 0 && limit < len(out) {
 		out = out[:limit]
 	}

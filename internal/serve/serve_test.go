@@ -18,7 +18,11 @@ func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
 		r := obs.NewRegistry()
 		opts.Registry = r
 	}
-	s := New(opts)
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts

@@ -334,6 +334,14 @@ func (s *Store) compactLocked() error {
 		nw.close()
 		return err
 	}
+	// Make the new generation's file creation and the snapshot rename
+	// durable before unlinking the old generations: without the
+	// directory fsync, a power failure could persist the unlinks but not
+	// the rename, losing acknowledged jobs.
+	if err := syncDir(s.dir); err != nil {
+		nw.close()
+		return err
+	}
 
 	oldGen := s.gen
 	if s.wal != nil {
@@ -351,6 +359,20 @@ func (s *Store) compactLocked() error {
 	}
 	s.reg.Add("jobstore.snapshots", 1)
 	return nil
+}
+
+// syncDir fsyncs a directory so the entry operations inside it (file
+// creations, renames) are durable, not just the file contents.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := d.Sync(); err != nil {
+		d.Close()
+		return err
+	}
+	return d.Close()
 }
 
 func writeFileSync(path string, data []byte) error {

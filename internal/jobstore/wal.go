@@ -1,9 +1,11 @@
 package jobstore
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"time"
 
@@ -92,34 +94,59 @@ func (w *wal) close() error { return w.f.Close() }
 // It returns the byte offset of the last intact frame boundary, so the
 // caller can truncate the torn tail before appending new records, and
 // the number of records skipped or torn.
+//
+// The file is streamed one frame at a time, so replay memory stays
+// bounded by MaxWALRecord even when repeated compaction failures have
+// let a generation grow huge.  The payload slice passed to apply is
+// reused between records; apply must not retain it (see copyOf).
 func replayWAL(path string, apply func(payload []byte), warnf func(format string, args ...any)) (goodOffset int64, skipped int, err error) {
 	if err := replayFault.Hit(); err != nil {
 		return 0, 0, fmt.Errorf("jobstore: wal replay: %w", err)
 	}
-	data, err := os.ReadFile(path)
+	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return 0, 0, nil
 		}
 		return 0, 0, err
 	}
-	off := int64(0)
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<16)
+	var (
+		off     int64
+		header  [walHeaderSize]byte
+		payload []byte
+	)
 	for {
-		rest := data[off:]
-		if len(rest) == 0 {
+		n, rerr := io.ReadFull(br, header[:])
+		if rerr == io.EOF {
 			return off, skipped, nil
 		}
-		if len(rest) < walHeaderSize {
-			warnf("jobstore: %s: torn record header at offset %d (%d trailing bytes); truncating", path, off, len(rest))
+		if rerr == io.ErrUnexpectedEOF {
+			warnf("jobstore: %s: torn record header at offset %d (%d trailing bytes); truncating", path, off, n)
 			return off, skipped + 1, nil
 		}
-		length := binary.LittleEndian.Uint32(rest[0:4])
-		sum := binary.LittleEndian.Uint32(rest[4:8])
-		if length > MaxWALRecord || int64(length) > int64(len(rest)-walHeaderSize) {
-			warnf("jobstore: %s: torn record at offset %d (claims %d bytes, %d remain); truncating", path, off, length, len(rest)-walHeaderSize)
+		if rerr != nil {
+			return off, skipped, rerr
+		}
+		length := binary.LittleEndian.Uint32(header[0:4])
+		sum := binary.LittleEndian.Uint32(header[4:8])
+		if length > MaxWALRecord {
+			warnf("jobstore: %s: torn record at offset %d (claims %d bytes); truncating", path, off, length)
 			return off, skipped + 1, nil
 		}
-		payload := rest[walHeaderSize : walHeaderSize+int(length)]
+		if int(length) > cap(payload) {
+			payload = make([]byte, length)
+		}
+		payload = payload[:length]
+		n, rerr = io.ReadFull(br, payload)
+		if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {
+			warnf("jobstore: %s: torn record at offset %d (claims %d bytes, %d remain); truncating", path, off, length, n)
+			return off, skipped + 1, nil
+		}
+		if rerr != nil {
+			return off, skipped, rerr
+		}
 		if crc32.ChecksumIEEE(payload) != sum {
 			warnf("jobstore: %s: CRC mismatch at offset %d (%d bytes); skipping record", path, off, length)
 			skipped++

@@ -47,7 +47,8 @@ type Pool struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	ready   []string // job ids whose NextRunAt has passed, FIFO
-	timers  map[string]*time.Timer
+	inReady map[string]bool
+	timers  map[string]*jobTimer
 	stopped bool
 
 	wg sync.WaitGroup
@@ -74,7 +75,8 @@ func NewPool(store *Store, run Runner, opts PoolOptions) *Pool {
 	p := &Pool{
 		store: store, run: run, opts: opts, reg: opts.Registry,
 		ctx: ctx, cancel: cancel,
-		timers: map[string]*time.Timer{},
+		inReady: map[string]bool{},
+		timers:  map[string]*jobTimer{},
 	}
 	p.cond = sync.NewCond(&p.mu)
 	return p
@@ -92,8 +94,17 @@ func (p *Pool) Start(recovered []*Job) {
 	}
 }
 
+// jobTimer is a pending delayed enqueue, keeping its run time so a
+// later Enqueue with an earlier deadline can pull it forward.
+type jobTimer struct {
+	t  *time.Timer
+	at time.Time
+}
+
 // Enqueue schedules a job id for execution, not before notBefore
-// (zero for immediately).
+// (zero for immediately).  Enqueue is idempotent: an id already queued
+// (ready or timer-pending) is not queued twice, and of two pending run
+// times the earlier wins.
 func (p *Pool) Enqueue(id string, notBefore time.Time) {
 	delay := time.Until(notBefore)
 	if delay <= 0 {
@@ -102,26 +113,36 @@ func (p *Pool) Enqueue(id string, notBefore time.Time) {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.stopped {
+	if p.stopped || p.inReady[id] {
 		return
 	}
-	if _, ok := p.timers[id]; ok {
+	if jt, ok := p.timers[id]; ok {
+		if notBefore.Before(jt.at) && jt.t.Stop() {
+			jt.at = notBefore
+			jt.t.Reset(delay)
+		}
 		return
 	}
-	p.timers[id] = time.AfterFunc(delay, func() {
+	jt := &jobTimer{at: notBefore}
+	jt.t = time.AfterFunc(delay, func() {
 		p.mu.Lock()
 		delete(p.timers, id)
 		p.mu.Unlock()
 		p.push(id)
 	})
+	p.timers[id] = jt
 }
 
 func (p *Pool) push(id string) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if p.stopped {
+	if p.stopped || p.inReady[id] {
 		return
 	}
+	if jt, ok := p.timers[id]; ok && jt.t.Stop() {
+		delete(p.timers, id)
+	}
+	p.inReady[id] = true
 	p.ready = append(p.ready, id)
 	p.cond.Signal()
 }
@@ -136,8 +157,8 @@ func (p *Pool) Stop() {
 		return
 	}
 	p.stopped = true
-	for id, t := range p.timers {
-		t.Stop()
+	for id, jt := range p.timers {
+		jt.t.Stop()
 		delete(p.timers, id)
 	}
 	p.cond.Broadcast()
@@ -159,6 +180,7 @@ func (p *Pool) worker() {
 		}
 		id := p.ready[0]
 		p.ready = p.ready[1:]
+		delete(p.inReady, id)
 		p.mu.Unlock()
 		p.execute(id)
 	}
@@ -178,6 +200,19 @@ func (p *Pool) execute(id string) {
 	}()
 	job := p.store.Get(id)
 	if job == nil || job.State != StateQueued {
+		return
+	}
+	// Attempts are persisted at Start, so a job whose attempt hard-kills
+	// the process (OOM, SIGKILL mid-run) comes back queued with its
+	// budget already spent.  Quarantine it before claiming it again —
+	// otherwise Start would increment past the cap on every restart and
+	// the job would crash-loop the daemon forever.
+	if job.Attempts >= p.opts.MaxAttempts {
+		p.quarantine(id, &JobError{
+			Message:  fmt.Sprintf("quarantined after %d crash-interrupted attempts", job.Attempts),
+			Terminal: true,
+			Attempt:  job.Attempts,
+		}, "attempts exhausted at recovery")
 		return
 	}
 	attempt, err := p.store.Start(id)

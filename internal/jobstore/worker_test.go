@@ -140,6 +140,93 @@ func TestPoolQuarantinesPoison(t *testing.T) {
 	}
 }
 
+// TestPoolQuarantinesCrashLoopedJobAtRecovery: a job whose attempts
+// were all interrupted by crashes (Start persisted, nothing after)
+// arrives at recovery with its attempt budget spent; the pool must
+// quarantine it without running it again, or a job that hard-kills the
+// process would crash-loop the daemon forever.
+func TestPoolQuarantinesCrashLoopedJobAtRecovery(t *testing.T) {
+	dir := t.TempDir()
+	const maxAttempts = 3
+	s, _ := testOpen(t, dir)
+	j := &Job{Kind: KindWorkload, Workload: "example1"}
+	if err := s.Submit(j); err != nil {
+		t.Fatal(err)
+	}
+	var recovered []*Job
+	for i := 1; i <= maxAttempts; i++ {
+		if _, err := s.Start(j.ID); err != nil {
+			t.Fatal(err)
+		}
+		// Crash mid-attempt: no Complete/Retry/Quarantine transition;
+		// reopening replays the running job back to queued.
+		s.Close()
+		s, recovered = testOpen(t, dir)
+		if len(recovered) != 1 || recovered[0].Attempts != i {
+			t.Fatalf("after crash %d: recovered = %+v", i, recovered)
+		}
+	}
+	defer s.Close()
+
+	var calls atomic.Int64
+	pool := fastPool(s, func(_ context.Context, job *Job, attempt int) (*Result, error) {
+		calls.Add(1)
+		return &Result{Status: "ok"}, nil
+	}, 1, maxAttempts)
+	pool.Start(recovered)
+	defer pool.Stop()
+
+	got := waitTerminal(t, s, j.ID)
+	if got.State != StateFailed || got.Attempts != maxAttempts {
+		t.Fatalf("job = state %s attempts %d, want failed/%d", got.State, got.Attempts, maxAttempts)
+	}
+	if got.Error == nil || !got.Error.Terminal {
+		t.Fatalf("quarantine error = %+v", got.Error)
+	}
+	if n := calls.Load(); n != 0 {
+		t.Fatalf("runner invoked %d times for an attempts-exhausted job, want 0", n)
+	}
+}
+
+// TestPoolEnqueueDedupes: enqueueing an id already in the ready queue
+// or timer-pending does not queue it twice, and of two pending run
+// times the earlier wins.
+func TestPoolEnqueueDedupes(t *testing.T) {
+	s, _ := testOpen(t, t.TempDir())
+	defer s.Close()
+	p := fastPool(s, nil, 1, 3)
+	// No workers started: pushes accumulate in ready for inspection.
+	p.push("job-1")
+	p.push("job-1")
+	p.Enqueue("job-1", time.Now().Add(time.Hour))
+	if len(p.ready) != 1 || len(p.timers) != 0 {
+		t.Fatalf("ready = %v timers = %d, want 1 ready and no timer", p.ready, len(p.timers))
+	}
+
+	// Two timers for one id collapse; the earlier run time wins.
+	far := time.Now().Add(time.Hour)
+	near := time.Now().Add(time.Minute)
+	p.Enqueue("job-2", far)
+	p.Enqueue("job-2", far.Add(time.Hour)) // later: ignored
+	if jt := p.timers["job-2"]; jt == nil || !jt.at.Equal(far) {
+		t.Fatalf("timer at %v, want %v", p.timers["job-2"], far)
+	}
+	p.Enqueue("job-2", near) // earlier: pulled forward
+	if jt := p.timers["job-2"]; jt == nil || !jt.at.Equal(near) {
+		t.Fatalf("timer not pulled forward: %+v", p.timers["job-2"])
+	}
+	if len(p.timers) != 1 {
+		t.Fatalf("timers = %d, want 1", len(p.timers))
+	}
+	// An immediate enqueue cancels the pending timer rather than leaving
+	// a duplicate behind.
+	p.push("job-2")
+	if len(p.timers) != 0 || len(p.ready) != 2 {
+		t.Fatalf("after immediate push: timers = %d ready = %v", len(p.timers), p.ready)
+	}
+	p.Stop()
+}
+
 // TestPoolPanicContained: a panicking runner neither kills the worker
 // nor wedges the job — it retries and eventually quarantines.
 func TestPoolPanicContained(t *testing.T) {

@@ -21,12 +21,37 @@ import (
 // jobstore.MaxWALRecord so the submit record always frames.
 const DefaultMaxProgramBytes = 8 << 20
 
-// recoverJSON keeps a panic out of a store operation (e.g. an injected
-// jobstore.wal.* fault in panic mode) from tearing the connection down:
-// the client gets a structured 500 and the daemon keeps serving.
-func (s *Server) recoverJSON(w http.ResponseWriter) {
+// responseTracker wraps a ResponseWriter and records whether the
+// handler has started writing, so the panic recovery knows whether a
+// structured error response is still possible.
+type responseTracker struct {
+	http.ResponseWriter
+	started bool
+}
+
+func (t *responseTracker) WriteHeader(code int) {
+	t.started = true
+	t.ResponseWriter.WriteHeader(code)
+}
+
+func (t *responseTracker) Write(b []byte) (int, error) {
+	t.started = true
+	return t.ResponseWriter.Write(b)
+}
+
+// recoverJSON keeps a panic in a store operation (e.g. an injected
+// jobstore.wal.* fault in panic mode) from tearing the daemon down: the
+// client gets a structured 500 and the daemon keeps serving.  If the
+// response was already started, appending JSON would corrupt a 2xx
+// body, so the connection is aborted instead — the client sees a broken
+// transfer, never a bogus success.
+func (s *Server) recoverJSON(w *responseTracker) {
 	if r := recover(); r != nil {
 		s.reg.Add("serve.panics", 1)
+		if w.started {
+			s.logf("polyprof: panic after response started: %v", r)
+			panic(http.ErrAbortHandler)
+		}
 		writeJSON(w, http.StatusInternalServerError, map[string]any{
 			"status": "panic",
 			"error":  fmt.Sprint(r),
@@ -35,7 +60,8 @@ func (s *Server) recoverJSON(w http.ResponseWriter) {
 }
 
 // handleJobs serves the /v1/jobs collection: POST submits, GET lists.
-func (s *Server) handleJobs(w http.ResponseWriter, req *http.Request) {
+func (s *Server) handleJobs(rw http.ResponseWriter, req *http.Request) {
+	w := &responseTracker{ResponseWriter: rw}
 	defer s.recoverJSON(w)
 	if s.store == nil {
 		http.Error(w, "durable jobs are disabled; restart the daemon with -data-dir", http.StatusServiceUnavailable)
@@ -114,7 +140,8 @@ func (s *Server) handleJobList(w http.ResponseWriter, req *http.Request) {
 
 // handleJobGet serves GET /v1/jobs/{id}: the full job including the
 // persisted report once succeeded.
-func (s *Server) handleJobGet(w http.ResponseWriter, req *http.Request) {
+func (s *Server) handleJobGet(rw http.ResponseWriter, req *http.Request) {
+	w := &responseTracker{ResponseWriter: rw}
 	defer s.recoverJSON(w)
 	if s.store == nil {
 		http.Error(w, "durable jobs are disabled; restart the daemon with -data-dir", http.StatusServiceUnavailable)

@@ -29,6 +29,7 @@ import (
 	"polyprof/internal/feedback"
 	"polyprof/internal/fold"
 	"polyprof/internal/isa"
+	"polyprof/internal/parddg"
 	"polyprof/internal/sched"
 	"polyprof/internal/staticpoly"
 	"polyprof/internal/vm"
@@ -266,6 +267,29 @@ func BenchmarkProfilingOverhead(b *testing.B) {
 		}
 		record("pass2-full-ddg", b)
 	})
+	// The same stage on the sharded parallel engine at several shard
+	// counts; compare against pass2-full-ddg for the speedup (expect
+	// ~1x on a single-core runner — the engine pipelines across cores,
+	// it cannot create them).
+	for _, shards := range []int{2, 4, 8} {
+		shards := shards
+		name := fmt.Sprintf("pass2-full-ddg-par%d", shards)
+		b.Run(name, func(b *testing.B) {
+			st, _ := core.AnalyzeStructure(prog, nil)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng := parddg.NewEngine(prog, parddg.Options{Shards: shards, DDG: ddg.DefaultOptions()})
+				if _, _, err := core.RunPass2(prog, st, eng, nil); err != nil {
+					eng.Close()
+					b.Fatal(err)
+				}
+				if _, err := eng.FinishChecked(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			record(name, b)
+		})
+	}
 	b.Run("scheduler-feedback", func(b *testing.B) {
 		p, err := core.Run(prog, core.DefaultRunOptions())
 		if err != nil {

@@ -31,6 +31,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -113,6 +114,11 @@ flags (profile, report, table5, overhead):
   -http :addr   serve /metrics (Prometheus or ?format=json) + pprof
   -trace f.json write the pipeline span tree as Chrome trace-event JSON
 
+parallel engine (profile, report, overhead, serve):
+  -parallel-ddg n  track dependences on the sharded parallel engine with
+                   n shard workers (0 = one per core; default sequential);
+                   reports are bit-for-bit identical to sequential runs
+
 budget flags (profile, report, serve):
   -timeout d         abort after this wall-clock duration (0 = unlimited)
   -max-steps n       abort after n dynamic VM steps (0 = unlimited)
@@ -125,14 +131,18 @@ serve flags:
   -ring n            request summaries kept for /v1/requests (default 64)
   -request-timeout d per-request wall-clock limit, 408 on expiry (default 60s)
   -data-dir path     durable job store (enables POST /v1/jobs, GET /v1/jobs,
-                     crash-safe results + request history via WAL + snapshots)
+                     DELETE /v1/jobs/<id>, crash-safe results + request
+                     history via WAL + snapshots)
   -workers n         concurrent job executions (default 2)
   -max-attempts n    attempts before a failing job is quarantined (default 3)
+  -job-ttl d         delete terminal jobs this long after they finish
+                     (WAL-logged; default 0 = keep forever)
 
 POLYPROF_FAULT=point=mode[:arg][:count],... arms fault injection
 (points: vm.step, ddg.shadow.insert, fold.finish, sched.build,
 serve.handler, jobstore.wal.append, jobstore.wal.sync,
-jobstore.snapshot, jobstore.replay; modes: panic, error, budget, delay)`)
+jobstore.snapshot, jobstore.replay, parddg.batch.dispatch,
+parddg.shard.insert, parddg.merge; modes: panic, error, budget, delay)`)
 }
 
 func cmdList() error {
@@ -201,6 +211,28 @@ type budgetFlags struct {
 	maxSteps    uint64
 	maxShadowMB uint64
 	maxEdges    uint64
+}
+
+// addParallelFlag registers -parallel-ddg: the shard-worker count of
+// the parallel dependence engine.  The default (negative) keeps the
+// sequential builder; 0 uses one shard per core.
+func addParallelFlag(fs *flag.FlagSet) *int {
+	return fs.Int("parallel-ddg", -1,
+		"shard workers for the parallel dependence engine (0 = all cores, negative = sequential)")
+}
+
+// resolveShards maps the -parallel-ddg flag value to an engine shard
+// count: negative selects the sequential builder (0), zero one shard
+// per core.
+func resolveShards(n int) int {
+	switch {
+	case n < 0:
+		return 0
+	case n == 0:
+		return runtime.GOMAXPROCS(0)
+	default:
+		return n
+	}
 }
 
 func addBudgetFlags(fs *flag.FlagSet) *budgetFlags {
@@ -288,6 +320,7 @@ func cmdProfile(args []string) error {
 	fs := flag.NewFlagSet("profile", flag.ExitOnError)
 	of := addObsFlags(fs)
 	bf := addBudgetFlags(fs)
+	par := addParallelFlag(fs)
 	name, err := parseWorkload(fs, args)
 	if err != nil {
 		return err
@@ -302,7 +335,10 @@ func cmdProfile(args []string) error {
 	if err != nil {
 		return err
 	}
-	rep, err := polyprof.ProfileCtx(context.Background(), prog, bf.limits())
+	rep, err := polyprof.ProfileWith(context.Background(), prog, polyprof.ProfileOptions{
+		Limits:      bf.limits(),
+		ParallelDDG: resolveShards(*par),
+	})
 	if err != nil {
 		return err
 	}
@@ -417,6 +453,7 @@ func cmdReport(args []string) error {
 	asJSON := fs.Bool("json", false, "emit the machine-readable report")
 	of := addObsFlags(fs)
 	bf := addBudgetFlags(fs)
+	par := addParallelFlag(fs)
 	name, err := parseWorkload(fs, args)
 	if err != nil {
 		return err
@@ -432,7 +469,10 @@ func cmdReport(args []string) error {
 	if err != nil {
 		return err
 	}
-	rep, err := polyprof.ProfileCtx(context.Background(), prog, bf.limits())
+	rep, err := polyprof.ProfileWith(context.Background(), prog, polyprof.ProfileOptions{
+		Limits:      bf.limits(),
+		ParallelDDG: resolveShards(*par),
+	})
 	if err != nil {
 		return err
 	}
@@ -480,6 +520,7 @@ func cmdOverhead(args []string) error {
 	fs := flag.NewFlagSet("overhead", flag.ExitOnError)
 	asJSON := fs.Bool("json", false, "emit machine-readable stage costs")
 	of := addObsFlags(fs)
+	par := addParallelFlag(fs)
 	name, err := parseWorkload(fs, args)
 	if err != nil {
 		return err
@@ -503,9 +544,10 @@ func cmdOverhead(args []string) error {
 		fmt.Print(render())
 		return of.finish()
 	}
+	shards := resolveShards(*par)
 	if name == "all" {
 		fmt.Fprintln(os.Stderr, "measuring per-stage profiling cost across the Rodinia suite...")
-		rs, err := evaluation.OverheadSuite()
+		rs, err := evaluation.OverheadSuiteSharded(shards)
 		if err != nil {
 			return err
 		}
@@ -515,7 +557,7 @@ func cmdOverhead(args []string) error {
 	if spec == nil {
 		return fmt.Errorf("unknown workload %q", name)
 	}
-	r, err := evaluation.Overhead(*spec)
+	r, err := evaluation.OverheadSharded(*spec, shards)
 	if err != nil {
 		return err
 	}
@@ -536,7 +578,9 @@ func cmdServe(args []string) error {
 	dataDir := fs.String("data-dir", "", "durable job-store directory; enables POST /v1/jobs and persistent request history")
 	workers := fs.Int("workers", 2, "concurrent job executions (requires -data-dir)")
 	maxAttempts := fs.Int("max-attempts", 3, "attempts before a failing job is quarantined (requires -data-dir)")
+	jobTTL := fs.Duration("job-ttl", 0, "garbage-collect terminal jobs this long after they finish (0 = keep forever; requires -data-dir)")
 	bf := addBudgetFlags(fs)
+	par := addParallelFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -549,6 +593,8 @@ func cmdServe(args []string) error {
 		DataDir:        *dataDir,
 		Workers:        *workers,
 		MaxAttempts:    *maxAttempts,
+		JobTTL:         *jobTTL,
+		ParallelDDG:    resolveShards(*par),
 		Logf: func(format string, a ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", a...)
 		},

@@ -104,6 +104,20 @@ type InstrSink interface {
 	OnInstr(ctxKey string, coords []int64, ev trace.InstrEvent, in *isa.Instr)
 }
 
+// BatchSink is an optional InstrSink extension: a sink that also
+// implements OnInstrBatch receives instruction events in per-context
+// batches (one context key and coordinate vector shared by the whole
+// batch, since the iteration vector only changes on control events).
+// The sharded dependence engine implements it; Pass2 automatically
+// drives such a sink through the VM's batched emission path.
+type BatchSink interface {
+	InstrSink
+	// OnInstrBatch delivers a run of instruction events sharing one
+	// context.  coords is only valid during the call; evs[i] pairs with
+	// ins[i].
+	OnInstrBatch(ctxKey string, coords []int64, evs []trace.InstrEvent, ins []*isa.Instr)
+}
+
 // Pass2 is the second instrumentation pass: loop events, IIVs, schedule
 // tree, and fan-out to an InstrSink.
 type Pass2 struct {
@@ -155,6 +169,31 @@ func (p *Pass2) Instr(ev trace.InstrEvent, in *isa.Instr) {
 	}
 }
 
+// pass2Batcher upgrades Pass2 to a trace.BatchHook when its sink
+// consumes batches: the context key and coordinates are computed once
+// per batch instead of once per instruction (sound because the VM
+// flushes batches before every control event, and the iteration vector
+// only changes on control events).
+type pass2Batcher struct {
+	*Pass2
+	batch BatchSink
+}
+
+func (p pass2Batcher) InstrBatch(evs []trace.InstrEvent, ins []*isa.Instr) {
+	p.Tree.CountOps(len(evs))
+	p.Pass2.coords = p.Vector.Coords(p.Pass2.coords[:0])
+	p.batch.OnInstrBatch(p.Vector.Key(), p.Pass2.coords, evs, ins)
+}
+
+// hook returns the trace.Hook to register with the VM: Pass2 itself,
+// or the batching wrapper when the sink consumes batches.
+func (p *Pass2) hook() trace.Hook {
+	if bs, ok := p.sink.(BatchSink); ok {
+		return pass2Batcher{Pass2: p, batch: bs}
+	}
+	return p
+}
+
 // RunPass2 executes the program a second time under full
 // instrumentation and returns the pass-2 artifacts with the schedule
 // tree finalized, recording into the default registry.
@@ -174,7 +213,7 @@ func RunPass2Scoped(prog *isa.Program, st *Structure, sink InstrSink, initMem fu
 	defer sp.End()
 	defer RecoverStage(name, sp, &err)
 	p = NewPass2(prog, st, sink)
-	m := vm.New(prog, p)
+	m := vm.New(prog, p.hook())
 	m.InitMem = initMem
 	m.Obs = sc
 	m.Budget = bud

@@ -6,6 +6,7 @@ import (
 	"polyprof/internal/iiv"
 	"polyprof/internal/isa"
 	"polyprof/internal/obs"
+	"polyprof/internal/parddg"
 	"polyprof/internal/vm"
 )
 
@@ -27,6 +28,11 @@ type Options struct {
 	// *budget.Error; degrading limits (shadow bytes, DDG edges) coarsen
 	// the graph — see ddg.Degradation.
 	Budget *budget.Budget
+	// ParallelDDG selects the sharded dependence engine with that many
+	// shard workers (internal/parddg); 0 or negative keeps the
+	// sequential builder.  The parallel engine produces a bit-for-bit
+	// identical graph on non-degraded runs.
+	ParallelDDG int
 }
 
 // DefaultRunOptions returns the configuration used throughout the
@@ -68,12 +74,24 @@ func Run(prog *isa.Program, opts Options) (*Profile, error) {
 	ddgOpts := opts.DDG
 	ddgOpts.Obs = sc
 	ddgOpts.Budget = bud
-	builder := ddg.NewBuilder(prog, ddgOpts)
-	p2, stats, err := RunPass2Scoped(prog, st, builder, opts.InitMem, sc, bud)
+	var sink InstrSink
+	var finisher ddgFinisher
+	if opts.ParallelDDG > 0 {
+		eng := parddg.NewEngine(prog, parddg.Options{Shards: opts.ParallelDDG, DDG: ddgOpts})
+		// Close is idempotent and a no-op after FinishChecked; the defer
+		// only matters when pass 2 errors out with worker goroutines
+		// still running.
+		defer eng.Close()
+		sink, finisher = eng, eng
+	} else {
+		builder := ddg.NewBuilder(prog, ddgOpts)
+		sink, finisher = builder, builder
+	}
+	p2, stats, err := RunPass2Scoped(prog, st, sink, opts.InitMem, sc, bud)
 	if err != nil {
 		return nil, err
 	}
-	g, err := finishFold(builder, sc)
+	g, err := finishFold(finisher, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -88,8 +106,13 @@ func Run(prog *isa.Program, opts Options) (*Profile, error) {
 	}, nil
 }
 
+// ddgFinisher is the fold stage of either dependence engine.
+type ddgFinisher interface {
+	FinishChecked() (*ddg.Graph, error)
+}
+
 // finishFold runs the fold stage under its span with panic recovery.
-func finishFold(builder *ddg.Builder, sc obs.Scope) (g *ddg.Graph, err error) {
+func finishFold(builder ddgFinisher, sc obs.Scope) (g *ddg.Graph, err error) {
 	sp := sc.StartSpan("fold-finish")
 	defer sp.End()
 	defer RecoverStage("fold-finish", sp, &err)

@@ -100,6 +100,32 @@ func (i *Instr) HasValue() bool { return i.hasValue }
 // HasAccess reports whether the instruction accessed memory.
 func (i *Instr) HasAccess() bool { return i.hasAccess }
 
+// NewInstr constructs an instruction vertex outside the sequential
+// builder, applying the same value/access classification instrFor
+// applies — but without attaching folders: an alternative engine (the
+// sharded one in internal/parddg) owns its own folders and assigns
+// Value/Access/Pieces at merge time.  Keeping the classification here
+// is what keeps HasValue/HasAccess — and therefore the fold-stream
+// census and SCEV candidacy — identical between engines.
+func NewInstr(id int, ref trace.InstrRef, ctx string, in *isa.Instr, stmt *Stmt) *Instr {
+	i := &Instr{
+		ID:    id,
+		Ref:   ref,
+		Ctx:   ctx,
+		Depth: stmt.Depth,
+		Op:    in.Op,
+		Loc:   in.Loc,
+		Stmt:  stmt,
+	}
+	if in.Op.ProducesInt() && in.Dst != isa.NoReg {
+		i.hasValue = true
+	}
+	if in.Op.IsMem() {
+		i.hasAccess = true
+	}
+	return i
+}
+
 // Dep is a folded dependence-edge bundle between two instruction
 // contexts.
 type Dep struct {

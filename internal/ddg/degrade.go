@@ -33,6 +33,22 @@ import (
 // grouped into 256-word ranges.
 const coarseRangeShift = 8
 
+// CoarseRangeShift exposes the coarse-range granularity so the sharded
+// engine (internal/parddg) can partition addresses on range boundaries:
+// a whole 2^CoarseRangeShift-word range always lands on one shard, which
+// keeps shard-local coarse summaries globally disjoint and lets the
+// merge pair them exactly like the sequential finishCoarse.
+const CoarseRangeShift = coarseRangeShift
+
+// ShadowRecBytes is the budget cost of one live shadow record with
+// dim-dimensional retained coordinates; exported so alternative engines
+// charge identically to the sequential builder.
+func ShadowRecBytes(dim int) uint64 { return recBytes(dim) }
+
+// BaseShadowBytes is the fixed up-front budget cost of the two per-word
+// record tables; exported for the same reason as ShadowRecBytes.
+func BaseShadowBytes(memWords int64) uint64 { return baseShadowBytes(memWords) }
+
 // shadowFault injects at the shadow-memory accounting path.
 var shadowFault = faultinject.Point("ddg.shadow.insert")
 

@@ -10,6 +10,7 @@ import (
 	"polyprof/internal/ddg"
 	"polyprof/internal/feedback"
 	"polyprof/internal/obs"
+	"polyprof/internal/parddg"
 	"polyprof/internal/sched"
 	"polyprof/internal/workloads"
 )
@@ -35,10 +36,13 @@ func (c StageCost) EventsPerSec() float64 {
 // workload — the shape of the paper's Experiment I, which reports the
 // CPU cost of the profiling pipeline itself per stage.
 type OverheadReport struct {
-	Workload string        `json:"workload"`
-	Ops      uint64        `json:"ops"`
-	Stages   []StageCost   `json:"stages"`
-	Total    time.Duration `json:"total_ns"`
+	Workload string `json:"workload"`
+	// Shards is the parallel dependence engine's worker count used for
+	// the ddg/fold stages (0 = sequential builder).
+	Shards int           `json:"shards,omitempty"`
+	Ops    uint64        `json:"ops"`
+	Stages []StageCost   `json:"stages"`
+	Total  time.Duration `json:"total_ns"`
 }
 
 // OverheadStages is the fixed stage order of the report.
@@ -62,18 +66,32 @@ func Overhead(spec workloads.Spec) (*OverheadReport, error) {
 	return OverheadScoped(spec, obs.Scope{})
 }
 
+// OverheadSharded is Overhead with the ddg/fold stages running on the
+// sharded parallel dependence engine (shards > 0); shards == 0 keeps
+// the sequential builder.  In parallel mode the "ddg" row includes the
+// folding the shard workers pipeline behind the VM pass, and "fold"
+// times the drain + merge.
+func OverheadSharded(spec workloads.Spec, shards int) (*OverheadReport, error) {
+	return OverheadShardedScoped(spec, shards, obs.Scope{})
+}
+
 // OverheadScoped is Overhead recording into sc's registry: an
 // "overhead:<name>" root span encloses the per-stage spans, and every
 // stage wall time is also observed into an
 // "overhead.stage.<stage>.wall_ns" histogram, so suite sweeps report
 // per-stage latency percentiles (p50/p90/p99) alongside the tables.
 func OverheadScoped(spec workloads.Spec, sc obs.Scope) (*OverheadReport, error) {
+	return OverheadShardedScoped(spec, 0, sc)
+}
+
+// OverheadShardedScoped combines OverheadSharded and OverheadScoped.
+func OverheadShardedScoped(spec workloads.Spec, shards int, sc obs.Scope) (*OverheadReport, error) {
 	root := sc.StartSpan("overhead:" + spec.Name)
 	defer root.End()
 	ssc := sc.WithSpan(root)
 
 	prog := spec.Build()
-	rep := &OverheadReport{Workload: spec.Name}
+	rep := &OverheadReport{Workload: spec.Name, Shards: shards}
 	add := func(stage string, wall time.Duration, events uint64, unit string) {
 		rep.Stages = append(rep.Stages, StageCost{Stage: stage, Wall: wall, Events: events, Unit: unit})
 		rep.Total += wall
@@ -101,8 +119,19 @@ func OverheadScoped(spec workloads.Spec, sc obs.Scope) (*OverheadReport, error) 
 	t0 = time.Now()
 	ddgOpts := ddg.DefaultOptions()
 	ddgOpts.Obs = ssc
-	builder := ddg.NewBuilder(prog, ddgOpts)
-	p2, stats, err := core.RunPass2Scoped(prog, st, builder, nil, ssc, nil)
+	var sink core.InstrSink
+	var fin interface {
+		FinishChecked() (*ddg.Graph, error)
+	}
+	if shards > 0 {
+		eng := parddg.NewEngine(prog, parddg.Options{Shards: shards, DDG: ddgOpts})
+		defer eng.Close()
+		sink, fin = eng, eng
+	} else {
+		b := ddg.NewBuilder(prog, ddgOpts)
+		sink, fin = b, b
+	}
+	p2, stats, err := core.RunPass2Scoped(prog, st, sink, nil, ssc, nil)
 	if err != nil {
 		root.Fail(err)
 		return nil, fmt.Errorf("%s: ddg: %w", spec.Name, err)
@@ -112,7 +141,13 @@ func OverheadScoped(spec workloads.Spec, sc obs.Scope) (*OverheadReport, error) 
 
 	t0 = time.Now()
 	foldSp := ssc.StartSpan("fold-finish")
-	g := builder.Finish()
+	g, err := fin.FinishChecked()
+	if err != nil {
+		foldSp.Fail(err)
+		foldSp.End()
+		root.Fail(err)
+		return nil, fmt.Errorf("%s: fold: %w", spec.Name, err)
+	}
 	foldSp.AddEvents(core.FoldedStreams(g))
 	foldSp.End()
 	add("fold", time.Since(t0), core.FoldedStreams(g), "streams")
@@ -135,9 +170,15 @@ func OverheadScoped(spec workloads.Spec, sc obs.Scope) (*OverheadReport, error) 
 // OverheadSuite measures the overhead of every Rodinia twin (the full
 // Experiment I sweep).
 func OverheadSuite() ([]*OverheadReport, error) {
+	return OverheadSuiteSharded(0)
+}
+
+// OverheadSuiteSharded is OverheadSuite on the sharded dependence
+// engine (0 = sequential).
+func OverheadSuiteSharded(shards int) ([]*OverheadReport, error) {
 	var out []*OverheadReport
 	for _, spec := range workloads.Rodinia() {
-		r, err := Overhead(spec)
+		r, err := OverheadSharded(spec, shards)
 		if err != nil {
 			return out, err
 		}

@@ -95,6 +95,8 @@ type Folder struct {
 	// Obs is the span-context fold-outcome metrics publish into; the
 	// zero Scope targets the process-wide default registry.
 	Obs obs.Scope
+
+	g guard
 }
 
 // NewFolder creates a folder for dim-dimensional coordinates and
@@ -183,6 +185,10 @@ func (f *Folder) materialize() {
 
 // Add feeds one point.  label must have the folder's label width.
 func (f *Folder) Add(coords []int64, label []int64) {
+	if ownershipChecks.Load() {
+		f.g.enter("Folder.Add")
+		defer f.g.leave()
+	}
 	if f.buffering {
 		if len(f.buf) < smallStreamThreshold {
 			bp := bufPoint{coords: append([]int64(nil), coords...)}
@@ -307,6 +313,10 @@ func (f *Folder) closeRun(j int) {
 // Finish closes all open runs and returns the folded piece.  Returns a
 // zero-point piece for empty streams.
 func (f *Folder) Finish() Piece {
+	if ownershipChecks.Load() {
+		f.g.enter("Folder.Finish")
+		defer f.g.leave()
+	}
 	finishFault.HitPanic()
 	if f.buffering {
 		if p, ok := f.finishSmall(); ok {

@@ -70,6 +70,8 @@ type MultiFolder struct {
 	// Scope targets the process-wide default registry.  Propagated to
 	// every piece folder this multi-folder creates.
 	Obs obs.Scope
+
+	g guard
 }
 
 // DefaultMaxPieces bounds the union size per dependence.
@@ -88,6 +90,10 @@ func (m *MultiFolder) Points() uint64 { return m.points }
 
 // Add classifies and folds one point.
 func (m *MultiFolder) Add(coords, label []int64) {
+	if ownershipChecks.Load() {
+		m.g.enter("MultiFolder.Add")
+		defer m.g.leave()
+	}
 	m.points++
 	for _, p := range m.pieces {
 		if p.checkLabels(coords, label) {
@@ -113,6 +119,10 @@ func (m *MultiFolder) Add(coords, label []int64) {
 // generally over-approximated boxes (their points arrive with holes),
 // which is sound for dependence-distance bounds.
 func (m *MultiFolder) Finish() []Piece {
+	if ownershipChecks.Load() {
+		m.g.enter("MultiFolder.Finish")
+		defer m.g.leave()
+	}
 	var out []Piece
 	for _, p := range m.pieces {
 		out = append(out, p.Finish())

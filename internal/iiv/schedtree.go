@@ -127,6 +127,14 @@ func (t *Tree) CountOp() {
 	}
 }
 
+// CountOps attributes n executed instructions to the current context
+// (the batched-emission equivalent of n CountOp calls).
+func (t *Tree) CountOps(n int) {
+	if t.cur != nil {
+		t.cur.SelfOps += uint64(n)
+	}
+}
+
 // NodeByCtx returns the leaf node for a context key, or nil.
 func (t *Tree) NodeByCtx(key string) *TreeNode { return t.byCtx[key] }
 

@@ -2,6 +2,7 @@ package jobstore
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -17,7 +18,7 @@ import (
 // record is the WAL envelope.  Every state transition of every job is
 // one record; replay folds them, last writer wins per job.
 type record struct {
-	// T is the record type: "submit", "state", or "hist".
+	// T is the record type: "submit", "state", "delete", or "hist".
 	T string `json:"t"`
 	// Job is the full job at submission time (T == "submit").
 	Job *Job `json:"job,omitempty"`
@@ -225,10 +226,25 @@ func (s *Store) applyRecord(payload []byte) {
 		case StateSucceeded, StateFailed:
 			j.FinishedAt = rec.At
 		}
+	case "delete":
+		if _, ok := s.jobs[rec.ID]; !ok {
+			return
+		}
+		delete(s.jobs, rec.ID)
+		s.dropOrder(rec.ID)
 	case "hist":
 		s.pushHistory(rec.Hist)
 	default:
 		s.logf("jobstore: unknown WAL record type %q; skipping", rec.T)
+	}
+}
+
+func (s *Store) dropOrder(id string) {
+	for i, o := range s.order {
+		if o == id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			return
+		}
 	}
 }
 
@@ -525,6 +541,68 @@ func (s *Store) Quarantine(id string, jerr *JobError) error {
 	s.reg.Add("jobs.quarantined", 1)
 	s.publishGauges()
 	return nil
+}
+
+// ErrUnknownJob and ErrJobActive classify Delete failures so the
+// serving layer can map them to 404 / 409.
+var (
+	ErrUnknownJob = errors.New("unknown job")
+	ErrJobActive  = errors.New("job is not terminal")
+)
+
+// Delete removes a terminal (succeeded or failed) job.  The deletion
+// is WAL-logged before it is acknowledged, so it survives restarts and
+// replay never resurrects the job.  Queued and running jobs cannot be
+// deleted — cancel-by-delete would race the worker pool's claim; the
+// caller must wait for a terminal state.
+func (s *Store) Delete(id string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.deleteLocked(id)
+}
+
+func (s *Store) deleteLocked(id string) error {
+	j, ok := s.jobs[id]
+	if !ok {
+		return fmt.Errorf("jobstore: %w: %s", ErrUnknownJob, id)
+	}
+	if !j.State.Terminal() {
+		return fmt.Errorf("jobstore: %w: %s is %s", ErrJobActive, id, j.State)
+	}
+	if err := s.appendLocked(record{T: "delete", ID: id}); err != nil {
+		return err
+	}
+	delete(s.jobs, id)
+	s.dropOrder(id)
+	s.reg.Add("jobs.deleted", 1)
+	s.publishGauges()
+	return nil
+}
+
+// ExpireBefore deletes every terminal job that finished before cutoff
+// (the TTL sweep) and returns how many were removed.  Each deletion is
+// WAL-logged; a failure stops the sweep early (the next tick retries).
+func (s *Store) ExpireBefore(cutoff time.Time) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var expired []string
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j.State.Terminal() && !j.FinishedAt.IsZero() && j.FinishedAt.Before(cutoff) {
+			expired = append(expired, id)
+		}
+	}
+	n := 0
+	for _, id := range expired {
+		if err := s.deleteLocked(id); err != nil {
+			return n, err
+		}
+		n++
+	}
+	if n > 0 {
+		s.reg.Add("jobs.expired", uint64(n))
+	}
+	return n, nil
 }
 
 // Get returns a copy of the job, or nil.

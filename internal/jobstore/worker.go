@@ -28,6 +28,13 @@ type PoolOptions struct {
 	// with jitter in [delay/2, delay).
 	BackoffBase time.Duration
 	BackoffMax  time.Duration
+	// TTL garbage-collects terminal jobs: the pool sweeps the store
+	// periodically and deletes (WAL-logged) succeeded/failed jobs that
+	// finished more than TTL ago.  Zero disables the sweeper.
+	TTL time.Duration
+	// SweepEvery is the sweeper's tick (default TTL/4, clamped to
+	// [1s, 1m]).
+	SweepEvery time.Duration
 	// Registry receives pool counters (default obs.Default).
 	Registry *obs.Registry
 	// Logf receives lifecycle lines (nil to disable).
@@ -82,15 +89,53 @@ func NewPool(store *Store, run Runner, opts PoolOptions) *Pool {
 	return p
 }
 
-// Start launches the workers and enqueues the recovered jobs (the
-// queued + formerly-running jobs Open returned).
+// Start launches the workers (plus the TTL sweeper when configured)
+// and enqueues the recovered jobs (the queued + formerly-running jobs
+// Open returned).
 func (p *Pool) Start(recovered []*Job) {
 	for i := 0; i < p.opts.Workers; i++ {
 		p.wg.Add(1)
 		go p.worker()
 	}
+	if p.opts.TTL > 0 {
+		p.wg.Add(1)
+		go p.sweeper()
+	}
 	for _, j := range recovered {
 		p.Enqueue(j.ID, j.NextRunAt)
+	}
+}
+
+// sweeper periodically expires terminal jobs older than the TTL.  The
+// first sweep runs immediately so jobs that aged out while the daemon
+// was down are collected at startup, not one tick later.
+func (p *Pool) sweeper() {
+	defer p.wg.Done()
+	every := p.opts.SweepEvery
+	if every <= 0 {
+		every = p.opts.TTL / 4
+	}
+	if every < time.Second {
+		every = time.Second
+	}
+	if every > time.Minute {
+		every = time.Minute
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		n, err := p.store.ExpireBefore(time.Now().UTC().Add(-p.opts.TTL))
+		if err != nil {
+			p.logf("jobstore: ttl sweep: %v", err)
+		}
+		if n > 0 {
+			p.logf("jobstore: ttl sweep expired %d job(s) older than %s", n, p.opts.TTL)
+		}
+		select {
+		case <-p.ctx.Done():
+			return
+		case <-t.C:
+		}
 	}
 }
 

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -138,8 +139,11 @@ func (s *Server) handleJobList(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.store.List(state)})
 }
 
-// handleJobGet serves GET /v1/jobs/{id}: the full job including the
-// persisted report once succeeded.
+// handleJobGet serves one job: GET /v1/jobs/{id} returns the full job
+// including the persisted report once succeeded; DELETE /v1/jobs/{id}
+// removes a terminal job (WAL-logged, survives restarts).  Deleting a
+// queued or running job is a 409 — it would race the worker pool's
+// claim; wait for a terminal state (or let the TTL sweeper collect it).
 func (s *Server) handleJobGet(rw http.ResponseWriter, req *http.Request) {
 	w := &responseTracker{ResponseWriter: rw}
 	defer s.recoverJSON(w)
@@ -147,18 +151,31 @@ func (s *Server) handleJobGet(rw http.ResponseWriter, req *http.Request) {
 		http.Error(w, "durable jobs are disabled; restart the daemon with -data-dir", http.StatusServiceUnavailable)
 		return
 	}
-	if req.Method != http.MethodGet {
-		w.Header().Set("Allow", http.MethodGet)
-		http.Error(w, "GET /v1/jobs/<id>", http.StatusMethodNotAllowed)
-		return
-	}
 	id := strings.TrimPrefix(req.URL.Path, "/v1/jobs/")
-	job := s.store.Get(id)
-	if job == nil {
-		http.Error(w, fmt.Sprintf("unknown job %q", id), http.StatusNotFound)
-		return
+	switch req.Method {
+	case http.MethodGet:
+		job := s.store.Get(id)
+		if job == nil {
+			http.Error(w, fmt.Sprintf("unknown job %q", id), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, http.StatusOK, job)
+	case http.MethodDelete:
+		switch err := s.store.Delete(id); {
+		case err == nil:
+			s.reg.Add("serve.jobs.deleted", 1)
+			w.WriteHeader(http.StatusNoContent)
+		case errors.Is(err, jobstore.ErrUnknownJob):
+			http.Error(w, err.Error(), http.StatusNotFound)
+		case errors.Is(err, jobstore.ErrJobActive):
+			http.Error(w, err.Error(), http.StatusConflict)
+		default:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	default:
+		w.Header().Set("Allow", "GET, DELETE")
+		http.Error(w, "GET or DELETE /v1/jobs/<id>", http.StatusMethodNotAllowed)
 	}
-	writeJSON(w, http.StatusOK, job)
 }
 
 // jobProgram materializes the program a job profiles.  Errors here are
@@ -218,6 +235,7 @@ func (s *Server) runJob(ctx context.Context, job *jobstore.Job, attempt int) (*j
 		opts := core.DefaultRunOptions()
 		opts.Obs = sc
 		opts.Budget = bud
+		opts.ParallelDDG = s.opts.ParallelDDG
 		p, err := core.Run(prog, opts)
 		if err != nil {
 			return err

@@ -289,6 +289,105 @@ func TestJobsSurviveRestart(t *testing.T) {
 	}
 }
 
+// del issues DELETE against the test server.
+func del(t *testing.T, ts *httptest.Server, path string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp
+}
+
+// TestJobDelete: DELETE removes a terminal job (204, then 404 on GET),
+// refuses active jobs with 409, answers 404 for unknown ids, and the
+// deletion survives a restart.
+func TestJobDelete(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newTestServer(t, Options{DataDir: dir})
+
+	resp, body := postJob(t, ts1, "workload=example1", nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", resp.StatusCode, body)
+	}
+	var sum jobstore.JobSummary
+	if err := json.Unmarshal(body, &sum); err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, ts1, sum.ID)
+
+	// An always-queued job (submitted directly, never enqueued on the
+	// pool) pins the 409 path without racing the workers.
+	stuck := &jobstore.Job{Kind: jobstore.KindWorkload, Workload: "example2"}
+	if err := s1.store.Submit(stuck); err != nil {
+		t.Fatal(err)
+	}
+	if resp := del(t, ts1, "/v1/jobs/"+stuck.ID); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("DELETE queued job = %d, want 409", resp.StatusCode)
+	}
+	if resp := del(t, ts1, "/v1/jobs/job-999"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("DELETE unknown job = %d, want 404", resp.StatusCode)
+	}
+	if resp := del(t, ts1, "/v1/jobs/"+sum.ID); resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE terminal job = %d, want 204", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts1, "/v1/jobs/"+sum.ID); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET after DELETE = %d, want 404", resp.StatusCode)
+	}
+
+	ts1.Close()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, ts2 := newTestServer(t, Options{DataDir: dir})
+	if resp, _ := get(t, ts2, "/v1/jobs/"+sum.ID); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("deleted job resurrected after restart: %d", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts2, "/v1/jobs/"+stuck.ID); resp.StatusCode != http.StatusOK {
+		t.Fatalf("undeleted job lost after restart: %d", resp.StatusCode)
+	}
+}
+
+// TestJobDeleteDisabledWithoutDataDir: DELETE on a store-less daemon is
+// a 503 like the other job endpoints.
+func TestJobDeleteDisabledWithoutDataDir(t *testing.T) {
+	_, ts := newTestServer(t, Options{})
+	if resp := del(t, ts, "/v1/jobs/job-1"); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("DELETE without data dir = %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestJobTTLExpiry: with -job-ttl set, a terminal job that outlives the
+// TTL is garbage-collected by the pool's sweeper (which ticks at least
+// once a second).
+func TestJobTTLExpiry(t *testing.T) {
+	_, ts := newTestServer(t, Options{DataDir: t.TempDir(), JobTTL: time.Second})
+	resp, body := postJob(t, ts, "workload=example1", nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", resp.StatusCode, body)
+	}
+	var sum jobstore.JobSummary
+	if err := json.Unmarshal(body, &sum); err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, ts, sum.ID)
+
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if resp, _ := get(t, ts, "/v1/jobs/"+sum.ID); resp.StatusCode == http.StatusNotFound {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatal("TTL sweeper never collected the aged-out job")
+}
+
 // TestProfileMethodNotAllowedHasAllow: RFC 9110 — the 405 names the
 // allowed methods, POST first.
 func TestProfileMethodNotAllowedHasAllow(t *testing.T) {

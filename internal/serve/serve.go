@@ -10,6 +10,8 @@
 //	                                   name or isa-JSON program body)
 //	GET  /v1/jobs?state=<s>            list jobs, optionally by state
 //	GET  /v1/jobs/{id}                 one job, with its persisted report
+//	DELETE /v1/jobs/{id}               delete a terminal job (409 while
+//	                                   queued/running); WAL-logged
 //	GET  /v1/requests                  recent request summaries (persisted
 //	                                   across restarts when -data-dir set)
 //	GET  /v1/workloads                 names the daemon can profile
@@ -102,6 +104,14 @@ type Options struct {
 	// MaxProgramBytes caps a user-submitted program body (default
 	// DefaultMaxProgramBytes).
 	MaxProgramBytes int64
+	// JobTTL garbage-collects terminal jobs this long after they
+	// finish (WAL-logged deletions; zero keeps jobs forever).
+	JobTTL time.Duration
+	// ParallelDDG selects the sharded parallel dependence engine with
+	// that many shard workers for every profile request and job; 0
+	// keeps the sequential builder.  Reports are bit-for-bit identical
+	// either way.
+	ParallelDDG int
 }
 
 // Server is the daemon state.
@@ -153,6 +163,7 @@ func New(opts Options) (*Server, error) {
 		s.pool = jobstore.NewPool(store, s.runJob, jobstore.PoolOptions{
 			Workers:     opts.Workers,
 			MaxAttempts: opts.MaxAttempts,
+			TTL:         opts.JobTTL,
 			Registry:    opts.Registry,
 			Logf:        opts.Logf,
 		})
@@ -428,6 +439,7 @@ func (s *Server) runPipeline(bud *budget.Budget, sc obs.Scope, root *obs.Span, s
 	opts := core.DefaultRunOptions()
 	opts.Obs = sc
 	opts.Budget = bud
+	opts.ParallelDDG = s.opts.ParallelDDG
 	p, err := core.Run(prog, opts)
 	if err != nil {
 		return err

@@ -80,6 +80,25 @@ type Hook interface {
 	Instr(ev InstrEvent, in *isa.Instr)
 }
 
+// BatchHook is an optional Hook extension: a hook that also implements
+// InstrBatch receives instruction events in batches instead of one
+// Instr call per event, amortizing the per-event dispatch cost.  The
+// VM enables batching only when it drives exactly one hook and that
+// hook implements BatchHook (batching would reorder events *between*
+// hooks otherwise).
+//
+// The contract is the sequential one, deferred: evs[i] corresponds to
+// ins[i], events appear in program order, and a batch never spans a
+// control event — every pending batch is flushed before a Control call
+// and before Run returns (on error paths too).  Between two control
+// events the dynamic iteration vector is constant, which is what lets
+// batch consumers compute per-batch context once.  Both slices are
+// only valid for the duration of the call.
+type BatchHook interface {
+	Hook
+	InstrBatch(evs []InstrEvent, ins []*isa.Instr)
+}
+
 // ControlOnly adapts a function to a Hook that ignores instructions.
 // Pass 1 of polyprof (dynamic CFG/CG recovery) uses it: the paper's
 // "Instrumentation I" also only instruments control transfers.

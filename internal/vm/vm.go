@@ -93,7 +93,19 @@ type Machine struct {
 	// Cost, when set, accumulates simulated cycles during execution
 	// (base per-opcode costs plus cache-modeled memory latency).
 	Cost *CycleModel
+
+	// batch is non-nil when the machine drives exactly one hook and it
+	// implements trace.BatchHook: instruction events then buffer in
+	// bufEv/bufIn and flush as one InstrBatch call before every control
+	// event, at the buffer cap, and when Run returns.
+	batch trace.BatchHook
+	bufEv []trace.InstrEvent
+	bufIn []*isa.Instr
 }
+
+// batchCap bounds the instruction-event buffer between flushes so a
+// giant straight-line block cannot hold an unbounded batch.
+const batchCap = 1024
 
 // New creates a machine for prog with the given instrumentation hooks
 // (nil hooks are dropped).
@@ -102,6 +114,14 @@ func New(prog *isa.Program, hooks ...trace.Hook) *Machine {
 	for _, h := range hooks {
 		if h != nil {
 			m.hooks = append(m.hooks, h)
+		}
+	}
+	// Batching is only sound with a single hook: with several, deferring
+	// one hook's instruction events past another's would reorder the
+	// streams relative to each other.
+	if len(m.hooks) == 1 {
+		if bh, ok := m.hooks[0].(trace.BatchHook); ok {
+			m.batch = bh
 		}
 	}
 	return m
@@ -120,15 +140,38 @@ func F64(w uint64) float64 { return math.Float64frombits(w) }
 func W64(f float64) uint64 { return math.Float64bits(f) }
 
 func (m *Machine) emitControl(ev trace.ControlEvent) {
+	if m.batch != nil {
+		m.flushInstrs()
+		m.batch.Control(ev)
+		return
+	}
 	for _, h := range m.hooks {
 		h.Control(ev)
 	}
 }
 
 func (m *Machine) emitInstr(ev trace.InstrEvent, in *isa.Instr) {
+	if m.batch != nil {
+		m.bufEv = append(m.bufEv, ev)
+		m.bufIn = append(m.bufIn, in)
+		if len(m.bufEv) >= batchCap {
+			m.flushInstrs()
+		}
+		return
+	}
 	for _, h := range m.hooks {
 		h.Instr(ev, in)
 	}
+}
+
+// flushInstrs delivers the buffered instruction events as one batch.
+func (m *Machine) flushInstrs() {
+	if len(m.bufEv) == 0 {
+		return
+	}
+	m.batch.InstrBatch(m.bufEv, m.bufIn)
+	m.bufEv = m.bufEv[:0]
+	m.bufIn = m.bufIn[:0]
 }
 
 // publishStats records the run's dynamic event counters in the scoped
@@ -160,6 +203,14 @@ func (m *Machine) Run() error {
 			m.prog.Name, m.prog.MemWords, MaxMemWords)
 	}
 	defer m.publishStats()
+	if m.batch != nil {
+		// Every exit path — halt, trap, budget abort — delivers pending
+		// buffered events first, so a batching hook sees the same prefix
+		// of the stream a per-event hook would have seen.
+		m.bufEv = m.bufEv[:0]
+		m.bufIn = m.bufIn[:0]
+		defer m.flushInstrs()
+	}
 	m.mem = make([]uint64, m.prog.MemWords)
 	if m.InitMem != nil {
 		m.InitMem(m.mem)

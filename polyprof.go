@@ -125,11 +125,39 @@ func ProfileCtx(ctx context.Context, prog *Program, limits BudgetLimits) (*Repor
 	return feedback.AnalyzeChecked(p)
 }
 
+// ProfileOptions tunes a governed profiling run beyond ProfileCtx.
+type ProfileOptions struct {
+	// Limits are the run's resource limits (zero fields unlimited).
+	Limits BudgetLimits
+	// ParallelDDG selects the sharded parallel dependence engine with
+	// that many shard workers; 0 keeps the sequential builder.  The
+	// parallel engine's report is bit-for-bit identical to the
+	// sequential one on non-degraded runs.
+	ParallelDDG int
+}
+
+// ProfileWith is ProfileCtx with engine selection: it runs the
+// pipeline under resource governance and, when opts.ParallelDDG > 0,
+// tracks dependences with the sharded parallel engine.
+func ProfileWith(ctx context.Context, prog *Program, popts ProfileOptions) (*Report, error) {
+	opts := core.DefaultRunOptions()
+	opts.Budget = budget.New(ctx, popts.Limits)
+	opts.ParallelDDG = popts.ParallelDDG
+	p, err := core.Run(prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	return feedback.AnalyzeChecked(p)
+}
+
 // ProfileExecution runs only the profiling stages (no feedback),
 // returning the raw folded artifacts.
 func ProfileExecution(prog *Program) (*ExecutionProfile, error) {
 	return core.Run(prog, core.DefaultRunOptions())
 }
+
+// Workloads lists the names of every bundled workload twin.
+func Workloads() []string { return workloads.Names() }
 
 // AnalyzeStatic runs the Polly-like static affine-region baseline.
 func AnalyzeStatic(prog *Program) *StaticResult { return staticpoly.Analyze(prog) }

@@ -18,8 +18,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"os/exec"
+	"runtime"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"polyprof"
 	"polyprof/internal/cct"
@@ -305,7 +309,11 @@ func BenchmarkProfilingOverhead(b *testing.B) {
 	})
 
 	if path := benchJSONPath(); path != "" {
-		data, err := json.MarshalIndent(nsPerOp, "", "  ")
+		out := struct {
+			Meta   benchMeta        `json:"meta"`
+			Stages map[string]int64 `json:"stages"`
+		}{Meta: collectBenchMeta(), Stages: nsPerOp}
+		data, err := json.MarshalIndent(out, "", "  ")
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -314,6 +322,30 @@ func BenchmarkProfilingOverhead(b *testing.B) {
 		}
 		b.Logf("wrote per-stage ns/op to %s", path)
 	}
+}
+
+// benchMeta pins the machine and revision a baseline was measured on,
+// so `polyprof overhead -compare` can report apples-to-oranges runs
+// (mirrors evaluation.BenchMeta).
+type benchMeta struct {
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"numcpu"`
+	Go         string `json:"go"`
+	Rev        string `json:"rev,omitempty"`
+	Timestamp  string `json:"timestamp"`
+}
+
+func collectBenchMeta() benchMeta {
+	m := benchMeta{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Go:         runtime.Version(),
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+	if out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output(); err == nil {
+		m.Rev = strings.TrimSpace(string(out))
+	}
+	return m
 }
 
 // benchJSONPath decides where BenchmarkProfilingOverhead writes its

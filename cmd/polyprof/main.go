@@ -73,6 +73,8 @@ func main() {
 		err = cmdTable5(os.Args[2:])
 	case "overhead":
 		err = cmdOverhead(os.Args[2:])
+	case "diag":
+		err = cmdDiag(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
 	case "casestudy":
@@ -104,12 +106,23 @@ commands:
   disasm <workload>       print the pseudo-assembler listing
   table5                  run the whole Rodinia suite (Experiment I+II)
   overhead [workload|all] per-stage profiling cost table (Experiment I)
+  diag [workload|all]     parallel-engine utilization diagnosis: per-actor
+                          busy fractions, sequencer occupancy, queue depths,
+                          critical path and an Amdahl projected-speedup table
+                          (-parallel-ddg n shards, default all cores; -json;
+                          -trace adds per-actor timeline tracks)
   casestudy <name>        backprop (Table 3) or gemsfdtd (Table 4)
   ddg <workload>          dump the folded polyhedral DDG of the region
   report <workload> [-json]  full feedback document (or JSON)
   serve [-http :7070]     profiling-as-a-service daemon (POST /v1/profile)
 
-flags (profile, report, table5, overhead):
+overhead regression flags:
+  -compare f.json  diff the fresh stage costs against a baseline
+                   (BENCH_overhead.json bench emission, legacy flat map, or
+                   overhead -json output); exits nonzero on regression
+  -tolerance x     allowed slowdown before -compare fails (default 0.10 = +10%)
+
+flags (profile, report, table5, overhead, diag):
   -metrics      append the metrics-registry section to the output
   -http :addr   serve /metrics (Prometheus or ?format=json) + pprof
   -trace f.json write the pipeline span tree as Chrome trace-event JSON
@@ -197,6 +210,9 @@ type obsFlags struct {
 	// on stdout; the metrics section then goes to stderr so stdout
 	// stays valid JSON for consumers piping it.
 	jsonOut bool
+	// extraSpans are appended to the Chrome trace alongside the span
+	// tree (the diag command adds the sampler's per-actor timelines).
+	extraSpans []obs.SpanRecord
 
 	srv *obs.MetricsServer
 }
@@ -297,7 +313,7 @@ func (f *obsFlags) finish() error {
 		fmt.Fprint(out, obs.TakeSnapshot().Text())
 	}
 	if f.trace != "" {
-		spans := obs.Default.Spans()
+		spans := append(obs.Default.Spans(), f.extraSpans...)
 		if err := obs.WriteChromeTrace(f.trace, spans); err != nil {
 			return err
 		}
@@ -519,6 +535,8 @@ func cmdTable5(args []string) error {
 func cmdOverhead(args []string) error {
 	fs := flag.NewFlagSet("overhead", flag.ExitOnError)
 	asJSON := fs.Bool("json", false, "emit machine-readable stage costs")
+	compare := fs.String("compare", "", "baseline to diff against (bench emission, flat stage map, or overhead -json output); exits nonzero on regression")
+	tolerance := fs.Float64("tolerance", 0.10, "allowed slowdown before -compare fails (0.10 = +10%)")
 	of := addObsFlags(fs)
 	par := addParallelFlag(fs)
 	name, err := parseWorkload(fs, args)
@@ -532,36 +550,125 @@ func cmdOverhead(args []string) error {
 	if err := of.start(); err != nil {
 		return err
 	}
-	emit := func(rs []*evaluation.OverheadReport, render func() string) error {
-		if *asJSON {
-			data, err := evaluation.OverheadJSON(rs)
-			if err != nil {
-				return err
-			}
-			fmt.Println(string(data))
-			return of.finish()
-		}
-		fmt.Print(render())
-		return of.finish()
-	}
 	shards := resolveShards(*par)
+	var rs []*evaluation.OverheadReport
+	var render func() string
 	if name == "all" {
 		fmt.Fprintln(os.Stderr, "measuring per-stage profiling cost across the Rodinia suite...")
-		rs, err := evaluation.OverheadSuiteSharded(shards)
+		rs, err = evaluation.OverheadSuiteSharded(shards)
 		if err != nil {
 			return err
 		}
-		return emit(rs, func() string { return evaluation.RenderOverheadSuite(rs) })
+		render = func() string { return evaluation.RenderOverheadSuite(rs) }
+	} else {
+		spec := workloads.ByName(name)
+		if spec == nil {
+			return fmt.Errorf("unknown workload %q", name)
+		}
+		r, err := evaluation.OverheadSharded(*spec, shards)
+		if err != nil {
+			return err
+		}
+		rs = []*evaluation.OverheadReport{r}
+		render = func() string { return evaluation.RenderOverhead(r) }
 	}
-	spec := workloads.ByName(name)
-	if spec == nil {
-		return fmt.Errorf("unknown workload %q", name)
+	if *asJSON {
+		data, err := evaluation.OverheadJSON(rs)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+	} else {
+		fmt.Print(render())
 	}
-	r, err := evaluation.OverheadSharded(*spec, shards)
+	var cmpErr error
+	if *compare != "" {
+		if len(rs) != 1 {
+			return fmt.Errorf("overhead: -compare wants a single workload, not %q", name)
+		}
+		data, err := os.ReadFile(*compare)
+		if err != nil {
+			return err
+		}
+		base, err := evaluation.LoadBaseline(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", *compare, err)
+		}
+		c := evaluation.CompareOverhead(rs[0], base, *tolerance)
+		out := io.Writer(os.Stdout)
+		if *asJSON {
+			out = os.Stderr
+		}
+		fmt.Fprintln(out)
+		fmt.Fprint(out, evaluation.RenderCompare(c, base.Meta))
+		cmpErr = c.Err()
+	}
+	if err := of.finish(); err != nil {
+		return err
+	}
+	return cmpErr
+}
+
+// cmdDiag profiles one workload (or the suite) on the sharded parallel
+// dependence engine with the utilization sampler attached and prints
+// the parallel diagnosis: who is busy, who is blocked, what Amdahl
+// says about adding shards.
+func cmdDiag(args []string) error {
+	fs := flag.NewFlagSet("diag", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit machine-readable diagnosis reports")
+	of := addObsFlags(fs)
+	par := addParallelFlag(fs)
+	name, err := parseWorkload(fs, args)
 	if err != nil {
 		return err
 	}
-	return emit([]*evaluation.OverheadReport{r}, func() string { return evaluation.RenderOverhead(r) })
+	if name == "" {
+		name = "all"
+	}
+	of.jsonOut = *asJSON
+	if err := of.start(); err != nil {
+		return err
+	}
+	// diag is about the parallel engine, so an absent -parallel-ddg
+	// means all cores rather than the sequential builder.
+	shards := resolveShards(*par)
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	var rs []*evaluation.DiagReport
+	if name == "all" {
+		fmt.Fprintf(os.Stderr, "diagnosing the Rodinia suite on the %d-shard parallel engine...\n", shards)
+		rs, err = evaluation.DiagnoseSuite(shards, obs.Scope{})
+	} else {
+		spec := workloads.ByName(name)
+		if spec == nil {
+			return fmt.Errorf("unknown workload %q", name)
+		}
+		var r *evaluation.DiagReport
+		r, err = evaluation.Diagnose(*spec, shards, obs.Scope{})
+		rs = []*evaluation.DiagReport{r}
+	}
+	if err != nil {
+		return err
+	}
+	for _, r := range rs {
+		of.extraSpans = append(of.extraSpans, r.Timeline...)
+	}
+	if *asJSON {
+		data, err := evaluation.DiagJSON(rs)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return of.finish()
+	}
+	for i, r := range rs {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(evaluation.RenderDiag(r))
+	}
+	return of.finish()
 }
 
 // cmdServe runs the profiling-as-a-service daemon: POST

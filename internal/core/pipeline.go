@@ -17,6 +17,7 @@ import (
 	"polyprof/internal/isa"
 	"polyprof/internal/loopevents"
 	"polyprof/internal/obs"
+	"polyprof/internal/progress"
 	"polyprof/internal/trace"
 	"polyprof/internal/vm"
 )
@@ -66,7 +67,13 @@ func AnalyzeStructure(prog *isa.Program, initMem func([]uint64)) (*Structure, er
 // AnalyzeStructureScoped is AnalyzeStructure recording its stage span
 // and VM counters into sc's registry, nested under sc's parent span,
 // governed by bud (nil for unlimited).
-func AnalyzeStructureScoped(prog *isa.Program, initMem func([]uint64), sc obs.Scope, bud *budget.Budget) (st *Structure, err error) {
+func AnalyzeStructureScoped(prog *isa.Program, initMem func([]uint64), sc obs.Scope, bud *budget.Budget) (*Structure, error) {
+	return analyzeStructure(prog, initMem, sc, bud, nil)
+}
+
+// analyzeStructure additionally publishes live progress into tr (nil
+// for none).
+func analyzeStructure(prog *isa.Program, initMem func([]uint64), sc obs.Scope, bud *budget.Budget, tr *progress.Tracker) (st *Structure, err error) {
 	sp := sc.StartSpan("pass1-structure")
 	defer sp.End()
 	defer RecoverStage("pass1-structure", sp, &err)
@@ -75,6 +82,7 @@ func AnalyzeStructureScoped(prog *isa.Program, initMem func([]uint64), sc obs.Sc
 	m.InitMem = initMem
 	m.Obs = sc
 	m.Budget = bud
+	m.Progress = tr
 	if err := m.Run(); err != nil {
 		sp.Fail(err)
 		return nil, err
@@ -204,7 +212,13 @@ func RunPass2(prog *isa.Program, st *Structure, sink InstrSink, initMem func([]u
 // RunPass2Scoped is RunPass2 recording its stage span and VM counters
 // into sc's registry, nested under sc's parent span, governed by bud
 // (nil for unlimited).
-func RunPass2Scoped(prog *isa.Program, st *Structure, sink InstrSink, initMem func([]uint64), sc obs.Scope, bud *budget.Budget) (p *Pass2, stats vm.Stats, err error) {
+func RunPass2Scoped(prog *isa.Program, st *Structure, sink InstrSink, initMem func([]uint64), sc obs.Scope, bud *budget.Budget) (*Pass2, vm.Stats, error) {
+	return runPass2(prog, st, sink, initMem, sc, bud, nil)
+}
+
+// runPass2 additionally publishes live progress into tr (nil for
+// none).
+func runPass2(prog *isa.Program, st *Structure, sink InstrSink, initMem func([]uint64), sc obs.Scope, bud *budget.Budget, tr *progress.Tracker) (p *Pass2, stats vm.Stats, err error) {
 	name := "pass2-iiv"
 	if sink != nil {
 		name = "pass2-ddg"
@@ -217,6 +231,7 @@ func RunPass2Scoped(prog *isa.Program, st *Structure, sink InstrSink, initMem fu
 	m.InitMem = initMem
 	m.Obs = sc
 	m.Budget = bud
+	m.Progress = tr
 	if err := m.Run(); err != nil {
 		sp.Fail(err)
 		return nil, vm.Stats{}, err

@@ -6,7 +6,9 @@ import (
 	"polyprof/internal/iiv"
 	"polyprof/internal/isa"
 	"polyprof/internal/obs"
+	"polyprof/internal/obs/sampler"
 	"polyprof/internal/parddg"
+	"polyprof/internal/progress"
 	"polyprof/internal/vm"
 )
 
@@ -33,6 +35,15 @@ type Options struct {
 	// sequential builder.  The parallel engine produces a bit-for-bit
 	// identical graph on non-degraded runs.
 	ParallelDDG int
+	// Sampler, when non-nil and enabled, attaches the parallel-engine
+	// utilization profiler to the sharded dependence engine (no effect
+	// on sequential runs).
+	Sampler *sampler.Sampler
+	// Progress, when non-nil, receives live stage/event progress: pass 1
+	// discovers the program's dynamic op count, pass 2 then reports
+	// events against that exact total (the pipeline re-executes the
+	// same deterministic program).
+	Progress *progress.Tracker
 }
 
 // DefaultRunOptions returns the configuration used throughout the
@@ -63,8 +74,9 @@ type Profile struct {
 
 // Run executes the two instrumented passes and folds the DDG.
 func Run(prog *isa.Program, opts Options) (*Profile, error) {
-	sc, bud := opts.Obs, opts.Budget
-	st, err := AnalyzeStructureScoped(prog, opts.InitMem, sc, bud)
+	sc, bud, tr := opts.Obs, opts.Budget, opts.Progress
+	tr.StartStage("pass1-structure", 0)
+	st, err := analyzeStructure(prog, opts.InitMem, sc, bud, tr)
 	if err != nil {
 		return nil, err
 	}
@@ -77,7 +89,7 @@ func Run(prog *isa.Program, opts Options) (*Profile, error) {
 	var sink InstrSink
 	var finisher ddgFinisher
 	if opts.ParallelDDG > 0 {
-		eng := parddg.NewEngine(prog, parddg.Options{Shards: opts.ParallelDDG, DDG: ddgOpts})
+		eng := parddg.NewEngine(prog, parddg.Options{Shards: opts.ParallelDDG, DDG: ddgOpts, Sampler: opts.Sampler})
 		// Close is idempotent and a no-op after FinishChecked; the defer
 		// only matters when pass 2 errors out with worker goroutines
 		// still running.
@@ -87,10 +99,14 @@ func Run(prog *isa.Program, opts Options) (*Profile, error) {
 		builder := ddg.NewBuilder(prog, ddgOpts)
 		sink, finisher = builder, builder
 	}
-	p2, stats, err := RunPass2Scoped(prog, st, sink, opts.InitMem, sc, bud)
+	// Pass 2 re-executes the same deterministic program, so pass 1's op
+	// count is its exact expected total.
+	tr.StartStage("pass2-ddg", st.Stats.Ops)
+	p2, stats, err := runPass2(prog, st, sink, opts.InitMem, sc, bud, tr)
 	if err != nil {
 		return nil, err
 	}
+	tr.StartStage("fold-finish", 0)
 	g, err := finishFold(finisher, sc)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,93 @@
+package evaluation
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"polyprof/internal/core"
+	"polyprof/internal/obs"
+	"polyprof/internal/obs/sampler"
+	"polyprof/internal/workloads"
+)
+
+// DiagReport is the result of one parallel-engine diagnosis run: the
+// full pipeline executed on the sharded dependence engine with the
+// utilization sampler attached, plus the derived diagnosis.
+type DiagReport struct {
+	Workload string `json:"workload"`
+	Shards   int    `json:"shards"`
+	Ops      uint64 `json:"ops"`
+	WallNS   int64  `json:"wall_ns"`
+	// Parallel is the sampler's diagnosis: per-actor busy fractions,
+	// sequencer occupancy, backpressure, critical path, Amdahl table.
+	Parallel *sampler.Report `json:"parallel"`
+
+	// Timeline carries the per-actor state timelines for Chrome-trace
+	// export (`polyprof diag -trace`); omitted from JSON reports, which
+	// only need the aggregates.
+	Timeline []obs.SpanRecord `json:"-"`
+}
+
+// Diagnose profiles one workload end to end on the sharded dependence
+// engine with the utilization sampler enabled and derives the parallel
+// diagnosis.  shards must be positive — the diagnosis is about the
+// parallel engine; there is nothing to sample on a sequential run.
+func Diagnose(spec workloads.Spec, shards int, sc obs.Scope) (*DiagReport, error) {
+	if shards <= 0 {
+		return nil, fmt.Errorf("diag: shards must be positive (got %d)", shards)
+	}
+	root := sc.StartSpan("diag:" + spec.Name)
+	defer root.End()
+	ssc := sc.WithSpan(root)
+
+	smp := sampler.New()
+	smp.SetEnabled(true)
+	opts := core.DefaultRunOptions()
+	opts.Obs = ssc
+	opts.ParallelDDG = shards
+	opts.Sampler = smp
+
+	start := time.Now()
+	p, err := core.Run(spec.Build(), opts)
+	if err != nil {
+		root.Fail(err)
+		return nil, fmt.Errorf("%s: %w", spec.Name, err)
+	}
+	return &DiagReport{
+		Workload: spec.Name,
+		Shards:   shards,
+		Ops:      p.DDG.TotalOps,
+		WallNS:   int64(time.Since(start)),
+		Parallel: smp.Report(),
+		Timeline: smp.TimelineSpans(),
+	}, nil
+}
+
+// DiagnoseSuite diagnoses every Rodinia twin.
+func DiagnoseSuite(shards int, sc obs.Scope) ([]*DiagReport, error) {
+	var out []*DiagReport
+	for _, spec := range workloads.Rodinia() {
+		r, err := Diagnose(spec, shards, sc)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// RenderDiag formats one diagnosis for the terminal.
+func RenderDiag(r *DiagReport) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "parallel-engine diagnosis — %s (%d shards, %d ops, wall %s)\n\n",
+		r.Workload, r.Shards, r.Ops, obs.FormatDuration(time.Duration(r.WallNS)))
+	sb.WriteString(r.Parallel.Render())
+	return sb.String()
+}
+
+// DiagJSON serializes one or more diagnosis reports.
+func DiagJSON(rs []*DiagReport) ([]byte, error) {
+	return json.MarshalIndent(rs, "", "  ")
+}

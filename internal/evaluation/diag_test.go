@@ -1,0 +1,82 @@
+package evaluation
+
+import (
+	"encoding/json"
+	"testing"
+
+	"polyprof/internal/obs"
+	"polyprof/internal/workloads"
+)
+
+func TestDiagnoseRejectsSequential(t *testing.T) {
+	if _, err := Diagnose(*workloads.ByName("example1"), 0, obs.Scope{}); err == nil {
+		t.Fatal("Diagnose(shards=0) succeeded; want error")
+	}
+}
+
+// TestDiagnoseLive runs a real diagnosis on a small workload and checks
+// the report shape end to end, including the JSON encoding the CI leg
+// and the golden acceptance command consume.
+func TestDiagnoseLive(t *testing.T) {
+	spec := workloads.ByName("example2")
+	if spec == nil {
+		t.Fatal("workload example2 missing")
+	}
+	r, err := Diagnose(*spec, 2, obs.Scope{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Workload != "example2" || r.Shards != 2 {
+		t.Fatalf("header = %q/%d", r.Workload, r.Shards)
+	}
+	if r.Ops == 0 || r.WallNS <= 0 {
+		t.Fatalf("ops=%d wall=%d", r.Ops, r.WallNS)
+	}
+	if r.Parallel == nil || len(r.Parallel.Actors) != 2+2 { // sequencer + 2 shards + merge
+		t.Fatalf("parallel section = %+v", r.Parallel)
+	}
+	if len(r.Timeline) == 0 {
+		t.Fatal("no timeline spans recorded")
+	}
+	for _, sp := range r.Timeline {
+		if sp.Track == "" || sp.Wall <= 0 {
+			t.Fatalf("bad timeline span %+v", sp)
+		}
+	}
+
+	// The JSON shape is the contract for CI artifacts: stable top-level
+	// keys, no timeline (aggregates only), parallel section present.
+	data, err := DiagJSON([]*DiagReport{r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]json.RawMessage
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if len(decoded) != 1 {
+		t.Fatalf("decoded %d reports", len(decoded))
+	}
+	for _, key := range []string{"workload", "shards", "ops", "wall_ns", "parallel"} {
+		if _, ok := decoded[0][key]; !ok {
+			t.Fatalf("diag JSON missing %q: %s", key, data)
+		}
+	}
+	if _, ok := decoded[0]["Timeline"]; ok {
+		t.Fatal("timeline leaked into diag JSON")
+	}
+	var par struct {
+		SequencerOccupancy float64         `json:"sequencer_occupancy"`
+		Dominant           string          `json:"dominant"`
+		Amdahl             json.RawMessage `json:"amdahl"`
+	}
+	if err := json.Unmarshal(decoded[0]["parallel"], &par); err != nil {
+		t.Fatal(err)
+	}
+	if par.Dominant == "" || par.SequencerOccupancy < 0 || par.SequencerOccupancy > 1 {
+		t.Fatalf("parallel JSON = %+v", par)
+	}
+	if len(par.Amdahl) == 0 {
+		t.Fatal("amdahl table missing from diag JSON")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"polyprof/internal/ddg"
 	"polyprof/internal/feedback"
 	"polyprof/internal/obs"
+	"polyprof/internal/obs/sampler"
 	"polyprof/internal/parddg"
 	"polyprof/internal/sched"
 	"polyprof/internal/workloads"
@@ -43,6 +44,10 @@ type OverheadReport struct {
 	Ops    uint64        `json:"ops"`
 	Stages []StageCost   `json:"stages"`
 	Total  time.Duration `json:"total_ns"`
+	// Parallel is the utilization diagnosis of the sharded dependence
+	// engine (per-actor busy fractions, sequencer occupancy, Amdahl
+	// projection); nil on sequential runs.
+	Parallel *sampler.Report `json:"parallel,omitempty"`
 }
 
 // OverheadStages is the fixed stage order of the report.
@@ -123,8 +128,11 @@ func OverheadShardedScoped(spec workloads.Spec, shards int, sc obs.Scope) (*Over
 	var fin interface {
 		FinishChecked() (*ddg.Graph, error)
 	}
+	var smp *sampler.Sampler
 	if shards > 0 {
-		eng := parddg.NewEngine(prog, parddg.Options{Shards: shards, DDG: ddgOpts})
+		smp = sampler.New()
+		smp.SetEnabled(true)
+		eng := parddg.NewEngine(prog, parddg.Options{Shards: shards, DDG: ddgOpts, Sampler: smp})
 		defer eng.Close()
 		sink, fin = eng, eng
 	} else {
@@ -151,6 +159,9 @@ func OverheadShardedScoped(spec workloads.Spec, shards int, sc obs.Scope) (*Over
 	foldSp.AddEvents(core.FoldedStreams(g))
 	foldSp.End()
 	add("fold", time.Since(t0), core.FoldedStreams(g), "streams")
+	if smp != nil {
+		rep.Parallel = smp.Report()
+	}
 
 	profile := &core.Profile{Prog: prog, Structure: st, Tree: p2.Tree, DDG: g, Stats: stats, Obs: ssc}
 	t0 = time.Now()
@@ -215,6 +226,10 @@ func RenderOverhead(r *OverheadReport) string {
 		"total", obs.FormatDuration(r.Total), 100.0, r.Ops,
 		obs.FormatRate(rate(r.Ops, r.Total)), "instrs (one full run)")
 	sb.WriteString(foldCaveat)
+	if r.Parallel != nil {
+		sb.WriteString("\n")
+		sb.WriteString(r.Parallel.Render())
+	}
 	return sb.String()
 }
 

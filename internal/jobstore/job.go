@@ -94,6 +94,21 @@ type Job struct {
 	Error *JobError `json:"error,omitempty"`
 	// Result is the profiling outcome once State == succeeded.
 	Result *Result `json:"result,omitempty"`
+
+	// Progress is the live position of a running attempt (current stage,
+	// events processed, expected total).  It is volatile: filled into
+	// Get/List clones from the attached tracker while the job runs,
+	// never stored on the canonical job and never WAL-persisted — after
+	// a restart a recovered job reports no progress until its next
+	// attempt starts.
+	Progress *Progress `json:"progress,omitempty"`
+}
+
+// Progress is a running job's live position.
+type Progress struct {
+	Stage  string `json:"stage"`
+	Events uint64 `json:"events"`
+	Total  uint64 `json:"total,omitempty"`
 }
 
 // Name is the job's display name: the workload, or the submitted
@@ -121,6 +136,10 @@ func (j *Job) Clone() *Job {
 	if j.Result != nil {
 		r := *j.Result
 		c.Result = &r
+	}
+	if j.Progress != nil {
+		p := *j.Progress
+		c.Progress = &p
 	}
 	return &c
 }

@@ -1,0 +1,93 @@
+package jobstore
+
+import (
+	"testing"
+
+	"polyprof/internal/progress"
+)
+
+// TestProgressLifecycle: live progress is visible only while the job
+// runs with a tracker attached, events are monotone within a stage,
+// and the view is volatile — a store restart clears it instead of
+// resurrecting stale numbers from the WAL.
+func TestProgressLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := testOpen(t, dir)
+
+	j := &Job{Kind: KindWorkload, Workload: "example1"}
+	if err := s.Submit(j); err != nil {
+		t.Fatal(err)
+	}
+	if p := s.Get(j.ID).Progress; p != nil {
+		t.Fatalf("queued job has progress %+v", p)
+	}
+
+	if _, err := s.Start(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	// Running but no tracker attached yet: still no progress.
+	if p := s.Get(j.ID).Progress; p != nil {
+		t.Fatalf("untracked running job has progress %+v", p)
+	}
+
+	tr := &progress.Tracker{}
+	s.AttachProgress(j.ID, tr)
+	tr.StartStage("pass2-ddg", 1000)
+	var last uint64
+	for _, n := range []uint64{10, 250, 999} {
+		tr.SetEvents(n)
+		p := s.Get(j.ID).Progress
+		if p == nil {
+			t.Fatal("running tracked job has no progress")
+		}
+		if p.Stage != "pass2-ddg" || p.Total != 1000 {
+			t.Fatalf("progress = %+v", p)
+		}
+		if p.Events != n || p.Events < last {
+			t.Fatalf("events = %d after SetEvents(%d), last %d", p.Events, n, last)
+		}
+		last = p.Events
+	}
+	// Stage boundary resets the counter but keeps reporting.
+	tr.StartStage("fold-finish", 0)
+	if p := s.Get(j.ID).Progress; p == nil || p.Stage != "fold-finish" || p.Events != 0 {
+		t.Fatalf("post-stage-change progress = %+v", p)
+	}
+
+	// Restart the store mid-run (a crash): the recovered job must come
+	// back without any progress — trackers are in-memory only.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, recovered := testOpen(t, dir)
+	defer s2.Close()
+	if len(recovered) != 1 || recovered[0].ID != j.ID {
+		t.Fatalf("recovered = %+v", recovered)
+	}
+	got := s2.Get(j.ID)
+	if got == nil {
+		t.Fatal("job lost across restart")
+	}
+	if got.Progress != nil {
+		t.Fatalf("restart resurrected progress %+v", got.Progress)
+	}
+
+	// A fresh attempt attaches a fresh tracker and reports again from
+	// zero; completing the job ends the live view for good.
+	if _, err := s2.Start(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	tr2 := &progress.Tracker{}
+	s2.AttachProgress(j.ID, tr2)
+	tr2.StartStage("pass1-structure", 0)
+	if p := s2.Get(j.ID).Progress; p == nil || p.Stage != "pass1-structure" {
+		t.Fatalf("second-attempt progress = %+v", p)
+	}
+	if err := s2.Complete(j.ID, &Result{}); err != nil {
+		t.Fatal(err)
+	}
+	s2.DetachProgress(j.ID)
+	if p := s2.Get(j.ID).Progress; p != nil {
+		t.Fatalf("terminal job has progress %+v", p)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"polyprof/internal/obs"
+	"polyprof/internal/progress"
 )
 
 // record is the WAL envelope.  Every state transition of every job is
@@ -78,6 +79,12 @@ type Store struct {
 	order   []string // submission order
 	history []json.RawMessage
 	closed  bool
+
+	// trackers holds the live-progress sources of currently running
+	// attempts, keyed by job id.  Deliberately volatile (never
+	// WAL-persisted): progress is only meaningful within one attempt of
+	// one process, so a restart starts from a clean slate.
+	trackers map[string]*progress.Tracker
 }
 
 // Open loads (or initializes) a store under dir: it reads the latest
@@ -99,10 +106,11 @@ func Open(dir string, opts Options) (*Store, []*Job, error) {
 		return nil, nil, err
 	}
 	s := &Store{
-		dir:  dir,
-		opts: opts,
-		reg:  opts.Registry,
-		jobs: map[string]*Job{},
+		dir:      dir,
+		opts:     opts,
+		reg:      opts.Registry,
+		jobs:     map[string]*Job{},
+		trackers: map[string]*progress.Tracker{},
 	}
 	if err := s.load(); err != nil {
 		return nil, nil, err
@@ -485,6 +493,7 @@ func (s *Store) Complete(id string, res *Result) error {
 	j.FinishedAt = now
 	j.Result = res
 	j.Error = nil
+	delete(s.trackers, id)
 	s.reg.Add("jobs.completed", 1)
 	s.publishGauges()
 	return nil
@@ -538,6 +547,7 @@ func (s *Store) Quarantine(id string, jerr *JobError) error {
 	}); werr != nil {
 		s.logf("jobstore: job %s: quarantine record not persisted (%v); continuing", id, werr)
 	}
+	delete(s.trackers, id)
 	s.reg.Add("jobs.quarantined", 1)
 	s.publishGauges()
 	return nil
@@ -573,6 +583,7 @@ func (s *Store) deleteLocked(id string) error {
 		return err
 	}
 	delete(s.jobs, id)
+	delete(s.trackers, id)
 	s.dropOrder(id)
 	s.reg.Add("jobs.deleted", 1)
 	s.publishGauges()
@@ -605,7 +616,42 @@ func (s *Store) ExpireBefore(cutoff time.Time) (int, error) {
 	return n, nil
 }
 
-// Get returns a copy of the job, or nil.
+// AttachProgress registers the live-progress source for the job's
+// current attempt; Get fills it into the job while it is running.
+// The registration is in-memory only — DetachProgress (or any terminal
+// transition) removes it, and restarts never resurrect it.
+func (s *Store) AttachProgress(id string, tr *progress.Tracker) {
+	if tr == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.trackers[id] = tr
+}
+
+// DetachProgress removes the job's live-progress source.
+func (s *Store) DetachProgress(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.trackers, id)
+}
+
+// liveProgress builds the volatile Progress view of a running job, or
+// nil.  Callers hold s.mu; the tracker itself is lock-free.
+func (s *Store) liveProgress(j *Job) *Progress {
+	if j.State != StateRunning {
+		return nil
+	}
+	tr := s.trackers[j.ID]
+	if tr == nil {
+		return nil
+	}
+	snap := tr.Snapshot()
+	return &Progress{Stage: snap.Stage, Events: snap.Events, Total: snap.Total}
+}
+
+// Get returns a copy of the job, or nil.  While the job is running and
+// a progress tracker is attached, the copy carries the live Progress.
 func (s *Store) Get(id string) *Job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -613,7 +659,9 @@ func (s *Store) Get(id string) *Job {
 	if !ok {
 		return nil
 	}
-	return j.Clone()
+	c := j.Clone()
+	c.Progress = s.liveProgress(j)
+	return c
 }
 
 // List returns job summaries, newest submission first, optionally

@@ -28,12 +28,21 @@ type TraceDoc struct {
 	DisplayTimeUnit string       `json:"displayTimeUnit"`
 }
 
+// trackOf names the Perfetto row a span renders on.
+func trackOf(sp SpanRecord) string {
+	if sp.Track != "" {
+		return sp.Track
+	}
+	return sp.Name
+}
+
 // ChromeTrace renders finished spans as a Chrome trace-event JSON
 // document: one complete ("X") event per span and one track (tid) per
-// distinct span name, so every pipeline stage gets its own row in
-// Perfetto.  Timestamps are microseconds relative to the earliest
-// span start; span id/parent, event counts, throughput, and error
-// status travel in the event args.
+// distinct track name (Track when set, the span name otherwise), so
+// every pipeline stage — and every parddg actor timeline — gets its
+// own row in Perfetto.  Timestamps are microseconds relative to the
+// earliest span start; span id/parent, event counts, throughput, and
+// error status travel in the event args.
 func ChromeTrace(spans []SpanRecord) ([]byte, error) {
 	doc := TraceDoc{DisplayTimeUnit: "ms", TraceEvents: []TraceEvent{}}
 	if len(spans) == 0 {
@@ -56,14 +65,15 @@ func ChromeTrace(spans []SpanRecord) ([]byte, error) {
 	sort.SliceStable(order, func(i, j int) bool { return order[i].Start.Before(order[j].Start) })
 	tids := map[string]int{}
 	for _, sp := range order {
-		if _, ok := tids[sp.Name]; ok {
+		track := trackOf(sp)
+		if _, ok := tids[track]; ok {
 			continue
 		}
 		tid := len(tids) + 1
-		tids[sp.Name] = tid
+		tids[track] = tid
 		doc.TraceEvents = append(doc.TraceEvents, TraceEvent{
 			Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
-			Args: map[string]any{"name": sp.Name},
+			Args: map[string]any{"name": track},
 		})
 	}
 	for _, sp := range order {
@@ -82,7 +92,7 @@ func ChromeTrace(spans []SpanRecord) ([]byte, error) {
 			Name: sp.Name, Cat: "stage", Ph: "X",
 			Ts:  float64(sp.Start.Sub(t0).Nanoseconds()) / 1e3,
 			Dur: float64(sp.Wall.Nanoseconds()) / 1e3,
-			Pid: 1, Tid: tids[sp.Name],
+			Pid: 1, Tid: tids[trackOf(sp)],
 			Args: args,
 		})
 	}

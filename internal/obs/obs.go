@@ -64,11 +64,30 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 // bucket i >= 1 holds the range [2^(i-1), 2^i - 1].
 const NumBuckets = 65
 
-// Histogram counts observations into fixed log2 buckets.
+// Histogram counts observations into fixed log2 buckets and tracks the
+// exact observed min/max so quantile estimates can be clamped to the
+// true range (a log2 bucket midpoint overestimates badly when every
+// sample lands in one bucket).
+//
+// notMin stores the bitwise complement of the minimum: its zero value
+// (0 == ^MaxUint64) means "no sample below MaxUint64 yet", so a
+// zero-valued Histogram needs no constructor and min updates reduce to
+// the same lock-free CAS-max loop as max.
 type Histogram struct {
 	count   atomic.Uint64
 	sum     atomic.Uint64
+	notMin  atomic.Uint64
+	max     atomic.Uint64
 	buckets [NumBuckets]atomic.Uint64
+}
+
+func casMax(a *atomic.Uint64, v uint64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // BucketIndex returns the bucket an observation falls into.
@@ -90,6 +109,8 @@ func BucketBounds(i int) (lo, hi uint64) {
 func (h *Histogram) Observe(v uint64) {
 	h.count.Add(1)
 	h.sum.Add(v)
+	casMax(&h.notMin, ^v)
+	casMax(&h.max, v)
 	h.buckets[bits.Len64(v)].Add(1)
 }
 
@@ -98,6 +119,18 @@ func (h *Histogram) Count() uint64 { return h.count.Load() }
 
 // Sum returns the sum of all observed samples.
 func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// Min returns the smallest observed sample (0 before any Observe —
+// callers should gate on Count).
+func (h *Histogram) Min() uint64 {
+	if h.count.Load() == 0 {
+		return 0
+	}
+	return ^h.notMin.Load()
+}
+
+// Max returns the largest observed sample (0 before any Observe).
+func (h *Histogram) Max() uint64 { return h.max.Load() }
 
 // Bucket returns the sample count of bucket i.
 func (h *Histogram) Bucket(i int) uint64 {
@@ -233,6 +266,7 @@ func (r *Registry) Merge(src *Registry) {
 	}
 	type histCopy struct {
 		count, sum uint64
+		min, max   uint64
 		buckets    [NumBuckets]uint64
 	}
 	src.mu.Lock()
@@ -246,7 +280,7 @@ func (r *Registry) Merge(src *Registry) {
 	}
 	hists := make(map[string]*histCopy, len(src.hists))
 	for n, h := range src.hists {
-		hc := &histCopy{count: h.Count(), sum: h.Sum()}
+		hc := &histCopy{count: h.Count(), sum: h.Sum(), min: h.Min(), max: h.Max()}
 		for i := 0; i < NumBuckets; i++ {
 			hc.buckets[i] = h.Bucket(i)
 		}
@@ -266,6 +300,10 @@ func (r *Registry) Merge(src *Registry) {
 		h := r.Histogram(n)
 		h.count.Add(hc.count)
 		h.sum.Add(hc.sum)
+		if hc.count > 0 {
+			casMax(&h.notMin, ^hc.min)
+			casMax(&h.max, hc.max)
+		}
 		for i, c := range hc.buckets {
 			if c > 0 {
 				h.buckets[i].Add(c)

@@ -1,0 +1,52 @@
+package obs
+
+import "testing"
+
+// TestQuantileClampedToObservedRange covers the narrow-distribution
+// case the clamp exists for: samples all landing in one power-of-two
+// bucket must report quantiles inside [Min, Max], not the bucket
+// midpoint (which can sit up to 1.5x above the true maximum).
+func TestQuantileClampedToObservedRange(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	for i := 0; i < 100; i++ {
+		h.Observe(1050) // bucket [1024, 2048): midpoint 1536
+	}
+	snap := r.Snapshot()
+	if len(snap.Histograms) != 1 {
+		t.Fatalf("histograms = %+v", snap.Histograms)
+	}
+	hs := snap.Histograms[0]
+	if hs.Min != 1050 || hs.Max != 1050 {
+		t.Fatalf("range = [%d, %d], want [1050, 1050]", hs.Min, hs.Max)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 1} {
+		if v := hs.Quantile(q); v != 1050 {
+			t.Fatalf("q%.2f = %v escaped observed range [1050, 1050]", q, v)
+		}
+	}
+
+	// A spread distribution still clamps each side.
+	h2 := r.Histogram("spread")
+	h2.Observe(1030)
+	h2.Observe(2040)
+	snap = r.Snapshot()
+	for _, hs := range snap.Histograms {
+		if hs.Name != "spread" {
+			continue
+		}
+		for _, q := range []float64{0.01, 0.5, 1} {
+			v := hs.Quantile(q)
+			if v < float64(hs.Min) || v > float64(hs.Max) {
+				t.Fatalf("q%.2f = %v outside [%d, %d]", q, v, hs.Min, hs.Max)
+			}
+		}
+	}
+
+	// Hand-built snapshots without a recorded range keep the raw
+	// midpoint estimate.
+	raw := HistogramSnapshot{Count: 4, Buckets: []BucketCount{{Lo: 1024, Hi: 2048, Count: 4}}}
+	if v := raw.Quantile(0.5); v != 1536 {
+		t.Fatalf("unclamped midpoint = %v, want 1536", v)
+	}
+}

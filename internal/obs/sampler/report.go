@@ -1,0 +1,272 @@
+package sampler
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"polyprof/internal/obs"
+)
+
+// ActorStat is one actor's accumulated utilization.
+type ActorStat struct {
+	Name        string  `json:"name"`
+	Role        string  `json:"role"`
+	RunningNS   int64   `json:"running_ns"`
+	BlockSendNS int64   `json:"blocked_send_ns"`
+	BlockRecvNS int64   `json:"blocked_recv_ns"`
+	IdleNS      int64   `json:"idle_ns"`
+	BusyFrac    float64 `json:"busy_frac"` // running / wall
+	Transitions uint64  `json:"transitions"`
+}
+
+// QueueStat summarizes one sampled depth series.
+type QueueStat struct {
+	Name    string  `json:"name"`
+	Samples uint64  `json:"samples"`
+	Avg     float64 `json:"avg"`
+	Max     int64   `json:"max"`
+	Last    int64   `json:"last"`
+}
+
+// SpeedupRow is one entry of the Amdahl projection table.
+type SpeedupRow struct {
+	Shards    int     `json:"shards"`
+	Projected float64 `json:"projected_speedup"`
+}
+
+// Report is the parallel diagnosis derived from one engine run's
+// timelines.  All fractions are of the sampled wall interval.
+type Report struct {
+	WallNS int64 `json:"wall_ns"`
+	Shards int   `json:"shards"`
+
+	Actors []ActorStat `json:"actors"`
+	Queues []QueueStat `json:"queues,omitempty"`
+
+	// SequencerOccupancy is the fraction of wall the sequencer spent
+	// running — the pipeline's measured serial fraction.  While it
+	// exceeds every shard's busy fraction, adding shards cannot help.
+	SequencerOccupancy float64 `json:"sequencer_occupancy"`
+	// MaxShardBusy is the busiest shard's running fraction.
+	MaxShardBusy float64 `json:"max_shard_busy"`
+	// BackpressureNS totals sequencer blocked-send + blocked-recv time:
+	// how long the serial stage itself was stalled on the pipeline.
+	BackpressureNS int64 `json:"backpressure_ns"`
+	// SerialFrac is the Amdahl serial fraction s estimated from useful
+	// work: sequencer+merge running time over total running time.
+	SerialFrac float64 `json:"serial_frac"`
+	// CriticalPathNS lower-bounds the wall time at infinite shards:
+	// the serial work plus the slowest shard's share.
+	CriticalPathNS int64 `json:"critical_path_ns"`
+	// Dominant names the actor with the highest busy fraction — the
+	// first place to attack.
+	Dominant string `json:"dominant"`
+	// Amdahl projects speedup over a 1-worker run at various shard
+	// counts, from SerialFrac: 1/(s + (1-s)/N).
+	Amdahl []SpeedupRow `json:"amdahl"`
+
+	// DroppedSegments counts timeline segments past the per-actor cap
+	// (the accumulated totals above stay exact regardless).
+	DroppedSegments uint64 `json:"dropped_segments,omitempty"`
+}
+
+// amdahlPoints is the projection table's shard axis.
+var amdahlPoints = []int{1, 2, 4, 8, 16, 32}
+
+// Report derives the diagnosis from the current timelines.  Call after
+// Finish for a closed run; calling mid-run reports the live prefix.
+func (s *Sampler) Report() *Report {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	actors := append([]*Actor(nil), s.actors...)
+	queues := append([]*Queue(nil), s.queues...)
+	now := s.finishNS
+	s.mu.Unlock()
+	if now == 0 {
+		now = s.clock()
+	}
+
+	r := &Report{WallNS: now}
+	var serialNS, parallelNS, maxShardNS int64
+	for _, a := range actors {
+		ns := a.stateNS(now)
+		st := ActorStat{
+			Name:        a.name,
+			Role:        roleName(a.role),
+			RunningNS:   ns[Running],
+			BlockSendNS: ns[BlockedSend],
+			BlockRecvNS: ns[BlockedRecv],
+			IdleNS:      ns[Idle],
+			Transitions: a.transitions.Load(),
+		}
+		if now > 0 {
+			st.BusyFrac = frac(ns[Running], now)
+		}
+		r.Actors = append(r.Actors, st)
+		a.mu.Lock()
+		r.DroppedSegments += a.dropped
+		a.mu.Unlock()
+
+		switch a.role {
+		case RoleSequencer:
+			r.SequencerOccupancy = st.BusyFrac
+			r.BackpressureNS += ns[BlockedSend] + ns[BlockedRecv]
+			serialNS += ns[Running]
+		case RoleMerge:
+			serialNS += ns[Running]
+		case RoleShard:
+			r.Shards++
+			parallelNS += ns[Running]
+			if ns[Running] > maxShardNS {
+				maxShardNS = ns[Running]
+			}
+			if st.BusyFrac > r.MaxShardBusy {
+				r.MaxShardBusy = st.BusyFrac
+			}
+		}
+	}
+
+	// Serial fraction over useful work, not wall: wall double-counts
+	// overlap (shards run while the sequencer runs), useful work does
+	// not.  The merge phase counts as serial even though its internals
+	// fan out again — it cannot overlap pass-2 execution.
+	if total := serialNS + parallelNS; total > 0 {
+		r.SerialFrac = frac(serialNS, total)
+	}
+	r.CriticalPathNS = serialNS + maxShardNS
+	for _, n := range amdahlPoints {
+		r.Amdahl = append(r.Amdahl, SpeedupRow{Shards: n, Projected: speedup(r.SerialFrac, n)})
+	}
+
+	// Dominant: the busiest pipeline actor.  Stable tie-break by name
+	// keeps the golden test deterministic.
+	best := -1.0
+	for _, st := range r.Actors {
+		if st.Role == "other" {
+			continue
+		}
+		if st.BusyFrac > best {
+			best = st.BusyFrac
+			r.Dominant = st.Name
+		}
+	}
+
+	for _, q := range queues {
+		qs := QueueStat{
+			Name:    q.name,
+			Samples: q.samples.Load(),
+			Max:     q.max.Load(),
+			Last:    q.last.Load(),
+		}
+		if qs.Samples > 0 {
+			qs.Avg = float64(q.sum.Load()) / float64(qs.Samples)
+		}
+		r.Queues = append(r.Queues, qs)
+	}
+	sort.Slice(r.Queues, func(i, j int) bool { return r.Queues[i].Name < r.Queues[j].Name })
+	return r
+}
+
+func roleName(r Role) string {
+	switch r {
+	case RoleSequencer:
+		return "sequencer"
+	case RoleShard:
+		return "shard"
+	case RoleMerge:
+		return "merge"
+	}
+	return "other"
+}
+
+func frac(part, whole int64) float64 {
+	if whole <= 0 {
+		return 0
+	}
+	return float64(part) / float64(whole)
+}
+
+// speedup is Amdahl's law: serial fraction s, N-way parallel remainder.
+func speedup(s float64, n int) float64 {
+	if n < 1 {
+		n = 1
+	}
+	denom := s + (1-s)/float64(n)
+	if denom <= 0 {
+		return float64(n)
+	}
+	return 1 / denom
+}
+
+// Publish records the report's headline figures as obs metrics, so the
+// serving daemon's /metrics endpoint exposes the shard-utilization
+// families after every parallel run.  Fractions publish in basis
+// points of percent times 100 — i.e. percent with two decimals — as
+// integer gauges.
+func (r *Report) Publish(sc obs.Scope) {
+	if r == nil || !sc.Enabled() {
+		return
+	}
+	sc.SetGauge("ddg.seq.busy_ratio_pct100", pct100(r.SequencerOccupancy))
+	sc.MaxGauge("ddg.shard.busy_ratio_pct100.max", pct100(r.MaxShardBusy))
+	sc.Add("ddg.seq.backpressure_ns", uint64(r.BackpressureNS))
+	sc.SetGauge("ddg.par.serial_frac_pct100", pct100(r.SerialFrac))
+	sc.SetGauge("ddg.par.critical_path_ns", r.CriticalPathNS)
+	for _, st := range r.Actors {
+		if st.Role == "shard" {
+			sc.Observe("ddg.shard.busy_ratio_pct100", uint64(pct100(st.BusyFrac)))
+			sc.Observe("ddg.shard.blocked_recv_ns", uint64(st.BlockRecvNS))
+		}
+	}
+	for _, q := range r.Queues {
+		if q.Samples > 0 {
+			sc.Observe("ddg.queue.depth.max", uint64(q.Max))
+			sc.Observe("ddg.queue.depth.avg", uint64(q.Avg))
+		}
+	}
+}
+
+func pct100(f float64) int64 { return int64(f * 10000) }
+
+// Render formats the report as the human-readable diagnosis section of
+// `polyprof diag`.
+func (r *Report) Render() string {
+	if r == nil {
+		return ""
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "parallel diagnosis (%d shards, wall %s):\n",
+		r.Shards, obs.FormatDuration(time.Duration(r.WallNS)))
+	fmt.Fprintf(&sb, "  %-16s %-10s %8s %12s %12s %12s\n",
+		"actor", "role", "busy", "running", "blk-send", "blk-recv")
+	for _, a := range r.Actors {
+		fmt.Fprintf(&sb, "  %-16s %-10s %7.1f%% %12s %12s %12s\n",
+			a.Name, a.Role, 100*a.BusyFrac,
+			obs.FormatDuration(time.Duration(a.RunningNS)),
+			obs.FormatDuration(time.Duration(a.BlockSendNS)),
+			obs.FormatDuration(time.Duration(a.BlockRecvNS)))
+	}
+	fmt.Fprintf(&sb, "  sequencer occupancy  %6.1f%%   max shard busy %6.1f%%   dominant: %s\n",
+		100*r.SequencerOccupancy, 100*r.MaxShardBusy, r.Dominant)
+	fmt.Fprintf(&sb, "  serial fraction      %6.1f%%   critical path  %s   backpressure %s\n",
+		100*r.SerialFrac,
+		obs.FormatDuration(time.Duration(r.CriticalPathNS)),
+		obs.FormatDuration(time.Duration(r.BackpressureNS)))
+	if len(r.Queues) > 0 {
+		sb.WriteString("  queues (sampled depth):\n")
+		for _, q := range r.Queues {
+			fmt.Fprintf(&sb, "    %-24s samples=%-6d avg=%.2f max=%d last=%d\n",
+				q.Name, q.Samples, q.Avg, q.Max, q.Last)
+		}
+	}
+	sb.WriteString("  projected speedup (Amdahl, from measured serial fraction):\n   ")
+	for _, row := range r.Amdahl {
+		fmt.Fprintf(&sb, " N=%-2d %.2fx ", row.Shards, row.Projected)
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}

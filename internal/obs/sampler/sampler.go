@@ -1,0 +1,357 @@
+// Package sampler is the parallel-engine utilization profiler: each
+// parddg actor (the sequencer, the N shard workers, the merge phase)
+// owns an Actor handle and reports coarse state transitions — running,
+// blocked on a channel send, blocked on a channel receive, idle — at
+// pipeline-event granularity (batch dispatch, barrier wait, channel
+// receive), never per dynamic instruction.  A background poller
+// additionally samples queue depths (per-shard channel backlog,
+// in-flight batch count) registered by the engine.
+//
+// From the accumulated per-state time the sampler derives the parallel
+// diagnosis report (see report.go): per-actor busy fractions, sequencer
+// occupancy, backpressure stall totals, a critical-path estimate, and
+// an Amdahl-style projected-speedup table.
+//
+// The overhead discipline matches internal/obs: every transition site
+// costs exactly one atomic load while the sampler is disabled (or one
+// nil check when no sampler is attached at all), and when enabled one
+// monotonic clock read plus three atomic stores.  Only the owning
+// goroutine transitions an actor; state, timestamps and per-state
+// accumulators are atomics so a concurrent Report scrape is race-free
+// without any lock on the transition path.  Optional timeline segments
+// (for the Chrome-trace export) are the one mutex-guarded structure,
+// and the mutex is only touched while enabled.
+package sampler
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"polyprof/internal/obs"
+)
+
+// State is an actor's coarse execution state.
+type State int32
+
+const (
+	// Idle: the actor exists but has no work (before its first batch,
+	// after drain).
+	Idle State = iota
+	// Running: the actor is doing useful work (interning, stage 1/2,
+	// merging).
+	Running
+	// BlockedSend: the actor is blocked shipping a batch downstream.
+	BlockedSend
+	// BlockedRecv: the actor is blocked waiting for upstream work (a
+	// worker on its channel or the stage barrier, the sequencer on the
+	// free list — i.e. pipeline backpressure).
+	BlockedRecv
+
+	numStates = 4
+)
+
+// String returns the state's report label.
+func (s State) String() string {
+	switch s {
+	case Idle:
+		return "idle"
+	case Running:
+		return "running"
+	case BlockedSend:
+		return "blocked-send"
+	case BlockedRecv:
+		return "blocked-recv"
+	}
+	return fmt.Sprintf("state(%d)", int32(s))
+}
+
+// Role tags an actor for the diagnosis arithmetic.
+type Role int
+
+const (
+	// RoleSequencer is the order-sensitive goroutine every event funnels
+	// through; its running time is the pipeline's serial fraction.
+	RoleSequencer Role = iota
+	// RoleShard is one of the N parallel shard workers.
+	RoleShard
+	// RoleMerge is the post-drain merge/fold phase.
+	RoleMerge
+	// RoleOther is an auxiliary actor excluded from the Amdahl model.
+	RoleOther
+)
+
+// maxSegments caps the per-actor timeline kept for the Chrome-trace
+// export; past it, segments are dropped (counted) but the per-state
+// accumulators stay exact.
+const maxSegments = 1 << 15
+
+// segment is one closed state interval on an actor's timeline,
+// nanosecond offsets from the sampler epoch.
+type segment struct {
+	state      State
+	start, end int64
+}
+
+// Actor is one goroutine's reporting handle.  Transition must only be
+// called by the goroutine that owns the actor; every other method is
+// safe to call concurrently with transitions.
+type Actor struct {
+	s    *Sampler
+	name string
+	role Role
+
+	state       atomic.Int32
+	since       atomic.Int64 // epoch-relative nanos of the last transition
+	accum       [numStates]atomic.Int64
+	transitions atomic.Uint64
+
+	mu       sync.Mutex
+	segs     []segment
+	dropped  uint64
+	finished bool
+}
+
+// Sampler owns a set of actors and queue-depth series for one engine
+// run.  The zero value is unusable; call New.
+type Sampler struct {
+	enabled atomic.Bool
+	epoch   time.Time
+	clock   func() int64 // epoch-relative nanos; swapped in tests
+
+	mu       sync.Mutex
+	actors   []*Actor
+	queues   []*Queue
+	finishNS int64 // 0 while running
+
+	pollStop chan struct{}
+	pollDone chan struct{}
+}
+
+// New returns a disabled sampler; call SetEnabled(true) before the
+// engine starts to collect.
+func New() *Sampler {
+	s := &Sampler{epoch: time.Now()}
+	s.clock = func() int64 { return int64(time.Since(s.epoch)) }
+	return s
+}
+
+// SetEnabled switches collection on or off.
+func (s *Sampler) SetEnabled(on bool) { s.enabled.Store(on) }
+
+// Enabled reports whether the sampler is collecting.
+func (s *Sampler) Enabled() bool { return s != nil && s.enabled.Load() }
+
+// Actor registers a named actor in the given role, starting Idle.
+func (s *Sampler) Actor(name string, role Role) *Actor {
+	if s == nil {
+		return nil
+	}
+	a := &Actor{s: s, name: name, role: role}
+	a.since.Store(s.clock())
+	s.mu.Lock()
+	s.actors = append(s.actors, a)
+	s.mu.Unlock()
+	return a
+}
+
+// Transition moves the actor into st, charging the elapsed interval to
+// the previous state.  Disabled path: one nil check (no sampler) or one
+// atomic load (sampler attached but off).
+func (a *Actor) Transition(st State) {
+	if a == nil || !a.s.enabled.Load() {
+		return
+	}
+	now := a.s.clock()
+	prev := State(a.state.Swap(int32(st)))
+	start := a.since.Swap(now)
+	if d := now - start; d > 0 {
+		a.accum[prev].Add(d)
+	}
+	a.transitions.Add(1)
+
+	a.mu.Lock()
+	if !a.finished {
+		if len(a.segs) < maxSegments {
+			a.segs = append(a.segs, segment{state: prev, start: start, end: now})
+		} else {
+			a.dropped++
+		}
+	}
+	a.mu.Unlock()
+}
+
+// finish closes the actor's open interval at now and freezes its
+// timeline.
+func (a *Actor) finish(now int64) {
+	if a == nil {
+		return
+	}
+	prev := State(a.state.Swap(int32(Idle)))
+	start := a.since.Swap(now)
+	if d := now - start; d > 0 {
+		a.accum[prev].Add(d)
+	}
+	a.mu.Lock()
+	if !a.finished {
+		a.finished = true
+		if prev != Idle && now > start && len(a.segs) < maxSegments {
+			a.segs = append(a.segs, segment{state: prev, start: start, end: now})
+		}
+	}
+	a.mu.Unlock()
+}
+
+// stateNS returns the per-state accumulated nanos, charging the open
+// interval (if any) through now.
+func (a *Actor) stateNS(now int64) [numStates]int64 {
+	var out [numStates]int64
+	for i := range out {
+		out[i] = a.accum[i].Load()
+	}
+	st := State(a.state.Load())
+	if start := a.since.Load(); now > start {
+		out[st] += now - start
+	}
+	return out
+}
+
+// Queue is one sampled depth series (a shard channel backlog, the
+// in-flight batch count).  Observe may be called from any goroutine.
+type Queue struct {
+	s    *Sampler
+	name string
+
+	samples atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Int64
+	last    atomic.Int64
+}
+
+// Queue registers a named depth series.
+func (s *Sampler) Queue(name string) *Queue {
+	if s == nil {
+		return nil
+	}
+	q := &Queue{s: s, name: name}
+	s.mu.Lock()
+	s.queues = append(s.queues, q)
+	s.mu.Unlock()
+	return q
+}
+
+// Observe records one depth sample (single atomic load when disabled).
+func (q *Queue) Observe(depth int64) {
+	if q == nil || !q.s.enabled.Load() {
+		return
+	}
+	q.samples.Add(1)
+	q.sum.Add(uint64(depth))
+	q.last.Store(depth)
+	for {
+		cur := q.max.Load()
+		if depth <= cur || q.max.CompareAndSwap(cur, depth) {
+			return
+		}
+	}
+}
+
+// StartPoll launches a background goroutine invoking sample every
+// interval until StopPoll (or Finish).  No-op while disabled or when a
+// poller is already running.
+func (s *Sampler) StartPoll(interval time.Duration, sample func()) {
+	if s == nil || !s.enabled.Load() || sample == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pollStop != nil {
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	s.pollStop, s.pollDone = stop, done
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				sample()
+			}
+		}
+	}()
+}
+
+// StopPoll stops the background poller and waits for it to exit.
+func (s *Sampler) StopPoll() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	stop, done := s.pollStop, s.pollDone
+	s.pollStop, s.pollDone = nil, nil
+	s.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// Finish stops polling, closes every actor's open interval and records
+// the wall endpoint the report uses.  Idempotent.
+func (s *Sampler) Finish() {
+	if s == nil {
+		return
+	}
+	s.StopPoll()
+	now := s.clock()
+	s.mu.Lock()
+	if s.finishNS != 0 {
+		s.mu.Unlock()
+		return
+	}
+	s.finishNS = now
+	actors := append([]*Actor(nil), s.actors...)
+	s.mu.Unlock()
+	for _, a := range actors {
+		a.finish(now)
+	}
+}
+
+// TimelineSpans renders every actor's recorded state segments as span
+// records on per-actor tracks ("parddg/<actor>"), for appending to a
+// Chrome-trace export.  Idle segments are skipped — a gap reads better
+// than an explicit idle slice in Perfetto.
+func (s *Sampler) TimelineSpans() []obs.SpanRecord {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	actors := append([]*Actor(nil), s.actors...)
+	s.mu.Unlock()
+	var out []obs.SpanRecord
+	for _, a := range actors {
+		a.mu.Lock()
+		segs := append([]segment(nil), a.segs...)
+		a.mu.Unlock()
+		track := "parddg/" + a.name
+		for _, sg := range segs {
+			if sg.state == Idle {
+				continue
+			}
+			out = append(out, obs.SpanRecord{
+				Name:   sg.state.String(),
+				Track:  track,
+				Start:  s.epoch.Add(time.Duration(sg.start)),
+				Wall:   time.Duration(sg.end - sg.start),
+				Status: "ok",
+			})
+		}
+	}
+	return out
+}

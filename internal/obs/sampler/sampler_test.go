@@ -1,0 +1,271 @@
+package sampler
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock installs a manually advanced epoch-relative clock.
+func fakeClock(s *Sampler) *int64 {
+	now := new(int64)
+	s.clock = func() int64 { return *now }
+	return now
+}
+
+func TestTransitionsAccumulate(t *testing.T) {
+	s := New()
+	now := fakeClock(s)
+	s.SetEnabled(true)
+	a := s.Actor("sequencer", RoleSequencer)
+
+	*now = 10
+	a.Transition(Running) // idle 0..10
+	*now = 60
+	a.Transition(BlockedSend) // running 10..60
+	*now = 75
+	a.Transition(Running) // blocked-send 60..75
+	*now = 100
+	s.Finish() // running 75..100
+
+	ns := a.stateNS(100)
+	if ns[Idle] != 10 || ns[Running] != 75 || ns[BlockedSend] != 15 || ns[BlockedRecv] != 0 {
+		t.Fatalf("stateNS = %v, want [10 75 15 0]", ns)
+	}
+	if got := a.transitions.Load(); got != 3 {
+		t.Fatalf("transitions = %d, want 3", got)
+	}
+}
+
+func TestDisabledTransitionsAreNoOps(t *testing.T) {
+	s := New()
+	now := fakeClock(s)
+	a := s.Actor("shard-0", RoleShard)
+	q := s.Queue("backlog")
+
+	*now = 50
+	a.Transition(Running)
+	q.Observe(7)
+	if ns := a.stateNS(0); ns != ([numStates]int64{}) {
+		t.Fatalf("disabled transition accumulated time: %v", ns)
+	}
+	if q.samples.Load() != 0 {
+		t.Fatal("disabled queue observation recorded a sample")
+	}
+	if len(s.TimelineSpans()) != 0 {
+		t.Fatal("disabled sampler recorded timeline segments")
+	}
+}
+
+func TestNilReceiversAreSafe(t *testing.T) {
+	var s *Sampler
+	var a *Actor
+	var q *Queue
+	a.Transition(Running)
+	q.Observe(1)
+	s.StartPoll(time.Millisecond, func() {})
+	s.StopPoll()
+	s.Finish()
+	if s.Enabled() {
+		t.Fatal("nil sampler reports enabled")
+	}
+	if r := s.Report(); r != nil {
+		t.Fatalf("nil sampler report = %+v", r)
+	}
+	if sp := s.TimelineSpans(); sp != nil {
+		t.Fatalf("nil sampler timeline = %+v", sp)
+	}
+}
+
+// TestReportDiagnosis drives a deterministic synthetic run in which the
+// sequencer out-busies every shard and checks the derived diagnosis:
+// dominance, occupancy, serial fraction, critical path, Amdahl.
+func TestReportDiagnosis(t *testing.T) {
+	s := New()
+	now := fakeClock(s)
+	s.SetEnabled(true)
+	seq := s.Actor("sequencer", RoleSequencer)
+	sh0 := s.Actor("shard-0", RoleShard)
+	sh1 := s.Actor("shard-1", RoleShard)
+	mrg := s.Actor("merge", RoleMerge)
+
+	// Sequencer: running 0..90, blocked-recv 90..100 (backpressure).
+	seq.Transition(Running)
+	sh0.Transition(BlockedRecv)
+	sh1.Transition(BlockedRecv)
+	*now = 40
+	sh0.Transition(Running) // shard-0 runs 40..100: busy 0.6
+	*now = 70
+	sh1.Transition(Running) // shard-1 runs 70..100: busy 0.3
+	*now = 90
+	seq.Transition(BlockedRecv)
+	*now = 100
+	sh0.Transition(Idle)
+	sh1.Transition(Idle)
+	seq.Transition(Idle)
+	mrg.Transition(Running) // merge 100..110
+	*now = 110
+	s.Finish()
+
+	r := s.Report()
+	if r.WallNS != 110 || r.Shards != 2 {
+		t.Fatalf("wall=%d shards=%d", r.WallNS, r.Shards)
+	}
+	occ := 90.0 / 110.0
+	if diff := r.SequencerOccupancy - occ; diff < -1e-9 || diff > 1e-9 {
+		t.Fatalf("occupancy = %v, want %v", r.SequencerOccupancy, occ)
+	}
+	if r.MaxShardBusy >= r.SequencerOccupancy {
+		t.Fatalf("max shard busy %v >= occupancy %v", r.MaxShardBusy, r.SequencerOccupancy)
+	}
+	if r.Dominant != "sequencer" {
+		t.Fatalf("dominant = %q, want sequencer", r.Dominant)
+	}
+	if r.BackpressureNS != 10 {
+		t.Fatalf("backpressure = %d, want 10", r.BackpressureNS)
+	}
+	// serial = seq 90 + merge 10 = 100; parallel = 60 + 30 = 90.
+	serial := 100.0 / 190.0
+	if diff := r.SerialFrac - serial; diff < -1e-9 || diff > 1e-9 {
+		t.Fatalf("serial frac = %v, want %v", r.SerialFrac, serial)
+	}
+	if r.CriticalPathNS != 100+60 {
+		t.Fatalf("critical path = %d, want 160", r.CriticalPathNS)
+	}
+	if len(r.Amdahl) == 0 || r.Amdahl[0].Shards != 1 || r.Amdahl[0].Projected != 1 {
+		t.Fatalf("amdahl = %+v", r.Amdahl)
+	}
+	for i := 1; i < len(r.Amdahl); i++ {
+		if r.Amdahl[i].Projected <= r.Amdahl[i-1].Projected {
+			t.Fatalf("amdahl not monotone: %+v", r.Amdahl)
+		}
+		if lim := 1 / r.SerialFrac; r.Amdahl[i].Projected >= lim {
+			t.Fatalf("amdahl row %d exceeds the 1/s limit %v", i, lim)
+		}
+	}
+
+	// The report must be JSON-serializable with stable keys.
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"sequencer_occupancy", "serial_frac", "critical_path_ns", "amdahl", "dominant"} {
+		if !json.Valid(data) || !contains(string(data), `"`+key+`"`) {
+			t.Fatalf("report JSON missing %q: %s", key, data)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestQueueStats(t *testing.T) {
+	s := New()
+	s.SetEnabled(true)
+	q := s.Queue("parddg.inflight")
+	for _, d := range []int64{1, 5, 3} {
+		q.Observe(d)
+	}
+	r := s.Report()
+	if len(r.Queues) != 1 {
+		t.Fatalf("queues = %+v", r.Queues)
+	}
+	qs := r.Queues[0]
+	if qs.Samples != 3 || qs.Max != 5 || qs.Last != 3 || qs.Avg != 3 {
+		t.Fatalf("queue stat = %+v", qs)
+	}
+}
+
+func TestTimelineSpansSkipIdle(t *testing.T) {
+	s := New()
+	now := fakeClock(s)
+	s.SetEnabled(true)
+	a := s.Actor("shard-1", RoleShard)
+	*now = 5
+	a.Transition(Running) // idle 0..5 (skipped)
+	*now = 25
+	a.Transition(BlockedRecv) // running 5..25
+	*now = 30
+	s.Finish() // blocked-recv 25..30
+
+	spans := s.TimelineSpans()
+	if len(spans) != 2 {
+		t.Fatalf("spans = %+v", spans)
+	}
+	if spans[0].Name != "running" || spans[0].Wall != 20 || spans[0].Track != "parddg/shard-1" {
+		t.Fatalf("span[0] = %+v", spans[0])
+	}
+	if spans[1].Name != "blocked-recv" || spans[1].Wall != 5 {
+		t.Fatalf("span[1] = %+v", spans[1])
+	}
+}
+
+func TestSegmentCapCountsDrops(t *testing.T) {
+	s := New()
+	now := fakeClock(s)
+	s.SetEnabled(true)
+	a := s.Actor("seq", RoleSequencer)
+	for i := 0; i < maxSegments+10; i++ {
+		*now++
+		a.Transition(State(int32(i % 2)))
+	}
+	a.mu.Lock()
+	dropped := a.dropped
+	segs := len(a.segs)
+	a.mu.Unlock()
+	if segs != maxSegments || dropped != 10 {
+		t.Fatalf("segs=%d dropped=%d", segs, dropped)
+	}
+	if r := s.Report(); r.DroppedSegments != 10 {
+		t.Fatalf("report dropped = %d", r.DroppedSegments)
+	}
+}
+
+// TestConcurrentScrapes exercises the lock-free transition path against
+// concurrent Report/TimelineSpans scrapes and the poller; run under
+// -race this is the sampler's data-race certification.
+func TestConcurrentScrapes(t *testing.T) {
+	s := New()
+	s.SetEnabled(true)
+	q := s.Queue("depth")
+	s.StartPoll(50*time.Microsecond, func() { q.Observe(3) })
+
+	const actors = 4
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < actors; i++ {
+		a := s.Actor("shard", RoleShard)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			states := []State{Running, BlockedRecv, BlockedSend, Idle}
+			for j := 0; ; j++ {
+				select {
+				case <-stop:
+					return
+				default:
+					a.Transition(states[j%len(states)])
+				}
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		if r := s.Report(); r == nil || len(r.Actors) != actors {
+			t.Fatalf("scrape %d: %+v", i, r)
+		}
+		s.TimelineSpans()
+	}
+	close(stop)
+	wg.Wait()
+	s.Finish()
+	if r := s.Report(); r.WallNS <= 0 {
+		t.Fatalf("final wall = %d", r.WallNS)
+	}
+}

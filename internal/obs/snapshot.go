@@ -28,13 +28,15 @@ type BucketCount struct {
 }
 
 // HistogramSnapshot is one histogram in a snapshot.  P50/P90/P99 are
-// quantile estimates derived from the log2 bucket midpoints (see
-// Quantile), so latency histograms report percentiles, not just
-// count/sum.
+// quantile estimates derived from the log2 bucket midpoints clamped to
+// the observed [Min, Max] range (see Quantile), so latency histograms
+// report percentiles, not just count/sum.
 type HistogramSnapshot struct {
 	Name    string        `json:"name"`
 	Count   uint64        `json:"count"`
 	Sum     uint64        `json:"sum"`
+	Min     uint64        `json:"min,omitempty"`
+	Max     uint64        `json:"max,omitempty"`
 	P50     float64       `json:"p50,omitempty"`
 	P90     float64       `json:"p90,omitempty"`
 	P99     float64       `json:"p99,omitempty"`
@@ -43,8 +45,12 @@ type HistogramSnapshot struct {
 
 // Quantile estimates the q-quantile (0 < q <= 1) from the bucket
 // midpoints: it returns the midpoint of the bucket holding the sample
-// of rank ceil(q*count).  Exact for the zero bucket; within 2x inside
-// a power-of-two bucket, which is all the log2 layout can promise.
+// of rank ceil(q*count), clamped to the observed [Min, Max].  The
+// clamp matters most for narrow distributions: a histogram whose
+// samples all land in one power-of-two bucket used to report the
+// bucket midpoint (up to 1.5x above the true maximum) for every
+// quantile; with the clamp the estimate can never leave the observed
+// range.
 func (h HistogramSnapshot) Quantile(q float64) float64 {
 	if h.Count == 0 || q <= 0 {
 		return 0
@@ -60,7 +66,18 @@ func (h HistogramSnapshot) Quantile(q float64) float64 {
 	for _, b := range h.Buckets {
 		cum += b.Count
 		if cum >= rank {
-			return float64(b.Lo) + float64(b.Hi-b.Lo)/2
+			v := float64(b.Lo) + float64(b.Hi-b.Lo)/2
+			// Hand-built snapshots may carry buckets but no range; only
+			// clamp when a real [Min, Max] was recorded.
+			if h.Max > 0 && h.Min <= h.Max {
+				if v < float64(h.Min) {
+					v = float64(h.Min)
+				}
+				if v > float64(h.Max) {
+					v = float64(h.Max)
+				}
+			}
+			return v
 		}
 	}
 	return 0
@@ -93,7 +110,7 @@ func (r *Registry) Snapshot() Snapshot {
 	}
 	for _, name := range sortedNames(r.hists) {
 		h := r.hists[name]
-		hs := HistogramSnapshot{Name: name, Count: h.Count(), Sum: h.Sum()}
+		hs := HistogramSnapshot{Name: name, Count: h.Count(), Sum: h.Sum(), Min: h.Min(), Max: h.Max()}
 		for i := 0; i < NumBuckets; i++ {
 			if c := h.Bucket(i); c > 0 {
 				lo, hi := BucketBounds(i)

@@ -32,9 +32,14 @@ type Span struct {
 	errMsg atomic.Pointer[string]
 }
 
-// SpanRecord is one finished stage span.
+// SpanRecord is one finished stage span.  Track optionally names the
+// Chrome-trace row the record renders on (defaulting to Name): the
+// parddg utilization sampler emits many short state segments per actor
+// and groups them on one "parddg/<actor>" row each, instead of one row
+// per state name.
 type SpanRecord struct {
 	Name         string        `json:"name"`
+	Track        string        `json:"track,omitempty"`
 	ID           uint64        `json:"id,omitempty"`
 	Parent       uint64        `json:"parent,omitempty"`
 	Depth        int           `json:"depth"`

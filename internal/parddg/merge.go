@@ -7,6 +7,7 @@ import (
 
 	"polyprof/internal/ddg"
 	"polyprof/internal/fold"
+	"polyprof/internal/obs/sampler"
 	"polyprof/internal/poly"
 )
 
@@ -99,6 +100,7 @@ func (e *Engine) FinishChecked() (*ddg.Graph, error) {
 		return nil, fmt.Errorf("parddg: engine already finished")
 	}
 	e.drain()
+	e.mergeAct.Transition(sampler.Running)
 	if err := mergeFault.Hit(); err != nil {
 		e.fail(fmt.Errorf("parddg: merge: %w", err))
 	}
@@ -328,6 +330,8 @@ func (e *Engine) FinishChecked() (*ddg.Graph, error) {
 		g.Degraded = deg
 	}
 
+	e.mergeAct.Transition(sampler.Idle)
+	e.finishSampling()
 	e.publishMetrics(g, len(all))
 	e.root.AddEvents(e.totalOps)
 	e.root.End()
@@ -336,6 +340,7 @@ func (e *Engine) FinishChecked() (*ddg.Graph, error) {
 }
 
 func (e *Engine) finishFail(err error) error {
+	e.finishSampling()
 	e.root.Fail(err)
 	e.root.End()
 	e.finished = true

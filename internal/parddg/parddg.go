@@ -41,11 +41,13 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"polyprof/internal/ddg"
 	"polyprof/internal/faultinject"
 	"polyprof/internal/isa"
 	"polyprof/internal/obs"
+	"polyprof/internal/obs/sampler"
 	"polyprof/internal/trace"
 )
 
@@ -72,7 +74,16 @@ type Options struct {
 	// stride detection, obs scope, budget); the engine honors them
 	// identically.
 	DDG ddg.Options
+	// Sampler, when non-nil and enabled, collects per-actor utilization
+	// timelines (sequencer/shards/merge) and queue-depth samples for
+	// the parallel diagnosis report.  Nil costs the hot paths a single
+	// nil check per transition site.
+	Sampler *sampler.Sampler
 }
+
+// pollInterval is the queue-depth sampling period while the sampler is
+// enabled.
+const pollInterval = 250 * time.Microsecond
 
 // rec mirrors the sequential builder's writer record: the producing
 // instruction and its retained iteration coordinates.  set reuses the
@@ -199,6 +210,12 @@ type Engine struct {
 	drained  bool
 	finished bool
 	closed   bool
+
+	// Utilization sampling (nil when no sampler is attached).
+	smp      *sampler.Sampler
+	seqAct   *sampler.Actor
+	mergeAct *sampler.Actor
+	inflight *sampler.Queue
 }
 
 // NewEngine creates a sharded engine for one execution of prog and
@@ -232,6 +249,17 @@ func NewEngine(prog *isa.Program, opt Options) *Engine {
 	e.sc = e.opts.Obs.WithSpan(e.root)
 	e.cur = e.newBatch()
 	e.allocated = 1
+	if e.smp = opt.Sampler; e.smp != nil {
+		e.seqAct = e.smp.Actor("sequencer", sampler.RoleSequencer)
+		e.mergeAct = e.smp.Actor("merge", sampler.RoleMerge)
+		e.inflight = e.smp.Queue("parddg.inflight")
+		// The sequencer actor is the whole pass-2 serial thread — VM
+		// execution plus event sequencing — not just time inside the sink:
+		// that thread is the pipeline's serial stage, and its occupancy is
+		// what bounds speedup.  It runs from engine creation until drain,
+		// minus the explicitly sampled blocking intervals.
+		e.seqAct.Transition(sampler.Running)
+	}
 	for i := 0; i < n; i++ {
 		w := newWorker(e, i)
 		e.workers = append(e.workers, w)
@@ -239,10 +267,28 @@ func NewEngine(prog *isa.Program, opt Options) *Engine {
 		e.workerJoin.Add(1)
 		go func(w *worker) {
 			defer e.workerJoin.Done()
-			for b := range w.ch {
+			for {
+				w.act.Transition(sampler.BlockedRecv)
+				b, ok := <-w.ch
+				if !ok {
+					w.act.Transition(sampler.Idle)
+					return
+				}
+				w.act.Transition(sampler.Running)
 				w.process(b)
 			}
 		}(w)
+	}
+	// Channel length reads are safe concurrently, so the poller can
+	// sample shard backlogs from outside the pipeline; the in-flight
+	// batch count is sequencer state and is sampled at dispatch instead.
+	if e.smp != nil {
+		workers := e.workers
+		e.smp.StartPoll(pollInterval, func() {
+			for _, w := range workers {
+				w.depthQ.Observe(int64(len(w.ch)))
+			}
+		})
 	}
 	return e
 }
@@ -326,7 +372,11 @@ func (e *Engine) ctxCoords(coords []int64) []int64 {
 	return b.coords[off : off+len(coords)]
 }
 
-// OnInstrBatch implements core.BatchSink.
+// OnInstrBatch implements core.BatchSink.  No sampler transitions here:
+// the sequencer actor stays "running" across sink calls (VM execution
+// between batches is serial-stage work too) and only the blocking
+// points in dispatch/drain transition, keeping the sampled path far off
+// the per-event hot loop.
 func (e *Engine) OnInstrBatch(ctxKey string, coords []int64, evs []trace.InstrEvent, ins []*isa.Instr) {
 	cc := e.ctxCoords(coords)
 	for i := range evs {
@@ -496,9 +546,12 @@ func (e *Engine) dispatch() {
 		// ones (the freshly shipped batch counts).
 		sc.Observe("parddg.batch.queue_depth", uint64(e.allocated-len(e.free)))
 	}
+	e.inflight.Observe(int64(e.allocated - len(e.free)))
+	e.seqAct.Transition(sampler.BlockedSend)
 	for _, ch := range e.chans {
 		ch <- b
 	}
+	e.seqAct.Transition(sampler.Running)
 	select {
 	case nb := <-e.free:
 		e.cur = nb
@@ -507,7 +560,11 @@ func (e *Engine) dispatch() {
 			e.allocated++
 			e.cur = e.newBatch()
 		} else {
+			// Pipeline backpressure: every allocated batch is still in
+			// flight, so the sequencer stalls on the free list.
+			e.seqAct.Transition(sampler.BlockedRecv)
 			e.cur = <-e.free
+			e.seqAct.Transition(sampler.Running)
 		}
 	}
 }
@@ -535,9 +592,24 @@ func (e *Engine) drain() {
 	for _, ch := range e.chans {
 		close(ch)
 	}
+	e.seqAct.Transition(sampler.BlockedRecv)
 	e.workerJoin.Wait()
+	e.seqAct.Transition(sampler.Idle)
+	e.smp.StopPoll()
 	for _, w := range e.workers {
 		w.end()
+	}
+}
+
+// finishSampling closes the utilization timelines and publishes the
+// diagnosis headline metrics; safe to call on every exit path.
+func (e *Engine) finishSampling() {
+	if e.smp == nil {
+		return
+	}
+	e.smp.Finish()
+	if rep := e.smp.Report(); rep != nil {
+		rep.Publish(e.opts.Obs)
 	}
 }
 
@@ -551,6 +623,7 @@ func (e *Engine) Close() {
 	e.closed = true
 	e.drain()
 	if !e.finished {
+		e.finishSampling()
 		e.root.End()
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"polyprof/internal/ddg"
 	"polyprof/internal/fold"
 	"polyprof/internal/obs"
+	"polyprof/internal/obs/sampler"
 )
 
 // depEntry pairs a dependence bundle with the folding state the
@@ -40,6 +41,10 @@ type worker struct {
 
 	memEvents uint64 // stage-1 memory events owned by this shard
 	points    uint64 // stage-2 fold points consumed by this shard
+
+	// Utilization sampling handles (nil without an attached sampler).
+	act    *sampler.Actor
+	depthQ *sampler.Queue
 }
 
 func newWorker(e *Engine, id int) *worker {
@@ -52,6 +57,10 @@ func newWorker(e *Engine, id int) *worker {
 		accF:  map[*ddg.Instr]*fold.Folder{},
 		deps:  map[depKey]*depEntry{},
 		sp:    e.sc.StartSpan(fmt.Sprintf("ddg.shard.%d", id)),
+	}
+	if e.smp != nil {
+		w.act = e.smp.Actor(fmt.Sprintf("shard-%d", id), sampler.RoleShard)
+		w.depthQ = e.smp.Queue(fmt.Sprintf("parddg.shard.%d.backlog", id))
 	}
 	if e.baseDenied {
 		w.trip()
@@ -75,7 +84,11 @@ func (w *worker) process(b *batch) {
 	}
 	w.runStage1(b)
 	b.wg.Done()
+	// The stage barrier is upstream waiting: this shard cannot fold
+	// until every shard has resolved its stage-1 sources.
+	w.act.Transition(sampler.BlockedRecv)
 	b.wg.Wait()
+	w.act.Transition(sampler.Running)
 	if !w.e.failed.Load() {
 		w.runStage2(b)
 	}

@@ -1,0 +1,62 @@
+// Package progress is a dependency-free live-progress channel between
+// a running profiling pipeline and whoever is watching it (the job
+// store's GET /v1/jobs/{id}, primarily).  A Tracker is a handful of
+// atomics: the VM bumps the event counter at its existing watchdog
+// checkpoints (once per 2^16 steps — nothing is added to the per-step
+// hot path) and the pipeline driver marks stage boundaries; concurrent
+// snapshots are tear-free without locks.  All methods are nil-receiver
+// safe, so unobserved runs pay a single nil check per update site.
+package progress
+
+import "sync/atomic"
+
+// Tracker carries one run's live progress.  Events are relative to the
+// current stage and reset at every StartStage; Total is the stage's
+// expected event count (0 when unknown — pass 1 discovers it, pass 2
+// re-executes the same deterministic program so pass 1's op count is
+// its exact total).
+type Tracker struct {
+	stage  atomic.Pointer[string]
+	events atomic.Uint64
+	total  atomic.Uint64
+}
+
+// Snapshot is one consistent-enough view of a tracker: stage, events
+// and total are read independently (each tear-free), which is all a
+// progress display needs.
+type Snapshot struct {
+	Stage  string `json:"stage"`
+	Events uint64 `json:"events"`
+	Total  uint64 `json:"total,omitempty"`
+}
+
+// StartStage begins a named stage, resetting the event counter.
+func (t *Tracker) StartStage(stage string, total uint64) {
+	if t == nil {
+		return
+	}
+	t.events.Store(0)
+	t.total.Store(total)
+	t.stage.Store(&stage)
+}
+
+// SetEvents publishes the stage's processed-event count; within one
+// stage callers only move it forward.
+func (t *Tracker) SetEvents(n uint64) {
+	if t == nil {
+		return
+	}
+	t.events.Store(n)
+}
+
+// Snapshot returns the tracker's current state.
+func (t *Tracker) Snapshot() Snapshot {
+	if t == nil {
+		return Snapshot{}
+	}
+	s := Snapshot{Events: t.events.Load(), Total: t.total.Load()}
+	if p := t.stage.Load(); p != nil {
+		s.Stage = *p
+	}
+	return s
+}

@@ -15,6 +15,8 @@ import (
 	"polyprof/internal/isa"
 	"polyprof/internal/jobstore"
 	"polyprof/internal/obs"
+	"polyprof/internal/obs/sampler"
+	"polyprof/internal/progress"
 	"polyprof/internal/workloads"
 )
 
@@ -226,6 +228,15 @@ func (s *Server) runJob(ctx context.Context, job *jobstore.Job, attempt int) (*j
 	res := &jobstore.Result{Status: "ok", SpanID: root.ID()}
 	start := time.Now()
 
+	// Live progress: the tracker is attached to the store for the
+	// duration of the attempt, so GET /v1/jobs/{id} reports the running
+	// stage and event counts.  Detach on every exit path — terminal
+	// transitions also clear it, but a retried attempt must not leave a
+	// stale tracker behind.
+	tr := &progress.Tracker{}
+	s.store.AttachProgress(job.ID, tr)
+	defer s.store.DetachProgress(job.ID)
+
 	bud := budget.New(ctx, s.opts.Limits)
 	err := func() error {
 		prog, err := s.jobProgram(job)
@@ -236,10 +247,20 @@ func (s *Server) runJob(ctx context.Context, job *jobstore.Job, attempt int) (*j
 		opts.Obs = sc
 		opts.Budget = bud
 		opts.ParallelDDG = s.opts.ParallelDDG
+		opts.Progress = tr
+		if s.opts.ParallelDDG > 0 {
+			// Parallel jobs carry the utilization sampler; its headline
+			// gauges merge into the process registry below and surface on
+			// /metrics as the polyprof_ddg_* families.
+			smp := sampler.New()
+			smp.SetEnabled(true)
+			opts.Sampler = smp
+		}
 		p, err := core.Run(prog, opts)
 		if err != nil {
 			return err
 		}
+		tr.StartStage("feedback", 0)
 		rep, err := feedback.AnalyzeChecked(p)
 		if err != nil {
 			return err

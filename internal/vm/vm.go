@@ -13,6 +13,7 @@ import (
 	"polyprof/internal/faultinject"
 	"polyprof/internal/isa"
 	"polyprof/internal/obs"
+	"polyprof/internal/progress"
 	"polyprof/internal/trace"
 )
 
@@ -93,6 +94,11 @@ type Machine struct {
 	// Cost, when set, accumulates simulated cycles during execution
 	// (base per-opcode costs plus cache-modeled memory latency).
 	Cost *CycleModel
+
+	// Progress, when set, receives the live executed-op count at every
+	// watchdog checkpoint (once per 2^16 steps) and once at run end, so
+	// long runs can be observed without touching the per-step hot path.
+	Progress *progress.Tracker
 
 	// batch is non-nil when the machine drives exactly one hook and it
 	// implements trace.BatchHook: instruction events then buffer in
@@ -179,6 +185,7 @@ func (m *Machine) flushInstrs() {
 // publishes once per run, so the interpreter loop carries no
 // instrumentation cost.
 func (m *Machine) publishStats() {
+	m.Progress.SetEvents(m.stats.Ops)
 	if !m.Obs.Enabled() {
 		return
 	}
@@ -269,6 +276,7 @@ func (m *Machine) Run() error {
 
 // checkpoint is the amortized watchdog body.
 func (m *Machine) checkpoint(limit uint64, budgetSteps bool, counted *uint64) error {
+	m.Progress.SetEvents(m.stats.Ops)
 	if err := stepFault.Hit(); err != nil {
 		return fmt.Errorf("vm %q: %w", m.prog.Name, err)
 	}

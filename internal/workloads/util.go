@@ -64,6 +64,9 @@ func ByName(name string) *Spec {
 		}
 	}
 	switch name {
+	case "matmul":
+		// Convenience alias: the PolyBench matrix-multiply kernel.
+		return ByName("gemm")
 	case "gemsfdtd":
 		s := &Spec{Name: "gemsfdtd", Build: GemsFDTD,
 			RegionFuncs: []string{"updateH_homo", "updateE_homo"}}

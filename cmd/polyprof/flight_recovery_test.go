@@ -1,0 +1,226 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"polyprof/internal/jobstore"
+	"polyprof/internal/obs/flight"
+)
+
+// slowLoopProgram is a user-submitted program whose main loop runs long
+// enough (hundreds of millions of VM steps) that the test can reliably
+// SIGKILL the daemon while the job is inside pass1-structure.
+func slowLoopProgram(iters int) []byte {
+	return []byte(fmt.Sprintf(`{
+	 "name": "slow-loop", "main": 0, "mem_words": 64,
+	 "globals": {"a": {"base": 0, "size": 64}},
+	 "funcs": [{"name": "main", "entry": 0, "blocks": [0, 1, 2], "num_args": 0, "num_regs": 8}],
+	 "blocks": [
+	  {"fn": 0, "name": "entry", "code": [
+	    {"op": "consti", "dst": 0, "imm": 0},
+	    {"op": "jmp", "then": 1}]},
+	  {"fn": 0, "name": "loop", "code": [
+	    {"op": "consti", "dst": 1, "imm": 1},
+	    {"op": "add", "dst": 0, "a": 0, "b": 1},
+	    {"op": "consti", "dst": 2, "imm": %d},
+	    {"op": "cmplt", "dst": 3, "a": 0, "b": 2},
+	    {"op": "br", "a": 3, "then": 1, "else": 2}]},
+	  {"fn": 0, "name": "exit", "code": [{"op": "halt"}]}
+	 ]
+	}`, iters))
+}
+
+// getJobTrace fetches a job with its persisted lifecycle trace.
+func getJobTrace(t *testing.T, base, id string) *jobstore.Job {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id + "?trace=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/jobs/%s?trace=1 = %d: %s", id, resp.StatusCode, body)
+	}
+	var j jobstore.Job
+	if err := json.Unmarshal(body, &j); err != nil {
+		t.Fatalf("job %s does not parse: %v", id, err)
+	}
+	return &j
+}
+
+// TestKillMinusNineWritesFlightBundle is the flight recorder's
+// end-to-end proof: SIGKILL a real daemon while a job attempt is inside
+// a pipeline stage, restart on the same -data-dir, and the restarted
+// daemon must write a crash-recovery flight bundle that names the
+// interrupted stage — and the job's persisted lifecycle trace must
+// carry the crash marker.  The bundle is then rendered through the
+// `polyprof flight` CLI the way an operator would read it.
+//
+// Set POLYPROF_FLIGHT_DATA_DIR to pin the data directory (CI uploads
+// it as an artifact when the test fails).
+func TestKillMinusNineWritesFlightBundle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and SIGKILLs a real daemon; skipped in -short")
+	}
+	bin := filepath.Join(t.TempDir(), "polyprof")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	dataDir := os.Getenv("POLYPROF_FLIGHT_DATA_DIR")
+	if dataDir == "" {
+		dataDir = filepath.Join(t.TempDir(), "data")
+	}
+
+	proc, base := startServe(t, bin, dataDir)
+
+	// ~400M VM steps: long enough to catch mid-stage on any machine,
+	// under the 500M default step ceiling so the re-run can finish.
+	resp, err := http.Post(base+"/v1/jobs", "application/json",
+		bytes.NewReader(slowLoopProgram(80_000_000)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", resp.StatusCode, body)
+	}
+	var sum jobstore.JobSummary
+	if err := json.Unmarshal(body, &sum); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait until the attempt is demonstrably inside a stage: the stage
+	// record rides the unsynced WAL, so once we have observed it over
+	// HTTP it is in the OS page cache and survives SIGKILL.
+	var stage string
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		j := getJobTrace(t, base, sum.ID)
+		if j.State == jobstore.StateRunning {
+			if st := j.InterruptedStage(); st != "" {
+				stage = st
+				break
+			}
+		}
+		if j.State.Terminal() {
+			t.Fatalf("job finished before the kill (state %s); slow-loop too fast", j.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if stage == "" {
+		t.Fatal("job never reached a pipeline stage")
+	}
+
+	if err := proc.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	proc.Wait()
+
+	proc2, base2 := startServe(t, bin, dataDir)
+	defer func() {
+		proc2.Process.Signal(syscall.SIGKILL)
+		proc2.Wait()
+	}()
+
+	// The restarted daemon wrote the crash-recovery bundle during
+	// startup recovery, before it began listening.
+	resp, err = http.Get(base2 + "/v1/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/flight = %d: %s", resp.StatusCode, body)
+	}
+	var list struct {
+		Bundles []flight.BundleInfo `json:"bundles"`
+	}
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatalf("flight list does not parse: %v: %s", err, body)
+	}
+	var info *flight.BundleInfo
+	for i := range list.Bundles {
+		if list.Bundles[i].Reason == "crash-recovery" {
+			info = &list.Bundles[i]
+			break
+		}
+	}
+	if info == nil {
+		t.Fatalf("no crash-recovery bundle after restart: %+v", list.Bundles)
+	}
+
+	// The bundle is self-contained and names the interrupted stage.
+	resp, err = http.Get(base2 + "/v1/flight/" + info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/flight/%s = %d", info.ID, resp.StatusCode)
+	}
+	var b flight.Bundle
+	if err := json.Unmarshal(body, &b); err != nil {
+		t.Fatalf("bundle does not parse: %v", err)
+	}
+	if b.Reason != "crash-recovery" || b.Job != sum.ID {
+		t.Fatalf("bundle header = reason %q job %q, want crash-recovery for %s", b.Reason, b.Job, sum.ID)
+	}
+	if b.Stage != stage {
+		t.Fatalf("bundle stage = %q, want interrupted stage %q", b.Stage, stage)
+	}
+	if len(b.Extra) == 0 || !strings.Contains(string(b.Extra), "crash-recovered") {
+		t.Fatalf("bundle extra lacks the job lifecycle trace: %s", b.Extra)
+	}
+
+	// The job's persisted lifecycle trace carries the crash marker (the
+	// re-leased attempt has already appended past it, so scan).
+	j := getJobTrace(t, base2, sum.ID)
+	var evs []string
+	marked := false
+	for _, ev := range j.Trace {
+		evs = append(evs, ev.Event)
+		if ev.Event == jobstore.TraceCrashRecovered {
+			marked = true
+		}
+	}
+	if !marked {
+		t.Fatalf("job trace lost the crash-recovered marker: %v", evs)
+	}
+
+	// An operator reads the same incident through the CLI.
+	out, err := exec.Command(bin, "flight", "list", "-data-dir", dataDir).CombinedOutput()
+	if err != nil || !strings.Contains(string(out), info.ID) {
+		t.Fatalf("flight list (%v):\n%s", err, out)
+	}
+	out, err = exec.Command(bin, "flight", "show", info.ID, "-data-dir", dataDir).CombinedOutput()
+	if err != nil {
+		t.Fatalf("flight show: %v\n%s", err, out)
+	}
+	for _, want := range []string{"crash-recovery", stage, sum.ID} {
+		if !strings.Contains(string(out), want) {
+			t.Fatalf("flight show output missing %q:\n%s", want, out)
+		}
+	}
+	if t.Failed() {
+		fmt.Printf("data dir kept for inspection: %s\n", dataDir)
+	}
+}

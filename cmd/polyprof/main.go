@@ -77,6 +77,8 @@ func main() {
 		err = cmdDiag(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "flight":
+		err = cmdFlight(os.Args[2:])
 	case "casestudy":
 		err = cmdCaseStudy(os.Args[2:])
 	case "ddg":
@@ -115,6 +117,9 @@ commands:
   ddg <workload>          dump the folded polyhedral DDG of the region
   report <workload> [-json]  full feedback document (or JSON)
   serve [-http :7070]     profiling-as-a-service daemon (POST /v1/profile)
+  flight <list|show|export> [id] -data-dir d
+                          inspect flight-recorder incident bundles written
+                          by the daemon (under <data-dir>/flightrec)
 
 overhead regression flags:
   -compare f.json  diff the fresh stage costs against a baseline
@@ -150,6 +155,9 @@ serve flags:
   -max-attempts n    attempts before a failing job is quarantined (default 3)
   -job-ttl d         delete terminal jobs this long after they finish
                      (WAL-logged; default 0 = keep forever)
+  -slow-job-threshold d  freeze the flight recorder when a job attempt runs
+                     longer than this (default request-timeout/2; negative
+                     disables)
 
 POLYPROF_FAULT=point=mode[:arg][:count],... arms fault injection
 (points: vm.step, ddg.shadow.insert, fold.finish, sched.build,
@@ -686,6 +694,7 @@ func cmdServe(args []string) error {
 	workers := fs.Int("workers", 2, "concurrent job executions (requires -data-dir)")
 	maxAttempts := fs.Int("max-attempts", 3, "attempts before a failing job is quarantined (requires -data-dir)")
 	jobTTL := fs.Duration("job-ttl", 0, "garbage-collect terminal jobs this long after they finish (0 = keep forever; requires -data-dir)")
+	slowJob := fs.Duration("slow-job-threshold", 0, "write a flight bundle when a job attempt outlives this (0 = request-timeout/2, negative disables)")
 	bf := addBudgetFlags(fs)
 	par := addParallelFlag(fs)
 	if err := fs.Parse(args); err != nil {
@@ -693,15 +702,16 @@ func cmdServe(args []string) error {
 	}
 
 	s, err := serve.New(serve.Options{
-		MaxInFlight:    *maxInFlight,
-		RingSize:       *ring,
-		RequestTimeout: *reqTimeout,
-		Limits:         bf.limits(),
-		DataDir:        *dataDir,
-		Workers:        *workers,
-		MaxAttempts:    *maxAttempts,
-		JobTTL:         *jobTTL,
-		ParallelDDG:    resolveShards(*par),
+		MaxInFlight:      *maxInFlight,
+		RingSize:         *ring,
+		RequestTimeout:   *reqTimeout,
+		Limits:           bf.limits(),
+		DataDir:          *dataDir,
+		Workers:          *workers,
+		MaxAttempts:      *maxAttempts,
+		JobTTL:           *jobTTL,
+		ParallelDDG:      resolveShards(*par),
+		SlowJobThreshold: *slowJob,
 		Logf: func(format string, a ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", a...)
 		},

@@ -26,6 +26,8 @@ import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"polyprof/internal/obs/flight"
 )
 
 // Resource names carried by Error.Resource and ddg degradation
@@ -128,7 +130,9 @@ func (b *Budget) Check(stage string) error {
 		}
 	}
 	if b.hasDeadline && time.Now().After(b.deadline) {
-		return &Error{Resource: ResourceWall, Stage: stage, Limit: uint64(b.limits.Wall)}
+		err := &Error{Resource: ResourceWall, Stage: stage, Limit: uint64(b.limits.Wall)}
+		flight.Log("budget", err.Resource, err.Error())
+		return err
 	}
 	return nil
 }
@@ -149,10 +153,12 @@ func (b *Budget) CountEvents(n uint64, stage string) error {
 	}
 	total := b.events.Add(n)
 	if total > b.limits.MaxTraceEvents {
-		return &Error{
+		err := &Error{
 			Resource: ResourceTraceEvents, Stage: stage,
 			Limit: b.limits.MaxTraceEvents, Used: total,
 		}
+		flight.Log("budget", err.Resource, err.Error())
+		return err
 	}
 	return nil
 }
@@ -166,7 +172,13 @@ func (b *Budget) GrantShadow(n uint64) bool {
 		return true
 	}
 	if b.shadow.Add(n) > b.limits.MaxShadowBytes {
-		b.shadowTripped.Store(true)
+		// Swap (not Store) so only the first trip emits the flight
+		// event: Grant* sites run per address range, the ring should
+		// record the decision once.
+		if !b.shadowTripped.Swap(true) {
+			flight.Log("degrade", ResourceShadowBytes,
+				fmt.Sprintf("shadow-memory budget exhausted (limit %d bytes); coarsening", b.limits.MaxShadowBytes))
+		}
 		return false
 	}
 	return true
@@ -179,7 +191,10 @@ func (b *Budget) GrantEdges(n uint64) bool {
 		return true
 	}
 	if b.edges.Add(n) > b.limits.MaxDDGEdges {
-		b.edgesTripped.Store(true)
+		if !b.edgesTripped.Swap(true) {
+			flight.Log("degrade", ResourceDDGEdges,
+				fmt.Sprintf("ddg-edge budget exhausted (limit %d edges); keeping bounding boxes", b.limits.MaxDDGEdges))
+		}
 		return false
 	}
 	return true

@@ -17,6 +17,7 @@ import (
 	"polyprof/internal/isa"
 	"polyprof/internal/loopevents"
 	"polyprof/internal/obs"
+	"polyprof/internal/obs/flight"
 	"polyprof/internal/progress"
 	"polyprof/internal/trace"
 	"polyprof/internal/vm"
@@ -45,6 +46,10 @@ func RecoverStage(stage string, sp *obs.Span, errp *error) {
 	}
 	sp.Fail(err)
 	*errp = err
+	// A stage panic is an anomaly by definition: freeze the flight ring
+	// (no-op while the recorder is disabled).  The panic is contained
+	// here, so this is the only layer that still knows the stage.
+	flight.Trigger("stage-panic", flight.TriggerInfo{Stage: stage, Detail: err.Error()})
 }
 
 // Structure is the result of pass 1 ("Instrumentation I"): the

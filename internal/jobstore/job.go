@@ -102,6 +102,74 @@ type Job struct {
 	// a restart a recovered job reports no progress until its next
 	// attempt starts.
 	Progress *Progress `json:"progress,omitempty"`
+
+	// TraceID is the request ID that submitted the job (the inbound
+	// X-Request-ID when the client sent one), correlating the job's
+	// lifecycle with serve request logs and flight-recorder bundles.
+	TraceID string `json:"trace_id,omitempty"`
+	// Trace is the persisted lifecycle trace: intake, WAL append, queue
+	// wait, per-attempt lease, pipeline stage starts, retries and the
+	// terminal transition, capped at MaxTraceEvents.  Unlike Progress it
+	// is durable — stage events ride the WAL (unsynced; they survive
+	// kill -9 via the OS page cache, and losing them on power failure
+	// loses only diagnostics), so after a crash the trace names the
+	// stage the process died in.
+	Trace []TraceEvent `json:"trace,omitempty"`
+}
+
+// TraceEvent is one step of a job's persisted lifecycle trace.
+type TraceEvent struct {
+	At      time.Time `json:"at"`
+	Event   string    `json:"event"`
+	Stage   string    `json:"stage,omitempty"`
+	Attempt int       `json:"attempt,omitempty"`
+	Detail  string    `json:"detail,omitempty"`
+	// WallNS carries the duration the event closes (queue-wait, the
+	// terminal attempt's run time).
+	WallNS int64 `json:"wall_ns,omitempty"`
+}
+
+// Lifecycle trace event names.
+const (
+	TraceIntake         = "intake"
+	TraceWALAppend      = "wal-append"
+	TraceQueueWait      = "queue-wait"
+	TraceLease          = "lease"
+	TraceStage          = "stage"
+	TraceRetry          = "retry"
+	TraceQuarantine     = "quarantine"
+	TraceComplete       = "complete"
+	TraceCrashRecovered = "crash-recovered"
+)
+
+// MaxTraceEvents caps a job's persisted trace; past it one truncation
+// marker is kept and further events are dropped.
+const MaxTraceEvents = 512
+
+// CrashRecovered returns the crash-recovery marker when the job's
+// latest lifecycle event is one — i.e. the job was running when the
+// process died and Open just re-enqueued it.  The serving layer uses
+// this to write a flight bundle for the interrupted attempt.
+func (j *Job) CrashRecovered() (TraceEvent, bool) {
+	if n := len(j.Trace); n > 0 && j.Trace[n-1].Event == TraceCrashRecovered {
+		return j.Trace[n-1], true
+	}
+	return TraceEvent{}, false
+}
+
+// InterruptedStage returns the pipeline stage the job's most recent
+// attempt had reached (from the last persisted stage event of the
+// final attempt), for naming what a crash interrupted.
+func (j *Job) InterruptedStage() string {
+	for i := len(j.Trace) - 1; i >= 0; i-- {
+		if j.Trace[i].Event == TraceStage {
+			return j.Trace[i].Stage
+		}
+		if j.Trace[i].Event == TraceLease {
+			break // attempt leased but no stage reached yet
+		}
+	}
+	return ""
 }
 
 // Progress is a running job's live position.
@@ -140,6 +208,9 @@ func (j *Job) Clone() *Job {
 	if j.Progress != nil {
 		p := *j.Progress
 		c.Progress = &p
+	}
+	if j.Trace != nil {
+		c.Trace = append([]TraceEvent(nil), j.Trace...)
 	}
 	return &c
 }
@@ -228,6 +299,7 @@ type JobSummary struct {
 	Error     string    `json:"error,omitempty"`
 	Degraded  bool      `json:"degraded,omitempty"`
 	WallNS    int64     `json:"wall_ns,omitempty"`
+	TraceID   string    `json:"trace_id,omitempty"`
 }
 
 // Summary renders the job's list form.
@@ -236,6 +308,7 @@ func (j *Job) Summary() JobSummary {
 		ID: j.ID, Kind: j.Kind, Name: j.Name(), State: j.State,
 		Attempts: j.Attempts, Submitted: j.SubmittedAt,
 		Finished: j.FinishedAt, NextRunAt: j.NextRunAt,
+		TraceID: j.TraceID,
 	}
 	if j.Error != nil {
 		s.Error = j.Error.Message

@@ -19,7 +19,10 @@ import (
 // record is the WAL envelope.  Every state transition of every job is
 // one record; replay folds them, last writer wins per job.
 type record struct {
-	// T is the record type: "submit", "state", "delete", or "hist".
+	// T is the record type: "submit", "state", "stage", "delete", or
+	// "hist".  "stage" records carry only lifecycle trace events and are
+	// appended unsynced (diagnostics: they survive kill -9 via the page
+	// cache, and losing them on power failure loses no durable state).
 	T string `json:"t"`
 	// Job is the full job at submission time (T == "submit").
 	Job *Job `json:"job,omitempty"`
@@ -31,9 +34,33 @@ type record struct {
 	NextRunAt time.Time `json:"next_run_at,omitempty"`
 	Error     *JobError `json:"error,omitempty"`
 	Result    *Result   `json:"result,omitempty"`
+	// TraceEvents are the lifecycle trace events this transition
+	// appends to the job (T == "state" or "stage").
+	TraceEvents []TraceEvent `json:"trace,omitempty"`
 	// Hist is one request-history entry (T == "hist"), an opaque blob
 	// owned by the serving layer.
 	Hist json.RawMessage `json:"hist,omitempty"`
+}
+
+// traceAppend appends lifecycle events to the job's persisted trace,
+// enforcing MaxTraceEvents (one truncation marker past the cap), and
+// returns the events actually appended — the slice the caller embeds
+// in the WAL record so replay reconstructs the same trace.
+func traceAppend(j *Job, evs ...TraceEvent) []TraceEvent {
+	var out []TraceEvent
+	for _, ev := range evs {
+		if len(j.Trace) >= MaxTraceEvents {
+			if len(j.Trace) == MaxTraceEvents {
+				mark := TraceEvent{At: ev.At, Event: "trace-truncated"}
+				j.Trace = append(j.Trace, mark)
+				out = append(out, mark)
+			}
+			break
+		}
+		j.Trace = append(j.Trace, ev)
+		out = append(out, ev)
+	}
+	return out
 }
 
 // snapshot is the compacted on-disk state: everything the WAL records
@@ -123,6 +150,15 @@ func Open(dir string, opts Options) (*Store, []*Job, error) {
 	for _, id := range s.order {
 		j := s.jobs[id]
 		if j.State == StateRunning {
+			stage := j.InterruptedStage()
+			detail := fmt.Sprintf("process died during attempt %d", j.Attempts)
+			if stage != "" {
+				detail += " in stage " + stage
+			}
+			traceAppend(j, TraceEvent{
+				At: time.Now().UTC(), Event: TraceCrashRecovered,
+				Stage: stage, Attempt: j.Attempts, Detail: detail,
+			})
 			j.State = StateQueued
 			s.logf("jobstore: job %s was running at crash time; re-enqueued (attempt %d)", j.ID, j.Attempts)
 		}
@@ -221,6 +257,7 @@ func (s *Store) applyRecord(payload []byte) {
 			// idempotent and forbids double-completion.
 			return
 		}
+		traceAppend(j, rec.TraceEvents...)
 		j.State = rec.State
 		if rec.Attempts > 0 {
 			j.Attempts = rec.Attempts
@@ -234,6 +271,12 @@ func (s *Store) applyRecord(payload []byte) {
 		case StateSucceeded, StateFailed:
 			j.FinishedAt = rec.At
 		}
+	case "stage":
+		j, ok := s.jobs[rec.ID]
+		if !ok || j.State.Terminal() {
+			return
+		}
+		traceAppend(j, rec.TraceEvents...)
 	case "delete":
 		if _, ok := s.jobs[rec.ID]; !ok {
 			return
@@ -425,6 +468,11 @@ func (s *Store) Submit(j *Job) error {
 	j.ID = fmt.Sprintf("job-%d", s.seq)
 	j.State = StateQueued
 	j.SubmittedAt = time.Now().UTC()
+	// The submit record carries the full job, trace included, so these
+	// two events are durable the moment the submission is acknowledged.
+	traceAppend(j,
+		TraceEvent{At: j.SubmittedAt, Event: TraceIntake, Detail: j.Name()},
+		TraceEvent{At: j.SubmittedAt, Event: TraceWALAppend})
 	if err := s.appendLocked(record{T: "submit", Job: j}); err != nil {
 		// Not acknowledged: forget the job (and give the sequence
 		// number up; ids are unique, not dense).
@@ -453,12 +501,31 @@ func (s *Store) Start(id string) (attempt int, err error) {
 	if j.State != StateQueued {
 		return 0, fmt.Errorf("jobstore: job %s is %s, not queued", id, j.State)
 	}
+	now := time.Now().UTC()
+	// Queue wait: from when the job last became eligible — submission,
+	// the scheduled retry time, or its latest lifecycle event (a retry
+	// without backoff), whichever is latest.
+	base := j.SubmittedAt
+	if j.NextRunAt.After(base) {
+		base = j.NextRunAt
+	}
+	if n := len(j.Trace); n > 0 && j.Trace[n-1].At.After(base) {
+		base = j.Trace[n-1].At
+	}
+	wait := now.Sub(base)
+	if wait < 0 {
+		wait = 0
+	}
 	j.State = StateRunning
 	j.Attempts++
-	j.StartedAt = time.Now().UTC()
+	j.StartedAt = now
 	j.NextRunAt = time.Time{}
+	evs := traceAppend(j,
+		TraceEvent{At: now, Event: TraceQueueWait, Attempt: j.Attempts, WallNS: int64(wait)},
+		TraceEvent{At: now, Event: TraceLease, Attempt: j.Attempts})
 	if werr := s.appendLocked(record{
 		T: "state", ID: id, State: StateRunning, Attempts: j.Attempts, At: j.StartedAt,
+		TraceEvents: evs,
 	}); werr != nil {
 		s.logf("jobstore: job %s: start record not persisted (%v); continuing", id, werr)
 	}
@@ -482,9 +549,13 @@ func (s *Store) Complete(id string, res *Result) error {
 		return fmt.Errorf("jobstore: job %s already %s; refusing double completion", id, j.State)
 	}
 	now := time.Now().UTC()
+	evs := traceAppend(j, TraceEvent{
+		At: now, Event: TraceComplete, Attempt: j.Attempts, WallNS: res.WallNS,
+	})
 	if err := s.appendLocked(record{
-		T: "state", ID: id, State: StateSucceeded, At: now, Result: res,
+		T: "state", ID: id, State: StateSucceeded, At: now, Result: res, TraceEvents: evs,
 	}); err != nil {
+		j.Trace = j.Trace[:len(j.Trace)-len(evs)]
 		j.State = StateQueued
 		s.publishGauges()
 		return err
@@ -515,9 +586,16 @@ func (s *Store) Retry(id string, jerr *JobError, nextRun time.Time) error {
 	j.State = StateQueued
 	j.Error = jerr
 	j.NextRunAt = nextRun
+	detail := ""
+	if jerr != nil {
+		detail = jerr.Message
+	}
+	evs := traceAppend(j, TraceEvent{
+		At: time.Now().UTC(), Event: TraceRetry, Attempt: j.Attempts, Detail: detail,
+	})
 	if werr := s.appendLocked(record{
 		T: "state", ID: id, State: StateQueued, Attempts: j.Attempts,
-		Error: jerr, NextRunAt: nextRun,
+		Error: jerr, NextRunAt: nextRun, TraceEvents: evs,
 	}); werr != nil {
 		s.logf("jobstore: job %s: retry record not persisted (%v); continuing", id, werr)
 	}
@@ -542,8 +620,16 @@ func (s *Store) Quarantine(id string, jerr *JobError) error {
 	j.State = StateFailed
 	j.Error = jerr
 	j.FinishedAt = now
+	detail := ""
+	if jerr != nil {
+		detail = jerr.Message
+	}
+	evs := traceAppend(j, TraceEvent{
+		At: now, Event: TraceQuarantine, Attempt: j.Attempts, Detail: detail,
+	})
 	if werr := s.appendLocked(record{
 		T: "state", ID: id, State: StateFailed, Attempts: j.Attempts, At: now, Error: jerr,
+		TraceEvents: evs,
 	}); werr != nil {
 		s.logf("jobstore: job %s: quarantine record not persisted (%v); continuing", id, werr)
 	}
@@ -634,6 +720,37 @@ func (s *Store) DetachProgress(id string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.trackers, id)
+}
+
+// NoteStage persists a stage-progress lifecycle event for a running
+// job.  The WAL append is deliberately unsynced: a write() survives
+// kill -9 through the OS page cache, which is exactly the failure this
+// record diagnoses (naming the stage a crash interrupted), while an
+// fsync per pipeline stage would tax every job for diagnostics.  Power
+// failure may lose the record — losing only the stage name, never
+// durable state.
+func (s *Store) NoteStage(id, stage string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok || j.State != StateRunning || s.wal == nil {
+		return
+	}
+	evs := traceAppend(j, TraceEvent{
+		At: time.Now().UTC(), Event: TraceStage, Stage: stage, Attempt: j.Attempts,
+	})
+	if len(evs) == 0 {
+		return
+	}
+	payload, err := json.Marshal(record{T: "stage", ID: id, TraceEvents: evs})
+	if err != nil {
+		return
+	}
+	if err := s.wal.appendNoSync(payload); err != nil {
+		s.logf("jobstore: job %s: stage record not persisted (%v); continuing", id, err)
+		return
+	}
+	s.appends++
 }
 
 // liveProgress builds the volatile Progress view of a running job, or

@@ -51,7 +51,17 @@ func openWAL(path string, reg *obs.Registry) (*wal, error) {
 // append frames, writes and fsyncs one record.  The record is written
 // with a single Write call so a crash tears at most the tail of this
 // record, never an earlier one.
-func (w *wal) append(payload []byte) error {
+func (w *wal) append(payload []byte) error { return w.appendSync(payload, true) }
+
+// appendNoSync frames and writes one record without fsyncing.  A
+// successful write survives kill -9 (the OS page cache outlives the
+// process) but not power failure — the framing for diagnostic records
+// (stage-progress trace events) whose loss costs nothing durable, so
+// they can ride the WAL at write() cost instead of fsync cost.  The
+// next synced append flushes them as a side effect.
+func (w *wal) appendNoSync(payload []byte) error { return w.appendSync(payload, false) }
+
+func (w *wal) appendSync(payload []byte, sync bool) error {
 	if err := walAppendFault.Hit(); err != nil {
 		return fmt.Errorf("jobstore: wal append: %w", err)
 	}
@@ -64,6 +74,12 @@ func (w *wal) append(payload []byte) error {
 	copy(buf[walHeaderSize:], payload)
 	if _, err := w.f.Write(buf); err != nil {
 		return fmt.Errorf("jobstore: wal write: %w", err)
+	}
+	if !sync {
+		if w.reg != nil {
+			w.reg.Add("jobstore.wal.records", 1)
+		}
+		return nil
 	}
 	if err := walSyncFault.Hit(); err != nil {
 		return fmt.Errorf("jobstore: wal sync: %w", err)

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"polyprof/internal/obs"
+	"polyprof/internal/obs/flight"
 )
 
 // Runner executes one attempt of one job.  It returns the persisted
@@ -305,6 +306,18 @@ func (p *Pool) execute(id string) {
 		return
 	}
 	p.logf("jobstore: job %s attempt %d failed (%v); retrying in %s", id, attempt, runErr, delay.Round(time.Millisecond))
+	flight.LogEvent(flight.Event{Kind: "job", Name: "retry", Trace: job.TraceID,
+		Detail: fmt.Sprintf("%s attempt %d: %s", id, attempt, jerr.Message)})
+	if attempt+1 == p.opts.MaxAttempts {
+		// The next attempt is the job's last: capture the process state
+		// now, while the failure pattern is fresh in the ring.
+		flight.Trigger("retry-escalation", flight.TriggerInfo{
+			Trace: job.TraceID, Job: id,
+			Detail: fmt.Sprintf("job %s entering final attempt %d/%d after: %s",
+				id, attempt+1, p.opts.MaxAttempts, jerr.Message),
+			Extra: p.store.Get(id),
+		})
+	}
 	p.Enqueue(id, next)
 }
 
@@ -325,6 +338,16 @@ func (p *Pool) quarantine(id string, jerr *JobError, why string) {
 		return
 	}
 	p.logf("jobstore: job %s failed (%s): %s", id, why, jerr.Message)
+	job := p.store.Get(id)
+	trace := ""
+	if job != nil {
+		trace = job.TraceID
+	}
+	flight.Trigger("job-quarantine", flight.TriggerInfo{
+		Trace: trace, Job: id,
+		Detail: fmt.Sprintf("job %s quarantined (%s): %s", id, why, jerr.Message),
+		Extra:  job,
+	})
 }
 
 // backoff computes the delay before retrying after the given attempt:

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo identifies the running binary and its host parallelism, the
+// same facts the BENCH_overhead.json meta block records at bench time.
+// It is exposed as the polyprof_build_info gauge on the Prometheus
+// exposition, as the build_info section of the JSON snapshot, and in
+// every flight-recorder bundle, so a scraped metric or an incident
+// bundle can always be tied back to a revision.
+type BuildInfo struct {
+	Go         string `json:"go"`
+	Rev        string `json:"rev,omitempty"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"numcpu"`
+}
+
+var (
+	buildInfoOnce sync.Once
+	buildInfo     BuildInfo
+)
+
+// CollectBuildInfo returns the process build identity.  The revision
+// comes from the vcs.revision build setting (stamped by `go build` in a
+// git checkout); binaries built without VCS stamping report an empty
+// Rev rather than shelling out to git, which a deployed daemon cannot
+// assume exists.  The result is collected once and cached.
+func CollectBuildInfo() BuildInfo {
+	buildInfoOnce.Do(func() {
+		buildInfo = BuildInfo{
+			Go:         runtime.Version(),
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			NumCPU:     runtime.NumCPU(),
+		}
+		if bi, ok := debug.ReadBuildInfo(); ok {
+			var rev string
+			var dirty bool
+			for _, s := range bi.Settings {
+				switch s.Key {
+				case "vcs.revision":
+					rev = s.Value
+				case "vcs.modified":
+					dirty = s.Value == "true"
+				}
+			}
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			if rev != "" && dirty {
+				rev += "-dirty"
+			}
+			buildInfo.Rev = rev
+		}
+	})
+	return buildInfo
+}

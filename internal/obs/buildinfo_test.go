@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestCollectBuildInfo(t *testing.T) {
+	bi := CollectBuildInfo()
+	if bi.Go != runtime.Version() {
+		t.Fatalf("Go = %q, want %q", bi.Go, runtime.Version())
+	}
+	if bi.GoMaxProcs != runtime.GOMAXPROCS(0) || bi.NumCPU != runtime.NumCPU() {
+		t.Fatalf("procs = %d/%d, want %d/%d", bi.GoMaxProcs, bi.NumCPU,
+			runtime.GOMAXPROCS(0), runtime.NumCPU())
+	}
+	// Rev may be empty (test binaries carry no VCS stamp); when present
+	// it is the short hash, possibly with a -dirty suffix.
+	if bi.Rev != "" && len(strings.TrimSuffix(bi.Rev, "-dirty")) != 12 {
+		t.Fatalf("Rev = %q, want 12-char short hash", bi.Rev)
+	}
+}
+
+func TestSnapshotCarriesBuildInfo(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	r.Add("x", 1)
+	snap := r.Snapshot()
+	if snap.BuildInfo == nil || snap.BuildInfo.Go != runtime.Version() {
+		t.Fatalf("snapshot build info = %+v", snap.BuildInfo)
+	}
+	data, err := json.Marshal(&snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"build_info"`) {
+		t.Fatalf("snapshot JSON missing build_info: %s", data)
+	}
+}
+
+func TestPrometheusBuildInfoGauge(t *testing.T) {
+	r := NewRegistry()
+	r.SetEnabled(true)
+	r.Add("x", 1)
+	text := string(r.Snapshot().Prometheus())
+	want := fmt.Sprintf(`%s_build_info{go=%q,rev=%q,gomaxprocs="%d"} 1`,
+		PromNamespace, runtime.Version(), CollectBuildInfo().Rev, runtime.GOMAXPROCS(0))
+	if !strings.Contains(text, want) {
+		t.Fatalf("exposition missing %q:\n%s", want, text)
+	}
+	if !strings.Contains(text, "# TYPE "+PromNamespace+"_build_info gauge") {
+		t.Fatalf("exposition missing build_info TYPE line:\n%s", text)
+	}
+}

@@ -18,6 +18,13 @@ const PromNamespace = "polyprof"
 // to traces and the serving daemon's request ring).
 func (s Snapshot) Prometheus() []byte {
 	var sb strings.Builder
+	if s.BuildInfo != nil {
+		// The conventional always-1 info gauge: the interesting facts
+		// ride in the labels, matching the BENCH meta block.
+		n := PromNamespace + "_build_info"
+		fmt.Fprintf(&sb, "# TYPE %s gauge\n%s{go=%q,rev=%q,gomaxprocs=\"%d\"} 1\n",
+			n, n, s.BuildInfo.Go, s.BuildInfo.Rev, s.BuildInfo.GoMaxProcs)
+	}
 	for _, c := range s.Counters {
 		n := promName(c.Name)
 		fmt.Fprintf(&sb, "# TYPE %s counter\n%s %d\n", n, n, c.Value)

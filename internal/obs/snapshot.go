@@ -86,6 +86,7 @@ func (h HistogramSnapshot) Quantile(q float64) float64 {
 // Snapshot is a consistent, sorted view of a registry, suitable for
 // text reports and JSON serving.
 type Snapshot struct {
+	BuildInfo  *BuildInfo          `json:"build_info,omitempty"`
 	Counters   []NamedUint         `json:"counters,omitempty"`
 	Gauges     []NamedInt          `json:"gauges,omitempty"`
 	Histograms []HistogramSnapshot `json:"histograms,omitempty"`
@@ -102,6 +103,8 @@ func (r *Registry) Snapshot() Snapshot {
 	defer r.mu.Unlock()
 
 	var s Snapshot
+	bi := CollectBuildInfo()
+	s.BuildInfo = &bi
 	for _, name := range sortedNames(r.counters) {
 		s.Counters = append(s.Counters, NamedUint{Name: name, Value: r.counters[name].Value()})
 	}

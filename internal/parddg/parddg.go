@@ -47,6 +47,7 @@ import (
 	"polyprof/internal/faultinject"
 	"polyprof/internal/isa"
 	"polyprof/internal/obs"
+	"polyprof/internal/obs/flight"
 	"polyprof/internal/obs/sampler"
 	"polyprof/internal/trace"
 )
@@ -247,6 +248,7 @@ func NewEngine(prog *isa.Program, opt Options) *Engine {
 	}
 	e.root = e.opts.Obs.StartSpan("ddg-shards")
 	e.sc = e.opts.Obs.WithSpan(e.root)
+	flight.Log("parddg", "engine-start", fmt.Sprintf("%d shards, %d mem words", n, prog.MemWords))
 	e.cur = e.newBatch()
 	e.allocated = 1
 	if e.smp = opt.Sampler; e.smp != nil {
@@ -320,11 +322,22 @@ func (e *Engine) fail(err error) {
 		return
 	}
 	e.failMu.Lock()
-	if e.failErr == nil {
+	first := e.failErr == nil
+	if first {
 		e.failErr = err
 	}
 	e.failMu.Unlock()
 	e.failed.Store(true)
+	if first {
+		// The fail latch fires once per engine; a parallel-engine failure
+		// (contained shard panic, injected fault, dispatch error) is an
+		// anomaly worth a bundle — the merged error string the caller sees
+		// no longer says which shard or protocol step died, the ring does.
+		flight.Trigger("parddg-failure", flight.TriggerInfo{
+			Stage:  "pass2-ddg",
+			Detail: fmt.Sprintf("parallel engine failed (%d shards): %v", e.n, err),
+		})
+	}
 }
 
 func (e *Engine) failure() error {

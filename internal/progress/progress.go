@@ -16,9 +16,10 @@ import "sync/atomic"
 // re-executes the same deterministic program so pass 1's op count is
 // its exact total).
 type Tracker struct {
-	stage  atomic.Pointer[string]
-	events atomic.Uint64
-	total  atomic.Uint64
+	stage   atomic.Pointer[string]
+	events  atomic.Uint64
+	total   atomic.Uint64
+	onStage atomic.Pointer[func(stage string, total uint64)]
 }
 
 // Snapshot is one consistent-enough view of a tracker: stage, events
@@ -38,6 +39,25 @@ func (t *Tracker) StartStage(stage string, total uint64) {
 	t.events.Store(0)
 	t.total.Store(total)
 	t.stage.Store(&stage)
+	if h := t.onStage.Load(); h != nil {
+		(*h)(stage, total)
+	}
+}
+
+// OnStage installs (nil removes) a callback invoked at every
+// StartStage — the job runner uses it to persist crash-surviving
+// stage-progress records.  Stage boundaries are rare (a handful per
+// run), so the callback may do real work; the cost when no callback is
+// installed is one atomic load.
+func (t *Tracker) OnStage(f func(stage string, total uint64)) {
+	if t == nil {
+		return
+	}
+	if f == nil {
+		t.onStage.Store(nil)
+		return
+	}
+	t.onStage.Store(&f)
 }
 
 // SetEvents publishes the stage's processed-event count; within one

@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"polyprof/internal/jobstore"
+	"polyprof/internal/obs"
+	"polyprof/internal/obs/flight"
+)
+
+// handleFlightList serves GET /v1/flight: the on-disk incident bundles,
+// newest first.  503 while the recorder is disabled (no -data-dir).
+func (s *Server) handleFlightList(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		w.Header().Set("Allow", "GET")
+		http.Error(w, "GET /v1/flight lists incident bundles", http.StatusMethodNotAllowed)
+		return
+	}
+	if !flight.Default.Enabled() {
+		http.Error(w, "flight recorder is disabled; restart the daemon with -data-dir", http.StatusServiceUnavailable)
+		return
+	}
+	infos, err := flight.Default.List()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"bundles": infos})
+}
+
+// handleFlightGet serves GET /v1/flight/{id}: one bundle, verbatim.
+func (s *Server) handleFlightGet(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		w.Header().Set("Allow", "GET")
+		http.Error(w, "GET /v1/flight/<id> returns one bundle", http.StatusMethodNotAllowed)
+		return
+	}
+	if !flight.Default.Enabled() {
+		http.Error(w, "flight recorder is disabled; restart the daemon with -data-dir", http.StatusServiceUnavailable)
+		return
+	}
+	id := strings.TrimPrefix(req.URL.Path, "/v1/flight/")
+	b, err := flight.Default.Read(id)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bundle %q: %v", id, err), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, b)
+}
+
+// logMetricsDelta records a request/attempt registry's summary into the
+// flight ring just before it merges into the process registry — the
+// per-request registry is exactly that request's metric delta.  One
+// atomic load and a return while the recorder is disabled.
+func logMetricsDelta(name, trace string, reg *obs.Registry) {
+	if !flight.Enabled() {
+		return
+	}
+	snap := reg.Snapshot()
+	var top string
+	var topVal uint64
+	for _, c := range snap.Counters {
+		if c.Value >= topVal {
+			top, topVal = c.Name, c.Value
+		}
+	}
+	detail := fmt.Sprintf("%d counters, %d gauges, %d histograms",
+		len(snap.Counters), len(snap.Gauges), len(snap.Histograms))
+	if top != "" {
+		detail += fmt.Sprintf("; top %s=%d", top, topVal)
+	}
+	flight.LogEvent(flight.Event{Kind: "metrics", Name: name, Trace: trace, Detail: detail})
+}
+
+// lifecycleSpans converts a job's persisted lifecycle trace into span
+// records for the Chrome-trace export: queue wait, per-attempt leases,
+// and pipeline stages each get a track, with instantaneous transitions
+// (intake, retry, quarantine, the terminal event) as zero-width marks.
+func lifecycleSpans(j *jobstore.Job) []obs.SpanRecord {
+	var out []obs.SpanRecord
+	var id uint64
+	add := func(sp obs.SpanRecord) {
+		id++
+		sp.ID = id
+		out = append(out, sp)
+	}
+	evs := j.Trace
+	// endOf finds when the span opened by evs[i] closes: the next event
+	// among the given kinds, else the last event of the trace.
+	endOf := func(i int, kinds ...string) time.Time {
+		for k := i + 1; k < len(evs); k++ {
+			for _, kind := range kinds {
+				if evs[k].Event == kind {
+					return evs[k].At
+				}
+			}
+		}
+		return evs[len(evs)-1].At
+	}
+	width := func(start, end time.Time) time.Duration {
+		if end.After(start) {
+			return end.Sub(start)
+		}
+		return 0
+	}
+	for i, ev := range evs {
+		switch ev.Event {
+		case jobstore.TraceQueueWait:
+			// The event is stamped when the wait ends and carries its
+			// duration, so the span extends backward.
+			add(obs.SpanRecord{
+				Name: "queue-wait", Track: "job/queue",
+				Start: ev.At.Add(-time.Duration(ev.WallNS)),
+				Wall:  time.Duration(ev.WallNS), Status: "ok",
+			})
+		case jobstore.TraceLease:
+			end := endOf(i, jobstore.TraceComplete, jobstore.TraceRetry,
+				jobstore.TraceQuarantine, jobstore.TraceCrashRecovered, jobstore.TraceLease)
+			add(obs.SpanRecord{
+				Name: fmt.Sprintf("attempt-%d", ev.Attempt), Track: "job/attempts",
+				Start: ev.At, Wall: width(ev.At, end), Status: "ok",
+			})
+		case jobstore.TraceStage:
+			end := endOf(i, jobstore.TraceStage, jobstore.TraceComplete, jobstore.TraceRetry,
+				jobstore.TraceQuarantine, jobstore.TraceCrashRecovered, jobstore.TraceLease)
+			add(obs.SpanRecord{
+				Name: ev.Stage, Track: "job/stages",
+				Start: ev.At, Wall: width(ev.At, end), Status: "ok",
+			})
+		default:
+			status := "ok"
+			if ev.Event == jobstore.TraceQuarantine || ev.Event == jobstore.TraceCrashRecovered {
+				status = "error"
+			}
+			add(obs.SpanRecord{
+				Name: ev.Event, Track: "job/lifecycle",
+				Start: ev.At, Status: status, Err: ev.Detail,
+			})
+		}
+	}
+	return out
+}

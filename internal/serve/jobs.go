@@ -15,6 +15,7 @@ import (
 	"polyprof/internal/isa"
 	"polyprof/internal/jobstore"
 	"polyprof/internal/obs"
+	"polyprof/internal/obs/flight"
 	"polyprof/internal/obs/sampler"
 	"polyprof/internal/progress"
 	"polyprof/internal/workloads"
@@ -117,6 +118,10 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, req *http.Request) {
 		job.Kind = jobstore.KindProgram
 		job.Program = body
 	}
+	// The middleware's request ID becomes the job's trace ID (the
+	// client's own X-Request-ID when it sent one), correlating intake,
+	// WAL records, attempts, and flight bundles end to end.
+	job.TraceID = requestID(req.Context())
 	if err := s.store.Submit(job); err != nil {
 		// Not acknowledged: the WAL write failed, so the client must not
 		// believe the job is durable.
@@ -124,6 +129,10 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	s.pool.Enqueue(job.ID, time.Time{})
+	flight.LogEvent(flight.Event{
+		Kind: "job", Name: "submit", Trace: job.TraceID,
+		Detail: fmt.Sprintf("%s (%s)", job.ID, job.Name()),
+	})
 	w.Header().Set("Location", "/v1/jobs/"+job.ID)
 	writeJSON(w, http.StatusAccepted, job.Summary())
 }
@@ -161,7 +170,28 @@ func (s *Server) handleJobGet(rw http.ResponseWriter, req *http.Request) {
 			http.Error(w, fmt.Sprintf("unknown job %q", id), http.StatusNotFound)
 			return
 		}
-		writeJSON(w, http.StatusOK, job)
+		switch req.URL.Query().Get("trace") {
+		case "1":
+			// Full job including the persisted lifecycle trace — durable,
+			// so it answers "what happened to this job" after a restart.
+			writeJSON(w, http.StatusOK, job)
+		case "chrome":
+			// The lifecycle as a Chrome/Perfetto trace: queue wait,
+			// attempts, and pipeline stages on their own tracks.
+			data, err := obs.ChromeTrace(lifecycleSpans(job))
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			w.Write(data)
+			w.Write([]byte("\n"))
+		default:
+			// The trace can be hundreds of events; elide it from the plain
+			// view (opt back in with ?trace=1).
+			job.Trace = nil
+			writeJSON(w, http.StatusOK, job)
+		}
 	case http.MethodDelete:
 		switch err := s.store.Delete(id); {
 		case err == nil:
@@ -234,9 +264,49 @@ func (s *Server) runJob(ctx context.Context, job *jobstore.Job, attempt int) (*j
 	// transitions also clear it, but a retried attempt must not leave a
 	// stale tracker behind.
 	tr := &progress.Tracker{}
+	// Every stage transition is persisted into the job's lifecycle
+	// trace (unsynced WAL record — survives kill -9, cheap) and mirrored
+	// into the flight ring, so a crash or a bundle can name the stage.
+	tr.OnStage(func(stage string, total uint64) {
+		s.store.NoteStage(job.ID, stage)
+		flight.LogEvent(flight.Event{
+			Kind: "stage", Name: stage, Trace: job.TraceID, Detail: "job " + job.ID,
+		})
+	})
 	s.store.AttachProgress(job.ID, tr)
 	defer s.store.DetachProgress(job.ID)
 
+	// Slow-job watchdog: an attempt outliving the threshold freezes the
+	// recorder while the job is still stuck — the bundle shows what it
+	// is doing, not what it did.
+	if th := s.opts.SlowJobThreshold; th > 0 {
+		slow := func(detail string) {
+			flight.Trigger("slow-job", flight.TriggerInfo{
+				Trace: job.TraceID, Job: job.ID,
+				Detail: detail,
+				Extra:  s.store.Get(job.ID),
+			})
+		}
+		watchdog := time.AfterFunc(th, func() {
+			slow(fmt.Sprintf("attempt %d of job %s (%s) still running after %s",
+				attempt, job.ID, job.Name(), th))
+		})
+		defer func() {
+			// Stop() == true means the timer never fired; if the attempt
+			// still overran the threshold the anomaly must not be lost to
+			// the cancellation race, so trigger synchronously.  Dedupe in
+			// the recorder keeps one bundle per (reason, job) either way.
+			if watchdog.Stop() && time.Since(start) >= th {
+				slow(fmt.Sprintf("attempt %d of job %s (%s) exceeded threshold %s (wall %s)",
+					attempt, job.ID, job.Name(), th, time.Since(start).Round(time.Microsecond)))
+			}
+		}()
+	}
+
+	flight.LogEvent(flight.Event{
+		Kind: "job", Name: "attempt", Trace: job.TraceID,
+		Detail: fmt.Sprintf("%s attempt %d", job.ID, attempt),
+	})
 	bud := budget.New(ctx, s.opts.Limits)
 	err := func() error {
 		prog, err := s.jobProgram(job)
@@ -286,12 +356,25 @@ func (s *Server) runJob(ctx context.Context, job *jobstore.Job, attempt int) (*j
 	root.End()
 	res.WallNS = int64(time.Since(start))
 
+	logMetricsDelta(fmt.Sprintf("job:%s#%d", job.Name(), attempt), job.TraceID, reqReg)
 	s.reg.Merge(reqReg)
 	s.reg.Add("serve.jobs.runs", 1)
 	if err != nil {
 		s.reg.Add("serve.jobs.errors", 1)
 	}
 	s.reg.Observe("serve.job.wall_ns", uint64(res.WallNS))
+	if res.Status == "budget" || res.Status == "timeout" {
+		flight.Trigger("budget-exhausted", flight.TriggerInfo{
+			Trace: job.TraceID, Job: job.ID,
+			Detail: fmt.Sprintf("job %s attempt %d: %s", job.ID, attempt, err),
+			Extra:  map[string]any{"status": res.Status, "wall_ns": res.WallNS},
+		})
+	}
+	flight.LogEvent(flight.Event{
+		Kind: "job", Name: "finish", Trace: job.TraceID,
+		Detail: fmt.Sprintf("%s attempt %d status=%s", job.ID, attempt, res.Status),
+		WallNS: res.WallNS,
+	})
 	s.logf("polyprof: job %s attempt=%d name=%s status=%s wall=%s ops=%d",
 		job.ID, attempt, job.Name(), res.Status, time.Duration(res.WallNS), res.Ops)
 	return res, err

@@ -42,6 +42,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/pprof"
+	"path/filepath"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -53,6 +54,7 @@ import (
 	"polyprof/internal/feedback"
 	"polyprof/internal/jobstore"
 	"polyprof/internal/obs"
+	"polyprof/internal/obs/flight"
 	"polyprof/internal/obs/sampler"
 	"polyprof/internal/workloads"
 )
@@ -113,6 +115,11 @@ type Options struct {
 	// keeps the sequential builder.  Reports are bit-for-bit identical
 	// either way.
 	ParallelDDG int
+	// SlowJobThreshold arms a per-attempt watchdog: a job attempt still
+	// running after this long freezes the flight recorder into a
+	// "slow-job" bundle (once per job within the dedupe window).  Zero
+	// defaults to half the request timeout; negative disables.
+	SlowJobThreshold time.Duration
 }
 
 // Server is the daemon state.
@@ -146,6 +153,13 @@ func New(opts Options) (*Server, error) {
 	if opts.RequestTimeout == 0 {
 		opts.RequestTimeout = DefaultRequestTimeout
 	}
+	if opts.SlowJobThreshold == 0 {
+		if opts.RequestTimeout > 0 {
+			opts.SlowJobThreshold = opts.RequestTimeout / 2
+		} else {
+			opts.SlowJobThreshold = DefaultRequestTimeout / 2
+		}
+	}
 	opts.Registry.SetEnabled(true)
 	s := &Server{
 		opts: opts,
@@ -153,6 +167,16 @@ func New(opts Options) (*Server, error) {
 		sem:  make(chan struct{}, opts.MaxInFlight),
 	}
 	if opts.DataDir != "" {
+		// The flight recorder goes live before the store opens, so crash
+		// recovery itself is ring history and recovered jobs can trigger
+		// bundles.  A recorder failure degrades diagnostics, never
+		// serving.
+		if err := flight.Default.Enable(filepath.Join(opts.DataDir, "flightrec"), flight.Options{
+			Registry: opts.Registry,
+			Logf:     opts.Logf,
+		}); err != nil {
+			s.logf("polyprof: flight recorder disabled: %v", err)
+		}
 		store, recovered, err := jobstore.Open(opts.DataDir, jobstore.Options{
 			Registry: opts.Registry,
 			Logf:     opts.Logf,
@@ -161,6 +185,17 @@ func New(opts Options) (*Server, error) {
 			return nil, fmt.Errorf("serve: opening job store: %w", err)
 		}
 		s.store = store
+		// Each job interrupted by the previous process's death gets a
+		// bundle naming the stage it died in — the crash's black box,
+		// written by the process that found the wreckage.
+		for _, j := range recovered {
+			if ev, ok := j.CrashRecovered(); ok {
+				flight.Trigger("crash-recovery", flight.TriggerInfo{
+					Trace: j.TraceID, Job: j.ID, Stage: j.InterruptedStage(),
+					Detail: ev.Detail, Extra: j,
+				})
+			}
+		}
 		s.pool = jobstore.NewPool(store, s.runJob, jobstore.PoolOptions{
 			Workers:     opts.Workers,
 			MaxAttempts: opts.MaxAttempts,
@@ -241,12 +276,17 @@ type RequestSummary struct {
 	Spans    []obs.SpanRecord `json:"spans"`
 }
 
-// Handler returns the daemon's HTTP mux.
+// Handler returns the daemon's HTTP mux, wrapped in the request-ID /
+// flight middleware: every response (including 4xx/5xx error paths)
+// carries an X-Request-ID header, and 5xx responses freeze the flight
+// recorder.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/profile", s.handleProfile)
 	mux.HandleFunc("/v1/jobs", s.handleJobs)
 	mux.HandleFunc("/v1/jobs/", s.handleJobGet)
+	mux.HandleFunc("/v1/flight", s.handleFlightList)
+	mux.HandleFunc("/v1/flight/", s.handleFlightGet)
 	mux.HandleFunc("/v1/requests", s.handleRequests)
 	mux.HandleFunc("/v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -257,7 +297,82 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
+	return s.middleware(mux)
+}
+
+// ctxKey keys middleware values on the request context.
+type ctxKey int
+
+const requestIDKey ctxKey = iota
+
+// requestID returns the middleware-assigned request/trace ID ("" when
+// the handler runs without the middleware, e.g. unit tests hitting a
+// handler directly).
+func requestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey).(string)
+	return id
+}
+
+// statusWriter records the status a handler wrote, so the middleware
+// can observe 5xx outcomes after the fact.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// maxInboundRequestID bounds the client-chosen trace ID so a hostile
+// header cannot bloat logs, traces, and flight bundles.
+const maxInboundRequestID = 128
+
+// middleware assigns every request its trace ID — the inbound
+// X-Request-ID when the client sent a plausible one, a fresh "req-N"
+// otherwise — echoes it on the response (error paths included, since
+// the header is set before the handler runs), and turns any 5xx into a
+// flight-recorder trigger carrying that ID.
+func (s *Server) middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		id := req.Header.Get("X-Request-ID")
+		if id == "" || len(id) > maxInboundRequestID {
+			id = fmt.Sprintf("req-%d", s.reqSeq.Add(1))
+		}
+		w.Header().Set("X-Request-ID", id)
+		sw := &statusWriter{ResponseWriter: w}
+		req = req.WithContext(context.WithValue(req.Context(), requestIDKey, id))
+		start := time.Now()
+		// The deferred tail still observes the status when a handler
+		// panic unwinds through here (recoverJSON may have aborted the
+		// connection; sw.status is 0 then and no trigger fires).
+		defer func() {
+			if flight.Enabled() {
+				flight.LogEvent(flight.Event{
+					Kind: "request", Name: req.Method + " " + req.URL.Path,
+					Trace: id, Detail: fmt.Sprintf("status=%d", sw.status),
+					WallNS: int64(time.Since(start)),
+				})
+			}
+			if sw.status >= 500 {
+				flight.Trigger("serve-5xx", flight.TriggerInfo{
+					Trace:  id,
+					Detail: fmt.Sprintf("%s %s -> %d", req.Method, req.URL.Path, sw.status),
+				})
+			}
+		}()
+		next.ServeHTTP(sw, req)
+	})
 }
 
 func (s *Server) handleProfile(w http.ResponseWriter, req *http.Request) {
@@ -302,7 +417,12 @@ func (s *Server) handleProfile(w http.ResponseWriter, req *http.Request) {
 		defer cancel()
 	}
 
-	id := fmt.Sprintf("req-%d", s.reqSeq.Add(1))
+	// The middleware assigned the trace ID; fall back to a fresh one
+	// when the handler is exercised directly (unit tests).
+	id := requestID(ctx)
+	if id == "" {
+		id = fmt.Sprintf("req-%d", s.reqSeq.Add(1))
+	}
 	wantTrace := req.URL.Query().Get("trace") == "1"
 	resp := s.runProfile(ctx, id, *spec, req.URL.Query().Get("metrics") == "1", wantTrace)
 
@@ -361,6 +481,7 @@ func (s *Server) runProfile(ctx context.Context, id string, spec workloads.Spec,
 		smp.SetEnabled(true)
 	}
 
+	flight.LogEvent(flight.Event{Kind: "request", Name: "profile:" + spec.Name, Trace: id, Detail: "start"})
 	bud := budget.New(ctx, s.opts.Limits)
 	if err := s.runPipeline(bud, sc, root, spec, smp, resp); err != nil {
 		resp.Error = err.Error()
@@ -372,6 +493,19 @@ func (s *Server) runProfile(ctx context.Context, id string, spec workloads.Spec,
 	root.End()
 	resp.WallNS = int64(time.Since(start))
 	resp.Spans = reqReg.Spans()
+	if smp != nil {
+		// The sampler's diagnosis rides along in any later flight bundle,
+		// and its headline lands in the ring.
+		rep := smp.Report()
+		if data, err := json.Marshal(rep); err == nil {
+			flight.Default.SetDiagnosis(data)
+		}
+		flight.LogEvent(flight.Event{
+			Kind: "sampler", Name: "parddg", Trace: id,
+			Detail: fmt.Sprintf("serial_frac=%.2f dominant=%s", rep.SerialFrac, rep.Dominant),
+			WallNS: rep.CriticalPathNS,
+		})
+	}
 	if smp != nil && wantTrace {
 		resp.Spans = append(resp.Spans, smp.TimelineSpans()...)
 	}
@@ -383,7 +517,11 @@ func (s *Server) runProfile(ctx context.Context, id string, spec workloads.Spec,
 	}
 
 	// Fold the request registry into the process one (spans stay with
-	// the request) and record the daemon's own serving metrics.
+	// the request) and record the daemon's own serving metrics.  The
+	// request registry is exactly this request's metric delta, so its
+	// summary enters the flight ring before it dissolves into the
+	// process totals.
+	logMetricsDelta("profile:"+spec.Name, id, reqReg)
 	s.reg.Merge(reqReg)
 	s.reg.Add("serve.requests", 1)
 	if resp.Status != "ok" {
@@ -399,6 +537,19 @@ func (s *Server) runProfile(ctx context.Context, id string, spec workloads.Spec,
 		s.reg.Add("serve.requests.degraded", 1)
 	}
 	s.reg.Observe("serve.request.wall_ns", uint64(resp.WallNS))
+	if resp.Status == "budget" || resp.Status == "timeout" {
+		// A hard budget abort is an anomaly worth a black box: the ring
+		// holds the stages and budget decisions leading up to it.
+		flight.Trigger("budget-exhausted", flight.TriggerInfo{
+			Trace:  id,
+			Detail: fmt.Sprintf("workload %s: %s", spec.Name, resp.Error),
+			Extra:  map[string]any{"status": resp.Status, "budget": resp.Budget, "wall_ns": resp.WallNS},
+		})
+	}
+	flight.LogEvent(flight.Event{
+		Kind: "request", Name: "profile:" + spec.Name, Trace: id,
+		Detail: "status=" + resp.Status, WallNS: resp.WallNS,
+	})
 
 	summary := RequestSummary{
 		ID: id, Workload: spec.Name, Status: resp.Status, Error: resp.Error,

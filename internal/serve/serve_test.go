@@ -192,6 +192,11 @@ func TestRequestRingAndErrors(t *testing.T) {
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("unknown workload status = %d: %s", resp.StatusCode, body)
 	}
+	// Error paths carry a request ID too: the middleware assigns one
+	// before the handler runs.
+	if resp.Header.Get("X-Request-ID") == "" {
+		t.Fatal("404 response without X-Request-ID")
+	}
 	resp, _ = postProfile(t, ts, "")
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("missing workload status = %d", resp.StatusCode)
@@ -212,8 +217,10 @@ func TestRequestRingAndErrors(t *testing.T) {
 	if len(ring.Requests) != 2 {
 		t.Fatalf("ring holds %d summaries, want RingSize=2", len(ring.Requests))
 	}
-	// Newest first: req-3 before req-2.
-	if ring.Requests[0].ID != "req-3" || ring.Requests[1].ID != "req-2" {
+	// Newest first.  Every request (including the 404 and 400 above)
+	// consumed an ID from the middleware, so the successful profiles are
+	// req-3..req-5.
+	if ring.Requests[0].ID != "req-5" || ring.Requests[1].ID != "req-4" {
 		t.Fatalf("ring order = %s, %s", ring.Requests[0].ID, ring.Requests[1].ID)
 	}
 	if got := s.reg.Counter("serve.requests").Value(); got != 3 {

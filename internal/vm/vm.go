@@ -13,6 +13,7 @@ import (
 	"polyprof/internal/faultinject"
 	"polyprof/internal/isa"
 	"polyprof/internal/obs"
+	"polyprof/internal/obs/flight"
 	"polyprof/internal/progress"
 	"polyprof/internal/trace"
 )
@@ -282,10 +283,12 @@ func (m *Machine) checkpoint(limit uint64, budgetSteps bool, counted *uint64) er
 	}
 	if m.stats.Ops >= limit {
 		if budgetSteps {
-			return &budget.Error{
+			err := &budget.Error{
 				Resource: budget.ResourceSteps, Stage: "vm",
 				Limit: limit, Used: m.stats.Ops,
 			}
+			flight.Log("budget", err.Resource, err.Error())
+			return err
 		}
 		return fmt.Errorf("vm: step limit %d exceeded in %q", limit, m.prog.Name)
 	}

@@ -1,0 +1,451 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"polyprof/internal/jobstore"
+)
+
+// The multi-process chaos suite: a real coordinator process plus real
+// `polyprof work` processes, with workers SIGKILLed mid-attempt,
+// heartbeats partitioned until the lease reclaims, and the coordinator
+// itself kill -9'd under live leases.  Every scenario must end in the
+// bit-for-bit correct terminal state.
+//
+// Set POLYPROF_CLUSTER_DIR to pin the job-store directory (CI uses
+// this to upload the WAL as an artifact when the suite fails).
+
+var (
+	clusterBuildOnce sync.Once
+	clusterBin       string
+	clusterBuildErr  error
+)
+
+func clusterBinary(t *testing.T) string {
+	t.Helper()
+	clusterBuildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "polyprof-cluster-bin")
+		if err != nil {
+			clusterBuildErr = err
+			return
+		}
+		clusterBin = filepath.Join(dir, "polyprof")
+		build := exec.Command("go", "build", "-o", clusterBin, ".")
+		if out, err := build.CombinedOutput(); err != nil {
+			clusterBuildErr = fmt.Errorf("go build: %v\n%s", err, out)
+		}
+	})
+	if clusterBuildErr != nil {
+		t.Fatal(clusterBuildErr)
+	}
+	return clusterBin
+}
+
+func clusterDataDir(t *testing.T) string {
+	t.Helper()
+	if dir := os.Getenv("POLYPROF_CLUSTER_DIR"); dir != "" {
+		sub := filepath.Join(dir, strings.ReplaceAll(t.Name(), "/", "_"))
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		return sub
+	}
+	return filepath.Join(t.TempDir(), "jobs")
+}
+
+// freePort reserves an ephemeral port and releases it for the child
+// process.  The coordinator needs a FIXED address so workers can find
+// it again after a kill -9 + restart.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// startCoordinator launches `polyprof serve -workers 0`: a pure
+// coordinator whose jobs only progress via the lease API.
+func startCoordinator(t *testing.T, bin, dataDir, addr string, extra ...string) (*exec.Cmd, string) {
+	t.Helper()
+	args := append([]string{"serve", "-http", addr, "-data-dir", dataDir, "-workers", "0"}, extra...)
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	urlCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			t.Logf("coord: %s", line)
+			if i := strings.Index(line, "http://"); i >= 0 && strings.Contains(line, "serving profiles") {
+				select {
+				case urlCh <- strings.Fields(line[i:])[0]:
+				default:
+				}
+			}
+		}
+	}()
+	select {
+	case url := <-urlCh:
+		return cmd, url
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("coordinator never printed its listen address")
+		return nil, ""
+	}
+}
+
+// startWorker launches `polyprof work` against the coordinator.  The
+// returned lines channel closes when the worker's stderr drains (i.e.
+// the process died); faults inject via the POLYPROF_FAULT env.
+func startWorker(t *testing.T, bin, coordinator, name string, slots int, faults string) (*exec.Cmd, <-chan string) {
+	t.Helper()
+	cmd := exec.Command(bin, "work",
+		"-coordinator", coordinator,
+		"-name", name,
+		"-workers", fmt.Sprint(slots),
+		"-poll", "50ms")
+	cmd.Env = append(os.Environ(), "POLYPROF_FAULT="+faults)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	lines := make(chan string, 256)
+	go func() {
+		defer close(lines)
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			t.Logf("%s: %s", name, line)
+			select {
+			case lines <- line:
+			default:
+			}
+		}
+	}()
+	return cmd, lines
+}
+
+func clusterSubmit(t *testing.T, base, query string) string {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/jobs?"+query, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit %q = %d: %s", query, resp.StatusCode, body)
+	}
+	var sum jobstore.JobSummary
+	if err := json.Unmarshal(body, &sum); err != nil {
+		t.Fatal(err)
+	}
+	return sum.ID
+}
+
+func clusterJob(t *testing.T, base, id string) *jobstore.Job {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id + "?trace=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/jobs/%s = %d: %s", id, resp.StatusCode, body)
+	}
+	var j jobstore.Job
+	if err := json.Unmarshal(body, &j); err != nil {
+		t.Fatal(err)
+	}
+	return &j
+}
+
+// waitSucceeded polls until the job succeeds, tolerating a coordinator
+// that is briefly down (restart scenarios).
+func waitSucceeded(t *testing.T, base, id string, timeout time.Duration) *jobstore.Job {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/jobs/" + id + "?trace=1")
+		if err != nil {
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		var j jobstore.Job
+		if err := json.Unmarshal(body, &j); err != nil {
+			t.Fatal(err)
+		}
+		if j.State == jobstore.StateSucceeded {
+			return &j
+		}
+		if j.State == jobstore.StateFailed {
+			t.Fatalf("job %s failed: %+v", id, j.Error)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	t.Fatalf("job %s never succeeded", id)
+	return nil
+}
+
+// assertCleanCompletion checks the invariants every chaos scenario
+// must uphold for a job: exactly one completion in the durable trace
+// (no double-completion) and a report byte-identical to the reference.
+func assertCleanCompletion(t *testing.T, j, ref *jobstore.Job) {
+	t.Helper()
+	if len(j.Result.Report) == 0 || string(j.Result.Report) != string(ref.Result.Report) {
+		t.Errorf("job %s report differs from clean reference %s:\n%.200s\nvs\n%.200s",
+			j.ID, ref.ID, j.Result.Report, ref.Result.Report)
+	}
+	completes := 0
+	for _, ev := range j.Trace {
+		if ev.Event == jobstore.TraceComplete {
+			completes++
+		}
+	}
+	if completes != 1 {
+		t.Errorf("job %s completed %d times, want exactly 1", j.ID, completes)
+	}
+}
+
+// TestClusterWorkerSIGKILL: kill -9 a worker mid-attempt.  The
+// coordinator reclaims its lease after the TTL, a second worker picks
+// the job up, and the terminal report is byte-identical to a clean run
+// of the same workload.
+func TestClusterWorkerSIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process chaos suite; skipped in -short")
+	}
+	bin := clusterBinary(t)
+	dataDir := clusterDataDir(t)
+	coord, base := startCoordinator(t, bin, dataDir, "127.0.0.1:0", "-lease-ttl", "500ms")
+	defer func() {
+		coord.Process.Signal(syscall.SIGTERM)
+		coord.Wait()
+	}()
+
+	// Two copies of the same workload: whichever the doomed worker
+	// grabs, the other is the clean reference.
+	a := clusterSubmit(t, base, "workload=example1")
+	b := clusterSubmit(t, base, "workload=example1&nocache=1")
+
+	// Worker 1 runs attempts slowly (sticky delay) so the SIGKILL lands
+	// mid-attempt with the lease live.
+	w1, _ := startWorker(t, bin, base, "doomed", 1, "jobexec.attempt=delay:10s:-1")
+	killed := false
+	defer func() {
+		if !killed {
+			w1.Process.Kill()
+			w1.Wait()
+		}
+	}()
+
+	// Wait until it holds a lease (a job is running), then kill -9.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if ja, jb := clusterJob(t, base, a), clusterJob(t, base, b); ja.State == jobstore.StateRunning || jb.State == jobstore.StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("doomed worker never claimed a job")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if err := w1.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	w1.Wait()
+	killed = true
+
+	// Worker 2 is healthy and finishes everything, including the job
+	// the dead worker still nominally leased.
+	w2, _ := startWorker(t, bin, base, "survivor", 2, "")
+	defer func() {
+		w2.Process.Signal(syscall.SIGTERM)
+		w2.Wait()
+	}()
+
+	ja := waitSucceeded(t, base, a, 60*time.Second)
+	jb := waitSucceeded(t, base, b, 60*time.Second)
+	assertCleanCompletion(t, ja, jb)
+	assertCleanCompletion(t, jb, ja)
+
+	// One of the two was reclaimed from the dead worker.
+	reclaims := 0
+	for _, j := range []*jobstore.Job{ja, jb} {
+		for _, ev := range j.Trace {
+			if ev.Event == jobstore.TraceReclaim {
+				reclaims++
+			}
+		}
+	}
+	if reclaims == 0 {
+		t.Error("no lease-reclaimed event in either trace — the kill did not land mid-attempt")
+	}
+	if t.Failed() {
+		fmt.Printf("job-store dir kept for inspection: %s\n", dataDir)
+	}
+}
+
+// TestClusterHeartbeatPartition: a worker whose heartbeats never reach
+// the coordinator loses its lease mid-attempt; its zombie result post
+// is fenced (the worker logs it), a healthy worker completes the job,
+// and the durable state shows exactly one completion.
+func TestClusterHeartbeatPartition(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process chaos suite; skipped in -short")
+	}
+	bin := clusterBinary(t)
+	dataDir := clusterDataDir(t)
+	coord, base := startCoordinator(t, bin, dataDir, "127.0.0.1:0", "-lease-ttl", "300ms")
+	defer func() {
+		coord.Process.Signal(syscall.SIGTERM)
+		coord.Wait()
+	}()
+
+	ref := clusterSubmit(t, base, "workload=example1")
+	victim := clusterSubmit(t, base, "workload=example1&nocache=1")
+
+	// The partitioned worker: attempts take 2s against a 300ms TTL, and
+	// every heartbeat dies client-side — transport-shaped, sticky.
+	wz, zlines := startWorker(t, bin, base, "zombie", 1,
+		"jobexec.attempt=delay:2s:-1,jobapi.heartbeat=error:partition:-1")
+	defer func() {
+		wz.Process.Signal(syscall.SIGTERM)
+		wz.Wait()
+	}()
+	// Let the zombie claim first so it is guaranteed to hold a lease
+	// that the partition will kill.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if jr, jv := clusterJob(t, base, ref), clusterJob(t, base, victim); jr.State == jobstore.StateRunning || jv.State == jobstore.StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("zombie worker never claimed a job")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	// The healthy worker completes whatever the zombie loses.
+	wh, _ := startWorker(t, bin, base, "healthy", 2, "")
+	defer func() {
+		wh.Process.Signal(syscall.SIGTERM)
+		wh.Wait()
+	}()
+
+	jr := waitSucceeded(t, base, ref, 60*time.Second)
+	jv := waitSucceeded(t, base, victim, 60*time.Second)
+	assertCleanCompletion(t, jr, jv)
+	assertCleanCompletion(t, jv, jr)
+
+	// The zombie must have actually been fenced at least once: either
+	// its late result post or a post-reclaim heartbeat hit a 409.
+	fenced := false
+	drain := time.After(30 * time.Second)
+	for !fenced {
+		select {
+		case line, ok := <-zlines:
+			if !ok {
+				t.Fatal("zombie worker exited without ever being fenced")
+			}
+			if strings.Contains(line, "fenced") {
+				fenced = true
+			}
+		case <-drain:
+			t.Fatal("zombie worker never reported a fenced call")
+		}
+	}
+	if t.Failed() {
+		fmt.Printf("job-store dir kept for inspection: %s\n", dataDir)
+	}
+}
+
+// TestClusterCoordinatorKillRestart: kill -9 the coordinator while a
+// worker holds a live lease.  The restarted coordinator (same WAL,
+// same address) re-queues the leased job, fences the worker's stale
+// token, and the surviving worker — which backed off while the
+// coordinator was down — completes the job on a fresh lease.
+func TestClusterCoordinatorKillRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process chaos suite; skipped in -short")
+	}
+	bin := clusterBinary(t)
+	dataDir := clusterDataDir(t)
+	addr := freePort(t)
+
+	coord1, base := startCoordinator(t, bin, dataDir, addr, "-lease-ttl", "60s")
+	ref := clusterSubmit(t, base, "workload=example1")
+	victim := clusterSubmit(t, base, "workload=example1&nocache=1")
+
+	// Slow sticky attempts keep a lease live across the coordinator
+	// kill; heartbeats are healthy so only the restart invalidates it.
+	w, _ := startWorker(t, bin, base, "survivor", 2, "jobexec.attempt=delay:2s:-1")
+	defer func() {
+		w.Process.Signal(syscall.SIGTERM)
+		w.Wait()
+	}()
+
+	// Wait for a live lease, then kill -9 the coordinator.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if jr, jv := clusterJob(t, base, ref), clusterJob(t, base, victim); jr.State == jobstore.StateRunning || jv.State == jobstore.StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("worker never claimed a job")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if err := coord1.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	coord1.Wait()
+
+	// Same WAL, same address: replay re-queues the leased jobs (their
+	// leases died with the process — 60s TTL never gets a say).
+	coord2, base2 := startCoordinator(t, bin, dataDir, addr, "-lease-ttl", "60s")
+	defer func() {
+		coord2.Process.Signal(syscall.SIGTERM)
+		coord2.Wait()
+	}()
+
+	jr := waitSucceeded(t, base2, ref, 60*time.Second)
+	jv := waitSucceeded(t, base2, victim, 60*time.Second)
+	assertCleanCompletion(t, jr, jv)
+	assertCleanCompletion(t, jv, jr)
+	if t.Failed() {
+		fmt.Printf("job-store dir kept for inspection: %s\n", dataDir)
+	}
+}

@@ -77,6 +77,8 @@ func main() {
 		err = cmdDiag(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "work":
+		err = cmdWork(os.Args[2:])
 	case "flight":
 		err = cmdFlight(os.Args[2:])
 	case "casestudy":
@@ -117,6 +119,10 @@ commands:
   ddg <workload>          dump the folded polyhedral DDG of the region
   report <workload> [-json]  full feedback document (or JSON)
   serve [-http :7070]     profiling-as-a-service daemon (POST /v1/profile)
+  work -coordinator URL   stateless remote worker: claim jobs from a
+                          coordinator over the lease protocol, run them,
+                          report under the fencing token (-workers n slots,
+                          -lease-ttl d, -name id; budget/parallel flags apply)
   flight <list|show|export> [id] -data-dir d
                           inspect flight-recorder incident bundles written
                           by the daemon (under <data-dir>/flightrec)
@@ -151,19 +157,26 @@ serve flags:
   -data-dir path     durable job store (enables POST /v1/jobs, GET /v1/jobs,
                      DELETE /v1/jobs/<id>, crash-safe results + request
                      history via WAL + snapshots)
-  -workers n         concurrent job executions (default 2)
+  -workers n         concurrent local job executions (default 2; 0 runs no
+                     jobs locally — a pure coordinator for polyprof work)
   -max-attempts n    attempts before a failing job is quarantined (default 3)
   -job-ttl d         delete terminal jobs this long after they finish
                      (WAL-logged; default 0 = keep forever)
   -slow-job-threshold d  freeze the flight recorder when a job attempt runs
                      longer than this (default request-timeout/2; negative
                      disables)
+  -lease-ttl d       default lease TTL for remote workers (default 30s,
+                     clamped to [200ms, 10m]); expired leases are reclaimed
+                     and their jobs re-queued
 
 POLYPROF_FAULT=point=mode[:arg][:count],... arms fault injection
 (points: vm.step, ddg.shadow.insert, fold.finish, sched.build,
 serve.handler, jobstore.wal.append, jobstore.wal.sync,
 jobstore.snapshot, jobstore.replay, parddg.batch.dispatch,
-parddg.shard.insert, parddg.merge; modes: panic, error, budget, delay)`)
+parddg.shard.insert, parddg.merge, jobexec.attempt, jobapi.partition,
+jobapi.acquire, jobapi.heartbeat, jobapi.result; modes: panic, error,
+budget, delay; a negative count is sticky — the fault fires on every
+hit, e.g. jobapi.partition=error:net:-1 holds a partition)`)
 }
 
 func cmdList() error {
@@ -691,27 +704,39 @@ func cmdServe(args []string) error {
 	reqTimeout := fs.Duration("request-timeout", serve.DefaultRequestTimeout,
 		"per-request wall-clock limit, 408 on expiry (negative disables)")
 	dataDir := fs.String("data-dir", "", "durable job-store directory; enables POST /v1/jobs and persistent request history")
-	workers := fs.Int("workers", 2, "concurrent job executions (requires -data-dir)")
+	workers := fs.Int("workers", 2, "concurrent local job executions; 0 = coordinator-only, jobs run on remote `polyprof work` workers (requires -data-dir)")
 	maxAttempts := fs.Int("max-attempts", 3, "attempts before a failing job is quarantined (requires -data-dir)")
 	jobTTL := fs.Duration("job-ttl", 0, "garbage-collect terminal jobs this long after they finish (0 = keep forever; requires -data-dir)")
 	slowJob := fs.Duration("slow-job-threshold", 0, "write a flight bundle when a job attempt outlives this (0 = request-timeout/2, negative disables)")
+	leaseTTL := fs.Duration("lease-ttl", 30*time.Second, "default lease TTL granted to remote workers (clamped to [200ms, 10m])")
 	bf := addBudgetFlags(fs)
 	par := addParallelFlag(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	// The flag's 0 means "no local execution" (pure coordinator); the
+	// pool reserves 0 for its own default, so translate to its negative
+	// coordinator-only encoding.
+	localWorkers := *workers
+	if localWorkers == 0 {
+		localWorkers = -1
+	}
 	s, err := serve.New(serve.Options{
 		MaxInFlight:      *maxInFlight,
 		RingSize:         *ring,
 		RequestTimeout:   *reqTimeout,
 		Limits:           bf.limits(),
 		DataDir:          *dataDir,
-		Workers:          *workers,
+		Workers:          localWorkers,
 		MaxAttempts:      *maxAttempts,
 		JobTTL:           *jobTTL,
 		ParallelDDG:      resolveShards(*par),
 		SlowJobThreshold: *slowJob,
+		LeaseTTL:         *leaseTTL,
+		// Open after the listener is up so /readyz answers 503 during
+		// WAL replay instead of the port refusing connections.
+		DeferOpen: true,
 		Logf: func(format string, a ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", a...)
 		},
@@ -725,13 +750,22 @@ func cmdServe(args []string) error {
 		return err
 	}
 	srv := &http.Server{Handler: s.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	// Replay the WAL and start the pool/reclaimer while the listener
+	// answers /readyz 503; the "serving profiles" line below is the
+	// scriptable ready signal and must only print once Open succeeded.
+	if err := s.Open(); err != nil {
+		srv.Close()
+		s.Close()
+		return err
+	}
 	fmt.Fprintf(os.Stderr, "polyprof: serving profiles on http://%s (POST /v1/profile?workload=<name>)\n", ln.Addr())
 	if *dataDir != "" {
 		fmt.Fprintf(os.Stderr, "polyprof: durable jobs enabled under %s (POST /v1/jobs)\n", *dataDir)
 	}
-
-	errc := make(chan error, 1)
-	go func() { errc <- srv.Serve(ln) }()
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

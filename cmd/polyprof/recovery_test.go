@@ -127,8 +127,10 @@ func TestServeKillRestartRecovery(t *testing.T) {
 		}
 		acked[sum.ID] = kind
 	}
+	// nocache=1: the test needs six independent in-flight jobs, not one
+	// run plus five O(1) cache hits on its report.
 	for i := 0; i < 6; i++ {
-		submit("workload=example1", nil, "ok")
+		submit("workload=example1&nocache=1", nil, "ok")
 	}
 	// A hostile body: acknowledged, then terminally failed — the failed
 	// state must survive the crash too.

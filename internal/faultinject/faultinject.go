@@ -18,7 +18,10 @@
 // Spec syntax per point: mode[:arg][:count] where mode is one of
 // panic, error, budget, delay; arg is the message (panic/error), the
 // budget resource name, or the sleep duration (delay); count fires the
-// fault only on the count-th hit (default 1, i.e. the first).
+// fault only on the count-th hit (default 1, i.e. the first).  A
+// negative count makes the point sticky: it fires on every hit and
+// never self-disarms, simulating a sustained condition (a network
+// partition, a wedged disk) rather than a one-shot glitch.
 package faultinject
 
 import (
@@ -73,7 +76,9 @@ type Spec struct {
 	Delay time.Duration
 	// Count makes the point fire on the Count-th hit only (1 = first,
 	// the default).  Earlier hits pass through; after firing the point
-	// disarms itself so a recovered pipeline can run clean.
+	// disarms itself so a recovered pipeline can run clean.  Negative
+	// is sticky: fire on every hit, never self-disarm — a sustained
+	// partition instead of a one-shot fault (clear with Disarm).
 	Count int64
 }
 
@@ -138,14 +143,15 @@ func (p *P) Hit() error {
 		return nil
 	}
 	n := p.hits.Add(1)
-	want := spec.Count
-	if want <= 0 {
-		want = 1
+	if want := spec.Count; want >= 0 {
+		if want == 0 {
+			want = 1
+		}
+		if n != want {
+			return nil
+		}
+		p.selfDisarm()
 	}
-	if n != want {
-		return nil
-	}
-	p.selfDisarm()
 	switch spec.Mode {
 	case ModePanic:
 		panic(&Fault{Point: p.name, Msg: spec.Arg})

@@ -1,0 +1,233 @@
+// Package jobapi is the lease protocol between a polyprof coordinator
+// (the serve daemon owning the WAL-backed job store) and stateless
+// remote workers (`polyprof work`).  The coordinator stays the sole
+// source of truth; workers only ever hold a lease — job id, attempt,
+// fencing token, TTL — and everything they send back is validated
+// against the store's current lease under the token, so a worker
+// killed, partitioned, or resurrected as a zombie can never corrupt
+// job state (see internal/jobstore's lease invariants and DESIGN.md).
+//
+// Wire surface (all JSON):
+//
+//	POST /v1/leases               claim a ready job   → 201 Grant | 204
+//	PUT  /v1/leases/{id}          heartbeat/extend    → 200 Lease | 409 | 410
+//	POST /v1/leases/{id}/result   report the attempt  → 200 | 409 | 410
+//
+// 409 means fenced — the presented token no longer owns the job (the
+// lease expired and was reclaimed, the coordinator restarted, or the
+// job already reached a terminal state); 410 means the job is gone
+// (deleted or never existed).  Both are terminal for the worker's
+// attempt: drop the work and acquire a fresh lease.
+package jobapi
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"polyprof/internal/faultinject"
+	"polyprof/internal/jobstore"
+)
+
+// Network-shaped fault points, hit on the worker side before each
+// request leaves: partition fires for every call (arm sticky with
+// count -1 to hold the partition), the per-call points target one
+// protocol step.
+var (
+	partitionFault = faultinject.Point("jobapi.partition")
+	acquireFault   = faultinject.Point("jobapi.acquire")
+	heartbeatFault = faultinject.Point("jobapi.heartbeat")
+	resultFault    = faultinject.Point("jobapi.result")
+)
+
+// AcquireRequest is the body of POST /v1/leases.
+type AcquireRequest struct {
+	// Worker names the claiming worker (diagnostics; shows up in the
+	// job's lease view, trace, and reclaim logs).
+	Worker string `json:"worker"`
+	// TTLNS requests a lease TTL in nanoseconds; zero takes the
+	// coordinator's default.  The coordinator clamps either way.
+	TTLNS int64 `json:"ttl_ns,omitempty"`
+}
+
+// Grant is the 201 body of a successful claim: the lease (token
+// included — it travels only to the granted worker) and the full job
+// to execute.
+type Grant struct {
+	Lease *jobstore.Lease `json:"lease"`
+	Job   *jobstore.Job   `json:"job"`
+}
+
+// HeartbeatRequest is the body of PUT /v1/leases/{id}.
+type HeartbeatRequest struct {
+	Token uint64 `json:"token"`
+	// TTLNS extends the lease by this much (zero keeps the granted
+	// TTL).
+	TTLNS int64 `json:"ttl_ns,omitempty"`
+}
+
+// ResultRequest is the body of POST /v1/leases/{id}/result: exactly
+// one of Result (the attempt produced a report) or Error (it failed)
+// is set, plus the lifecycle trace events the attempt generated
+// remotely so the coordinator's persisted trace stays complete.
+type ResultRequest struct {
+	Token       uint64                `json:"token"`
+	Result      *jobstore.Result      `json:"result,omitempty"`
+	Error       *jobstore.JobError    `json:"error,omitempty"`
+	TraceEvents []jobstore.TraceEvent `json:"trace_events,omitempty"`
+}
+
+// ResultResponse acknowledges a result post with the job's new state.
+type ResultResponse struct {
+	State jobstore.State `json:"state"`
+}
+
+// Client-side error taxonomy, mirroring the coordinator's HTTP
+// semantics.
+var (
+	// ErrNoJob: the coordinator had no ready job (204).
+	ErrNoJob = errors.New("jobapi: no ready job")
+	// ErrFenced: the token no longer owns the job (409) — reclaimed,
+	// coordinator restarted, or the job is already terminal.
+	ErrFenced = errors.New("jobapi: fenced")
+	// ErrGone: the job was deleted or never existed (410).
+	ErrGone = errors.New("jobapi: job gone")
+)
+
+// StatusError is any other non-2xx coordinator response.
+type StatusError struct {
+	Code int
+	Body string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("jobapi: coordinator returned %d: %s", e.Code, strings.TrimSpace(e.Body))
+}
+
+// Transient reports whether the error is worth retrying against the
+// coordinator: network failures and 5xx/429 are; fencing, gone, and
+// client errors are not.
+func Transient(err error) bool {
+	if errors.Is(err, ErrFenced) || errors.Is(err, ErrGone) || errors.Is(err, ErrNoJob) {
+		return false
+	}
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Code >= 500 || se.Code == http.StatusTooManyRequests
+	}
+	return true // transport-level failure
+}
+
+// Client speaks the lease protocol to one coordinator.
+type Client struct {
+	// Base is the coordinator's base URL (e.g. http://host:8080).
+	Base string
+	// Worker names this worker on every claim.
+	Worker string
+	// HTTP is the underlying client (default http.DefaultClient with a
+	// 30s timeout guard per call supplied by the caller's context).
+	HTTP *http.Client
+}
+
+// Acquire claims a ready job.  ErrNoJob when the queue is empty.
+func (c *Client) Acquire(ctx context.Context, ttl time.Duration) (*Grant, error) {
+	if err := acquireFault.Hit(); err != nil {
+		return nil, err
+	}
+	var g Grant
+	err := c.do(ctx, http.MethodPost, "/v1/leases", &AcquireRequest{
+		Worker: c.Worker, TTLNS: int64(ttl),
+	}, &g)
+	if err != nil {
+		return nil, err
+	}
+	if g.Lease == nil || g.Job == nil {
+		return nil, &StatusError{Code: http.StatusOK, Body: "grant missing lease or job"}
+	}
+	return &g, nil
+}
+
+// Heartbeat extends the lease.  ErrFenced/ErrGone mean the worker no
+// longer owns the job and must abandon the attempt.
+func (c *Client) Heartbeat(ctx context.Context, jobID string, token uint64, ttl time.Duration) (*jobstore.Lease, error) {
+	if err := heartbeatFault.Hit(); err != nil {
+		return nil, err
+	}
+	var ls jobstore.Lease
+	err := c.do(ctx, http.MethodPut, "/v1/leases/"+jobID, &HeartbeatRequest{
+		Token: token, TTLNS: int64(ttl),
+	}, &ls)
+	if err != nil {
+		return nil, err
+	}
+	return &ls, nil
+}
+
+// Report posts the attempt's terminal outcome under the fencing token.
+func (c *Client) Report(ctx context.Context, jobID string, req *ResultRequest) (*ResultResponse, error) {
+	if err := resultFault.Hit(); err != nil {
+		return nil, err
+	}
+	var rr ResultResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/leases/"+jobID+"/result", req, &rr); err != nil {
+		return nil, err
+	}
+	return &rr, nil
+}
+
+// do sends one JSON request and decodes the JSON response, mapping the
+// protocol statuses onto the error taxonomy.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	if err := partitionFault.Hit(); err != nil {
+		// The partition swallows the request before it reaches the wire —
+		// to the worker this is a transport failure, not a protocol error.
+		return fmt.Errorf("jobapi: partitioned: %w", err)
+	}
+	data, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("jobapi: encoding %s %s: %w", method, path, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, strings.TrimSuffix(c.Base, "/")+path, bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("jobapi: %s %s: %w", method, path, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	hc := c.HTTP
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	// Protocol bodies are small (the largest is a Grant carrying a
+	// program); a hostile coordinator still cannot balloon the worker.
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 32<<20))
+	if err != nil {
+		return fmt.Errorf("jobapi: reading %s %s response: %w", method, path, err)
+	}
+	switch {
+	case resp.StatusCode == http.StatusNoContent:
+		return ErrNoJob
+	case resp.StatusCode == http.StatusConflict:
+		return fmt.Errorf("%w: %s", ErrFenced, strings.TrimSpace(string(raw)))
+	case resp.StatusCode == http.StatusGone:
+		return fmt.Errorf("%w: %s", ErrGone, strings.TrimSpace(string(raw)))
+	case resp.StatusCode < 200 || resp.StatusCode >= 300:
+		return &StatusError{Code: resp.StatusCode, Body: string(raw)}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("jobapi: decoding %s %s response: %w", method, path, err)
+	}
+	return nil
+}

@@ -1,0 +1,163 @@
+// Package jobexec executes one attempt of one durable job: materialize
+// the program, run the pipeline under a budget with its own span tree
+// and registry, and fold the outcome into a jobstore.Result.  It is the
+// shared attempt runner behind both the in-process worker pool (the
+// serve daemon's default) and remote lease-holding workers
+// (`polyprof work`), so an attempt behaves identically — budgets,
+// degradation, error classification, span naming — no matter which
+// process runs it.
+package jobexec
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"polyprof/internal/budget"
+	"polyprof/internal/core"
+	"polyprof/internal/faultinject"
+	"polyprof/internal/feedback"
+	"polyprof/internal/isa"
+	"polyprof/internal/jobstore"
+	"polyprof/internal/obs"
+	"polyprof/internal/obs/sampler"
+	"polyprof/internal/progress"
+	"polyprof/internal/workloads"
+)
+
+// attemptFault injects at the top of each attempt, before the program
+// is materialized — the chaos hook for a worker that wedges (delay) or
+// fails (error/budget/panic) mid-attempt.
+var attemptFault = faultinject.Point("jobexec.attempt")
+
+// Options tunes one attempt.
+type Options struct {
+	// Limits are the attempt's resource budgets (zero fields
+	// unlimited).
+	Limits budget.Limits
+	// Timeout bounds the attempt's wall clock (<= 0 disables).
+	Timeout time.Duration
+	// ParallelDDG selects the sharded parallel dependence engine with
+	// that many shard workers; 0 keeps the sequential builder.
+	ParallelDDG int
+	// Tracker receives stage transitions when non-nil; the caller owns
+	// it (wiring OnStage to its own persistence or trace shipping).
+	Tracker *progress.Tracker
+}
+
+// Program materializes the program a job profiles.  Errors here are
+// terminal by construction (never ErrRetryable, never budget timeouts):
+// an unknown workload, an undecodable body, or a structurally invalid
+// program fails identically on every attempt.
+func Program(job *jobstore.Job) (*isa.Program, error) {
+	switch job.Kind {
+	case jobstore.KindWorkload:
+		spec := workloads.ByName(job.Workload)
+		if spec == nil {
+			return nil, fmt.Errorf("unknown workload %q", job.Workload)
+		}
+		return spec.Build(), nil
+	case jobstore.KindProgram:
+		prog, err := isa.DecodeJSON(job.Program)
+		if err != nil {
+			return nil, err
+		}
+		// Validate eagerly for a precise error; the VM re-validates
+		// before execution regardless.
+		if err := prog.Validate(); err != nil {
+			return nil, fmt.Errorf("program rejected: %w", err)
+		}
+		return prog, nil
+	default:
+		return nil, fmt.Errorf("unknown job kind %q", job.Kind)
+	}
+}
+
+// Run executes one attempt.  The returned registry holds the attempt's
+// span tree ("job:<name>#<attempt>" root) and metric deltas for the
+// caller to merge or ship; the Result is always non-nil with Status
+// already classified.  The error is the pipeline error (nil on
+// success) for the caller's retry/quarantine decision.
+func Run(ctx context.Context, job *jobstore.Job, attempt int, opts Options) (*jobstore.Result, *obs.Registry, error) {
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
+
+	reg := obs.NewRegistry()
+	reg.SetEnabled(true)
+	root := reg.Scope().StartSpan(fmt.Sprintf("job:%s#%d", job.Name(), attempt))
+	sc := reg.Scope().WithSpan(root)
+	res := &jobstore.Result{Status: "ok", SpanID: root.ID()}
+	start := time.Now()
+
+	bud := budget.New(ctx, opts.Limits)
+	err := func() error {
+		if err := attemptFault.Hit(); err != nil {
+			return err
+		}
+		prog, err := Program(job)
+		if err != nil {
+			return err
+		}
+		ro := core.DefaultRunOptions()
+		ro.Obs = sc
+		ro.Budget = bud
+		ro.ParallelDDG = opts.ParallelDDG
+		ro.Progress = opts.Tracker
+		if opts.ParallelDDG > 0 {
+			// Parallel attempts carry the utilization sampler; its
+			// headline gauges land in the attempt registry for the caller
+			// to merge (the polyprof_ddg_* families on /metrics).
+			smp := sampler.New()
+			smp.SetEnabled(true)
+			ro.Sampler = smp
+		}
+		p, err := core.Run(prog, ro)
+		if err != nil {
+			return err
+		}
+		opts.Tracker.StartStage("feedback", 0)
+		rep, err := feedback.AnalyzeChecked(p)
+		if err != nil {
+			return err
+		}
+		cm := feedback.DefaultCostModel()
+		data, err := rep.JSON(&cm)
+		if err != nil {
+			return err
+		}
+		res.Report = data
+		res.Ops = p.DDG.TotalOps
+		if d := p.DDG.Degraded; d != nil {
+			res.Degraded = true
+			res.Budget = d.Budgets
+		}
+		root.AddEvents(p.DDG.TotalOps)
+		return nil
+	}()
+	if err != nil {
+		root.Fail(err)
+		res.Status = Classify(err)
+	}
+	root.End()
+	res.WallNS = int64(time.Since(start))
+	return res, reg, err
+}
+
+// Classify maps a pipeline error to a result status: budget aborts
+// split into timeout/canceled/budget, anything else is a plain error.
+func Classify(err error) string {
+	be, ok := budget.AsError(err)
+	switch {
+	case !ok:
+		return "error"
+	case be.Timeout():
+		return "timeout"
+	case be.Canceled():
+		return "canceled"
+	default:
+		return "budget"
+	}
+}

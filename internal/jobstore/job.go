@@ -84,6 +84,18 @@ type Job struct {
 	// configured maximum.
 	Attempts int `json:"attempts"`
 
+	// CacheKey is the job's content address: the canonical SHA-256 of
+	// (program, flags, budgets) computed at intake.  Succeeded jobs are
+	// indexed by it so a duplicate submission returns the cached report
+	// in O(1).  Empty when the submission was not canonicalizable (a
+	// hostile body) or caching is disabled.
+	CacheKey string `json:"cache_key,omitempty"`
+
+	// Lease is the volatile view of the job's outstanding remote lease
+	// (worker, attempt, expiry — never the fencing token).  Like
+	// Progress it is filled into Get clones and never persisted.
+	Lease *LeaseView `json:"lease,omitempty"`
+
 	SubmittedAt time.Time `json:"submitted_at"`
 	StartedAt   time.Time `json:"started_at,omitempty"`
 	FinishedAt  time.Time `json:"finished_at,omitempty"`
@@ -140,6 +152,9 @@ const (
 	TraceQuarantine     = "quarantine"
 	TraceComplete       = "complete"
 	TraceCrashRecovered = "crash-recovered"
+	// TraceReclaim marks a lease the coordinator took back after its
+	// TTL expired (worker killed, partitioned, or wedged).
+	TraceReclaim = "lease-reclaimed"
 )
 
 // MaxTraceEvents caps a job's persisted trace; past it one truncation
@@ -208,6 +223,10 @@ func (j *Job) Clone() *Job {
 	if j.Progress != nil {
 		p := *j.Progress
 		c.Progress = &p
+	}
+	if j.Lease != nil {
+		l := *j.Lease
+		c.Lease = &l
 	}
 	if j.Trace != nil {
 		c.Trace = append([]TraceEvent(nil), j.Trace...)

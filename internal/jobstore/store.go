@@ -37,6 +37,12 @@ type record struct {
 	// TraceEvents are the lifecycle trace events this transition
 	// appends to the job (T == "state" or "stage").
 	TraceEvents []TraceEvent `json:"trace,omitempty"`
+	// Fence is the fencing token granted with a lease transition
+	// (T == "state" into running via AcquireLease); replay folds the
+	// maximum so tokens stay monotonic across restarts.  Worker names
+	// the node the lease went to (diagnostics only).
+	Fence  uint64 `json:"fence,omitempty"`
+	Worker string `json:"worker,omitempty"`
 	// Hist is one request-history entry (T == "hist"), an opaque blob
 	// owned by the serving layer.
 	Hist json.RawMessage `json:"hist,omitempty"`
@@ -68,6 +74,7 @@ func traceAppend(j *Job, evs ...TraceEvent) []TraceEvent {
 type snapshot struct {
 	Gen     uint64            `json:"gen"`
 	Seq     uint64            `json:"seq"`
+	Fence   uint64            `json:"fence,omitempty"`
 	Jobs    []*Job            `json:"jobs"`
 	History []json.RawMessage `json:"history,omitempty"`
 }
@@ -107,6 +114,19 @@ type Store struct {
 	history []json.RawMessage
 	closed  bool
 
+	// fence is the monotonic fencing-token counter behind leases; it is
+	// WAL-carried on every grant and snapshot-persisted, so a token
+	// granted after a restart always exceeds any granted before.
+	fence uint64
+	// leases holds the outstanding remote claims, keyed by job id.
+	// Deliberately volatile: a restart invalidates every lease (the
+	// leased jobs replay as running and are re-queued).
+	leases map[string]*Lease
+	// cache indexes succeeded jobs by their content-address (CacheKey),
+	// rebuilt from the jobs map on open — a duplicate submission is
+	// answered from here in O(1).
+	cache map[string]string
+
 	// trackers holds the live-progress sources of currently running
 	// attempts, keyed by job id.  Deliberately volatile (never
 	// WAL-persisted): progress is only meaningful within one attempt of
@@ -138,17 +158,24 @@ func Open(dir string, opts Options) (*Store, []*Job, error) {
 		reg:      opts.Registry,
 		jobs:     map[string]*Job{},
 		trackers: map[string]*progress.Tracker{},
+		leases:   map[string]*Lease{},
+		cache:    map[string]string{},
 	}
 	if err := s.load(); err != nil {
 		return nil, nil, err
 	}
 
 	// Crash recovery: a job that was running when the daemon died goes
-	// back to the queue; its report will be identical to an
-	// uninterrupted run because the pipeline is deterministic.
+	// back to the queue — locally executing or remotely leased alike
+	// (replay restores no lease, so every pre-crash lease is implicitly
+	// revoked and its token fenced).  The re-run's report is identical
+	// to an uninterrupted run because the pipeline is deterministic.
 	var recovered []*Job
 	for _, id := range s.order {
 		j := s.jobs[id]
+		if j.State == StateSucceeded && j.CacheKey != "" {
+			s.cache[j.CacheKey] = j.ID
+		}
 		if j.State == StateRunning {
 			stage := j.InterruptedStage()
 			detail := fmt.Sprintf("process died during attempt %d", j.Attempts)
@@ -190,6 +217,7 @@ func (s *Store) load() error {
 		} else {
 			s.gen = snap.Gen
 			s.seq = snap.Seq
+			s.fence = snap.Fence
 			for _, j := range snap.Jobs {
 				s.jobs[j.ID] = j
 				s.order = append(s.order, j.ID)
@@ -247,6 +275,11 @@ func (s *Store) applyRecord(payload []byte) {
 			s.seq = n
 		}
 	case "state":
+		// Fencing tokens must stay monotonic across restarts even when
+		// the job the grant referred to is gone or terminal.
+		if rec.Fence > s.fence {
+			s.fence = rec.Fence
+		}
 		j, ok := s.jobs[rec.ID]
 		if !ok {
 			s.logf("jobstore: state record for unknown job %s; skipping", rec.ID)
@@ -382,7 +415,7 @@ func (s *Store) compactLocked() error {
 		return err
 	}
 
-	snap := snapshot{Gen: nextGen, Seq: s.seq, History: s.history}
+	snap := snapshot{Gen: nextGen, Seq: s.seq, Fence: s.fence, History: s.history}
 	for _, id := range s.order {
 		snap.Jobs = append(snap.Jobs, s.jobs[id])
 	}
@@ -564,10 +597,33 @@ func (s *Store) Complete(id string, res *Result) error {
 	j.FinishedAt = now
 	j.Result = res
 	j.Error = nil
+	if j.CacheKey != "" {
+		s.cache[j.CacheKey] = j.ID
+	}
 	delete(s.trackers, id)
 	s.reg.Add("jobs.completed", 1)
 	s.publishGauges()
 	return nil
+}
+
+// LookupCache returns the succeeded job holding the content-addressed
+// result for key, or nil — the O(1) answer to a duplicate submission.
+func (s *Store) LookupCache(key string) *Job {
+	if key == "" {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id, ok := s.cache[key]
+	if !ok {
+		return nil
+	}
+	j, ok := s.jobs[id]
+	if !ok || j.State != StateSucceeded || j.Result == nil {
+		delete(s.cache, key)
+		return nil
+	}
+	return j.Clone()
 }
 
 // Retry re-queues a failed attempt for execution at nextRun (backoff).
@@ -662,6 +718,15 @@ func (s *Store) deleteLocked(id string) error {
 	if !ok {
 		return fmt.Errorf("jobstore: %w: %s", ErrUnknownJob, id)
 	}
+	// A job holding a live lease is remote-running work: deleting (or
+	// TTL-expiring) it out from under the worker would turn the
+	// worker's result post into a resurrection race.  Leased jobs are
+	// StateRunning so the terminal check already refuses them; this
+	// guard keeps the invariant even if a future state ever detaches
+	// lease lifetime from the running state.
+	if s.leases[id] != nil {
+		return fmt.Errorf("jobstore: %w: %s holds a live lease", ErrJobActive, id)
+	}
 	if !j.State.Terminal() {
 		return fmt.Errorf("jobstore: %w: %s is %s", ErrJobActive, id, j.State)
 	}
@@ -670,6 +735,9 @@ func (s *Store) deleteLocked(id string) error {
 	}
 	delete(s.jobs, id)
 	delete(s.trackers, id)
+	if j.CacheKey != "" && s.cache[j.CacheKey] == id {
+		delete(s.cache, j.CacheKey)
+	}
 	s.dropOrder(id)
 	s.reg.Add("jobs.deleted", 1)
 	s.publishGauges()
@@ -685,6 +753,11 @@ func (s *Store) ExpireBefore(cutoff time.Time) (int, error) {
 	var expired []string
 	for _, id := range s.order {
 		j := s.jobs[id]
+		// Never sweep a job holding a live lease, whatever its state —
+		// the remote worker still owns it (see deleteLocked).
+		if s.leases[id] != nil {
+			continue
+		}
 		if j.State.Terminal() && !j.FinishedAt.IsZero() && j.FinishedAt.Before(cutoff) {
 			expired = append(expired, id)
 		}
@@ -778,6 +851,9 @@ func (s *Store) Get(id string) *Job {
 	}
 	c := j.Clone()
 	c.Progress = s.liveProgress(j)
+	if ls := s.leases[id]; ls != nil {
+		c.Lease = &LeaseView{Worker: ls.Worker, Attempt: ls.Attempt, ExpiresAt: ls.ExpiresAt}
+	}
 	return c
 }
 
@@ -849,6 +925,7 @@ func (s *Store) publishGauges() {
 	for _, st := range States() {
 		s.reg.SetGauge("jobs."+string(st), int64(counts[st]))
 	}
+	s.reg.SetGauge("jobs.leases", int64(len(s.leases)))
 }
 
 // Snapshot forces a compaction (tests, shutdown).

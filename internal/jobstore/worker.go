@@ -17,7 +17,10 @@ type Runner func(ctx context.Context, job *Job, attempt int) (*Result, error)
 
 // PoolOptions tunes the worker pool.
 type PoolOptions struct {
-	// Workers bounds concurrent job executions (default 2).
+	// Workers bounds concurrent local job executions (default 2).
+	// Negative disables local execution entirely — the process is a
+	// pure coordinator whose jobs only run on remote lease-holding
+	// workers (the reclaimer and TTL sweeper still run).
 	Workers int
 	// MaxAttempts quarantines a job after this many started attempts
 	// (default 3).  Crash-interrupted attempts count: the attempt
@@ -36,6 +39,14 @@ type PoolOptions struct {
 	// SweepEvery is the sweeper's tick (default TTL/4, clamped to
 	// [1s, 1m]).
 	SweepEvery time.Duration
+	// DefaultLeaseTTL is the lease duration granted to remote workers
+	// that do not request one (default 30s, clamped to
+	// [MinLeaseTTL, MaxLeaseTTL]).
+	DefaultLeaseTTL time.Duration
+	// LeaseReclaimEvery is the reclaimer's tick — how often expired
+	// leases are taken back and their jobs re-queued (default
+	// DefaultLeaseTTL/4, clamped to [100ms, 2s]).
+	LeaseReclaimEvery time.Duration
 	// Registry receives pool counters (default obs.Default).
 	Registry *obs.Registry
 	// Logf receives lifecycle lines (nil to disable).
@@ -64,8 +75,21 @@ type Pool struct {
 
 // NewPool builds a pool over store; call Start to begin executing.
 func NewPool(store *Store, run Runner, opts PoolOptions) *Pool {
-	if opts.Workers <= 0 {
+	switch {
+	case opts.Workers == 0:
 		opts.Workers = 2
+	case opts.Workers < 0:
+		opts.Workers = 0 // coordinator-only: no local execution
+	}
+	opts.DefaultLeaseTTL = ClampLeaseTTL(opts.DefaultLeaseTTL, 30*time.Second)
+	if opts.LeaseReclaimEvery <= 0 {
+		opts.LeaseReclaimEvery = opts.DefaultLeaseTTL / 4
+	}
+	if opts.LeaseReclaimEvery < 100*time.Millisecond {
+		opts.LeaseReclaimEvery = 100 * time.Millisecond
+	}
+	if opts.LeaseReclaimEvery > 2*time.Second {
+		opts.LeaseReclaimEvery = 2 * time.Second
 	}
 	if opts.MaxAttempts <= 0 {
 		opts.MaxAttempts = 3
@@ -102,10 +126,56 @@ func (p *Pool) Start(recovered []*Job) {
 		p.wg.Add(1)
 		go p.sweeper()
 	}
+	p.wg.Add(1)
+	go p.reclaimer()
 	for _, j := range recovered {
 		p.Enqueue(j.ID, j.NextRunAt)
 	}
 }
+
+// reclaimer periodically takes back expired leases: their workers were
+// killed, partitioned away, or wedged, so the jobs go back to the
+// queue (or quarantine when their attempt budget is spent).  Each
+// reclaim freezes the flight recorder — a silent worker is an incident
+// worth a black box.
+func (p *Pool) reclaimer() {
+	defer p.wg.Done()
+	t := time.NewTicker(p.opts.LeaseReclaimEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.ctx.Done():
+			return
+		case <-t.C:
+		}
+		for _, rc := range p.store.ReclaimExpired(time.Now().UTC(), p.opts.MaxAttempts) {
+			p.logf("jobstore: lease on %s reclaimed from worker %s (attempt %d, token %d); %s",
+				rc.JobID, rc.Worker, rc.Attempt, rc.Token,
+				map[bool]string{true: "quarantined", false: "re-queued"}[rc.Quarantined])
+			flight.Trigger("lease-reclaim", flight.TriggerInfo{
+				Trace: rc.TraceID, Job: rc.JobID,
+				Detail: fmt.Sprintf("lease on %s reclaimed from silent worker %s (attempt %d, token %d)",
+					rc.JobID, rc.Worker, rc.Attempt, rc.Token),
+				Extra: p.store.Get(rc.JobID),
+			})
+			if !rc.Quarantined {
+				p.Enqueue(rc.JobID, time.Time{})
+			}
+		}
+	}
+}
+
+// DefaultLeaseTTL is the lease duration granted when a worker does not
+// request one.
+func (p *Pool) DefaultLeaseTTL() time.Duration { return p.opts.DefaultLeaseTTL }
+
+// MaxAttempts is the pool's quarantine threshold, shared with the
+// lease-granting path so remote attempts spend the same budget.
+func (p *Pool) MaxAttempts() int { return p.opts.MaxAttempts }
+
+// Backoff exposes the retry backoff for the given attempt so remote
+// failures re-queue on the same schedule as local ones.
+func (p *Pool) Backoff(attempt int) time.Duration { return p.backoff(attempt) }
 
 // sweeper periodically expires terminal jobs older than the TTL.  The
 // first sweep runs immediately so jobs that aged out while the daemon

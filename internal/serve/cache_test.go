@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"polyprof/internal/jobstore"
+	"polyprof/internal/obs"
+)
+
+// TestJobsCacheHit: resubmitting an identical workload after it
+// succeeded returns the cached report in O(1) — 200 with cached:true,
+// no new job, counter bumped.
+func TestJobsCacheHit(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, ts := newTestServer(t, Options{DataDir: t.TempDir(), Registry: reg})
+
+	resp, body := postJob(t, ts, "workload=example1", nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit = %d: %s", resp.StatusCode, body)
+	}
+	var first jobstore.JobSummary
+	if err := json.Unmarshal(body, &first); err != nil {
+		t.Fatal(err)
+	}
+	done := waitJob(t, ts, first.ID)
+	if done.State != jobstore.StateSucceeded {
+		t.Fatalf("first job = %s", done.State)
+	}
+
+	resp, body = postJob(t, ts, "workload=example1", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("duplicate submit = %d, want 200: %s", resp.StatusCode, body)
+	}
+	var hit struct {
+		Cached bool                `json:"cached"`
+		Job    jobstore.JobSummary `json:"job"`
+		Report json.RawMessage     `json:"report"`
+	}
+	if err := json.Unmarshal(body, &hit); err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Cached || hit.Job.ID != first.ID || len(hit.Report) == 0 {
+		t.Fatalf("cache response = %+v", hit)
+	}
+	if compactJSON(t, hit.Report) != compactJSON(t, done.Result.Report) {
+		t.Fatal("cached report differs from the original run")
+	}
+	if loc := resp.Header.Get("Location"); loc != "/v1/jobs/"+first.ID {
+		t.Fatalf("cache hit Location = %q", loc)
+	}
+	if n := reg.Counter("jobs.cache_hits").Value(); n != 1 {
+		t.Fatalf("jobs.cache_hits = %d", n)
+	}
+
+	// nocache=1 opts out: a fresh job is enqueued.
+	resp, body = postJob(t, ts, "workload=example1&nocache=1", nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("nocache submit = %d: %s", resp.StatusCode, body)
+	}
+	var fresh jobstore.JobSummary
+	if err := json.Unmarshal(body, &fresh); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.ID == first.ID {
+		t.Fatal("nocache submit reused the cached job")
+	}
+	waitJob(t, ts, fresh.ID)
+
+	// A different workload must not hit the cache.
+	resp, _ = postJob(t, ts, "workload=example2", nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("different workload = %d, want 202 (no false cache hit)", resp.StatusCode)
+	}
+	_ = s
+}
+
+// TestJobsCacheSurvivesRestart: the cache index is rebuilt from the
+// WAL on open, so a restarted coordinator still answers duplicates
+// from cache.
+func TestJobsCacheSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := newTestServer(t, Options{DataDir: dir})
+	resp, body := postJob(t, ts1, "workload=example1", nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d", resp.StatusCode)
+	}
+	var sum jobstore.JobSummary
+	if err := json.Unmarshal(body, &sum); err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, ts1, sum.ID)
+	ts1.Close()
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	_, ts2 := newTestServer(t, Options{DataDir: dir, Registry: reg})
+	resp, body = postJob(t, ts2, "workload=example1", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-restart duplicate = %d, want 200 cache hit: %s", resp.StatusCode, body)
+	}
+	var hit struct {
+		Cached bool                `json:"cached"`
+		Job    jobstore.JobSummary `json:"job"`
+	}
+	if err := json.Unmarshal(body, &hit); err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Cached || hit.Job.ID != sum.ID {
+		t.Fatalf("post-restart cache response = %+v", hit)
+	}
+	if n := reg.Counter("jobs.cache_hits").Value(); n != 1 {
+		t.Fatalf("jobs.cache_hits after restart = %d", n)
+	}
+}

@@ -53,6 +53,13 @@ func TestChaosEveryFaultPoint(t *testing.T) {
 			// reopen, no-loss invariants) lives in internal/jobstore.
 			continue
 		}
+		if strings.HasPrefix(point, "jobexec.") || strings.HasPrefix(point, "jobapi.") {
+			// The attempt-runner and lease-protocol points fire on the
+			// async job path, not on synchronous /v1/profile; their chaos
+			// suites live with the lease tests and the multi-process
+			// cluster suite (cmd/polyprof).
+			continue
+		}
 		if strings.HasPrefix(point, "parddg.") {
 			// The parallel-engine points never fire on a sequential
 			// daemon; TestChaosParallelEngineFaults walks them against a

@@ -2,6 +2,9 @@ package serve
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
@@ -9,14 +12,11 @@ import (
 	"strings"
 	"time"
 
-	"polyprof/internal/budget"
-	"polyprof/internal/core"
-	"polyprof/internal/feedback"
 	"polyprof/internal/isa"
+	"polyprof/internal/jobexec"
 	"polyprof/internal/jobstore"
 	"polyprof/internal/obs"
 	"polyprof/internal/obs/flight"
-	"polyprof/internal/obs/sampler"
 	"polyprof/internal/progress"
 	"polyprof/internal/workloads"
 )
@@ -118,6 +118,28 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, req *http.Request) {
 		job.Kind = jobstore.KindProgram
 		job.Program = body
 	}
+	// Content-addressed dedup: identical submissions (canonical program
+	// + budgets) resolve to the cached report in O(1) instead of
+	// re-profiling — the pipeline is deterministic, so the cached report
+	// is bit-for-bit what a re-run would produce.  ?nocache=1 forces a
+	// fresh run (benchmarking, cache-busting tests).
+	if key := s.cacheKey(job); key != "" && req.URL.Query().Get("nocache") == "" {
+		if hit := s.store.LookupCache(key); hit != nil {
+			s.reg.Add("jobs.cache_hits", 1)
+			flight.LogEvent(flight.Event{
+				Kind: "job", Name: "cache-hit", Trace: requestID(req.Context()),
+				Detail: fmt.Sprintf("%s (%s) key %s", hit.ID, hit.Name(), key[:12]),
+			})
+			w.Header().Set("Location", "/v1/jobs/"+hit.ID)
+			writeJSON(w, http.StatusOK, map[string]any{
+				"cached": true,
+				"job":    hit.Summary(),
+				"report": hit.Result.Report,
+			})
+			return
+		}
+		job.CacheKey = key
+	}
 	// The middleware's request ID becomes the job's trace ID (the
 	// client's own X-Request-ID when it sent one), correlating intake,
 	// WAL records, attempts, and flight bundles end to end.
@@ -135,6 +157,44 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, req *http.Request) {
 	})
 	w.Header().Set("Location", "/v1/jobs/"+job.ID)
 	writeJSON(w, http.StatusAccepted, job.Summary())
+}
+
+// cacheKey computes the job's content address: the canonical SHA-256
+// of (kind, canonical program bytes, budget limits).  Program bodies
+// are canonicalized through a decode/re-encode round trip so two
+// submissions differing only in JSON whitespace or key order share a
+// key; bodies that do not decode are not canonicalizable and return ""
+// (never cached — they fail terminally anyway).  The daemon's budget
+// limits are folded in because they shape the report (degradation).
+func (s *Server) cacheKey(job *jobstore.Job) string {
+	var prog []byte
+	switch job.Kind {
+	case jobstore.KindWorkload:
+		prog = []byte("workload\x00" + job.Workload)
+	case jobstore.KindProgram:
+		p, err := isa.DecodeJSON(job.Program)
+		if err != nil {
+			return ""
+		}
+		canon, err := isa.EncodeJSON(p)
+		if err != nil {
+			return ""
+		}
+		prog = canon
+	default:
+		return ""
+	}
+	limits, err := json.Marshal(s.opts.Limits)
+	if err != nil {
+		return ""
+	}
+	h := sha256.New()
+	h.Write([]byte(job.Kind))
+	h.Write([]byte{0})
+	h.Write(prog)
+	h.Write([]byte{0})
+	h.Write(limits)
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 func (s *Server) handleJobList(w http.ResponseWriter, req *http.Request) {
@@ -210,52 +270,14 @@ func (s *Server) handleJobGet(rw http.ResponseWriter, req *http.Request) {
 	}
 }
 
-// jobProgram materializes the program a job profiles.  Errors here are
-// terminal by construction (never ErrRetryable, never budget timeouts):
-// an unknown workload, an undecodable body, or a structurally invalid
-// program fails identically on every attempt.
-func (s *Server) jobProgram(job *jobstore.Job) (*isa.Program, error) {
-	switch job.Kind {
-	case jobstore.KindWorkload:
-		spec := workloads.ByName(job.Workload)
-		if spec == nil {
-			return nil, fmt.Errorf("unknown workload %q", job.Workload)
-		}
-		return spec.Build(), nil
-	case jobstore.KindProgram:
-		prog, err := isa.DecodeJSON(job.Program)
-		if err != nil {
-			return nil, err
-		}
-		// Validate eagerly for a precise error; the VM re-validates
-		// before execution regardless.
-		if err := prog.Validate(); err != nil {
-			return nil, fmt.Errorf("program rejected: %w", err)
-		}
-		return prog, nil
-	default:
-		return nil, fmt.Errorf("unknown job kind %q", job.Kind)
-	}
-}
-
-// runJob is the pool's Runner: one attempt of one job, executed under
-// the daemon's budget limits with its own span tree and registry, like
-// a synchronous /v1/profile request.  The returned Result is persisted
-// on success; on error the pool classifies it (jobProgram and
+// runJob is the pool's Runner: one attempt of one job, executed by the
+// shared attempt runner (internal/jobexec) under the daemon's budget
+// limits with its own span tree and registry, like a synchronous
+// /v1/profile request.  The returned Result is persisted on success; on
+// error the pool classifies it (program materialization and
 // deterministic budget exhaustion are terminal; wall-clock timeouts and
 // shutdown cancellation retry).
 func (s *Server) runJob(ctx context.Context, job *jobstore.Job, attempt int) (*jobstore.Result, error) {
-	if s.opts.RequestTimeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.opts.RequestTimeout)
-		defer cancel()
-	}
-
-	reqReg := obs.NewRegistry()
-	reqReg.SetEnabled(true)
-	root := reqReg.Scope().StartSpan(fmt.Sprintf("job:%s#%d", job.Name(), attempt))
-	sc := reqReg.Scope().WithSpan(root)
-	res := &jobstore.Result{Status: "ok", SpanID: root.ID()}
 	start := time.Now()
 
 	// Live progress: the tracker is attached to the store for the
@@ -307,54 +329,12 @@ func (s *Server) runJob(ctx context.Context, job *jobstore.Job, attempt int) (*j
 		Kind: "job", Name: "attempt", Trace: job.TraceID,
 		Detail: fmt.Sprintf("%s attempt %d", job.ID, attempt),
 	})
-	bud := budget.New(ctx, s.opts.Limits)
-	err := func() error {
-		prog, err := s.jobProgram(job)
-		if err != nil {
-			return err
-		}
-		opts := core.DefaultRunOptions()
-		opts.Obs = sc
-		opts.Budget = bud
-		opts.ParallelDDG = s.opts.ParallelDDG
-		opts.Progress = tr
-		if s.opts.ParallelDDG > 0 {
-			// Parallel jobs carry the utilization sampler; its headline
-			// gauges merge into the process registry below and surface on
-			// /metrics as the polyprof_ddg_* families.
-			smp := sampler.New()
-			smp.SetEnabled(true)
-			opts.Sampler = smp
-		}
-		p, err := core.Run(prog, opts)
-		if err != nil {
-			return err
-		}
-		tr.StartStage("feedback", 0)
-		rep, err := feedback.AnalyzeChecked(p)
-		if err != nil {
-			return err
-		}
-		cm := feedback.DefaultCostModel()
-		data, err := rep.JSON(&cm)
-		if err != nil {
-			return err
-		}
-		res.Report = data
-		res.Ops = p.DDG.TotalOps
-		if d := p.DDG.Degraded; d != nil {
-			res.Degraded = true
-			res.Budget = d.Budgets
-		}
-		root.AddEvents(p.DDG.TotalOps)
-		return nil
-	}()
-	if err != nil {
-		root.Fail(err)
-		res.Status = classifyError(err)
-	}
-	root.End()
-	res.WallNS = int64(time.Since(start))
+	res, reqReg, err := jobexec.Run(ctx, job, attempt, jobexec.Options{
+		Limits:      s.opts.Limits,
+		Timeout:     s.opts.RequestTimeout,
+		ParallelDDG: s.opts.ParallelDDG,
+		Tracker:     tr,
+	})
 
 	logMetricsDelta(fmt.Sprintf("job:%s#%d", job.Name(), attempt), job.TraceID, reqReg)
 	s.reg.Merge(reqReg)

@@ -12,10 +12,15 @@
 //	GET  /v1/jobs/{id}                 one job, with its persisted report
 //	DELETE /v1/jobs/{id}               delete a terminal job (409 while
 //	                                   queued/running); WAL-logged
+//	POST /v1/leases                    claim a ready job (remote worker)
+//	PUT  /v1/leases/{id}               heartbeat a lease (fencing token)
+//	POST /v1/leases/{id}/result        report a leased attempt's outcome
 //	GET  /v1/requests                  recent request summaries (persisted
 //	                                   across restarts when -data-dir set)
 //	GET  /v1/workloads                 names the daemon can profile
 //	GET  /healthz                      liveness + in-flight gauge
+//	GET  /readyz                       readiness (503 until WAL replay +
+//	                                   pool/reclaimer startup finish)
 //	GET  /metrics                      process registry (Prometheus/JSON)
 //	GET  /debug/vars                   process registry (always JSON)
 //	GET  /debug/pprof/                 net/http/pprof
@@ -44,6 +49,7 @@ import (
 	"net/http/pprof"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -52,6 +58,7 @@ import (
 	"polyprof/internal/core"
 	"polyprof/internal/faultinject"
 	"polyprof/internal/feedback"
+	"polyprof/internal/jobexec"
 	"polyprof/internal/jobstore"
 	"polyprof/internal/obs"
 	"polyprof/internal/obs/flight"
@@ -120,6 +127,15 @@ type Options struct {
 	// "slow-job" bundle (once per job within the dedupe window).  Zero
 	// defaults to half the request timeout; negative disables.
 	SlowJobThreshold time.Duration
+	// LeaseTTL is the default lease duration granted to remote workers
+	// (clamped to [jobstore.MinLeaseTTL, jobstore.MaxLeaseTTL]; default
+	// 30s).  Workers may request their own TTL per claim, also clamped.
+	LeaseTTL time.Duration
+	// DeferOpen makes New return before the job store replays its WAL;
+	// the caller must invoke Open.  Until then the daemon answers
+	// /healthz, /readyz (503), and /metrics but rejects work — the
+	// load-balancer contract for a still-recovering coordinator.
+	DeferOpen bool
 }
 
 // Server is the daemon state.
@@ -129,7 +145,14 @@ type Server struct {
 	sem    chan struct{}
 	reqSeq atomic.Uint64
 
-	// store/pool are non-nil when Options.DataDir is set.
+	// ready flips once Open has finished WAL replay and started the
+	// pool/reclaimer.  It is the happens-before barrier for store/pool:
+	// handlers must observe ready before touching either (the
+	// middleware's not-ready 503 enforces this for every route that can
+	// reach them).
+	ready atomic.Bool
+
+	// store/pool are non-nil when Options.DataDir is set (after Open).
 	store *jobstore.Store
 	pool  *jobstore.Pool
 
@@ -139,7 +162,10 @@ type Server struct {
 
 // New creates a daemon.  With Options.DataDir set it opens (replaying)
 // the durable job store and starts the worker pool, re-enqueueing jobs
-// that were queued or running when the previous process died.
+// that were queued or running when the previous process died; with
+// Options.DeferOpen it returns immediately and the caller runs Open —
+// typically after the listener is up, so /readyz can answer 503 while
+// replay proceeds.
 func New(opts Options) (*Server, error) {
 	if opts.MaxInFlight <= 0 {
 		opts.MaxInFlight = 2
@@ -166,23 +192,39 @@ func New(opts Options) (*Server, error) {
 		reg:  opts.Registry,
 		sem:  make(chan struct{}, opts.MaxInFlight),
 	}
-	if opts.DataDir != "" {
+	if opts.DeferOpen {
+		return s, nil
+	}
+	if err := s.Open(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Open replays the WAL, starts the worker pool and lease reclaimer,
+// and marks the daemon ready.  Idempotent; New calls it unless
+// Options.DeferOpen.
+func (s *Server) Open() error {
+	if s.ready.Load() {
+		return nil
+	}
+	if s.opts.DataDir != "" {
 		// The flight recorder goes live before the store opens, so crash
 		// recovery itself is ring history and recovered jobs can trigger
 		// bundles.  A recorder failure degrades diagnostics, never
 		// serving.
-		if err := flight.Default.Enable(filepath.Join(opts.DataDir, "flightrec"), flight.Options{
-			Registry: opts.Registry,
-			Logf:     opts.Logf,
+		if err := flight.Default.Enable(filepath.Join(s.opts.DataDir, "flightrec"), flight.Options{
+			Registry: s.opts.Registry,
+			Logf:     s.opts.Logf,
 		}); err != nil {
 			s.logf("polyprof: flight recorder disabled: %v", err)
 		}
-		store, recovered, err := jobstore.Open(opts.DataDir, jobstore.Options{
-			Registry: opts.Registry,
-			Logf:     opts.Logf,
+		store, recovered, err := jobstore.Open(s.opts.DataDir, jobstore.Options{
+			Registry: s.opts.Registry,
+			Logf:     s.opts.Logf,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("serve: opening job store: %w", err)
+			return fmt.Errorf("serve: opening job store: %w", err)
 		}
 		s.store = store
 		// Each job interrupted by the previous process's death gets a
@@ -197,18 +239,20 @@ func New(opts Options) (*Server, error) {
 			}
 		}
 		s.pool = jobstore.NewPool(store, s.runJob, jobstore.PoolOptions{
-			Workers:     opts.Workers,
-			MaxAttempts: opts.MaxAttempts,
-			TTL:         opts.JobTTL,
-			Registry:    opts.Registry,
-			Logf:        opts.Logf,
+			Workers:         s.opts.Workers,
+			MaxAttempts:     s.opts.MaxAttempts,
+			TTL:             s.opts.JobTTL,
+			DefaultLeaseTTL: s.opts.LeaseTTL,
+			Registry:        s.opts.Registry,
+			Logf:            s.opts.Logf,
 		})
 		s.pool.Start(recovered)
 		if n := len(recovered); n > 0 {
-			s.logf("polyprof: job store recovered %d pending job(s) from %s", n, opts.DataDir)
+			s.logf("polyprof: job store recovered %d pending job(s) from %s", n, s.opts.DataDir)
 		}
 	}
-	return s, nil
+	s.ready.Store(true)
+	return nil
 }
 
 // Close stops the worker pool (canceling in-flight attempts) and
@@ -285,11 +329,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/profile", s.handleProfile)
 	mux.HandleFunc("/v1/jobs", s.handleJobs)
 	mux.HandleFunc("/v1/jobs/", s.handleJobGet)
+	mux.HandleFunc("/v1/leases", s.handleLeases)
+	mux.HandleFunc("/v1/leases/", s.handleLease)
 	mux.HandleFunc("/v1/flight", s.handleFlightList)
 	mux.HandleFunc("/v1/flight/", s.handleFlightGet)
 	mux.HandleFunc("/v1/requests", s.handleRequests)
 	mux.HandleFunc("/v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.Handle("/metrics", s.reg.Handler())
 	mux.Handle("/debug/vars", s.reg.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -350,6 +397,20 @@ func (s *Server) middleware(next http.Handler) http.Handler {
 			id = fmt.Sprintf("req-%d", s.reqSeq.Add(1))
 		}
 		w.Header().Set("X-Request-ID", id)
+		// Not ready (WAL replay / pool startup still running): only
+		// liveness, readiness, and metrics answer.  The ready check also
+		// orders this request after Open's store/pool writes, so no
+		// handler ever observes a half-initialized daemon.
+		if !s.ready.Load() {
+			switch {
+			case req.URL.Path == "/healthz" || req.URL.Path == "/readyz" ||
+				req.URL.Path == "/metrics" || strings.HasPrefix(req.URL.Path, "/debug/"):
+			default:
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, "starting: job store replay in progress; poll /readyz", http.StatusServiceUnavailable)
+				return
+			}
+		}
 		sw := &statusWriter{ResponseWriter: w}
 		req = req.WithContext(context.WithValue(req.Context(), requestIDKey, id))
 		start := time.Now()
@@ -632,20 +693,9 @@ func (s *Server) runPipeline(bud *budget.Budget, sc obs.Scope, root *obs.Span, s
 
 // classifyError maps a pipeline error to a response status: budget
 // aborts split into timeout/canceled/budget, anything else is a plain
-// error.
-func classifyError(err error) string {
-	be, ok := budget.AsError(err)
-	switch {
-	case !ok:
-		return "error"
-	case be.Timeout():
-		return "timeout"
-	case be.Canceled():
-		return "canceled"
-	default:
-		return "budget"
-	}
-}
+// error.  The mapping is jobexec's, so sync requests and job attempts
+// classify identically.
+func classifyError(err error) string { return jobexec.Classify(err) }
 
 func (s *Server) handleRequests(w http.ResponseWriter, req *http.Request) {
 	limit := 0
@@ -689,6 +739,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		"in_flight": len(s.sem),
 		"capacity":  cap(s.sem),
 	})
+}
+
+// handleReadyz is the load-balancer signal, distinct from /healthz
+// liveness: 503 until Open has finished WAL replay and started the
+// pool/reclaimer, 200 after.  A restarting coordinator is alive long
+// before it is ready; routing to it early would 503 real traffic.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"status": "starting",
+			"reason": "job store replay / worker pool startup in progress",
+		})
+		return
+	}
+	body := map[string]any{"status": "ready", "durable": s.store != nil}
+	if s.store != nil {
+		body["leases"] = s.store.Leases()
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

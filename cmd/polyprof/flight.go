@@ -17,6 +17,7 @@ import (
 //	polyprof flight list -data-dir d            bundles, newest first
 //	polyprof flight show <id> -data-dir d       human-readable incident timeline
 //	polyprof flight export <id> -data-dir d     raw bundle JSON on stdout
+//	polyprof flight gc -data-dir d -keep n      prune old bundles (oldest first)
 //
 // Bundles live under <data-dir>/flightrec; -dir points at a bundle
 // directory directly.
@@ -24,6 +25,8 @@ func cmdFlight(args []string) error {
 	fs := flag.NewFlagSet("flight", flag.ExitOnError)
 	dataDir := fs.String("data-dir", "", "daemon data directory (bundles under <data-dir>/flightrec)")
 	dirFlag := fs.String("dir", "", "bundle directory (overrides -data-dir)")
+	keep := fs.Int("keep", 16, "flight gc: newest bundles to keep (0 removes all)")
+	maxBytes := fs.Int64("max-bytes", 0, "flight gc: also prune until kept bundles fit this many bytes (0 = no byte cap)")
 
 	// Accept `flight list -data-dir d` and `flight -data-dir d list`
 	// alike, matching the other subcommands' operand handling.
@@ -82,7 +85,21 @@ func cmdFlight(args []string) error {
 		os.Stdout.Write(data)
 		fmt.Println()
 		return nil
+	case "gc":
+		removed, err := flight.GC(dir, *keep, *maxBytes)
+		for _, id := range removed {
+			fmt.Printf("removed %s\n", id)
+		}
+		if err != nil {
+			return err
+		}
+		infos, err := flight.List(dir)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("flight gc: removed %d bundle(s), %d remain under %s\n", len(removed), len(infos), dir)
+		return nil
 	default:
-		return fmt.Errorf("flight: unknown verb %q (want list, show, or export)", verb)
+		return fmt.Errorf("flight: unknown verb %q (want list, show, export, or gc)", verb)
 	}
 }

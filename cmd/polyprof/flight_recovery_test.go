@@ -220,6 +220,16 @@ func TestKillMinusNineWritesFlightBundle(t *testing.T) {
 			t.Fatalf("flight show output missing %q:\n%s", want, out)
 		}
 	}
+
+	// Triaged: the operator prunes everything with flight gc.
+	out, err = exec.Command(bin, "flight", "gc", "-data-dir", dataDir, "-keep", "0").CombinedOutput()
+	if err != nil || !strings.Contains(string(out), "removed "+info.ID) {
+		t.Fatalf("flight gc (%v):\n%s", err, out)
+	}
+	out, err = exec.Command(bin, "flight", "list", "-data-dir", dataDir).CombinedOutput()
+	if err != nil || !strings.Contains(string(out), "no flight bundles") {
+		t.Fatalf("flight list after gc (%v):\n%s", err, out)
+	}
 	if t.Failed() {
 		fmt.Printf("data dir kept for inspection: %s\n", dataDir)
 	}

@@ -123,9 +123,11 @@ commands:
                           coordinator over the lease protocol, run them,
                           report under the fencing token (-workers n slots,
                           -lease-ttl d, -name id; budget/parallel flags apply)
-  flight <list|show|export> [id] -data-dir d
-                          inspect flight-recorder incident bundles written
-                          by the daemon (under <data-dir>/flightrec)
+  flight <list|show|export|gc> [id] -data-dir d
+                          inspect or prune flight-recorder incident bundles
+                          written by the daemon (under <data-dir>/flightrec;
+                          gc takes -keep n and -max-bytes b, oldest removed
+                          first)
 
 overhead regression flags:
   -compare f.json  diff the fresh stage costs against a baseline
@@ -149,6 +151,15 @@ budget flags (profile, report, serve):
   -max-shadow-mb n   degrade (coarsen, soundly) DDG tracking past n MiB
   -max-ddg-edges n   degrade DDG folding past n distinct edges
 
+streaming (profile, serve):
+  -epoch-events n    fold state every n dynamic events instead of buffering
+                     the whole trace: shadow memory is released per epoch
+                     (bounded-memory runs under -max-shadow-mb), the daemon
+                     checkpoints each epoch durably (crash/kill resumes from
+                     the last committed epoch) and streams per-epoch
+                     provisional reports on GET /v1/jobs/<id>?stream=1;
+                     final reports are byte-identical to buffered runs
+
 serve flags:
   -http :addr        listen address (default :7070)
   -max-inflight n    concurrent profile requests before 429 (default 2)
@@ -170,13 +181,14 @@ serve flags:
                      and their jobs re-queued
 
 POLYPROF_FAULT=point=mode[:arg][:count],... arms fault injection
-(points: vm.step, ddg.shadow.insert, fold.finish, sched.build,
-serve.handler, jobstore.wal.append, jobstore.wal.sync,
+(points: vm.step, ddg.shadow.insert, fold.finish, fold.epoch.merge,
+sched.build, serve.handler, jobstore.wal.append, jobstore.wal.sync,
 jobstore.snapshot, jobstore.replay, parddg.batch.dispatch,
-parddg.shard.insert, parddg.merge, jobexec.attempt, jobapi.partition,
-jobapi.acquire, jobapi.heartbeat, jobapi.result; modes: panic, error,
-budget, delay; a negative count is sticky — the fault fires on every
-hit, e.g. jobapi.partition=error:net:-1 holds a partition)`)
+parddg.shard.insert, parddg.merge, jobexec.attempt,
+jobexec.checkpoint, jobapi.partition, jobapi.acquire,
+jobapi.heartbeat, jobapi.result; modes: panic, error, budget, delay; a
+negative count is sticky — the fault fires on every hit, e.g.
+jobapi.partition=error:net:-1 holds a partition)`)
 }
 
 func cmdList() error {
@@ -358,6 +370,8 @@ func cmdProfile(args []string) error {
 	of := addObsFlags(fs)
 	bf := addBudgetFlags(fs)
 	par := addParallelFlag(fs)
+	epochEvents := fs.Uint64("epoch-events", 0,
+		"streaming mode: fold state and release shadow memory every n dynamic events (0 = buffered)")
 	name, err := parseWorkload(fs, args)
 	if err != nil {
 		return err
@@ -372,10 +386,19 @@ func cmdProfile(args []string) error {
 	if err != nil {
 		return err
 	}
-	rep, err := polyprof.ProfileWith(context.Background(), prog, polyprof.ProfileOptions{
+	popts := polyprof.ProfileOptions{
 		Limits:      bf.limits(),
 		ParallelDDG: resolveShards(*par),
-	})
+		EpochEvents: *epochEvents,
+	}
+	if *epochEvents > 0 {
+		popts.OnEpoch = func(ep *polyprof.Epoch) error {
+			fmt.Fprintf(os.Stderr, "polyprof: epoch %d: %d events folded (%.1f MiB shadow released)\n",
+				ep.N, ep.Events, float64(ep.ReleasedBytes)/(1<<20))
+			return nil
+		}
+	}
+	rep, err := polyprof.ProfileWith(context.Background(), prog, popts)
 	if err != nil {
 		return err
 	}
@@ -709,6 +732,8 @@ func cmdServe(args []string) error {
 	jobTTL := fs.Duration("job-ttl", 0, "garbage-collect terminal jobs this long after they finish (0 = keep forever; requires -data-dir)")
 	slowJob := fs.Duration("slow-job-threshold", 0, "write a flight bundle when a job attempt outlives this (0 = request-timeout/2, negative disables)")
 	leaseTTL := fs.Duration("lease-ttl", 30*time.Second, "default lease TTL granted to remote workers (clamped to [200ms, 10m])")
+	epochEvents := fs.Uint64("epoch-events", 0,
+		"default epoch grid for submitted jobs: stream, checkpoint, and emit provisional reports every n events (0 = buffered; per-job ?epoch-events overrides)")
 	bf := addBudgetFlags(fs)
 	par := addParallelFlag(fs)
 	if err := fs.Parse(args); err != nil {
@@ -734,6 +759,7 @@ func cmdServe(args []string) error {
 		ParallelDDG:      resolveShards(*par),
 		SlowJobThreshold: *slowJob,
 		LeaseTTL:         *leaseTTL,
+		EpochEvents:      *epochEvents,
 		// Open after the listener is up so /readyz answers 503 during
 		// WAL replay instead of the port refusing connections.
 		DeferOpen: true,

@@ -200,6 +200,38 @@ func (b *Budget) GrantEdges(n uint64) bool {
 	return true
 }
 
+// ReleaseShadow returns n bytes of shadow accounting to the budget.
+// Streaming epoch runs call it after folding-and-releasing per-record
+// state at an epoch boundary, which is what lets a trace far larger
+// than the ceiling run without ever tripping the degradation latch.
+// Releases never un-trip a latch: once GrantShadow answered false the
+// run is degraded for good, same as before.
+func (b *Budget) ReleaseShadow(n uint64) {
+	if b == nil || b.limits.MaxShadowBytes == 0 {
+		return
+	}
+	for {
+		cur := b.shadow.Load()
+		next := uint64(0)
+		if cur > n {
+			next = cur - n
+		}
+		if b.shadow.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}
+
+// ShadowLimit returns MaxShadowBytes, or 0 when unlimited; the core
+// streaming driver uses it to decide whether fold-and-release is worth
+// arming.
+func (b *Budget) ShadowLimit() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.limits.MaxShadowBytes
+}
+
 // ShadowBytes returns the bytes granted so far.
 func (b *Budget) ShadowBytes() uint64 {
 	if b == nil {

@@ -150,18 +150,23 @@ type Pass2 struct {
 // recovered by AnalyzeStructure.
 func NewPass2(prog *isa.Program, st *Structure, sink InstrSink) *Pass2 {
 	p := &Pass2{Vector: iiv.NewVector(), Tree: iiv.NewTree(), sink: sink}
-	p.tr = loopevents.NewTranslator(prog, st.Forest, st.Comps, func(e loopevents.Event) {
-		if p.Events != nil {
-			*p.Events = append(*p.Events, e)
-		}
-		p.Vector.Apply(e)
-		switch e.Kind {
-		case loopevents.EnterLoop, loopevents.IterateLoop,
-			loopevents.EnterRec, loopevents.IterCallRec, loopevents.IterRetRec:
-			p.Tree.NoteIteration(p.Vector)
-		}
-	})
+	p.tr = loopevents.NewTranslator(prog, st.Forest, st.Comps, p.emit)
 	return p
+}
+
+// emit is the loop-event consumer: it advances the iteration vector and
+// the schedule tree.  A method (not a closure) so checkpoint resume can
+// hand the same consumer to a restored translator.
+func (p *Pass2) emit(e loopevents.Event) {
+	if p.Events != nil {
+		*p.Events = append(*p.Events, e)
+	}
+	p.Vector.Apply(e)
+	switch e.Kind {
+	case loopevents.EnterLoop, loopevents.IterateLoop,
+		loopevents.EnterRec, loopevents.IterCallRec, loopevents.IterRetRec:
+		p.Tree.NoteIteration(p.Vector)
+	}
 }
 
 // Control implements trace.Hook.
@@ -218,12 +223,14 @@ func RunPass2(prog *isa.Program, st *Structure, sink InstrSink, initMem func([]u
 // into sc's registry, nested under sc's parent span, governed by bud
 // (nil for unlimited).
 func RunPass2Scoped(prog *isa.Program, st *Structure, sink InstrSink, initMem func([]uint64), sc obs.Scope, bud *budget.Budget) (*Pass2, vm.Stats, error) {
-	return runPass2(prog, st, sink, initMem, sc, bud, nil)
+	return runPass2(prog, st, sink, initMem, sc, bud, nil, nil)
 }
 
-// runPass2 additionally publishes live progress into tr (nil for
-// none).
-func runPass2(prog *isa.Program, st *Structure, sink InstrSink, initMem func([]uint64), sc obs.Scope, bud *budget.Budget, tr *progress.Tracker) (p *Pass2, stats vm.Stats, err error) {
+// runPass2 additionally publishes live progress into tr (nil for none)
+// and, when ec is non-nil, runs under the streaming epoch driver
+// (stream.go): the VM pauses at epoch boundaries and resumes from a
+// checkpoint when one is armed.
+func runPass2(prog *isa.Program, st *Structure, sink InstrSink, initMem func([]uint64), sc obs.Scope, bud *budget.Budget, tr *progress.Tracker, ec *epochConfig) (p *Pass2, stats vm.Stats, err error) {
 	name := "pass2-iiv"
 	if sink != nil {
 		name = "pass2-ddg"
@@ -237,6 +244,12 @@ func runPass2(prog *isa.Program, st *Structure, sink InstrSink, initMem func([]u
 	m.Obs = sc
 	m.Budget = bud
 	m.Progress = tr
+	if ec != nil {
+		if err := ec.arm(p, m, prog, st); err != nil {
+			sp.Fail(err)
+			return nil, vm.Stats{}, err
+		}
+	}
 	if err := m.Run(); err != nil {
 		sp.Fail(err)
 		return nil, vm.Stats{}, err

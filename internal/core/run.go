@@ -44,6 +44,21 @@ type Options struct {
 	// events against that exact total (the pipeline re-executes the
 	// same deterministic program).
 	Progress *progress.Tracker
+	// EpochEvents chunks pass 2 into epochs of this many dynamic
+	// instructions (streaming mode, see stream.go); 0 runs buffered.
+	// Boundaries are exact op-counter multiples, so they land
+	// identically on fresh and resumed attempts.
+	EpochEvents uint64
+	// OnEpoch, when non-nil alongside EpochEvents, receives each epoch
+	// boundary: a provisional profile and (sequential, non-degraded
+	// runs) a serialized checkpoint.  An error aborts the run.
+	OnEpoch func(*Epoch) error
+	// Resume, when non-nil, restores pass 2 from a decoded checkpoint
+	// instead of starting at event zero (pass 1 still re-runs — it is
+	// deterministic and provides the structure the checkpoint re-binds
+	// against).  Resume forces the sequential engine: checkpoints only
+	// exist in its format, and both engines fold byte-identical graphs.
+	Resume *Checkpoint
 }
 
 // DefaultRunOptions returns the configuration used throughout the
@@ -86,23 +101,48 @@ func Run(prog *isa.Program, opts Options) (*Profile, error) {
 	ddgOpts := opts.DDG
 	ddgOpts.Obs = sc
 	ddgOpts.Budget = bud
+	var ec *epochConfig
+	if opts.EpochEvents > 0 || opts.Resume != nil {
+		ec = &epochConfig{events: opts.EpochEvents, cb: opts.OnEpoch, resume: opts.Resume}
+	}
+	parallel := opts.ParallelDDG > 0 && opts.Resume == nil
+	if ec != nil && !parallel && bud.ShadowLimit() > 0 {
+		// Bounded-memory mode: fold-and-release stale shadow records at
+		// every boundary so the ceiling holds for arbitrarily long traces.
+		ddgOpts.Stream = true
+	}
 	var sink InstrSink
 	var finisher ddgFinisher
-	if opts.ParallelDDG > 0 {
+	if parallel {
 		eng := parddg.NewEngine(prog, parddg.Options{Shards: opts.ParallelDDG, DDG: ddgOpts, Sampler: opts.Sampler})
 		// Close is idempotent and a no-op after FinishChecked; the defer
 		// only matters when pass 2 errors out with worker goroutines
 		// still running.
 		defer eng.Close()
 		sink, finisher = eng, eng
+		if ec != nil {
+			ec.engine = eng
+		}
 	} else {
-		builder := ddg.NewBuilder(prog, ddgOpts)
+		var builder *ddg.Builder
+		if opts.Resume != nil && opts.Resume.DDG != nil {
+			var rerr error
+			builder, rerr = ddg.RestoreBuilder(prog, ddgOpts, opts.Resume.DDG)
+			if rerr != nil {
+				return nil, rerr
+			}
+		} else {
+			builder = ddg.NewBuilder(prog, ddgOpts)
+		}
 		sink, finisher = builder, builder
+		if ec != nil {
+			ec.builder = builder
+		}
 	}
 	// Pass 2 re-executes the same deterministic program, so pass 1's op
 	// count is its exact expected total.
 	tr.StartStage("pass2-ddg", st.Stats.Ops)
-	p2, stats, err := runPass2(prog, st, sink, opts.InitMem, sc, bud, tr)
+	p2, stats, err := runPass2(prog, st, sink, opts.InitMem, sc, bud, tr, ec)
 	if err != nil {
 		return nil, err
 	}

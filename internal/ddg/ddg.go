@@ -180,6 +180,13 @@ type Options struct {
 	// edges.  Exhaustion degrades the graph to coarse summaries (see
 	// degrade.go) instead of failing the run.
 	Budget *budget.Budget
+	// Stream enables epoch fold-and-release (epoch.go): shadow records
+	// untouched for a full epoch fold into conservative stale summaries
+	// and return their bytes to the budget, so a trace far larger than
+	// MaxShadowBytes profiles without tripping degradation.  Set by the
+	// streaming driver in core when both an epoch size and a shadow
+	// budget are configured.
+	Stream bool
 }
 
 // DefaultOptions tracks everything with the lattice extension enabled.
@@ -190,6 +197,11 @@ func DefaultOptions() Options {
 type writerRec struct {
 	instr  *Instr
 	coords []int64
+	// seen is the epoch of the last touch and grant the budget bytes
+	// charged for this record; both drive the streaming fold-and-release
+	// cycle (epoch.go) and are dead weight otherwise.
+	seen  uint64
+	grant uint64
 }
 
 func (w *writerRec) set(instr *Instr, coords []int64) {
@@ -267,6 +279,16 @@ type Builder struct {
 	// faultErr latches an error injected on a path that cannot return
 	// one; FinishChecked surfaces it.
 	faultErr error
+
+	// Streaming fold-and-release state (epoch.go): stale is non-nil
+	// exactly when opts.Stream, epochN counts epoch boundaries from 1,
+	// releasedBytes totals the budget bytes returned so far.
+	stale         map[int64]*coarseRange
+	epochN        uint64
+	releasedBytes uint64
+	// pinTripped carries the live budget's tripped list into a
+	// provisional clone, whose own Budget is nil (see Clone).
+	pinTripped []string
 }
 
 // NewBuilder creates a DDG builder for one execution of prog.
@@ -288,6 +310,10 @@ func NewBuilder(prog *isa.Program, opts Options) *Builder {
 	// them degrades the whole address space from the first event.
 	if !opts.Budget.GrantShadow(baseShadowBytes(prog.MemWords)) {
 		b.tripShadow()
+	}
+	if opts.Stream {
+		b.stale = map[int64]*coarseRange{}
+		b.epochN = 1
 	}
 	return b
 }
@@ -464,26 +490,46 @@ func (b *Builder) OnInstr(ctxKey string, coords []int64, ev trace.InstrEvent, in
 			b.coarseEvent(instr, coords, ev.Addr, in.Op.IsMemWrite())
 		} else if in.Op.IsMemWrite() {
 			w := &b.shadow[ev.Addr]
-			if w.instr == nil && !b.grantRec(len(coords)) {
+			wasNew := w.instr == nil
+			if wasNew && !b.grantRec(len(coords)) {
 				b.coarseEvent(instr, coords, ev.Addr, true)
 			} else {
-				if w.instr != nil && b.opts.TrackOutput {
+				if !wasNew && b.opts.TrackOutput {
 					b.addDep(w.instr, w.coords, instr, coords, Output)
 				}
-				if r := &b.lastRead[ev.Addr]; r.instr != nil && b.opts.TrackAnti {
+				r := &b.lastRead[ev.Addr]
+				haveReader := r.instr != nil
+				if haveReader && b.opts.TrackAnti {
 					b.addDep(r.instr, r.coords, instr, coords, Anti)
 				}
 				w.set(instr, coords)
+				if wasNew {
+					w.grant = recBytes(len(coords))
+				}
+				if b.stale != nil {
+					w.seen = b.epochN
+					b.staleDeps(instr, coords, ev.Addr, wasNew, !haveReader, true)
+				}
 			}
 		} else {
 			r := &b.lastRead[ev.Addr]
-			if r.instr == nil && !b.grantRec(len(coords)) {
+			wasNew := r.instr == nil
+			if wasNew && !b.grantRec(len(coords)) {
 				b.coarseEvent(instr, coords, ev.Addr, false)
 			} else {
-				if w := &b.shadow[ev.Addr]; w.instr != nil {
+				w := &b.shadow[ev.Addr]
+				haveWriter := w.instr != nil
+				if haveWriter {
 					b.addDep(w.instr, w.coords, instr, coords, FlowMem)
 				}
 				r.set(instr, coords)
+				if wasNew {
+					r.grant = recBytes(len(coords))
+				}
+				if b.stale != nil {
+					r.seen = b.epochN
+					b.staleDeps(instr, coords, ev.Addr, !haveWriter, false, false)
+				}
 			}
 		}
 	}
@@ -576,10 +622,9 @@ func (b *Builder) FinishChecked() (*Graph, error) {
 			i.accessFolder = nil
 		}
 		// SCEV recognition: pure integer ALU whose values are an affine
-		// function of the iteration vector.
-		if i.Op.IsIntALU() && i.Value.Fn != nil {
-			i.IsSCEV = true
-		}
+		// function of the iteration vector.  Assignment (not a latch) so
+		// finishing restored or cloned state recomputes the flag.
+		i.IsSCEV = i.Op.IsIntALU() && i.Value.Fn != nil
 		if err := check(); err != nil {
 			return nil, err
 		}
@@ -644,6 +689,11 @@ func (b *Builder) publishMetrics(g *Graph) {
 		sc.Observe("ddg.dep.points", d.Count)
 	}
 	sc.Add("ddg.dep.points.total", depPoints)
+	if b.stale != nil {
+		sc.Add("ddg.stream.epochs", b.epochN-1)
+		sc.Add("ddg.stream.released_bytes", b.releasedBytes)
+		sc.Add("ddg.stream.stale_ranges", uint64(len(b.stale)))
+	}
 	if deg := g.Degraded; deg != nil {
 		sc.Add("ddg.degraded.runs", 1)
 		sc.Add("ddg.degraded.coarse_deps", uint64(deg.CoarseDeps))

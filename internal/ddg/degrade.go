@@ -311,6 +311,11 @@ func sortedByID(m map[*Instr]*coordBox) []*Instr {
 // buildDegradation assembles the Graph's degraded section.
 func (b *Builder) buildDegradation(g *Graph) {
 	tripped := b.opts.Budget.Tripped()
+	if tripped == nil {
+		// Provisional clones drop the live budget; Clone pins its
+		// tripped list so the provisional report still names it.
+		tripped = b.pinTripped
+	}
 	if b.coarse == nil && len(tripped) == 0 {
 		return
 	}

@@ -1,0 +1,177 @@
+package fold
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func pieceKey(p Piece) string {
+	s := fmt.Sprintf("exact=%v points=%d dom=%s", p.Exact, p.Points, p.Dom)
+	if p.Fn != nil {
+		s += " fn=" + p.Fn.String()
+	}
+	return s
+}
+
+func piecesKey(ps []Piece) string {
+	out := ""
+	for _, p := range ps {
+		out += pieceKey(p) + ";"
+	}
+	return out
+}
+
+// genStream builds a stream of (coords,label) points: mostly
+// lexicographic affine streams, sometimes with noise so approx paths and
+// multi-piece classification get exercised.
+func genStream(r *rand.Rand, dim, labelW, n int) [][2][]int64 {
+	var pts [][2][]int64
+	base := r.Int63n(5)
+	noisy := r.Intn(3) == 0
+	coords := make([]int64, dim)
+	for i := 0; i < n; i++ {
+		// advance lexicographically with occasional jumps
+		k := dim - 1
+		if dim > 1 && r.Intn(4) == 0 {
+			k = r.Intn(dim)
+		}
+		coords[k]++
+		for j := k + 1; j < dim; j++ {
+			coords[j] = 0
+		}
+		label := make([]int64, labelW)
+		for j := range label {
+			label[j] = base + 2*coords[0]
+			if dim > 1 {
+				label[j] += 3 * coords[dim-1]
+			}
+			if noisy && r.Intn(5) == 0 {
+				label[j] += r.Int63n(7)
+			}
+		}
+		pts = append(pts, [2][]int64{append([]int64(nil), coords...), label})
+	}
+	return pts
+}
+
+func TestFolderCloneAndStateRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		dim := 1 + r.Intn(3)
+		labelW := r.Intn(2)
+		n := r.Intn(40)
+		pts := genStream(r, dim, labelW, n)
+		cut := 0
+		if n > 0 {
+			cut = r.Intn(n)
+		}
+
+		ref := NewFolder(dim, labelW)
+		for _, p := range pts {
+			ref.Add(p[0], p[1])
+		}
+		want := pieceKey(ref.Finish())
+
+		// Clone mid-stream: both the clone and a state round-trip must
+		// finish identically to the uninterrupted fold.
+		live := NewFolder(dim, labelW)
+		for _, p := range pts[:cut] {
+			live.Add(p[0], p[1])
+		}
+		cl := live.Clone()
+
+		blob, err := json.Marshal(live.State())
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var st FolderState
+		if err := json.Unmarshal(blob, &st); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		restored, err := RestoreFolder(st)
+		if err != nil {
+			t.Fatalf("restore: %v", err)
+		}
+
+		for _, p := range pts[cut:] {
+			cl.Add(p[0], p[1])
+			restored.Add(p[0], p[1])
+		}
+		if got := pieceKey(cl.Finish()); got != want {
+			t.Fatalf("trial %d: clone diverged\n got %s\nwant %s", trial, got, want)
+		}
+		if got := pieceKey(restored.Finish()); got != want {
+			t.Fatalf("trial %d: state round-trip diverged\n got %s\nwant %s", trial, got, want)
+		}
+	}
+}
+
+func TestMultiFolderCloneAndStateRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		dim := 1 + r.Intn(2)
+		n := r.Intn(60)
+		pts := genStream(r, dim, 1, n)
+		cut := 0
+		if n > 0 {
+			cut = r.Intn(n)
+		}
+
+		ref := NewMultiFolder(dim, 1, DefaultMaxPieces)
+		for _, p := range pts {
+			ref.Add(p[0], p[1])
+		}
+		want := piecesKey(ref.Finish())
+
+		live := NewMultiFolder(dim, 1, DefaultMaxPieces)
+		for _, p := range pts[:cut] {
+			live.Add(p[0], p[1])
+		}
+		cl := live.Clone()
+		blob, err := json.Marshal(live.State())
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		var st MultiFolderState
+		if err := json.Unmarshal(blob, &st); err != nil {
+			t.Fatalf("unmarshal: %v", err)
+		}
+		restored, err := RestoreMultiFolder(st)
+		if err != nil {
+			t.Fatalf("restore: %v", err)
+		}
+		for _, p := range pts[cut:] {
+			cl.Add(p[0], p[1])
+			restored.Add(p[0], p[1])
+		}
+		if got := piecesKey(cl.Finish()); got != want {
+			t.Fatalf("trial %d: clone diverged\n got %s\nwant %s", trial, got, want)
+		}
+		if got := piecesKey(restored.Finish()); got != want {
+			t.Fatalf("trial %d: state round-trip diverged\n got %s\nwant %s", trial, got, want)
+		}
+	}
+}
+
+// The clone must be fully independent: folding the clone to completion
+// must not disturb the live folder.
+func TestCloneIndependence(t *testing.T) {
+	f := NewFolder(2, 1)
+	for i := int64(0); i < 20; i++ {
+		f.Add([]int64{i / 5, i % 5}, []int64{2 * i})
+	}
+	c := f.Clone()
+	_ = c.Finish()
+	for i := int64(20); i < 40; i++ {
+		f.Add([]int64{i / 5, i % 5}, []int64{2 * i})
+	}
+	ref := NewFolder(2, 1)
+	for i := int64(0); i < 40; i++ {
+		ref.Add([]int64{i / 5, i % 5}, []int64{2 * i})
+	}
+	if got, want := pieceKey(f.Finish()), pieceKey(ref.Finish()); got != want {
+		t.Fatalf("live folder disturbed by clone finish:\n got %s\nwant %s", got, want)
+	}
+}

@@ -9,9 +9,11 @@
 //
 // Wire surface (all JSON):
 //
-//	POST /v1/leases               claim a ready job   → 201 Grant | 204
-//	PUT  /v1/leases/{id}          heartbeat/extend    → 200 Lease | 409 | 410
-//	POST /v1/leases/{id}/result   report the attempt  → 200 | 409 | 410
+//	POST /v1/leases                  claim a ready job   → 201 Grant | 204
+//	PUT  /v1/leases/{id}             heartbeat/extend    → 200 Lease | 409 | 410
+//	POST /v1/leases/{id}/checkpoint  commit a streaming
+//	                                 epoch checkpoint    → 200 | 409 | 410
+//	POST /v1/leases/{id}/result      report the attempt  → 200 | 409 | 410
 //
 // 409 means fenced — the presented token no longer owns the job (the
 // lease expired and was reclaimed, the coordinator restarted, or the
@@ -58,10 +60,13 @@ type AcquireRequest struct {
 
 // Grant is the 201 body of a successful claim: the lease (token
 // included — it travels only to the granted worker) and the full job
-// to execute.
+// to execute.  For a streaming job with a committed epoch checkpoint,
+// the checkpoint rides along so the worker resumes from it instead of
+// starting at event zero.
 type Grant struct {
-	Lease *jobstore.Lease `json:"lease"`
-	Job   *jobstore.Job   `json:"job"`
+	Lease      *jobstore.Lease         `json:"lease"`
+	Job        *jobstore.Job           `json:"job"`
+	Checkpoint *jobstore.JobCheckpoint `json:"checkpoint,omitempty"`
 }
 
 // HeartbeatRequest is the body of PUT /v1/leases/{id}.
@@ -70,6 +75,19 @@ type HeartbeatRequest struct {
 	// TTLNS extends the lease by this much (zero keeps the granted
 	// TTL).
 	TTLNS int64 `json:"ttl_ns,omitempty"`
+}
+
+// CheckpointRequest is the body of POST /v1/leases/{id}/checkpoint:
+// a streaming attempt commits one epoch checkpoint under its fencing
+// token.  A 200 means the coordinator fsynced it — the epoch is
+// committed and any later attempt (local or remote) resumes from it.
+type CheckpointRequest struct {
+	Token   uint64 `json:"token"`
+	Attempt int    `json:"attempt,omitempty"`
+	Epoch   uint64 `json:"epoch"`
+	Events  uint64 `json:"events"`
+	// Data is the serialized core.Checkpoint (opaque to the protocol).
+	Data []byte `json:"data"`
 }
 
 // ResultRequest is the body of POST /v1/leases/{id}/result: exactly
@@ -167,6 +185,12 @@ func (c *Client) Heartbeat(ctx context.Context, jobID string, token uint64, ttl 
 		return nil, err
 	}
 	return &ls, nil
+}
+
+// Checkpoint commits one streaming epoch checkpoint under the fencing
+// token.  Returning nil means the coordinator committed (fsynced) it.
+func (c *Client) Checkpoint(ctx context.Context, jobID string, req *CheckpointRequest) error {
+	return c.do(ctx, http.MethodPost, "/v1/leases/"+jobID+"/checkpoint", req, nil)
 }
 
 // Report posts the attempt's terminal outcome under the fencing token.

@@ -155,6 +155,32 @@ func (w *Worker) runAttempt(ctx context.Context, grant *Grant) {
 
 	exec := w.opts.Exec
 	exec.Tracker = tr
+	// Streaming wiring is the worker's own (caller-supplied hooks are
+	// ignored like Exec.Tracker): the epoch grid comes from the job
+	// spec, checkpoints commit through the coordinator's lease-fenced
+	// endpoint, and a resume is shipped home as a trace event.  No
+	// provisional hook — remote attempts skip the per-epoch render;
+	// live subscribers are served by the coordinator.
+	exec.EpochEvents = job.EpochEvents
+	exec.Checkpoints = nil
+	exec.OnProvisional = nil
+	exec.OnResume = nil
+	if job.EpochEvents > 0 {
+		exec.Checkpoints = &remoteCheckpoints{
+			worker: w, ctx: attemptCtx, jobID: job.ID, lease: lease, grant: grant.Checkpoint,
+		}
+		exec.OnResume = func(epoch, epochEvents uint64) {
+			w.logf("jobapi: worker %s: %s attempt %d resumes from committed epoch %d (%d events)",
+				w.opts.Name, job.ID, lease.Attempt, epoch, epochEvents)
+			evMu.Lock()
+			events = append(events, jobstore.TraceEvent{
+				At: time.Now().UTC(), Event: jobstore.TraceResume, Attempt: lease.Attempt,
+				Detail: fmt.Sprintf("worker %s resumed from committed epoch %d (%d events)",
+					w.opts.Name, epoch, epochEvents),
+			})
+			evMu.Unlock()
+		}
+	}
 	res, _, runErr := jobexec.Run(attemptCtx, job, lease.Attempt, exec)
 	cancel() // stop heartbeating before the result post races a renewal
 	hbWG.Wait()
@@ -255,6 +281,53 @@ func (w *Worker) logf(format string, args ...any) {
 	if w.opts.Logf != nil {
 		w.opts.Logf(format, args...)
 	}
+}
+
+// remoteCheckpoints backs jobexec's CheckpointStore over the lease
+// protocol: Save is a fenced POST to the coordinator (200 = the epoch
+// is fsynced there), Load replays the checkpoint that rode along with
+// the grant.  Transport blips are retried briefly; a fenced or gone
+// response fails the save — the attempt no longer owns the job, and
+// failing the epoch is what stops it from burning CPU for a dead
+// lease.
+type remoteCheckpoints struct {
+	worker *Worker
+	ctx    context.Context
+	jobID  string
+	lease  *jobstore.Lease
+	grant  *jobstore.JobCheckpoint
+}
+
+func (rc *remoteCheckpoints) Save(epoch, events uint64, data []byte) error {
+	req := &CheckpointRequest{
+		Token: rc.lease.Token, Attempt: rc.lease.Attempt,
+		Epoch: epoch, Events: events, Data: data,
+	}
+	backoff := 200 * time.Millisecond
+	for tries := 0; ; tries++ {
+		err := rc.worker.client.Checkpoint(rc.ctx, rc.jobID, req)
+		switch {
+		case err == nil:
+			return nil
+		case !Transient(err), rc.ctx.Err() != nil, tries >= 2:
+			return fmt.Errorf("committing epoch %d for %s: %w", epoch, rc.jobID, err)
+		}
+		rc.worker.logf("jobapi: worker %s: checkpoint post for %s failed: %v (retrying in %s)",
+			rc.worker.opts.Name, rc.jobID, err, backoff)
+		select {
+		case <-rc.ctx.Done():
+			return rc.ctx.Err()
+		case <-time.After(jitter(backoff)):
+		}
+		backoff *= 2
+	}
+}
+
+func (rc *remoteCheckpoints) Load() ([]byte, bool) {
+	if rc.grant == nil || len(rc.grant.Data) == 0 {
+		return nil, false
+	}
+	return rc.grant.Data, true
 }
 
 // jitter spreads a delay ±25% so a fleet of workers does not poll in

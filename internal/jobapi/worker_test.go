@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -214,6 +215,64 @@ func TestWorkerHeartbeatPartitionZombie(t *testing.T) {
 	}
 	if reclaims == 0 {
 		t.Fatalf("no reclaim event in trace: %+v", j.Trace)
+	}
+}
+
+// TestWorkerStreamingCheckpointResume: a remote streaming attempt
+// commits its epoch checkpoints through the lease-fenced endpoint; when
+// the attempt dies mid-stream, the next grant carries the committed
+// checkpoint and the retry resumes past event zero — with a final
+// report byte-identical to a buffered run of the same workload.
+func TestWorkerStreamingCheckpointResume(t *testing.T) {
+	t.Cleanup(faultinject.DisarmAll)
+	// Epoch 1's checkpoint commits; epoch 2's dies (retryable), killing
+	// attempt 1 mid-stream.  The fault self-disarms, so attempt 2 runs
+	// clean — and must resume from the committed epoch 1.
+	if err := faultinject.ArmString("jobexec.checkpoint=error:chaos:2"); err != nil {
+		t.Fatal(err)
+	}
+
+	ts := startCoordinator(t, serve.Options{})
+	buffered := submitWorkload(t, ts, "workload=backprop")
+	streamed := submitWorkload(t, ts, "workload=backprop&epoch-events=2000&nocache=1")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	w := jobapi.NewWorker(jobapi.WorkerOptions{
+		Coordinator: ts.URL,
+		Name:        "streamer",
+		Slots:       1,
+		Poll:        25 * time.Millisecond,
+		Exec:        jobexec.Options{Timeout: 30 * time.Second},
+		Logf:        t.Logf,
+	})
+	done := make(chan struct{})
+	go func() { w.Run(ctx); close(done) }()
+
+	jb := waitState(t, ts, buffered, jobstore.StateSucceeded, 30*time.Second)
+	js := waitState(t, ts, streamed, jobstore.StateSucceeded, 30*time.Second)
+	cancel()
+	<-done
+
+	if js.Attempts < 2 {
+		t.Fatalf("streaming job attempts = %d, want >= 2 (checkpoint fault must have killed attempt 1)", js.Attempts)
+	}
+	// The worker shipped the resume home as a trace event, proving the
+	// retry restored the grant's checkpoint instead of starting over.
+	var resume *jobstore.TraceEvent
+	for i, ev := range js.Trace {
+		if ev.Event == jobstore.TraceResume {
+			resume = &js.Trace[i]
+		}
+	}
+	if resume == nil {
+		t.Fatalf("no %s event in trace: %+v", jobstore.TraceResume, js.Trace)
+	}
+	if !strings.Contains(resume.Detail, "worker streamer") || !strings.Contains(resume.Detail, "epoch 1") {
+		t.Fatalf("resume detail = %q, want worker streamer resuming from epoch 1", resume.Detail)
+	}
+	if len(js.Result.Report) == 0 || string(js.Result.Report) != string(jb.Result.Report) {
+		t.Fatal("resumed streamed report differs from the buffered run")
 	}
 }
 

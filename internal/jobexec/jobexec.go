@@ -10,6 +10,8 @@ package jobexec
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"time"
 
@@ -20,6 +22,7 @@ import (
 	"polyprof/internal/isa"
 	"polyprof/internal/jobstore"
 	"polyprof/internal/obs"
+	"polyprof/internal/obs/flight"
 	"polyprof/internal/obs/sampler"
 	"polyprof/internal/progress"
 	"polyprof/internal/workloads"
@@ -27,8 +30,34 @@ import (
 
 // attemptFault injects at the top of each attempt, before the program
 // is materialized — the chaos hook for a worker that wedges (delay) or
-// fails (error/budget/panic) mid-attempt.
-var attemptFault = faultinject.Point("jobexec.attempt")
+// fails (error/budget/panic) mid-attempt.  checkpointFault injects at
+// the checkpoint-persist boundary of a streaming attempt: the attempt
+// dies mid-epoch and the retry must resume from the last epoch whose
+// checkpoint committed.
+var (
+	attemptFault    = faultinject.Point("jobexec.attempt")
+	checkpointFault = faultinject.Point("jobexec.checkpoint")
+)
+
+// CheckpointStore persists and recalls epoch checkpoints for one job.
+// The serve daemon backs it with jobstore (WAL-committed); remote
+// workers back it with the coordinator's lease-fenced checkpoint
+// endpoint.  Save returning nil means the epoch is committed.
+type CheckpointStore interface {
+	Save(epoch, events uint64, data []byte) error
+	// Load returns the latest committed checkpoint, or ok == false when
+	// the attempt must start from event zero.
+	Load() (data []byte, ok bool)
+}
+
+// Provisional is the rendered per-epoch report of a streaming attempt,
+// pushed to Options.OnProvisional for live progress streaming.  Its
+// dependence set only ever grows in later epochs.
+type Provisional struct {
+	Epoch  uint64          `json:"epoch"`
+	Events uint64          `json:"events"`
+	Report json.RawMessage `json:"report"`
+}
 
 // Options tunes one attempt.
 type Options struct {
@@ -43,6 +72,21 @@ type Options struct {
 	// Tracker receives stage transitions when non-nil; the caller owns
 	// it (wiring OnStage to its own persistence or trace shipping).
 	Tracker *progress.Tracker
+
+	// EpochEvents, when positive, runs the attempt in streaming mode:
+	// pass 2 pauses every EpochEvents dynamic instructions, renders a
+	// provisional report, and commits a resume checkpoint.
+	EpochEvents uint64
+	// Checkpoints persists epoch checkpoints and supplies the one a
+	// resumed attempt restores from (nil: stream without durability).
+	Checkpoints CheckpointStore
+	// OnProvisional receives the rendered report after each epoch (nil
+	// skips the per-epoch render entirely).
+	OnProvisional func(Provisional)
+	// OnResume is told when the attempt restored from a committed
+	// checkpoint instead of starting at event zero (for lifecycle
+	// tracing).
+	OnResume func(epoch, events uint64)
 }
 
 // Program materializes the program a job profiles.  Errors here are
@@ -106,6 +150,27 @@ func Run(ctx context.Context, job *jobstore.Job, attempt int, opts Options) (*jo
 		ro.Budget = bud
 		ro.ParallelDDG = opts.ParallelDDG
 		ro.Progress = opts.Tracker
+		if opts.EpochEvents > 0 {
+			ro.EpochEvents = opts.EpochEvents
+			ro.OnEpoch = epochHook(opts)
+			if opts.Checkpoints != nil {
+				if data, ok := opts.Checkpoints.Load(); ok {
+					ck, derr := core.DecodeCheckpoint(data)
+					if derr != nil {
+						// Resuming is an optimization; a fresh start is
+						// always sound.  Record the corruption and run
+						// from event zero.
+						flight.Log("stream", "resume-rejected",
+							fmt.Sprintf("job %s: %v; starting from event zero", job.ID, derr))
+					} else {
+						ro.Resume = ck
+						if opts.OnResume != nil {
+							opts.OnResume(ck.Epoch, ck.Events)
+						}
+					}
+				}
+			}
+		}
 		if opts.ParallelDDG > 0 {
 			// Parallel attempts carry the utilization sampler; its
 			// headline gauges land in the attempt registry for the caller
@@ -144,6 +209,42 @@ func Run(ctx context.Context, job *jobstore.Job, attempt int, opts Options) (*jo
 	root.End()
 	res.WallNS = int64(time.Since(start))
 	return res, reg, err
+}
+
+// epochHook builds the per-boundary callback of a streaming attempt:
+// render the provisional report (only when someone is listening), then
+// commit the checkpoint.  In that order — a checkpoint must never
+// outrun what has been reported — and any failure aborts the attempt
+// as retryable: the retry resumes from the last epoch whose checkpoint
+// actually committed.
+func epochHook(opts Options) func(*core.Epoch) error {
+	return func(ep *core.Epoch) error {
+		if opts.OnProvisional != nil && ep.Provisional != nil {
+			prov := ep.Provisional
+			// Detached disabled registry: per-epoch analysis must not
+			// pollute the attempt's span tree or the global metrics.
+			prov.Obs = obs.NewRegistry().Scope()
+			rep, err := feedback.AnalyzeChecked(prov)
+			if err != nil {
+				return fmt.Errorf("provisional analysis at epoch %d: %w", ep.N, err)
+			}
+			cm := feedback.DefaultCostModel()
+			data, err := rep.JSON(&cm)
+			if err != nil {
+				return fmt.Errorf("provisional report at epoch %d: %w", ep.N, err)
+			}
+			opts.OnProvisional(Provisional{Epoch: ep.N, Events: ep.Events, Report: data})
+		}
+		if opts.Checkpoints != nil && len(ep.Checkpoint) > 0 {
+			if err := checkpointFault.Hit(); err != nil {
+				return fmt.Errorf("checkpoint at epoch %d: %w", ep.N, errors.Join(err, jobstore.ErrRetryable))
+			}
+			if err := opts.Checkpoints.Save(ep.N, ep.Events, ep.Checkpoint); err != nil {
+				return fmt.Errorf("checkpoint at epoch %d: %w", ep.N, errors.Join(err, jobstore.ErrRetryable))
+			}
+		}
+		return nil
+	}
 }
 
 // Classify maps a pipeline error to a result status: budget aborts

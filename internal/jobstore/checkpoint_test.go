@@ -1,0 +1,191 @@
+package jobstore
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestCheckpointRoundTrip: a running job's checkpoint commits, replaces
+// earlier ones, survives a crash-reopen (both via WAL replay and via
+// snapshot compaction), and disappears on the terminal transition.
+func TestCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := testOpen(t, dir)
+
+	j := &Job{Kind: KindWorkload, Workload: "example1", EpochEvents: 1000}
+	if err := s.Submit(j); err != nil {
+		t.Fatal(err)
+	}
+	// No checkpoint before the job runs, and none accepted either.
+	if err := s.SaveCheckpoint(&JobCheckpoint{JobID: j.ID, Epoch: 1, Data: []byte("x")}); err == nil {
+		t.Fatal("checkpoint accepted for a queued job")
+	}
+	if _, err := s.Start(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	for e := uint64(1); e <= 3; e++ {
+		ck := &JobCheckpoint{
+			JobID: j.ID, Epoch: e, Events: e * 1000, Attempt: 1,
+			Data: []byte(fmt.Sprintf("ckpt-%d", e)),
+		}
+		if err := s.SaveCheckpoint(ck); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.LoadCheckpoint(j.ID)
+	if got == nil || got.Epoch != 3 || !bytes.Equal(got.Data, []byte("ckpt-3")) {
+		t.Fatalf("latest checkpoint = %+v", got)
+	}
+
+	// Crash-reopen: the committed checkpoint replays from the WAL and
+	// the re-enqueued job resumes from it.
+	s2, recovered := testOpen(t, dir)
+	if len(recovered) != 1 || recovered[0].ID != j.ID {
+		t.Fatalf("recovered = %+v", recovered)
+	}
+	got = s2.LoadCheckpoint(j.ID)
+	if got == nil || got.Epoch != 3 || got.Events != 3000 || !bytes.Equal(got.Data, []byte("ckpt-3")) {
+		t.Fatalf("checkpoint after crash = %+v", got)
+	}
+
+	// Compaction carries it into the snapshot; a further reopen reads
+	// it back without any WAL records.
+	if err := s2.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	s3, _ := testOpen(t, dir)
+	if got = s3.LoadCheckpoint(j.ID); got == nil || got.Epoch != 3 {
+		t.Fatalf("checkpoint after snapshot reopen = %+v", got)
+	}
+
+	// The terminal transition clears it, durably.
+	if _, err := s3.Start(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := s3.Complete(j.ID, &Result{Status: "ok"}); err != nil {
+		t.Fatal(err)
+	}
+	if got = s3.LoadCheckpoint(j.ID); got != nil {
+		t.Fatalf("checkpoint survived completion: %+v", got)
+	}
+	s4, _ := testOpen(t, dir)
+	defer s4.Close()
+	if got = s4.LoadCheckpoint(j.ID); got != nil {
+		t.Fatalf("checkpoint resurrected by replay: %+v", got)
+	}
+	if err := s3.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckpointOversizeSkipped: a checkpoint too large for one WAL
+// record is skipped (not an error), keeping the previous committed
+// epoch as the resume point.
+func TestCheckpointOversizeSkipped(t *testing.T) {
+	s, _ := testOpen(t, t.TempDir())
+	defer s.Close()
+	j := &Job{Kind: KindWorkload, Workload: "example1", EpochEvents: 10}
+	if err := s.Submit(j); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Start(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveCheckpoint(&JobCheckpoint{JobID: j.ID, Epoch: 1, Data: []byte("small")}); err != nil {
+		t.Fatal(err)
+	}
+	huge := &JobCheckpoint{JobID: j.ID, Epoch: 2, Data: make([]byte, MaxWALRecord+1)}
+	if err := s.SaveCheckpoint(huge); err != nil {
+		t.Fatalf("oversize checkpoint should skip, not fail: %v", err)
+	}
+	if got := s.LoadCheckpoint(j.ID); got == nil || got.Epoch != 1 {
+		t.Fatalf("resume point after oversize skip = %+v", got)
+	}
+}
+
+// TestNoteCacheHitOnTerminalJob: cache-hit trace events land on a
+// succeeded job and survive a reopen — unlike stage events, which
+// terminal jobs refuse.
+func TestNoteCacheHitOnTerminalJob(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := testOpen(t, dir)
+	j := &Job{Kind: KindWorkload, Workload: "example1", CacheKey: "k1"}
+	if err := s.Submit(j); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Start(j.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Complete(j.ID, &Result{Status: "ok"}); err != nil {
+		t.Fatal(err)
+	}
+	s.NoteCacheHit(j.ID, "duplicate submission job-99")
+	got := s.Get(j.ID)
+	var hit *TraceEvent
+	for i := range got.Trace {
+		if got.Trace[i].Event == TraceCacheHit {
+			hit = &got.Trace[i]
+		}
+	}
+	if hit == nil || hit.Detail != "duplicate submission job-99" {
+		t.Fatalf("trace after cache hit = %+v", got.Trace)
+	}
+
+	// Unsynced trace records still survive a clean reopen.
+	s2, _ := testOpen(t, dir)
+	defer s2.Close()
+	got = s2.Get(j.ID)
+	found := false
+	for _, ev := range got.Trace {
+		found = found || ev.Event == TraceCacheHit
+	}
+	if !found {
+		t.Fatalf("cache-hit trace lost across reopen: %+v", got.Trace)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestListPage: offset/limit pagination over the newest-first order,
+// with the total reported for the full filtered set.
+func TestListPage(t *testing.T) {
+	s, _ := testOpen(t, t.TempDir())
+	defer s.Close()
+	var ids []string
+	for i := 0; i < 7; i++ {
+		j := &Job{Kind: KindWorkload, Workload: "example1"}
+		if err := s.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID)
+	}
+	// Make two of them succeed so the state filter has something to do.
+	for _, id := range ids[:2] {
+		if _, err := s.Start(id); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Complete(id, &Result{Status: "ok"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	page, total := s.ListPage("", 2, 3)
+	if total != 7 || len(page) != 3 {
+		t.Fatalf("page(offset=2,limit=3): total=%d len=%d", total, len(page))
+	}
+	// Newest first: offset 2 of 7 jobs lands on the 5th submission.
+	if page[0].ID != ids[4] || page[2].ID != ids[2] {
+		t.Fatalf("page ids = %s..%s, want %s..%s", page[0].ID, page[2].ID, ids[4], ids[2])
+	}
+	if page, total = s.ListPage(StateSucceeded, 0, 10); total != 2 || len(page) != 2 {
+		t.Fatalf("page(succeeded): total=%d len=%d", total, len(page))
+	}
+	if page, total = s.ListPage("", 10, 3); total != 7 || len(page) != 0 {
+		t.Fatalf("page past the end: total=%d len=%d", total, len(page))
+	}
+	if page, total = s.ListPage("", 0, 0); total != 7 || len(page) != 7 {
+		t.Fatalf("page(unlimited): total=%d len=%d", total, len(page))
+	}
+}

@@ -91,6 +91,15 @@ type Job struct {
 	// hostile body) or caching is disabled.
 	CacheKey string `json:"cache_key,omitempty"`
 
+	// EpochEvents, when positive, runs the job's attempts in streaming
+	// mode: pass 2 pauses every EpochEvents dynamic instructions,
+	// publishes a provisional report, and commits a resume checkpoint
+	// through the WAL.  Part of the job spec, so every attempt — local
+	// or remotely leased — uses the same epoch grid (epoch boundaries
+	// are exact op-counter multiples, the invariant behind resume
+	// exactness).
+	EpochEvents uint64 `json:"epoch_events,omitempty"`
+
 	// Lease is the volatile view of the job's outstanding remote lease
 	// (worker, attempt, expiry — never the fencing token).  Like
 	// Progress it is filled into Get clones and never persisted.
@@ -155,6 +164,15 @@ const (
 	// TraceReclaim marks a lease the coordinator took back after its
 	// TTL expired (worker killed, partitioned, or wedged).
 	TraceReclaim = "lease-reclaimed"
+	// TraceCacheHit marks a duplicate submission answered from this
+	// job's content-addressed result — appended to the succeeded job,
+	// so operators can see which cached reports still earn their keep.
+	TraceCacheHit = "cache-hit"
+	// TraceCheckpoint marks a streaming epoch checkpoint committed to
+	// the WAL; TraceResume marks an attempt that restored from one
+	// instead of starting at event zero.
+	TraceCheckpoint = "checkpoint"
+	TraceResume     = "checkpoint-resume"
 )
 
 // MaxTraceEvents caps a job's persisted trace; past it one truncation

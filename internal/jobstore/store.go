@@ -19,10 +19,15 @@ import (
 // record is the WAL envelope.  Every state transition of every job is
 // one record; replay folds them, last writer wins per job.
 type record struct {
-	// T is the record type: "submit", "state", "stage", "delete", or
-	// "hist".  "stage" records carry only lifecycle trace events and are
-	// appended unsynced (diagnostics: they survive kill -9 via the page
-	// cache, and losing them on power failure loses no durable state).
+	// T is the record type: "submit", "state", "stage", "trace",
+	// "ckpt", "delete", or "hist".  "stage" records carry only
+	// lifecycle trace events and are appended unsynced (diagnostics:
+	// they survive kill -9 via the page cache, and losing them on power
+	// failure loses no durable state).  "trace" records are the same
+	// but apply to terminal jobs too (a cache hit lands on a job that
+	// already succeeded).  "ckpt" records carry a streaming epoch
+	// checkpoint, fsynced — "committed epoch" means exactly this append
+	// survived.
 	T string `json:"t"`
 	// Job is the full job at submission time (T == "submit").
 	Job *Job `json:"job,omitempty"`
@@ -46,6 +51,9 @@ type record struct {
 	// Hist is one request-history entry (T == "hist"), an opaque blob
 	// owned by the serving layer.
 	Hist json.RawMessage `json:"hist,omitempty"`
+	// Ckpt is a streaming epoch checkpoint (T == "ckpt"); replay keeps
+	// the latest per job.
+	Ckpt *JobCheckpoint `json:"ckpt,omitempty"`
 }
 
 // traceAppend appends lifecycle events to the job's persisted trace,
@@ -77,6 +85,9 @@ type snapshot struct {
 	Fence   uint64            `json:"fence,omitempty"`
 	Jobs    []*Job            `json:"jobs"`
 	History []json.RawMessage `json:"history,omitempty"`
+	// Checkpoints carries the live streaming checkpoints across
+	// compaction (one per non-terminal streaming job).
+	Checkpoints []*JobCheckpoint `json:"checkpoints,omitempty"`
 }
 
 // Options tunes a Store.
@@ -132,6 +143,12 @@ type Store struct {
 	// WAL-persisted): progress is only meaningful within one attempt of
 	// one process, so a restart starts from a clean slate.
 	trackers map[string]*progress.Tracker
+
+	// ckpts holds the latest committed streaming checkpoint per job id.
+	// WAL-persisted and snapshot-carried — unlike progress, a
+	// checkpoint is exactly the state that must outlive a crash —
+	// and cleared the moment the job goes terminal.
+	ckpts map[string]*JobCheckpoint
 }
 
 // Open loads (or initializes) a store under dir: it reads the latest
@@ -160,6 +177,7 @@ func Open(dir string, opts Options) (*Store, []*Job, error) {
 		trackers: map[string]*progress.Tracker{},
 		leases:   map[string]*Lease{},
 		cache:    map[string]string{},
+		ckpts:    map[string]*JobCheckpoint{},
 	}
 	if err := s.load(); err != nil {
 		return nil, nil, err
@@ -223,6 +241,11 @@ func (s *Store) load() error {
 				s.order = append(s.order, j.ID)
 			}
 			s.history = snap.History
+			for _, ck := range snap.Checkpoints {
+				if ck != nil && ck.JobID != "" {
+					s.ckpts[ck.JobID] = ck
+				}
+			}
 		}
 	} else if !os.IsNotExist(err) {
 		return err
@@ -303,6 +326,7 @@ func (s *Store) applyRecord(payload []byte) {
 			j.StartedAt = rec.At
 		case StateSucceeded, StateFailed:
 			j.FinishedAt = rec.At
+			delete(s.ckpts, rec.ID)
 		}
 	case "stage":
 		j, ok := s.jobs[rec.ID]
@@ -310,11 +334,31 @@ func (s *Store) applyRecord(payload []byte) {
 			return
 		}
 		traceAppend(j, rec.TraceEvents...)
+	case "trace":
+		// Unlike "stage", trace records land on terminal jobs too: a
+		// cache hit is an event on a job that already succeeded.
+		j, ok := s.jobs[rec.ID]
+		if !ok {
+			return
+		}
+		traceAppend(j, rec.TraceEvents...)
+	case "ckpt":
+		if rec.Ckpt == nil || rec.Ckpt.JobID == "" {
+			return
+		}
+		if j, ok := s.jobs[rec.Ckpt.JobID]; !ok || j.State.Terminal() {
+			return
+		}
+		// Latest-wins in replay order: a later record is a later commit
+		// (a retry that restarted from scratch rightfully resets to its
+		// own, earlier epochs).
+		s.ckpts[rec.Ckpt.JobID] = rec.Ckpt
 	case "delete":
 		if _, ok := s.jobs[rec.ID]; !ok {
 			return
 		}
 		delete(s.jobs, rec.ID)
+		delete(s.ckpts, rec.ID)
 		s.dropOrder(rec.ID)
 	case "hist":
 		s.pushHistory(rec.Hist)
@@ -418,6 +462,9 @@ func (s *Store) compactLocked() error {
 	snap := snapshot{Gen: nextGen, Seq: s.seq, Fence: s.fence, History: s.history}
 	for _, id := range s.order {
 		snap.Jobs = append(snap.Jobs, s.jobs[id])
+		if ck := s.ckpts[id]; ck != nil {
+			snap.Checkpoints = append(snap.Checkpoints, ck)
+		}
 	}
 	data, err := json.Marshal(&snap)
 	if err != nil {
@@ -601,6 +648,7 @@ func (s *Store) Complete(id string, res *Result) error {
 		s.cache[j.CacheKey] = j.ID
 	}
 	delete(s.trackers, id)
+	delete(s.ckpts, id)
 	s.reg.Add("jobs.completed", 1)
 	s.publishGauges()
 	return nil
@@ -690,6 +738,7 @@ func (s *Store) Quarantine(id string, jerr *JobError) error {
 		s.logf("jobstore: job %s: quarantine record not persisted (%v); continuing", id, werr)
 	}
 	delete(s.trackers, id)
+	delete(s.ckpts, id)
 	s.reg.Add("jobs.quarantined", 1)
 	s.publishGauges()
 	return nil
@@ -735,6 +784,7 @@ func (s *Store) deleteLocked(id string) error {
 	}
 	delete(s.jobs, id)
 	delete(s.trackers, id)
+	delete(s.ckpts, id)
 	if j.CacheKey != "" && s.cache[j.CacheKey] == id {
 		delete(s.cache, j.CacheKey)
 	}

@@ -1,0 +1,92 @@
+package loopevents
+
+import (
+	"fmt"
+	"sort"
+
+	"polyprof/internal/cfg"
+	"polyprof/internal/cg"
+	"polyprof/internal/isa"
+)
+
+// Epoch-checkpoint serialization for the translator: the live-loop
+// stack and the per-component counters, with loops and components
+// referenced by ID (pass 1 re-derives the same structure on resume, so
+// IDs are stable).
+
+// StackEntryState serializes one live-loop stack entry.
+type StackEntryState struct {
+	// Kind is "l" for a CFG loop, "r" for a recursive component.
+	Kind string `json:"k"`
+	ID   int    `json:"id"`
+}
+
+// CompStateData serializes one component's Alg. 2 counters.
+type CompStateData struct {
+	Comp       int        `json:"comp"`
+	Entry      isa.FuncID `json:"entry"`
+	StackCount int        `json:"stack"`
+}
+
+// TranslatorState is the serializable form of a Translator.
+type TranslatorState struct {
+	InLoops []StackEntryState `json:"inloops,omitempty"`
+	Comps   []CompStateData   `json:"comps,omitempty"`
+}
+
+// State captures the translator for checkpointing.
+func (t *Translator) State() TranslatorState {
+	var s TranslatorState
+	for _, e := range t.inLoops {
+		if e.isCFG() {
+			s.InLoops = append(s.InLoops, StackEntryState{Kind: "l", ID: e.loop.ID})
+		} else {
+			s.InLoops = append(s.InLoops, StackEntryState{Kind: "r", ID: e.comp.ID})
+		}
+	}
+	for c, st := range t.state {
+		s.Comps = append(s.Comps, CompStateData{Comp: c.ID, Entry: st.entry, StackCount: st.stackCount})
+	}
+	sort.Slice(s.Comps, func(i, j int) bool { return s.Comps[i].Comp < s.Comps[j].Comp })
+	return s
+}
+
+// RestoreTranslator rebuilds a translator from its checkpointed state
+// against a freshly re-derived forest and component set.
+func RestoreTranslator(prog *isa.Program, forest *cfg.Forest, comps *cg.ComponentSet, emit func(Event), s TranslatorState) (*Translator, error) {
+	t := NewTranslator(prog, forest, comps, emit)
+	loops := map[int]*cfg.Loop{}
+	for _, l := range forest.Loops {
+		loops[l.ID] = l
+	}
+	byID := map[int]*cg.Component{}
+	for _, c := range comps.Components {
+		byID[c.ID] = c
+	}
+	for _, e := range s.InLoops {
+		switch e.Kind {
+		case "l":
+			l := loops[e.ID]
+			if l == nil {
+				return nil, fmt.Errorf("loopevents: unknown loop L%d in checkpoint", e.ID)
+			}
+			t.inLoops = append(t.inLoops, stackEntry{loop: l})
+		case "r":
+			c := byID[e.ID]
+			if c == nil {
+				return nil, fmt.Errorf("loopevents: unknown component R%d in checkpoint", e.ID)
+			}
+			t.inLoops = append(t.inLoops, stackEntry{comp: c})
+		default:
+			return nil, fmt.Errorf("loopevents: bad stack entry kind %q in checkpoint", e.Kind)
+		}
+	}
+	for _, cs := range s.Comps {
+		c := byID[cs.Comp]
+		if c == nil {
+			return nil, fmt.Errorf("loopevents: unknown component R%d in checkpoint", cs.Comp)
+		}
+		t.state[c] = &compState{entry: cs.Entry, stackCount: cs.StackCount}
+	}
+	return t, nil
+}

@@ -283,20 +283,75 @@ func List(dir string) ([]BundleInfo, error) {
 	return out, nil
 }
 
-// ReadBundle loads one bundle by ID (with or without the .json
-// suffix).  IDs containing path separators are rejected.
-func ReadBundle(dir, id string) (*Bundle, error) {
+// bundlePath validates an ID (with or without the .json suffix) and
+// resolves it to a path under dir.  IDs containing path separators are
+// rejected — a bundle ID must never escape the bundle directory.
+func bundlePath(dir, id string) (string, error) {
 	if dir == "" {
-		return nil, fmt.Errorf("flight: no bundle directory")
+		return "", fmt.Errorf("flight: no bundle directory")
 	}
 	if strings.ContainsAny(id, "/\\") || strings.Contains(id, "..") {
-		return nil, fmt.Errorf("flight: invalid bundle id %q", id)
+		return "", fmt.Errorf("flight: invalid bundle id %q", id)
 	}
 	name := id
 	if !strings.HasSuffix(name, ".json") {
 		name += ".json"
 	}
-	data, err := os.ReadFile(filepath.Join(dir, name))
+	return filepath.Join(dir, name), nil
+}
+
+// Remove deletes one bundle by ID.  Removing a bundle that does not
+// exist is an error (os.IsNotExist) so callers can answer 404.
+func Remove(dir, id string) error {
+	path, err := bundlePath(dir, id)
+	if err != nil {
+		return err
+	}
+	return os.Remove(path)
+}
+
+// GC prunes bundles oldest-first until at most keep remain and (when
+// maxBytes > 0) their total size fits maxBytes, returning the removed
+// IDs.  keep == 0 removes everything — unlike the recorder's internal
+// retention gc, an explicit prune may empty the directory.
+func GC(dir string, keep int, maxBytes int64) ([]string, error) {
+	if keep < 0 {
+		keep = 0
+	}
+	names, sizes, err := bundleFiles(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var total int64
+	for _, sz := range sizes {
+		total += sz
+	}
+	var removed []string
+	for i := 0; i < len(names); i++ {
+		remaining := len(names) - i
+		if remaining <= keep && (maxBytes <= 0 || total <= maxBytes) {
+			break
+		}
+		if err := os.Remove(filepath.Join(dir, names[i])); err != nil {
+			return removed, err
+		}
+		total -= sizes[i]
+		removed = append(removed, strings.TrimSuffix(names[i], ".json"))
+	}
+	return removed, nil
+}
+
+// ReadBundle loads one bundle by ID (with or without the .json
+// suffix).  IDs containing path separators are rejected.
+func ReadBundle(dir, id string) (*Bundle, error) {
+	path, err := bundlePath(dir, id)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}

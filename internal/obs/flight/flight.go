@@ -313,6 +313,9 @@ func (r *Recorder) List() ([]BundleInfo, error) { return List(r.Dir()) }
 // Read loads one of the recorder's bundles by ID.
 func (r *Recorder) Read(id string) (*Bundle, error) { return ReadBundle(r.Dir(), id) }
 
+// Remove deletes one of the recorder's bundles by ID.
+func (r *Recorder) Remove(id string) error { return Remove(r.Dir(), id) }
+
 // Package-level shorthands over Default, for deep-layer sites (budget,
 // core, parddg) that should not carry a recorder handle.
 

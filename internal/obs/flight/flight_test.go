@@ -203,6 +203,55 @@ func TestReadBundleRejectsTraversal(t *testing.T) {
 		if _, err := ReadBundle(dir, id); err == nil {
 			t.Fatalf("ReadBundle(%q) accepted a traversal id", id)
 		}
+		if err := Remove(dir, id); err == nil {
+			t.Fatalf("Remove(%q) accepted a traversal id", id)
+		}
+	}
+}
+
+// TestRemoveAndExplicitGC: operator-driven pruning — Remove deletes
+// one bundle (missing is an error, for 404s), GC prunes oldest-first
+// to a keep count and, unlike the retention gc, may empty the dir.
+func TestRemoveAndExplicitGC(t *testing.T) {
+	r, dir := newTestRecorder(t, Options{Registry: obs.NewRegistry()})
+	var ids []string
+	for i := 0; i < 5; i++ {
+		id, err := r.Trigger("stage-panic", TriggerInfo{Detail: fmt.Sprintf("n%d", i)})
+		if err != nil || id == "" {
+			t.Fatalf("trigger %d = (%q, %v)", i, id, err)
+		}
+		ids = append(ids, id)
+	}
+
+	if err := r.Remove(ids[2]); err != nil {
+		t.Fatalf("Remove = %v", err)
+	}
+	if err := r.Remove(ids[2]); !os.IsNotExist(err) {
+		t.Fatalf("second Remove = %v, want not-exist", err)
+	}
+
+	removed, err := GC(dir, 2, 0)
+	if err != nil {
+		t.Fatalf("GC = %v", err)
+	}
+	// Oldest first, and only down to keep=2 of the 4 remaining.
+	if len(removed) != 2 || removed[0] != ids[0] || removed[1] != ids[1] {
+		t.Fatalf("GC removed %v, want [%s %s]", removed, ids[0], ids[1])
+	}
+	infos, err := List(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 || infos[0].ID != ids[4] || infos[1].ID != ids[3] {
+		t.Fatalf("bundles after GC = %+v, want the newest two", infos)
+	}
+
+	// keep=0 is a full prune; a missing dir is a no-op.
+	if removed, err := GC(dir, 0, 0); err != nil || len(removed) != 2 {
+		t.Fatalf("GC(keep=0) = (%v, %v), want 2 removed", removed, err)
+	}
+	if removed, err := GC(filepath.Join(t.TempDir(), "nope"), 0, 0); err != nil || removed != nil {
+		t.Fatalf("GC(missing) = (%v, %v), want (nil, nil)", removed, err)
 	}
 }
 

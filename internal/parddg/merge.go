@@ -240,9 +240,9 @@ func (e *Engine) FinishChecked() (*ddg.Graph, error) {
 					}
 					i.Access = f.Finish()
 				}
-				if i.Op.IsIntALU() && i.Value.Fn != nil {
-					i.IsSCEV = true
-				}
+				// Assignment (not a latch) so finishing a provisional
+				// snapshot's clones recomputes the flag from scratch.
+				i.IsSCEV = i.Op.IsIntALU() && i.Value.Fn != nil
 				if !check() {
 					return
 				}

@@ -54,6 +54,24 @@ func TestJobsCacheHit(t *testing.T) {
 		t.Fatalf("jobs.cache_hits = %d", n)
 	}
 
+	// The hit lands in the answering job's lifecycle trace, so ?trace=1
+	// explains why the job served more reads than it has attempts.
+	resp, body = get(t, ts, "/v1/jobs/"+first.ID+"?trace=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET ?trace=1 = %d: %s", resp.StatusCode, body)
+	}
+	var traced jobstore.Job
+	if err := json.Unmarshal(body, &traced); err != nil {
+		t.Fatal(err)
+	}
+	sawHit := false
+	for _, ev := range traced.Trace {
+		sawHit = sawHit || ev.Event == jobstore.TraceCacheHit
+	}
+	if !sawHit {
+		t.Fatalf("no %s event in trace after duplicate submit: %+v", jobstore.TraceCacheHit, traced.Trace)
+	}
+
 	// nocache=1 opts out: a fresh job is enqueued.
 	resp, body = postJob(t, ts, "workload=example1&nocache=1", nil)
 	if resp.StatusCode != http.StatusAccepted {

@@ -12,6 +12,7 @@ import (
 
 	"polyprof/internal/budget"
 	"polyprof/internal/faultinject"
+	"polyprof/internal/jobstore"
 	"polyprof/internal/workloads"
 )
 
@@ -60,6 +61,12 @@ func TestChaosEveryFaultPoint(t *testing.T) {
 			// cluster suite (cmd/polyprof).
 			continue
 		}
+		if point == "fold.epoch.merge" {
+			// Fires only while a streaming epoch boundary captures folder
+			// state — never on a buffered /v1/profile run.
+			// TestChaosStreamingEpochFaults covers it below.
+			continue
+		}
 		if strings.HasPrefix(point, "parddg.") {
 			// The parallel-engine points never fire on a sequential
 			// daemon; TestChaosParallelEngineFaults walks them against a
@@ -88,6 +95,106 @@ func TestChaosEveryFaultPoint(t *testing.T) {
 			})
 		}
 	}
+}
+
+// TestChaosStreamingEpochFaults arms the streaming-mode fault points
+// against a store-backed daemon running streaming jobs.
+//
+// jobexec.checkpoint is the kill-9-shaped fault: the attempt dies at
+// the second epoch's checkpoint persist, after epoch 1 committed.  The
+// failure must classify retryable, and the retried attempt must resume
+// from the committed epoch — not event zero — and still produce a final
+// report byte-identical to a fault-free buffered run.
+//
+// fold.epoch.merge fires inside the epoch state capture itself; there
+// is no committed state to fall back to mid-capture, so the attempt
+// fails structurally and the daemon keeps serving.
+func TestChaosStreamingEpochFaults(t *testing.T) {
+	t.Cleanup(faultinject.DisarmAll)
+	_, ts := newTestServer(t, Options{DataDir: t.TempDir()})
+
+	runJob := func(t *testing.T, query string) *jobstore.Job {
+		t.Helper()
+		resp, body := postJob(t, ts, query, nil)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %q = %d: %s", query, resp.StatusCode, body)
+		}
+		var sum jobstore.JobSummary
+		if err := json.Unmarshal(body, &sum); err != nil {
+			t.Fatal(err)
+		}
+		return waitJob(t, ts, sum.ID)
+	}
+
+	// Fault-free buffered reference for the byte-equality assertion.
+	want := runJob(t, "workload=backprop")
+	if want.State != jobstore.StateSucceeded {
+		t.Fatalf("reference job = %s", want.State)
+	}
+
+	t.Run("jobexec.checkpoint/resume", func(t *testing.T) {
+		if err := faultinject.ArmString("jobexec.checkpoint=error:chaos:2"); err != nil {
+			t.Fatal(err)
+		}
+		defer faultinject.DisarmAll()
+		j := runJob(t, "workload=backprop&epoch-events=2000&nocache=1")
+		if j.State != jobstore.StateSucceeded {
+			t.Fatalf("streaming job after checkpoint fault = %s: %+v", j.State, j.Error)
+		}
+		if j.Attempts < 2 {
+			t.Fatalf("attempts = %d, want >= 2 (fault must have killed attempt 1)", j.Attempts)
+		}
+		// The plain GET elides the lifecycle trace; re-read with ?trace=1
+		// for the resume assertion.
+		resp, body := get(t, ts, "/v1/jobs/"+j.ID+"?trace=1")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET ?trace=1 = %d: %s", resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, j); err != nil {
+			t.Fatal(err)
+		}
+		resumed := false
+		for _, ev := range j.Trace {
+			if ev.Event == jobstore.TraceResume {
+				resumed = true
+				if !strings.Contains(ev.Detail, "epoch 1") {
+					t.Fatalf("resume event = %q, want resume from committed epoch 1", ev.Detail)
+				}
+			}
+		}
+		if !resumed {
+			t.Fatalf("no %s event in trace: %+v", jobstore.TraceResume, j.Trace)
+		}
+		if string(j.Result.Report) != string(want.Result.Report) {
+			t.Fatal("resumed streaming report differs from buffered reference")
+		}
+		chaosCheckAlive(t, ts)
+	})
+
+	t.Run("fold.epoch.merge/contained", func(t *testing.T) {
+		if err := faultinject.ArmString("fold.epoch.merge=error:chaos:1"); err != nil {
+			t.Fatal(err)
+		}
+		defer faultinject.DisarmAll()
+		j := runJob(t, "workload=example1&epoch-events=20&nocache=1")
+		if !j.State.Terminal() {
+			t.Fatalf("job state = %s, want terminal", j.State)
+		}
+		if j.State == jobstore.StateFailed && (j.Error == nil || j.Error.Message == "") {
+			t.Fatalf("failed without a structured error: %+v", j)
+		}
+		chaosCheckAlive(t, ts)
+
+		// Clean streaming run after the contained fault still matches the
+		// buffered reference byte for byte.
+		clean := runJob(t, "workload=backprop&epoch-events=2000&nocache=1")
+		if clean.State != jobstore.StateSucceeded {
+			t.Fatalf("clean streaming job = %s: %+v", clean.State, clean.Error)
+		}
+		if string(clean.Result.Report) != string(want.Result.Report) {
+			t.Fatal("clean streaming report differs from buffered reference")
+		}
+	})
 }
 
 // TestChaosHandlerPanic500: a panic in the handler body becomes a 500

@@ -31,11 +31,14 @@ func (s *Server) handleFlightList(w http.ResponseWriter, req *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"bundles": infos})
 }
 
-// handleFlightGet serves GET /v1/flight/{id}: one bundle, verbatim.
+// handleFlightGet serves GET /v1/flight/{id} (one bundle, verbatim)
+// and DELETE /v1/flight/{id} (prune an incident bundle that has been
+// triaged — the recorder's retention gc only runs on new triggers, so
+// deletion is the operator's lever).
 func (s *Server) handleFlightGet(w http.ResponseWriter, req *http.Request) {
-	if req.Method != http.MethodGet {
-		w.Header().Set("Allow", "GET")
-		http.Error(w, "GET /v1/flight/<id> returns one bundle", http.StatusMethodNotAllowed)
+	if req.Method != http.MethodGet && req.Method != http.MethodDelete {
+		w.Header().Set("Allow", "GET, DELETE")
+		http.Error(w, "GET /v1/flight/<id> returns one bundle; DELETE prunes it", http.StatusMethodNotAllowed)
 		return
 	}
 	if !flight.Default.Enabled() {
@@ -43,6 +46,15 @@ func (s *Server) handleFlightGet(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	id := strings.TrimPrefix(req.URL.Path, "/v1/flight/")
+	if req.Method == http.MethodDelete {
+		if err := flight.Default.Remove(id); err != nil {
+			http.Error(w, fmt.Sprintf("bundle %q: %v", id, err), http.StatusNotFound)
+			return
+		}
+		s.reg.Add("serve.flight.deletes", 1)
+		writeJSON(w, http.StatusOK, map[string]any{"deleted": id})
+		return
+	}
 	b, err := flight.Default.Read(id)
 	if err != nil {
 		http.Error(w, fmt.Sprintf("bundle %q: %v", id, err), http.StatusNotFound)

@@ -3,6 +3,7 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
@@ -216,6 +217,40 @@ func TestServe5xxWritesBundleAndFlightAPI(t *testing.T) {
 	}
 	if resp, _ := get(t, ts, "/v1/flight/fr-does-not-exist"); resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("unknown bundle = %d, want 404", resp.StatusCode)
+	}
+
+	// DELETE prunes the triaged bundle; a second delete is a 404.
+	del := func(id string) int {
+		req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/flight/"+id, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := del(infos[0].ID); code != http.StatusOK {
+		t.Fatalf("DELETE /v1/flight/{id} = %d, want 200", code)
+	}
+	resp, body = get(t, ts, "/v1/flight")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/flight after delete = %d", resp.StatusCode)
+	}
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Bundles) != 0 {
+		t.Fatalf("bundles after delete = %+v, want none", list.Bundles)
+	}
+	if code := del(infos[0].ID); code != http.StatusNotFound {
+		t.Fatalf("second DELETE = %d, want 404", code)
+	}
+	if code := del("../escape"); code != http.StatusNotFound {
+		t.Fatalf("DELETE with traversal id = %d, want 404", code)
 	}
 }
 

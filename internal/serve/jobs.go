@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -118,6 +119,20 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, req *http.Request) {
 		job.Kind = jobstore.KindProgram
 		job.Program = body
 	}
+	// Streaming epoch grid: ?epoch-events=N pins the job's epoch length.
+	// It is part of the job spec — every attempt, local or leased,
+	// pauses on the same boundaries, so a resumed attempt lands exactly
+	// on the grid its checkpoint was cut on.  Absent, the daemon default
+	// applies; an explicit 0 opts the job out of streaming.
+	job.EpochEvents = s.opts.EpochEvents
+	if v := req.URL.Query().Get("epoch-events"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("invalid epoch-events %q: %v", v, err), http.StatusBadRequest)
+			return
+		}
+		job.EpochEvents = n
+	}
 	// Content-addressed dedup: identical submissions (canonical program
 	// + budgets) resolve to the cached report in O(1) instead of
 	// re-profiling — the pipeline is deterministic, so the cached report
@@ -126,6 +141,11 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, req *http.Request) {
 	if key := s.cacheKey(job); key != "" && req.URL.Query().Get("nocache") == "" {
 		if hit := s.store.LookupCache(key); hit != nil {
 			s.reg.Add("jobs.cache_hits", 1)
+			// The hit job's lifecycle trace records that it answered a
+			// duplicate submission — without this, ?trace=1 on the cached
+			// job cannot explain where the extra reads came from.
+			s.store.NoteCacheHit(hit.ID, fmt.Sprintf("answered duplicate submission (trace %s, key %s)",
+				requestID(req.Context()), key[:12]))
 			flight.LogEvent(flight.Event{
 				Kind: "job", Name: "cache-hit", Trace: requestID(req.Context()),
 				Detail: fmt.Sprintf("%s (%s) key %s", hit.ID, hit.Name(), key[:12]),
@@ -194,12 +214,28 @@ func (s *Server) cacheKey(job *jobstore.Job) string {
 	h.Write(prog)
 	h.Write([]byte{0})
 	h.Write(limits)
+	if job.EpochEvents > 0 {
+		// The epoch grid shapes the report under degrading limits (a
+		// streaming run folds-and-releases instead of degrading), so a
+		// streamed job never answers a buffered submission or vice versa.
+		// Buffered jobs keep the historical key.
+		fmt.Fprintf(h, "\x00epoch=%d", job.EpochEvents)
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// DefaultJobListLimit caps GET /v1/jobs when the client sends no
+// ?limit= — a store holding millions of terminal jobs must not build an
+// unbounded response.  MaxJobListLimit bounds an explicit ?limit=.
+const (
+	DefaultJobListLimit = 100
+	MaxJobListLimit     = 1000
+)
+
 func (s *Server) handleJobList(w http.ResponseWriter, req *http.Request) {
+	q := req.URL.Query()
 	var state jobstore.State
-	if v := req.URL.Query().Get("state"); v != "" {
+	if v := q.Get("state"); v != "" {
 		st, err := jobstore.ParseState(v)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
@@ -207,7 +243,31 @@ func (s *Server) handleJobList(w http.ResponseWriter, req *http.Request) {
 		}
 		state = st
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.store.List(state)})
+	limit := DefaultJobListLimit
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			http.Error(w, fmt.Sprintf("invalid limit %q: want a positive integer", v), http.StatusBadRequest)
+			return
+		}
+		limit = min(n, MaxJobListLimit)
+	}
+	offset := 0
+	if v := q.Get("offset"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, fmt.Sprintf("invalid offset %q: want a non-negative integer", v), http.StatusBadRequest)
+			return
+		}
+		offset = n
+	}
+	page, total := s.store.ListPage(state, offset, limit)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"jobs":   page,
+		"total":  total,
+		"offset": offset,
+		"limit":  limit,
+	})
 }
 
 // handleJobGet serves one job: GET /v1/jobs/{id} returns the full job
@@ -228,6 +288,12 @@ func (s *Server) handleJobGet(rw http.ResponseWriter, req *http.Request) {
 		job := s.store.Get(id)
 		if job == nil {
 			http.Error(w, fmt.Sprintf("unknown job %q", id), http.StatusNotFound)
+			return
+		}
+		if req.URL.Query().Get("stream") == "1" {
+			// Live progress: SSE of per-epoch provisional reports until
+			// the job reaches a terminal state (see stream.go).
+			s.streamJob(w, req, job)
 			return
 		}
 		switch req.URL.Query().Get("trace") {
@@ -329,12 +395,40 @@ func (s *Server) runJob(ctx context.Context, job *jobstore.Job, attempt int) (*j
 		Kind: "job", Name: "attempt", Trace: job.TraceID,
 		Detail: fmt.Sprintf("%s attempt %d", job.ID, attempt),
 	})
-	res, reqReg, err := jobexec.Run(ctx, job, attempt, jobexec.Options{
+	exOpts := jobexec.Options{
 		Limits:      s.opts.Limits,
 		Timeout:     s.opts.RequestTimeout,
 		ParallelDDG: s.opts.ParallelDDG,
 		Tracker:     tr,
-	})
+	}
+	if job.EpochEvents > 0 {
+		// Streaming attempt: checkpoints commit through the job store's
+		// WAL (so a SIGKILL'd attempt resumes from the last committed
+		// epoch), provisionals fan out to ?stream=1 subscribers, and a
+		// resume is recorded in the job's lifecycle trace.
+		exOpts.EpochEvents = job.EpochEvents
+		exOpts.Checkpoints = storeCheckpoints{store: s.store, jobID: job.ID, attempt: attempt}
+		exOpts.OnProvisional = func(p jobexec.Provisional) {
+			s.reg.Add("serve.jobs.provisionals", 1)
+			s.streams.publish(job.ID, p)
+		}
+		exOpts.OnResume = func(epoch, events uint64) {
+			s.reg.Add("serve.jobs.resumes", 1)
+			s.store.NoteResume(job.ID, attempt, epoch, events)
+			flight.LogEvent(flight.Event{
+				Kind: "job", Name: "checkpoint-resume", Trace: job.TraceID,
+				Detail: fmt.Sprintf("%s attempt %d resumes from committed epoch %d (%d events)",
+					job.ID, attempt, epoch, events),
+			})
+		}
+	}
+	res, reqReg, err := jobexec.Run(ctx, job, attempt, exOpts)
+	if err == nil && job.EpochEvents > 0 {
+		// The job is about to complete; drop its cached provisional (the
+		// final report supersedes it, and terminal jobs answer ?stream=1
+		// with a single done event).
+		defer s.streams.clear(job.ID)
+	}
 
 	logMetricsDelta(fmt.Sprintf("job:%s#%d", job.Name(), attempt), job.TraceID, reqReg)
 	s.reg.Merge(reqReg)

@@ -97,13 +97,17 @@ func (s *Server) handleLeases(rw http.ResponseWriter, req *http.Request) {
 		Detail: fmt.Sprintf("%s -> worker %s attempt %d token %d ttl %s",
 			job.ID, worker, lease.Attempt, lease.Token, ttl),
 	})
-	writeJSON(w, http.StatusCreated, jobapi.Grant{Lease: lease, Job: job})
+	// A streaming job's committed checkpoint rides along with the grant:
+	// the worker resumes from it instead of replaying from event zero.
+	ck := s.store.LoadCheckpoint(job.ID)
+	writeJSON(w, http.StatusCreated, jobapi.Grant{Lease: lease, Job: job, Checkpoint: ck})
 }
 
 // handleLease serves the per-lease calls:
 //
-//	PUT  /v1/leases/{id}         heartbeat: extend the TTL under the token
-//	POST /v1/leases/{id}/result  report the attempt's terminal outcome
+//	PUT  /v1/leases/{id}             heartbeat: extend the TTL under the token
+//	POST /v1/leases/{id}/checkpoint  commit a streaming epoch checkpoint
+//	POST /v1/leases/{id}/result      report the attempt's terminal outcome
 //
 // Fencing failures are 409 (the token no longer owns the job), deleted
 // or unknown jobs 410 — structured verdicts a zombie worker can act on.
@@ -122,12 +126,38 @@ func (s *Server) handleLease(rw http.ResponseWriter, req *http.Request) {
 	switch {
 	case sub == "" && req.Method == http.MethodPut:
 		s.handleLeaseHeartbeat(w, req, id)
+	case sub == "checkpoint" && req.Method == http.MethodPost:
+		s.handleLeaseCheckpoint(w, req, id)
 	case sub == "result" && req.Method == http.MethodPost:
 		s.handleLeaseResult(w, req, id)
 	default:
 		w.Header().Set("Allow", "PUT, POST")
-		http.Error(w, "PUT /v1/leases/{id} heartbeats; POST /v1/leases/{id}/result reports", http.StatusMethodNotAllowed)
+		http.Error(w, "PUT /v1/leases/{id} heartbeats; POST /v1/leases/{id}/checkpoint commits an epoch; POST /v1/leases/{id}/result reports", http.StatusMethodNotAllowed)
 	}
+}
+
+// handleLeaseCheckpoint commits a remote streaming attempt's epoch
+// checkpoint under its fencing token.  The 200 is only written after
+// the store fsynced the WAL record — to the worker, 200 means the
+// epoch is committed and it may run past the boundary.
+func (s *Server) handleLeaseCheckpoint(w http.ResponseWriter, req *http.Request, id string) {
+	var cr jobapi.CheckpointRequest
+	if !decodeLeaseBody(w, req, maxLeaseResultBody, &cr) {
+		return
+	}
+	if len(cr.Data) == 0 {
+		http.Error(w, "checkpoint without data", http.StatusBadRequest)
+		return
+	}
+	err := s.store.SaveLeasedCheckpoint(id, cr.Token, &jobstore.JobCheckpoint{
+		JobID: id, Epoch: cr.Epoch, Events: cr.Events, Attempt: cr.Attempt, Data: cr.Data,
+	})
+	if err != nil {
+		s.writeLeaseError(w, err)
+		return
+	}
+	s.reg.Add("jobs.leases.checkpoints", 1)
+	writeJSON(w, http.StatusOK, map[string]any{"committed": true, "epoch": cr.Epoch})
 }
 
 func (s *Server) handleLeaseHeartbeat(w http.ResponseWriter, req *http.Request, id string) {

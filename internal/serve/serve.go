@@ -7,14 +7,26 @@
 //
 //	POST /v1/profile?workload=<name>   run the pipeline, return the report
 //	POST /v1/jobs                      submit a durable async job (workload
-//	                                   name or isa-JSON program body)
-//	GET  /v1/jobs?state=<s>            list jobs, optionally by state
+//	                                   name or isa-JSON program body);
+//	                                   ?epoch-events=N streams it on that
+//	                                   epoch grid (checkpointed, resumable)
+//	GET  /v1/jobs?state=<s>            list jobs, optionally by state, with
+//	                                   ?limit/?offset pagination
 //	GET  /v1/jobs/{id}                 one job, with its persisted report
+//	GET  /v1/jobs/{id}?stream=1        live SSE: per-epoch provisional
+//	                                   reports, then the terminal result
 //	DELETE /v1/jobs/{id}               delete a terminal job (409 while
 //	                                   queued/running); WAL-logged
-//	POST /v1/leases                    claim a ready job (remote worker)
+//	POST /v1/leases                    claim a ready job (remote worker);
+//	                                   the grant carries the job's latest
+//	                                   committed epoch checkpoint
 //	PUT  /v1/leases/{id}               heartbeat a lease (fencing token)
+//	POST /v1/leases/{id}/checkpoint    commit a streaming epoch checkpoint
+//	                                   under the fencing token
 //	POST /v1/leases/{id}/result        report a leased attempt's outcome
+//	GET  /v1/flight                    list incident bundles
+//	GET  /v1/flight/{id}               one incident bundle, verbatim
+//	DELETE /v1/flight/{id}             prune a triaged incident bundle
 //	GET  /v1/requests                  recent request summaries (persisted
 //	                                   across restarts when -data-dir set)
 //	GET  /v1/workloads                 names the daemon can profile
@@ -122,6 +134,13 @@ type Options struct {
 	// keeps the sequential builder.  Reports are bit-for-bit identical
 	// either way.
 	ParallelDDG int
+	// EpochEvents streams every job by default: attempts pause each
+	// EpochEvents dynamic instructions to render a provisional report
+	// (GET /v1/jobs/{id}?stream=1) and commit a WAL-fsynced resume
+	// checkpoint.  Per-job ?epoch-events=N overrides (an explicit 0
+	// opts out); 0 here leaves jobs buffered unless they opt in.
+	// Reports are byte-identical either way.
+	EpochEvents uint64
 	// SlowJobThreshold arms a per-attempt watchdog: a job attempt still
 	// running after this long freezes the flight recorder into a
 	// "slow-job" bundle (once per job within the dedupe window).  Zero
@@ -156,6 +175,10 @@ type Server struct {
 	store *jobstore.Store
 	pool  *jobstore.Pool
 
+	// streams fans streaming jobs' per-epoch provisional reports out to
+	// GET /v1/jobs/{id}?stream=1 subscribers.
+	streams *streamHub
+
 	mu   sync.Mutex
 	ring []RequestSummary
 }
@@ -188,9 +211,10 @@ func New(opts Options) (*Server, error) {
 	}
 	opts.Registry.SetEnabled(true)
 	s := &Server{
-		opts: opts,
-		reg:  opts.Registry,
-		sem:  make(chan struct{}, opts.MaxInFlight),
+		opts:    opts,
+		reg:     opts.Registry,
+		sem:     make(chan struct{}, opts.MaxInFlight),
+		streams: newStreamHub(),
 	}
 	if opts.DeferOpen {
 		return s, nil

@@ -1,0 +1,95 @@
+package vm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"polyprof/internal/isa"
+)
+
+// FrameState is one serialized interpreter frame: block and function by
+// ID, so a restored machine re-binds them against its own program image
+// (the pipeline re-materializes the identical program on resume).
+type FrameState struct {
+	Fn      isa.FuncID  `json:"fn"`
+	Regs    []uint64    `json:"regs"`
+	Blk     isa.BlockID `json:"blk"`
+	PC      int         `json:"pc"`
+	RetDst  isa.Reg     `json:"retdst"`
+	RetCont isa.BlockID `json:"retcont"`
+}
+
+// State is a machine checkpoint taken at an epoch boundary (the VM is
+// quiescent inside OnEpoch, so memory, stack and counters are a
+// consistent cut of the execution).  Memory serializes as packed
+// little-endian bytes — JSON renders that as one base64 string instead
+// of millions of numbers.
+type State struct {
+	Mem    []byte       `json:"mem"`
+	Stack  []FrameState `json:"stack"`
+	Stats  Stats        `json:"stats"`
+	MemLen int64        `json:"memlen"`
+}
+
+// Snapshot captures the machine state.  Only meaningful while the
+// machine is paused (inside an OnEpoch callback) or after Run returned.
+func (m *Machine) Snapshot() *State {
+	st := &State{Stats: m.stats, MemLen: int64(len(m.mem))}
+	st.Mem = make([]byte, 8*len(m.mem))
+	for i, w := range m.mem {
+		binary.LittleEndian.PutUint64(st.Mem[8*i:], w)
+	}
+	for i := range m.stack {
+		f := &m.stack[i]
+		st.Stack = append(st.Stack, FrameState{
+			Fn: f.fn.ID, Regs: append([]uint64(nil), f.regs...),
+			Blk: f.blk.ID, PC: f.pc, RetDst: f.retDst, RetCont: f.retCont,
+		})
+	}
+	return st
+}
+
+// Restore arms the machine to continue from a checkpoint: the next Run
+// call picks up mid-program instead of starting at main's entry.
+func (m *Machine) Restore(st *State) {
+	m.restored = st
+}
+
+// applyState rebinds a checkpoint against the validated program.
+func (m *Machine) applyState(st *State) error {
+	if int64(len(st.Mem)) != 8*st.MemLen || st.MemLen != m.prog.MemWords {
+		return fmt.Errorf("vm: checkpoint memory is %d words, program %q declares %d",
+			st.MemLen, m.prog.Name, m.prog.MemWords)
+	}
+	m.mem = make([]uint64, st.MemLen)
+	for i := range m.mem {
+		m.mem[i] = binary.LittleEndian.Uint64(st.Mem[8*i:])
+	}
+	m.stats = st.Stats
+	m.stack = m.stack[:0]
+	for _, fs := range st.Stack {
+		if fs.Fn < 0 || int(fs.Fn) >= len(m.prog.Funcs) {
+			return fmt.Errorf("vm: checkpoint frame names unknown function %d", fs.Fn)
+		}
+		fn := m.prog.Func(fs.Fn)
+		if fs.Blk < 0 || int(fs.Blk) >= len(m.prog.Blocks) {
+			return fmt.Errorf("vm: checkpoint frame names unknown block %d", fs.Blk)
+		}
+		blk := m.prog.Block(fs.Blk)
+		if len(fs.Regs) != fn.NumRegs {
+			return fmt.Errorf("vm: checkpoint frame for %s has %d regs, function declares %d",
+				fn.Name, len(fs.Regs), fn.NumRegs)
+		}
+		if fs.PC < 0 || fs.PC >= len(blk.Code) {
+			return fmt.Errorf("vm: checkpoint pc %d out of range in block %q", fs.PC, blk.Name)
+		}
+		m.stack = append(m.stack, frame{
+			fn: fn, regs: append([]uint64(nil), fs.Regs...),
+			blk: blk, pc: fs.PC, retDst: fs.RetDst, retCont: fs.RetCont,
+		})
+	}
+	if len(m.stack) == 0 {
+		return fmt.Errorf("vm: checkpoint has an empty stack")
+	}
+	return nil
+}

@@ -101,6 +101,22 @@ type Machine struct {
 	// long runs can be observed without touching the per-step hot path.
 	Progress *progress.Tracker
 
+	// EpochEvents, with OnEpoch, pauses the run every EpochEvents
+	// executed instructions (exactly at multiples of EpochEvents, so
+	// epoch boundaries are deterministic across runs and resumes) and
+	// invokes OnEpoch with the machine quiescent: buffered instruction
+	// events are flushed first, so downstream sinks have seen the whole
+	// epoch.  The hot loop cost is folded into the existing watchdog
+	// comparison.
+	EpochEvents uint64
+	// OnEpoch is called at each epoch boundary with the executed-op
+	// count; a non-nil error aborts the run.
+	OnEpoch func(events uint64) error
+
+	// restored is non-nil when Restore loaded a checkpoint; Run then
+	// continues mid-program instead of starting from main's entry.
+	restored *State
+
 	// batch is non-nil when the machine drives exactly one hook and it
 	// implements trace.BatchHook: instruction events then buffer in
 	// bufEv/bufIn and flush as one InstrBatch call before every control
@@ -219,25 +235,36 @@ func (m *Machine) Run() error {
 		m.bufIn = m.bufIn[:0]
 		defer m.flushInstrs()
 	}
-	m.mem = make([]uint64, m.prog.MemWords)
-	if m.InitMem != nil {
-		m.InitMem(m.mem)
-	}
-	m.stats = Stats{}
 	m.depthLimit = m.MaxDepth
 	if m.depthLimit <= 0 {
 		m.depthLimit = DefaultMaxDepth
 	}
-	main := m.prog.Func(m.prog.Main)
-	m.stack = m.stack[:0]
-	m.push(main, nil, isa.NoReg, isa.NoBlock)
+	if st := m.restored; st != nil {
+		// Resume mid-program: memory, stack and counters come from the
+		// checkpoint; the synthetic entry event was already delivered in
+		// the original attempt, and the downstream sinks restore their
+		// own state to match.
+		m.restored = nil
+		if err := m.applyState(st); err != nil {
+			return err
+		}
+	} else {
+		m.mem = make([]uint64, m.prog.MemWords)
+		if m.InitMem != nil {
+			m.InitMem(m.mem)
+		}
+		m.stats = Stats{}
+		main := m.prog.Func(m.prog.Main)
+		m.stack = m.stack[:0]
+		m.push(main, nil, isa.NoReg, isa.NoBlock)
 
-	// Synthetic entry event so the analyses see main's entry block
-	// (Fig. 3d step 1 shows exactly this N(M0) event).
-	m.emitControl(trace.ControlEvent{
-		Kind: trace.Jump, Src: isa.NoBlock, Dst: main.Entry,
-		Callee: isa.NoFunc, Caller: isa.NoFunc,
-	})
+		// Synthetic entry event so the analyses see main's entry block
+		// (Fig. 3d step 1 shows exactly this N(M0) event).
+		m.emitControl(trace.ControlEvent{
+			Kind: trace.Jump, Src: isa.NoBlock, Dst: main.Entry,
+			Callee: isa.NoFunc, Caller: isa.NoFunc,
+		})
+	}
 
 	limit := m.MaxSteps
 	if limit == 0 {
@@ -253,15 +280,30 @@ func (m *Machine) Run() error {
 	// budget) runs every watchdogInterval steps.  nextCheck starts at 0
 	// so the first step always checkpoints — fault injection fires
 	// deterministically even on tiny programs.
-	var nextCheck, counted uint64
+	var nextEpoch uint64
+	if m.EpochEvents > 0 && m.OnEpoch != nil {
+		nextEpoch = (m.stats.Ops/m.EpochEvents + 1) * m.EpochEvents
+	}
+	var nextCheck uint64
+	counted := m.stats.Ops
 	for len(m.stack) > 0 {
 		if m.stats.Ops >= nextCheck {
 			if err := m.checkpoint(limit, budgetSteps, &counted); err != nil {
 				return err
 			}
+			if nextEpoch > 0 && m.stats.Ops >= nextEpoch {
+				m.flushInstrs()
+				if err := m.OnEpoch(m.stats.Ops); err != nil {
+					return err
+				}
+				nextEpoch = (m.stats.Ops/m.EpochEvents + 1) * m.EpochEvents
+			}
 			nextCheck = m.stats.Ops + watchdogInterval
 			if nextCheck > limit {
 				nextCheck = limit
+			}
+			if nextEpoch > 0 && nextCheck > nextEpoch {
+				nextCheck = nextEpoch
 			}
 		}
 		halt, err := m.step()

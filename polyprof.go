@@ -93,6 +93,15 @@ type (
 	// BudgetError reports which resource a run exhausted, at which
 	// stage; extract it from a pipeline error with errors.As.
 	BudgetError = budget.Error
+
+	// Epoch is one streaming epoch boundary: ordinal, event count,
+	// provisional report state, and (sequential, non-degraded runs) a
+	// serialized checkpoint.
+	Epoch = core.Epoch
+	// Checkpoint is the decoded pass-2 state of one epoch boundary; a
+	// resumed run restores from it instead of replaying pass 2 from
+	// event zero.
+	Checkpoint = core.Checkpoint
 )
 
 // NewProgram starts building a program.
@@ -134,6 +143,27 @@ type ProfileOptions struct {
 	// parallel engine's report is bit-for-bit identical to the
 	// sequential one on non-degraded runs.
 	ParallelDDG int
+	// EpochEvents, when positive, runs the pipeline in streaming mode:
+	// pass 2 pauses every EpochEvents dynamic instructions, folds the
+	// state seen so far, and (with OnEpoch set) emits a provisional
+	// report plus a resume checkpoint.  The final report is
+	// byte-identical to a buffered run.  With a shadow-memory limit set,
+	// streaming also bounds memory: stale shadow records are folded and
+	// released at every boundary.
+	EpochEvents uint64
+	// OnEpoch receives every epoch boundary; a non-nil error aborts the
+	// run.
+	OnEpoch func(*Epoch) error
+	// Resume restarts pass 2 from a decoded checkpoint (see
+	// DecodeCheckpoint) instead of event zero.  It forces the
+	// sequential dependence engine.
+	Resume *Checkpoint
+}
+
+// DecodeCheckpoint parses a checkpoint serialized by a streaming run
+// (Epoch.Checkpoint).
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	return core.DecodeCheckpoint(data)
 }
 
 // ProfileWith is ProfileCtx with engine selection: it runs the
@@ -143,6 +173,9 @@ func ProfileWith(ctx context.Context, prog *Program, popts ProfileOptions) (*Rep
 	opts := core.DefaultRunOptions()
 	opts.Budget = budget.New(ctx, popts.Limits)
 	opts.ParallelDDG = popts.ParallelDDG
+	opts.EpochEvents = popts.EpochEvents
+	opts.OnEpoch = popts.OnEpoch
+	opts.Resume = popts.Resume
 	p, err := core.Run(prog, opts)
 	if err != nil {
 		return nil, err

@@ -24,6 +24,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -87,6 +88,8 @@ func main() {
 		err = cmdDDG(os.Args[2:])
 	case "report":
 		err = cmdReport(os.Args[2:])
+	case "optimize":
+		err = cmdOptimize(os.Args[2:])
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -118,6 +121,11 @@ commands:
   casestudy <name>        backprop (Table 3) or gemsfdtd (Table 4)
   ddg <workload>          dump the folded polyhedral DDG of the region
   report <workload> [-json]  full feedback document (or JSON)
+  optimize <workload> [-json] [-tile n]
+                          close the PGO loop: apply the suggested schedules
+                          (interchange, rectangular tiling), verify output
+                          equality, and print measured speedups; illegal or
+                          unrecognizable schedules are refused with a reason
   serve [-http :7070]     profiling-as-a-service daemon (POST /v1/profile)
   work -coordinator URL   stateless remote worker: claim jobs from a
                           coordinator over the lease protocol, run them,
@@ -186,7 +194,8 @@ sched.build, serve.handler, jobstore.wal.append, jobstore.wal.sync,
 jobstore.snapshot, jobstore.replay, parddg.batch.dispatch,
 parddg.shard.insert, parddg.merge, jobexec.attempt,
 jobexec.checkpoint, jobapi.partition, jobapi.acquire,
-jobapi.heartbeat, jobapi.result; modes: panic, error, budget, delay; a
+jobapi.heartbeat, jobapi.result, transform.apply, transform.verify;
+modes: panic, error, budget, delay; a
 negative count is sticky — the fault fires on every hit, e.g.
 jobapi.partition=error:net:-1 holds a partition)`)
 }
@@ -548,6 +557,95 @@ func cmdReport(args []string) error {
 	}
 	fmt.Print(rep.Document(polyprof.DefaultCostModel()))
 	return of.finish()
+}
+
+func cmdOptimize(args []string) error {
+	fs := flag.NewFlagSet("optimize", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "emit the full machine-readable report (feedback + optimization section)")
+	tile := fs.Int("tile", 0, "rectangular tile edge (0 = engine default)")
+	of := addObsFlags(fs)
+	bf := addBudgetFlags(fs)
+	par := addParallelFlag(fs)
+	name, err := parseWorkload(fs, args)
+	if err != nil {
+		return err
+	}
+	if name == "" {
+		return fmt.Errorf("optimize: missing workload name")
+	}
+	of.jsonOut = *asJSON
+	if err := of.start(); err != nil {
+		return err
+	}
+	prog, err := polyprof.Workload(name)
+	if err != nil {
+		return err
+	}
+	rep, opt, err := polyprof.OptimizeWith(context.Background(), prog, polyprof.ProfileOptions{
+		Limits:      bf.limits(),
+		ParallelDDG: resolveShards(*par),
+	}, *tile)
+	if err != nil {
+		return err
+	}
+	noteDegraded(rep)
+	if *asJSON {
+		optJSON, err := json.Marshal(opt)
+		if err != nil {
+			return err
+		}
+		cm := polyprof.DefaultCostModel()
+		data, err := rep.JSONWith(&cm, optJSON)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(data))
+		return of.finish()
+	}
+	printOptimizeReport(opt)
+	return of.finish()
+}
+
+// printOptimizeReport renders the transform engine's result for a
+// terminal: baseline, then per-nest variants with measured speedups or
+// structured refusal reasons.
+func printOptimizeReport(opt *polyprof.OptimizeReport) {
+	fmt.Printf("== profile-guided optimization: %s ==\n", opt.Program)
+	if opt.Refused != nil {
+		fmt.Printf("refused: %s\n", opt.Refused)
+		return
+	}
+	if opt.Baseline != nil {
+		fmt.Printf("baseline: %d cycles (%d cache hits, %d misses; tile=%d)\n",
+			opt.Baseline.Cycles, opt.Baseline.CacheHits, opt.Baseline.CacheMisses, opt.TileSize)
+	}
+	if len(opt.Candidates) == 0 {
+		fmt.Println("no transformable nests suggested")
+		return
+	}
+	for _, c := range opt.Candidates {
+		fmt.Printf("\nnest %s (depth %d, %d dynamic ops, %d context(s)): %s\n",
+			c.Nest, c.Depth, c.Ops, c.Contexts, c.Suggested)
+		if c.Refused != nil {
+			fmt.Printf("  refused: %s\n", c.Refused)
+			continue
+		}
+		for _, v := range c.Variants {
+			switch {
+			case v.Refused != nil:
+				fmt.Printf("  %-17s refused: %s\n", v.Kind, v.Refused)
+			case v.Verified:
+				fmt.Printf("  %-17s speedup %.3fx (%d cycles, %d hits, %d misses) [verified]\n",
+					v.Kind, v.MeasuredSpeedup, v.Measured.Cycles,
+					v.Measured.CacheHits, v.Measured.CacheMisses)
+			default:
+				fmt.Printf("  %-17s applied=%v verified=%v\n", v.Kind, v.Applied, v.Verified)
+			}
+		}
+	}
+	if opt.BestSpeedup > 0 {
+		fmt.Printf("\nbest: %s, measured speedup %.3fx\n", opt.Best, opt.BestSpeedup)
+	}
 }
 
 func cmdTable5(args []string) error {

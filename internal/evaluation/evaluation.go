@@ -14,6 +14,7 @@ import (
 	"polyprof/internal/obs"
 	"polyprof/internal/sched"
 	"polyprof/internal/staticpoly"
+	"polyprof/internal/transform"
 	"polyprof/internal/workloads"
 )
 
@@ -23,7 +24,10 @@ type BenchResult struct {
 	Profile *core.Profile
 	Report  *feedback.Report
 	Static  *staticpoly.Result
-	Row     Table5Row
+	// Optimize is the schedule-application engine's result: applied
+	// variants with verified measured speedups, or structured refusals.
+	Optimize *transform.Report
+	Row      Table5Row
 }
 
 // Table5Row is one line of the paper's Table 5.
@@ -50,6 +54,13 @@ type Table5Row struct {
 	Components, FusedComponents          int
 	Fusion                               string
 	HasTransform                         bool
+
+	// MeasuredSpeedup is the best verified cycle-model speedup the
+	// transform engine measured after actually applying a suggested
+	// schedule (0 when nothing was applied), and MeasuredKind names the
+	// winning variant ("interchange", "tile", "interchange+tile").
+	MeasuredSpeedup float64
+	MeasuredKind    string
 }
 
 // RunWorkload profiles one workload and assembles its row, recording
@@ -111,7 +122,32 @@ func RunWorkloadScoped(spec workloads.Spec, sc obs.Scope) (*BenchResult, error) 
 		row.FusedComponents = reg.FusedComponents
 		row.Fusion = reg.Fusion.String()
 	}
-	return &BenchResult{Spec: spec, Profile: p, Report: rep, Static: st, Row: row}, nil
+	// Close the loop: apply the suggested schedules and measure them.
+	// A hard failure here (oracle mismatch, VM error) fails the
+	// workload — a transformation that breaks program outputs must
+	// never be summarized away.
+	opt, err := transform.Optimize(p, rep.Model, rep.AllTransforms(), transform.Options{Obs: wsc})
+	if err != nil {
+		sp.Fail(err)
+		return nil, fmt.Errorf("%s: %w", spec.Name, err)
+	}
+	row.MeasuredSpeedup = opt.BestSpeedup
+	if opt.BestSpeedup > 0 {
+		row.MeasuredKind = bestKind(opt)
+	}
+	return &BenchResult{Spec: spec, Profile: p, Report: rep, Static: st, Optimize: opt, Row: row}, nil
+}
+
+// bestKind names the variant behind Report.BestSpeedup.
+func bestKind(opt *transform.Report) string {
+	for _, c := range opt.Candidates {
+		for _, v := range c.Variants {
+			if v.Verified && v.MeasuredSpeedup == opt.BestSpeedup {
+				return v.Kind
+			}
+		}
+	}
+	return ""
 }
 
 // RunRodinia profiles the whole suite (Experiment I + II).
@@ -140,10 +176,10 @@ func pct(v float64) string { return fmt.Sprintf("%.0f%%", 100*v) }
 // Table 5 (one line per benchmark).
 func RenderTable5(rows []*BenchResult) string {
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-14s %9s %9s %5s  %-22s %5s %6s %7s %9s %6s %5s %5s %6s %7s %7s %3s %3s %3s %7s %2s %5s %6s\n",
+	fmt.Fprintf(&sb, "%-14s %9s %9s %5s  %-22s %5s %6s %7s %9s %6s %5s %5s %6s %7s %7s %3s %3s %3s %7s %2s %5s %6s %9s\n",
 		"benchmark", "#Ops", "#Mops", "%Aff", "Region", "%ops", "%Mops", "%FPops",
 		"interproc", "Polly", "skew", "%par", "%simd", "%reuse", "%Preuse",
-		"lds", "ldb", "TlD", "%Tilops", "C", "Comp", "fusion")
+		"lds", "ldb", "TlD", "%Tilops", "C", "Comp", "fusion", "measured")
 	for _, r := range rows {
 		row := r.Row
 		if !row.HasTransform {
@@ -151,13 +187,17 @@ func RenderTable5(rows []*BenchResult) string {
 				row.Name, row.Ops, row.MemOps, pct(row.PctAff), "-", row.PollyReasons)
 			continue
 		}
-		fmt.Fprintf(&sb, "%-14s %9d %9d %5s  %-22s %5s %6s %7s %9s %6s %5s %5s %6s %7s %7s %3s %3s %3s %7s %2d %5d %6s\n",
+		measured := "-"
+		if row.MeasuredSpeedup > 0 {
+			measured = fmt.Sprintf("%.2fx", row.MeasuredSpeedup)
+		}
+		fmt.Fprintf(&sb, "%-14s %9d %9d %5s  %-22s %5s %6s %7s %9s %6s %5s %5s %6s %7s %7s %3s %3s %3s %7s %2d %5d %6s %9s\n",
 			row.Name, row.Ops, row.MemOps, pct(row.PctAff), row.Region,
 			pct(row.PctOps), pct(row.PctMops), pct(row.PctFPop),
 			yn(row.Interproc), row.PollyReasons, yn(row.Skew),
 			pct(row.PctPar), pct(row.PctSIMD), pct(row.PctReuse), pct(row.PctPReuse),
 			fmt.Sprintf("%dD", row.LdSrc), fmt.Sprintf("%dD", row.LdBin), fmt.Sprintf("%dD", row.TileD),
-			pct(row.PctTile), row.Components, row.FusedComponents, row.Fusion)
+			pct(row.PctTile), row.Components, row.FusedComponents, row.Fusion, measured)
 	}
 	return sb.String()
 }

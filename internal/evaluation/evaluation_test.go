@@ -155,6 +155,19 @@ func TestTable5Shape(t *testing.T) {
 			t.Errorf("%s: %%par = %.0f%%, want >= 60%%", name, 100*r.Row.PctPar)
 		}
 	}
+
+	// Closing the loop: backprop's suggested interchange, actually
+	// applied and verified, must measure faster than the original (the
+	// case study's stride fix), and every measured number must come
+	// from a verified variant.
+	if r := rowByName(t, rows, "backprop"); r.Row.MeasuredSpeedup <= 1.0 {
+		t.Errorf("backprop: measured speedup %.3f, want > 1.0", r.Row.MeasuredSpeedup)
+	}
+	for _, r := range rows {
+		if r.Row.MeasuredSpeedup > 0 && r.Row.MeasuredKind == "" {
+			t.Errorf("%s: measured speedup %.3f without a verified variant kind", r.Row.Name, r.Row.MeasuredSpeedup)
+		}
+	}
 }
 
 // TestTable3BackpropShape asserts the case-study-I feedback of Table 3.

@@ -26,6 +26,12 @@ type JSONReport struct {
 	Degradation *ddg.Degradation `json:"degradation,omitempty"`
 
 	Region *JSONRegion `json:"region,omitempty"`
+
+	// Optimization is the schedule-application engine's report
+	// (internal/transform), present when the run was submitted with
+	// the optimize stage enabled.  It is carried opaquely so feedback
+	// does not depend on the transform package.
+	Optimization json.RawMessage `json:"optimization,omitempty"`
 }
 
 // JSONRegion describes the selected region of interest.
@@ -70,6 +76,13 @@ type JSONNest struct {
 // JSON serializes the report (pretty-printed).  When cm is non-nil,
 // per-nest speedups are estimated with it.
 func (r *Report) JSON(cm *CostModel) ([]byte, error) {
+	return r.JSONWith(cm, nil)
+}
+
+// JSONWith is JSON with an opaque optimization section (the
+// schedule-application engine's marshaled report) attached; nil omits
+// the section and is equivalent to JSON.
+func (r *Report) JSONWith(cm *CostModel, optimization json.RawMessage) ([]byte, error) {
 	out := JSONReport{
 		Program:   r.Profile.Prog.Name,
 		TotalOps:  r.Profile.DDG.TotalOps,
@@ -129,5 +142,6 @@ func (r *Report) JSON(cm *CostModel) ([]byte, error) {
 		}
 		out.Region = jr
 	}
+	out.Optimization = optimization
 	return json.MarshalIndent(out, "", "  ")
 }

@@ -165,6 +165,11 @@ func analyzeModelChecked(p *core.Profile, m *sched.Model) (r *Report, err error)
 // over the whole schedule tree (the feedback stage's event count).
 func (r *Report) TransformCount() int { return len(r.allTransforms) }
 
+// AllTransforms returns every nest transformation derived over the
+// whole schedule tree, in discovery order.  The schedule-application
+// engine (internal/transform) consumes these as its suggestions.
+func (r *Report) AllTransforms() []*sched.NestTransform { return r.allTransforms }
+
 func (reg *Region) hasInterestingTransform() bool {
 	for _, t := range reg.Transforms {
 		if t.OuterParallel() || t.SIMD || t.Tilable() || t.Interchange {

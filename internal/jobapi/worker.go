@@ -162,6 +162,9 @@ func (w *Worker) runAttempt(ctx context.Context, grant *Grant) {
 	// provisional hook — remote attempts skip the per-epoch render;
 	// live subscribers are served by the coordinator.
 	exec.EpochEvents = job.EpochEvents
+	// The optimize stage is part of the job spec, so a leased attempt
+	// runs it exactly like a local one.
+	exec.Optimize = job.Optimize
 	exec.Checkpoints = nil
 	exec.OnProvisional = nil
 	exec.OnResume = nil

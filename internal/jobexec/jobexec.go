@@ -25,6 +25,7 @@ import (
 	"polyprof/internal/obs/flight"
 	"polyprof/internal/obs/sampler"
 	"polyprof/internal/progress"
+	"polyprof/internal/transform"
 	"polyprof/internal/workloads"
 )
 
@@ -72,6 +73,16 @@ type Options struct {
 	// Tracker receives stage transitions when non-nil; the caller owns
 	// it (wiring OnStage to its own persistence or trace shipping).
 	Tracker *progress.Tracker
+
+	// Optimize runs the schedule-application engine after analysis:
+	// suggested schedules are applied, re-measured under the VM
+	// cycle/cache model, and the verified results land in the report's
+	// "optimization" section.  Measurement re-executions charge the same
+	// budget as the profiled run.
+	Optimize bool
+	// TileSize is the rectangular tile edge for Optimize
+	// (transform.DefaultTileSize when 0).
+	TileSize int
 
 	// EpochEvents, when positive, runs the attempt in streaming mode:
 	// pass 2 pauses every EpochEvents dynamic instructions, renders a
@@ -188,8 +199,15 @@ func Run(ctx context.Context, job *jobstore.Job, attempt int, opts Options) (*jo
 		if err != nil {
 			return err
 		}
+		var optJSON json.RawMessage
+		if opts.Optimize {
+			optJSON, err = runOptimize(sc, p, rep, bud, opts)
+			if err != nil {
+				return err
+			}
+		}
 		cm := feedback.DefaultCostModel()
-		data, err := rep.JSON(&cm)
+		data, err := rep.JSONWith(&cm, optJSON)
 		if err != nil {
 			return err
 		}
@@ -209,6 +227,28 @@ func Run(ctx context.Context, job *jobstore.Job, attempt int, opts Options) (*jo
 	root.End()
 	res.WallNS = int64(time.Since(start))
 	return res, reg, err
+}
+
+// runOptimize is the optional transform stage: apply the suggested
+// schedules, re-measure, verify, and marshal the engine's report for
+// embedding.  A panic inside the engine is contained here exactly like
+// a pipeline-stage panic (stage-panic flight bundle, attempt fails,
+// daemon survives).
+func runOptimize(sc obs.Scope, p *core.Profile, rep *feedback.Report, bud *budget.Budget, opts Options) (data json.RawMessage, err error) {
+	opts.Tracker.StartStage("transform", 0)
+	sp := sc.StartSpan("transform")
+	defer sp.End()
+	defer core.RecoverStage("transform", sp, &err)
+	opt, err := transform.Optimize(p, rep.Model, rep.AllTransforms(), transform.Options{
+		TileSize: opts.TileSize,
+		Obs:      sc.WithSpan(sp),
+		Budget:   bud,
+	})
+	if err != nil {
+		sp.Fail(err)
+		return nil, err
+	}
+	return json.Marshal(opt)
 }
 
 // epochHook builds the per-boundary callback of a streaming attempt:

@@ -100,6 +100,14 @@ type Job struct {
 	// exactness).
 	EpochEvents uint64 `json:"epoch_events,omitempty"`
 
+	// Optimize runs the schedule-application engine after analysis:
+	// the attempt applies the suggested schedules, re-measures them
+	// under the VM cycle/cache model, and the report carries an
+	// "optimization" section.  Part of the job spec (and the cache key):
+	// an optimized and an unoptimized run of the same program are
+	// different jobs.
+	Optimize bool `json:"optimize,omitempty"`
+
 	// Lease is the volatile view of the job's outstanding remote lease
 	// (worker, attempt, expiry — never the fencing token).  Like
 	// Progress it is filled into Get clones and never persisted.

@@ -133,6 +133,11 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, req *http.Request) {
 		}
 		job.EpochEvents = n
 	}
+	// ?optimize=1 closes the PGO loop for this job: after analysis the
+	// attempt applies the suggested schedules, re-measures them under
+	// the cycle/cache model, and the report gains an "optimization"
+	// section with verified measured speedups.
+	job.Optimize = req.URL.Query().Get("optimize") == "1"
 	// Content-addressed dedup: identical submissions (canonical program
 	// + budgets) resolve to the cached report in O(1) instead of
 	// re-profiling — the pipeline is deterministic, so the cached report
@@ -220,6 +225,12 @@ func (s *Server) cacheKey(job *jobstore.Job) string {
 		// streamed job never answers a buffered submission or vice versa.
 		// Buffered jobs keep the historical key.
 		fmt.Fprintf(h, "\x00epoch=%d", job.EpochEvents)
+	}
+	if job.Optimize {
+		// An optimized report embeds the transform engine's measurements;
+		// it must never answer a plain profiling submission (or vice
+		// versa).  Unoptimized jobs keep the historical key.
+		fmt.Fprintf(h, "\x00optimize=1")
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }
@@ -400,6 +411,7 @@ func (s *Server) runJob(ctx context.Context, job *jobstore.Job, attempt int) (*j
 		Timeout:     s.opts.RequestTimeout,
 		ParallelDDG: s.opts.ParallelDDG,
 		Tracker:     tr,
+		Optimize:    job.Optimize,
 	}
 	if job.EpochEvents > 0 {
 		// Streaming attempt: checkpoints commit through the job store's

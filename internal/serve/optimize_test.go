@@ -1,0 +1,219 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+
+	"polyprof/internal/faultinject"
+	"polyprof/internal/jobstore"
+	"polyprof/internal/obs/flight"
+	"polyprof/internal/transform"
+)
+
+// optimizedReport is the slice of the job report the optimize tests
+// care about.
+type optimizedReport struct {
+	Program      string            `json:"program"`
+	Optimization *transform.Report `json:"optimization"`
+}
+
+// TestJobsOptimize: a job submitted with ?optimize=1 runs the
+// schedule-application engine after analysis and its report carries the
+// "optimization" section with verified measured speedups; a plain job
+// does not.
+func TestJobsOptimize(t *testing.T) {
+	_, ts := newTestServer(t, Options{DataDir: t.TempDir()})
+
+	resp, body := postJob(t, ts, "workload=backprop&optimize=1", nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", resp.StatusCode, body)
+	}
+	var sum jobstore.JobSummary
+	if err := json.Unmarshal(body, &sum); err != nil {
+		t.Fatal(err)
+	}
+	j := waitJob(t, ts, sum.ID)
+	if j.State != jobstore.StateSucceeded || j.Result == nil {
+		t.Fatalf("optimize job = state %s error %+v", j.State, j.Error)
+	}
+	var rep optimizedReport
+	if err := json.Unmarshal(j.Result.Report, &rep); err != nil {
+		t.Fatalf("report does not parse: %v", err)
+	}
+	opt := rep.Optimization
+	if opt == nil {
+		t.Fatalf("optimize job report has no optimization section: %s", j.Result.Report)
+	}
+	if opt.Refused != nil {
+		t.Fatalf("whole run refused: %s", opt.Refused)
+	}
+	if opt.BestSpeedup <= 1.0 {
+		t.Errorf("backprop best measured speedup = %.3f, want > 1.0", opt.BestSpeedup)
+	}
+	for _, c := range opt.Candidates {
+		for _, v := range c.Variants {
+			if v.Applied && !v.Verified {
+				t.Errorf("%s %s: applied but not verified", c.Nest, v.Kind)
+			}
+		}
+	}
+
+	// A plain job of the same workload must not carry the section.
+	resp, body = postJob(t, ts, "workload=backprop", nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("plain submit = %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &sum); err != nil {
+		t.Fatal(err)
+	}
+	j = waitJob(t, ts, sum.ID)
+	if j.State != jobstore.StateSucceeded {
+		t.Fatalf("plain job = %s", j.State)
+	}
+	var plain optimizedReport
+	if err := json.Unmarshal(j.Result.Report, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if plain.Optimization != nil {
+		t.Fatalf("plain job report carries an optimization section")
+	}
+}
+
+// TestOptimizeCacheKeyDistinct: the optimize flag is part of the
+// content-addressed cache key, so an optimized and an unoptimized run
+// of the same workload never answer each other's submissions — while
+// each still answers its own duplicates.
+func TestOptimizeCacheKeyDistinct(t *testing.T) {
+	_, ts := newTestServer(t, Options{DataDir: t.TempDir()})
+
+	submit := func(query string) jobstore.JobSummary {
+		t.Helper()
+		resp, body := postJob(t, ts, query, nil)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %q = %d, want 202 (no false cache hit): %s", query, resp.StatusCode, body)
+		}
+		var sum jobstore.JobSummary
+		if err := json.Unmarshal(body, &sum); err != nil {
+			t.Fatal(err)
+		}
+		waitJob(t, ts, sum.ID)
+		return sum
+	}
+	hit := func(query string) jobstore.JobSummary {
+		t.Helper()
+		resp, body := postJob(t, ts, query, nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("duplicate %q = %d, want 200 cache hit: %s", query, resp.StatusCode, body)
+		}
+		var h struct {
+			Cached bool                `json:"cached"`
+			Job    jobstore.JobSummary `json:"job"`
+		}
+		if err := json.Unmarshal(body, &h); err != nil {
+			t.Fatal(err)
+		}
+		if !h.Cached {
+			t.Fatalf("duplicate %q not served from cache: %s", query, body)
+		}
+		return h.Job
+	}
+
+	plain := submit("workload=example1")
+	optimized := submit("workload=example1&optimize=1")
+	if plain.ID == optimized.ID {
+		t.Fatalf("optimized submission answered by the plain job")
+	}
+	if h := hit("workload=example1"); h.ID != plain.ID {
+		t.Fatalf("plain duplicate answered by %s, want %s", h.ID, plain.ID)
+	}
+	if h := hit("workload=example1&optimize=1"); h.ID != optimized.ID {
+		t.Fatalf("optimized duplicate answered by %s, want %s", h.ID, optimized.ID)
+	}
+}
+
+// TestChaosMidOptimizePanic: a panic injected inside the transform
+// engine's apply step (the paper-machinery equivalent of a codegen bug)
+// must be contained by the stage recovery: the attempt fails, a
+// stage-panic flight bundle freezes, the retry succeeds, and the daemon
+// keeps serving throughout.
+func TestChaosMidOptimizePanic(t *testing.T) {
+	t.Cleanup(faultinject.DisarmAll)
+	_, ts, dir := newFlightServer(t, Options{})
+
+	before := countBundles(t, dir)
+	if err := faultinject.ArmString("transform.apply=panic:chaos:1"); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.DisarmAll()
+
+	resp, body := postJob(t, ts, "workload=backprop&optimize=1", nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", resp.StatusCode, body)
+	}
+	var sum jobstore.JobSummary
+	if err := json.Unmarshal(body, &sum); err != nil {
+		t.Fatal(err)
+	}
+	j := waitJob(t, ts, sum.ID)
+	// The panic is contained by the stage recovery and classified like
+	// any deterministic pipeline failure: the job fails terminally (the
+	// pipeline is deterministic, retrying cannot help) — but the daemon
+	// survives and the panic is auditable in a flight bundle.
+	if j.State != jobstore.StateFailed || j.Error == nil {
+		t.Fatalf("job after mid-optimize panic = state %s error %+v, want failed", j.State, j.Error)
+	}
+	if !strings.Contains(j.Error.Message, "panic in transform") {
+		t.Errorf("terminal error %q does not name the contained panic", j.Error.Message)
+	}
+
+	infos := waitBundles(t, dir, before+1)
+	found := false
+	for _, in := range infos {
+		if in.Reason == "stage-panic" {
+			found = true
+			b, err := flight.ReadBundle(dir, in.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b.Stage != "transform" {
+				t.Errorf("bundle stage = %q, want transform", b.Stage)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no stage-panic bundle after mid-optimize panic: %+v", infos)
+	}
+	chaosCheckAlive(t, ts)
+}
+
+// TestChaosOptimizeVerifyFault: an error injected at the verification
+// gate fails the attempt — a result whose oracle step did not run must
+// never be reported — and the daemon keeps serving.
+func TestChaosOptimizeVerifyFault(t *testing.T) {
+	t.Cleanup(faultinject.DisarmAll)
+	_, ts := newTestServer(t, Options{DataDir: t.TempDir(), MaxAttempts: 1})
+
+	if err := faultinject.ArmString("transform.verify=error:chaos:1"); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.DisarmAll()
+
+	resp, body := postJob(t, ts, "workload=backprop&optimize=1&nocache=1", nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", resp.StatusCode, body)
+	}
+	var sum jobstore.JobSummary
+	if err := json.Unmarshal(body, &sum); err != nil {
+		t.Fatal(err)
+	}
+	j := waitJob(t, ts, sum.ID)
+	if j.State != jobstore.StateFailed || j.Error == nil {
+		t.Fatalf("job with verify fault = state %s error %+v, want failed", j.State, j.Error)
+	}
+	if !strings.Contains(j.Error.Message, "transform") {
+		t.Errorf("terminal error %q does not mention the transform stage", j.Error.Message)
+	}
+	chaosCheckAlive(t, ts)
+}

@@ -1,0 +1,96 @@
+package transform
+
+import (
+	"fmt"
+
+	"polyprof/internal/sched"
+)
+
+// checkLegal judges one schedule against the folded-DDG distance
+// bounds.  order lists the band dimensions [bandStart, depth) in their
+// new outermost-to-innermost order (absolute dimension indices); tile
+// additionally requires full permutability of the band.
+//
+// The argument is the classic lexicographic one.  Each dependence
+// instance carries a distance vector d (consumer iteration minus
+// producer iteration per common dimension); in the original program
+// every instance is lexicographically non-negative by construction.
+// A dependence is preserved by the new schedule iff every instance
+// stays lexicographically non-negative when its components are read in
+// the new dimension order.  The folded DDG gives [min,max] bounds per
+// component over the whole dependence domain, so the check is
+// conservative: a component with min >= 1 satisfies the dependence for
+// every instance (scan stops), min >= 0 keeps the scan going, anything
+// weaker (unknown minimum or min < 0) refuses.
+//
+// Rectangular tiling strip-mines every band dimension, which reorders
+// iterations within the band arbitrarily across tile boundaries unless
+// the band is fully permutable — so tiling demands min >= 0 on every
+// band dimension for every dependence not already satisfied outside
+// the band (the first-quadrant condition of Wolf & Lam).
+//
+// Dependences with an endpoint outside the innermost body — register
+// chains through the loop machinery (induction updates, bound
+// compares) and the hoisted glue — are identified by a common-depth
+// shorter than the nest and skipped: the rewriter regenerates that
+// machinery from scratch, and the structural gates already proved the
+// glue invariant.  Memory operations live only in the innermost body
+// (recognition refuses anything else), so every skipped dependence is
+// a register dependence on regenerated code.
+func checkLegal(deps []*sched.Dep, bandStart, depth int, order []int, tile bool) *Refusal {
+	for _, dep := range deps {
+		if dep.Common < depth && !dep.Star {
+			continue // loop machinery / glue register chain, regenerated
+		}
+		if dep.SatisfiedBefore(bandStart) {
+			continue // carried by an outer dimension the rewrite keeps
+		}
+		if dep.Star {
+			return refuse(RefuseStarDep,
+				"over-approximated dependence %s: every direction must be assumed", depName(dep))
+		}
+		if tile {
+			for _, k := range order {
+				if k >= len(dep.Dist) {
+					return refuse(RefuseStarDep,
+						"dependence %s has no distance information for dimension %d", depName(dep), k)
+				}
+				b := dep.Dist[k]
+				if !b.MinOK || b.Min < 0 {
+					return refuse(RefuseNegativeDistance,
+						"dependence %s: dimension %d distance not provably >= 0, band is not fully permutable",
+						depName(dep), k)
+				}
+			}
+			continue
+		}
+		for _, k := range order {
+			if k >= len(dep.Dist) {
+				return refuse(RefuseStarDep,
+					"dependence %s has no distance information for dimension %d", depName(dep), k)
+			}
+			b := dep.Dist[k]
+			if !b.MinOK || b.Min < 0 {
+				return refuse(RefuseNegativeDistance,
+					"dependence %s: dimension %d distance could be negative before the dependence is satisfied",
+					depName(dep), k)
+			}
+			if b.Min >= 1 {
+				break // satisfied at this dimension for every instance
+			}
+			// min may be 0 here: keep scanning inner dimensions.  A
+			// dependence satisfied on no band dimension has distance
+			// zero everywhere: loop-independent, preserved because
+			// body instruction order is untouched.
+		}
+	}
+	return nil
+}
+
+// depName renders a dependence for refusal messages.
+func depName(d *sched.Dep) string {
+	if d.D != nil {
+		return d.D.String()
+	}
+	return fmt.Sprintf("dep (distance %v)", d.Dist)
+}

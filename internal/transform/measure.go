@@ -1,0 +1,73 @@
+package transform
+
+import (
+	"fmt"
+
+	"polyprof/internal/isa"
+	"polyprof/internal/obs/flight"
+	"polyprof/internal/vm"
+)
+
+// measure executes a program (no tracing hooks) under the cycle/cache
+// model and captures its final memory image for the oracle.
+func measure(prog *isa.Program, opts Options) (*Measurement, error) {
+	cm := vm.NewCycleModel(opts.Cache)
+	m := vm.New(prog)
+	m.Cost = cm
+	m.Budget = opts.Budget
+	if err := m.Run(); err != nil {
+		return nil, err
+	}
+	mem := m.Mem()
+	out := &Measurement{
+		Cycles:      cm.Cycles(),
+		CacheHits:   cm.Cache.Hits(),
+		CacheMisses: cm.Cache.Misses(),
+		mem:         make([]uint64, len(mem)),
+	}
+	copy(out.mem, mem)
+	return out, nil
+}
+
+// verifyOutputs is the output-equality oracle: the transformed program
+// must leave a bit-identical final memory image.  A mismatch is a
+// correctness bug in the legality check or the rewriter — it freezes a
+// flight bundle and fails the run so the transformation is never
+// reported as applied-and-verified.
+func verifyOutputs(program, nest, kind string, base, got *Measurement) error {
+	if len(base.mem) != len(got.mem) {
+		return oracleFail(program, nest, kind,
+			fmt.Sprintf("memory size changed: %d words vs %d", len(base.mem), len(got.mem)))
+	}
+	diff := 0
+	first := -1
+	for i := range base.mem {
+		if base.mem[i] != got.mem[i] {
+			if first < 0 {
+				first = i
+			}
+			diff++
+		}
+	}
+	if diff == 0 {
+		return nil
+	}
+	return oracleFail(program, nest, kind,
+		fmt.Sprintf("%d memory words differ (first at word %d: %#x vs %#x)",
+			diff, first, base.mem[first], got.mem[first]))
+}
+
+func oracleFail(program, nest, kind, detail string) error {
+	err := fmt.Errorf("transform: output-equality oracle failed for %s %s on %s: %s",
+		kind, nest, program, detail)
+	flight.Trigger("optimize-verify-failed", flight.TriggerInfo{
+		Stage:  "transform",
+		Detail: err.Error(),
+		Extra: map[string]string{
+			"program": program,
+			"nest":    nest,
+			"variant": kind,
+		},
+	})
+	return err
+}

@@ -44,6 +44,7 @@ import (
 	"polyprof/internal/isa"
 	"polyprof/internal/loopevents"
 	"polyprof/internal/staticpoly"
+	"polyprof/internal/transform"
 	"polyprof/internal/vm"
 	"polyprof/internal/workloads"
 )
@@ -102,6 +103,14 @@ type (
 	// resumed run restores from it instead of replaying pass 2 from
 	// event zero.
 	Checkpoint = core.Checkpoint
+
+	// OptimizeReport is the schedule-application engine's result: per
+	// static nest, the attempted interchange/tiling variants with their
+	// legality verdicts, output-equality verification, and measured
+	// speedups under the VM cycle/cache model.
+	OptimizeReport = transform.Report
+	// OptimizeVariant is one attempted transformation of one nest.
+	OptimizeVariant = transform.Variant
 )
 
 // NewProgram starts building a program.
@@ -181,6 +190,36 @@ func ProfileWith(ctx context.Context, prog *Program, popts ProfileOptions) (*Rep
 		return nil, err
 	}
 	return feedback.AnalyzeChecked(p)
+}
+
+// OptimizeWith closes the profile-guided-optimization loop on a
+// program: run the profiling pipeline under popts, then hand the
+// suggested schedules to the transform engine, which applies them
+// (loop interchange and rectangular tiling on perfectly nested
+// bands), checks legality against the folded DDG, verifies
+// bit-identical outputs, and measures the cycle/cache-model speedup
+// of every surviving variant.  tileSize <= 0 selects the default tile
+// edge.  The profiling Report is returned alongside the optimize
+// report; measurement re-executions charge the same budget as the
+// profiled run, and degraded runs refuse all transformations.
+func OptimizeWith(ctx context.Context, prog *Program, popts ProfileOptions, tileSize int) (*Report, *OptimizeReport, error) {
+	opts := core.DefaultRunOptions()
+	bud := budget.New(ctx, popts.Limits)
+	opts.Budget = bud
+	opts.ParallelDDG = popts.ParallelDDG
+	p, err := core.Run(prog, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	rep, err := feedback.AnalyzeChecked(p)
+	if err != nil {
+		return nil, nil, err
+	}
+	opt, err := transform.Optimize(p, rep.Model, rep.AllTransforms(), transform.Options{
+		TileSize: tileSize,
+		Budget:   bud,
+	})
+	return rep, opt, err
 }
 
 // ProfileExecution runs only the profiling stages (no feedback),
